@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ablation: off-chip memory bandwidth sensitivity.
+ *
+ * The evaluation pins the HBM-class 300 GB/s of the TPUv2 board.
+ * Because the SFQ NPU clocks 75x faster than the CMOS comparator,
+ * its compute-to-bandwidth ratio is extreme: this bench sweeps the
+ * DRAM bandwidth and shows where each design stops being memory
+ * bound (the Baseline barely cares — it is buffer-movement bound —
+ * while the SuperNPU keeps scaling well past 300 GB/s).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace supernpu;
+using estimator::NpuConfig;
+
+int
+main()
+{
+    bench::Pipeline pipe;
+
+    TextTable table(
+        "ablation: DRAM bandwidth sweep (avg effective TMAC/s)");
+    table.row()
+        .cell("bandwidth (GB/s)")
+        .cell("Baseline")
+        .cell("SuperNPU")
+        .cell("SuperNPU vs 300GB/s");
+
+    const std::vector<double> sweep = {75.0,  150.0,  300.0,
+                                       600.0, 1200.0, 2400.0};
+    std::vector<double> base_perf, super_perf;
+    for (double gbps : sweep) {
+        double perf[2] = {0.0, 0.0};
+        int index = 0;
+        for (NpuConfig config :
+             {NpuConfig::baseline(), NpuConfig::superNpu()}) {
+            config.memoryBandwidth = gbps * 1e9;
+            const auto estimate = pipe.estimator.estimate(config);
+            npusim::NpuSimulator sim(estimate);
+            for (const auto &net : pipe.workloads) {
+                const int batch =
+                    npusim::maxBatch(config, estimate, net);
+                perf[index] +=
+                    sim.run(net, batch).effectiveMacPerSec() / 1e12 /
+                    (double)pipe.workloads.size();
+            }
+            ++index;
+        }
+        base_perf.push_back(perf[0]);
+        super_perf.push_back(perf[1]);
+    }
+
+    const double super_at_300 = super_perf[2];
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        table.row()
+            .cell(sweep[i], 0)
+            .cell(base_perf[i], 2)
+            .cell(super_perf[i], 1)
+            .cell(super_perf[i] / super_at_300, 2);
+    }
+    table.print();
+    std::printf("\ntakeaway: the Baseline is bound by on-chip shifting,"
+                " not DRAM; the SuperNPU still gains past the paper's"
+                " 300 GB/s operating point, which is why its weight-"
+                "register and batching optimizations (raising MACs per"
+                " fetched byte) matter so much.\n");
+    return 0;
+}

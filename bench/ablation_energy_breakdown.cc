@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Ablation: where the ERSFQ-SuperNPU's 1.9 W actually goes. Breaks
+ * the dynamic power into the per-unit components (MAC datapaths,
+ * shift-register chunk activity, DAU forwarding, systolic edge
+ * network) for each workload — the power-side companion to the
+ * Fig. 15 cycle breakdown.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "power/power.hh"
+
+using namespace supernpu;
+
+int
+main()
+{
+    bench::Pipeline pipe(sfq::Technology::ERSFQ);
+    const auto config = estimator::NpuConfig::superNpu();
+    const auto est = pipe.estimator.estimate(config);
+    npusim::NpuSimulator sim(est);
+
+    TextTable table("ERSFQ-SuperNPU dynamic power breakdown (W)");
+    table.row()
+        .cell("workload")
+        .cell("total")
+        .cell("PE MACs")
+        .cell("buffers")
+        .cell("DAU")
+        .cell("network")
+        .cell("PE share %");
+
+    power::PowerReport average;
+    for (const auto &net : pipe.workloads) {
+        const int batch = npusim::maxBatch(config, est, net);
+        const auto run = sim.run(net, batch);
+        const auto report = power::analyze(est, run);
+        average.dynamicW +=
+            report.dynamicW / (double)pipe.workloads.size();
+        average.dynamicPeW +=
+            report.dynamicPeW / (double)pipe.workloads.size();
+        table.row()
+            .cell(net.name)
+            .cell(report.dynamicW, 3)
+            .cell(report.dynamicPeW, 3)
+            .cell(report.dynamicBufferW, 3)
+            .cell(report.dynamicDauW, 3)
+            .cell(report.dynamicNwW, 3)
+            .cell(100.0 * report.dynamicPeW / report.dynamicW, 1);
+    }
+    table.print();
+    std::printf("\ntakeaway: average %.2f W, %.0f%% of it in the MAC"
+                " datapaths — in an ERSFQ chip with zero static power,"
+                " energy goes almost entirely where the arithmetic"
+                " happens, the property behind Table III's 490x.\n",
+                average.dynamicW,
+                100.0 * average.dynamicPeW / average.dynamicW);
+    return 0;
+}

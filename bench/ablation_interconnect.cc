@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ablation: long-range on-chip interconnect.
+ *
+ * In CMOS, a long wire bounds the clock: one logic value per wire.
+ * An SFQ PTL is a pulse pipeline — many pulses fly concurrently, so
+ * the link latency never limits frequency; only the residual
+ * data-vs-clock skew of the co-routed pair enters the Eq. (1)
+ * budget. This bench sweeps the buffer-to-array link length and
+ * prints the in-flight pulse count, the skew, and the clock the link
+ * would support, contrasting co-routed clocking against a naive
+ * separately-routed clock.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "sfq/clocking.hh"
+#include "sfq/ptl.hh"
+
+using namespace supernpu;
+using sfq::ClockScheme;
+using sfq::GateKind;
+using sfq::GatePair;
+
+int
+main()
+{
+    bench::Pipeline pipe;
+
+    TextTable table("ablation: PTL link length (buffer -> PE array)");
+    table.row()
+        .cell("length (mm)")
+        .cell("latency (ps)")
+        .cell("pulses in flight @52.6GHz")
+        .cell("co-routed skew (ps)")
+        .cell("link clock, co-routed (GHz)")
+        .cell("link clock, naive (GHz)");
+
+    for (double mm : {0.5, 1.0, 2.0, 5.0, 10.0, 20.0}) {
+        sfq::PtlModel ptl(pipe.library, mm);
+
+        // Co-routed: the clock line runs alongside; delta_t is only
+        // the residual mismatch.
+        GatePair co = sfq::makePair(pipe.library, "co-routed",
+                                    GateKind::DFF, GateKind::DFF, {},
+                                    0.0, ClockScheme::ConcurrentFlow);
+        co.dataWireDelay = ptl.delayPs();
+        co.clockPathDelay = ptl.delayPs() - ptl.coRoutedSkewPs();
+
+        // Naive: the clock arrives through the short global spine;
+        // the whole link latency lands in delta_t.
+        GatePair naive = co;
+        naive.clockPathDelay = 0.0;
+
+        table.row()
+            .cell(mm, 1)
+            .cell(ptl.delayPs(), 1)
+            .cell(ptl.pulsesInFlight(52.6), 1)
+            .cell(ptl.coRoutedSkewPs(), 2)
+            .cell(sfq::pairFrequencyGhz(co), 1)
+            .cell(sfq::pairFrequencyGhz(naive), 1);
+    }
+    table.print();
+    std::printf("\ntakeaway: with co-routed clocking even a 20 mm link"
+                " sustains the 52.6 GHz core clock while carrying"
+                " ten-plus pulses in flight; routing the clock"
+                " separately collapses the link to single-digit GHz —"
+                " the Section II-B2 property that makes the whole"
+                " architecture possible.\n");
+    return 0;
+}

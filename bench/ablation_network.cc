@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Ablation: the on-chip network choice at the system level.
+ *
+ * Fig. 5 compares the network candidates in isolation; this bench
+ * shows what adopting each one would do to the whole NPU, whose
+ * clock is the minimum over every unit: the 2D splitter tree's
+ * width-proportional input skew drags the entire chip down to a few
+ * GHz at realistic array widths.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "estimator/network_model.hh"
+
+using namespace supernpu;
+using estimator::NetworkDesign;
+using estimator::NetworkUnitModel;
+
+int
+main()
+{
+    bench::Pipeline pipe;
+    const auto config = estimator::NpuConfig::superNpu();
+    const auto base_estimate = pipe.estimator.estimate(config);
+
+    TextTable table("ablation: on-chip network design (SuperNPU, w=64)");
+    table.row()
+        .cell("network")
+        .cell("network limit (GHz)")
+        .cell("NPU clock (GHz)")
+        .cell("avg effective TMAC/s")
+        .cell("relative");
+
+    double reference_perf = 0.0;
+    for (NetworkDesign design :
+         {NetworkDesign::Systolic2D, NetworkDesign::SplitterTree1D,
+          NetworkDesign::SplitterTree2D}) {
+        NetworkUnitModel network(pipe.library, design, config.peWidth,
+                                 config.bitWidth);
+        auto estimate = base_estimate;
+        estimate.frequencyGhz = std::min(base_estimate.frequencyGhz,
+                                         network.frequencyGhz());
+        estimate.peakMacPerSec =
+            (double)config.peCount() * estimate.frequencyGhz * 1e9;
+
+        npusim::NpuSimulator sim(estimate);
+        double perf = 0.0;
+        for (const auto &net : pipe.workloads) {
+            const int batch = npusim::maxBatch(config, estimate, net);
+            perf += sim.run(net, batch).effectiveMacPerSec() /
+                    (double)pipe.workloads.size();
+        }
+        if (design == NetworkDesign::Systolic2D)
+            reference_perf = perf;
+
+        table.row()
+            .cell(networkDesignName(design))
+            .cell(network.frequencyGhz(), 1)
+            .cell(estimate.frequencyGhz, 1)
+            .cell(perf / 1e12, 1)
+            .cell(perf / reference_perf, 3);
+    }
+    table.print();
+    std::printf("\ntakeaway: the store-and-forward systolic chain is"
+                " the only candidate that does not throttle the 52.6"
+                " GHz PE array (Section III-A's conclusion).\n");
+    return 0;
+}

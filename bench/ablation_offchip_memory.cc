@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Ablation: the Section II-B4 off-chip memory survey, quantified.
+ *
+ * For each 4 K-capable memory technology and the CMOS DRAM the paper
+ * adopts: the demonstrated capacity, how many modules a single
+ * ResNet-50 weight set (25 MB) would need, and the SuperNPU's
+ * throughput if that technology's bandwidth fed the chip. The JJ
+ * memories are fast and cryogenic but orders of magnitude too small;
+ * CMOS DRAM is the only practical option — which is exactly why the
+ * architecture works so hard to stay on-chip.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "common/units.hh"
+#include "estimator/offchip_memory.hh"
+
+using namespace supernpu;
+using estimator::NpuConfig;
+using estimator::OffChipMemoryModel;
+
+int
+main()
+{
+    bench::Pipeline pipe;
+    const dnn::Network resnet = dnn::makeResNet50();
+    const std::uint64_t weight_set = resnet.totalWeightBytes();
+
+    TextTable table("ablation: off-chip memory technology survey");
+    table.row()
+        .cell("technology")
+        .cell("demonstrated")
+        .cell("modules for ResNet50 weights")
+        .cell("BW/module (GB/s)")
+        .cell("SuperNPU avg TMAC/s")
+        .cell("practical");
+
+    for (const auto &memory : OffChipMemoryModel::surveyAll()) {
+        NpuConfig config = NpuConfig::superNpu();
+        config.memoryBandwidth = memory.bandwidth;
+        const auto est = pipe.estimator.estimate(config);
+        npusim::NpuSimulator sim(est);
+        double perf = 0.0;
+        for (const auto &net : pipe.workloads) {
+            const int batch = npusim::maxBatch(config, est, net);
+            perf += sim.run(net, batch).effectiveMacPerSec() / 1e12 /
+                    (double)pipe.workloads.size();
+        }
+        table.row()
+            .cell(offChipKindName(memory.kind))
+            .cell(units::bytesHuman(memory.demonstratedCapacity))
+            .cell((unsigned long long)memory.modulesForCapacity(
+                weight_set))
+            .cell(memory.bandwidth / 1e9, 0)
+            .cell(perf, 1)
+            .cell(memory.practical ? "yes" : "no");
+    }
+    table.print();
+
+    std::printf("\nnotes:\n");
+    for (const auto &memory : OffChipMemoryModel::surveyAll()) {
+        std::printf("  %-26s %s\n", offChipKindName(memory.kind),
+                    memory.note.c_str());
+    }
+    std::printf("\ntakeaway: a ResNet-50 weight set alone would need"
+                " ~%llu VTM modules; until a scalable cryogenic memory"
+                " exists, CMOS DRAM + aggressive on-chip reuse (the"
+                " paper's Section II-B4 conclusion) is the only"
+                " workable design point.\n",
+                (unsigned long long)OffChipMemoryModel::survey(
+                    estimator::OffChipKind::VortexTransition)
+                    .modulesForCapacity(weight_set));
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ablation: fabrication process scaling (the paper's footnote 2).
+ *
+ * The evaluation conservatively uses the available AIST 1.0 um
+ * process. Gate delays scale roughly linearly with the junction
+ * feature size down to ~0.2 um (Kadin et al.), and the area scales
+ * quadratically. This bench sweeps the feature size and reports the
+ * achievable clock, peak and effective performance, and the
+ * 28 nm-equivalent area of the SuperNPU configuration.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "power/power.hh"
+
+using namespace supernpu;
+
+int
+main()
+{
+    const auto config = estimator::NpuConfig::superNpu();
+    const auto workloads = dnn::evaluationWorkloads();
+
+    TextTable table("ablation: process feature-size scaling (SuperNPU)");
+    table.row()
+        .cell("feature (um)")
+        .cell("clock (GHz)")
+        .cell("peak (TMAC/s)")
+        .cell("avg eff (TMAC/s)")
+        .cell("RSFQ static (W)")
+        .cell("area mm2 (native)");
+
+    for (double feature : {1.0, 0.8, 0.5, 0.35, 0.2, 0.1}) {
+        sfq::DeviceConfig device;
+        device.featureSizeUm = feature;
+        sfq::CellLibrary library(device);
+        estimator::NpuEstimator npu_estimator(library);
+        const auto estimate = npu_estimator.estimate(config);
+        npusim::NpuSimulator sim(estimate);
+
+        double perf = 0.0;
+        for (const auto &net : workloads) {
+            const int batch =
+                npusim::maxBatch(config, estimate, net);
+            perf += sim.run(net, batch).effectiveMacPerSec() /
+                    (double)workloads.size();
+        }
+
+        table.row()
+            .cell(feature, 2)
+            .cell(estimate.frequencyGhz, 1)
+            .cell(estimate.peakMacPerSec / 1e12, 0)
+            .cell(perf / 1e12, 1)
+            .cell(estimate.staticPowerW, 0)
+            .cell(estimate.areaMm2, 0);
+    }
+    table.print();
+    std::printf("\ntakeaway: frequency scales ~1/feature until the"
+                " 0.2 um floor (a >260 GHz clock); the effective"
+                " speedup saturates earlier as workloads become"
+                " memory-bandwidth bound, and static power does not"
+                " improve at all (it is bias-current limited) — the"
+                " paper's case for ERSFQ holds at every node.\n");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Extension study: double-buffered weight loading.
+ *
+ * The paper's weight buffers hold exactly one mapping's weights
+ * (64 KB = 256 x 256 bytes on the Baseline; 128 KB = 64 x 256 x 8 on
+ * the SuperNPU), so every weight fetch serializes against the array.
+ * This study adds a second bank (trivial area: the weight buffer is
+ * <0.01 % of on-chip storage) and overlaps the next mapping's DRAM
+ * fetch with the current mapping's computation — the classic
+ * prefetch the paper leaves on the table.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace supernpu;
+using estimator::NpuConfig;
+
+int
+main()
+{
+    bench::Pipeline pipe;
+
+    NpuConfig plain = NpuConfig::superNpu();
+    NpuConfig prefetch = NpuConfig::superNpu();
+    prefetch.name = "SuperNPU+prefetch";
+    prefetch.weightDoubleBuffering = true;
+    prefetch.weightBufferBytes *= 2;
+
+    const auto est_plain = pipe.estimator.estimate(plain);
+    const auto est_pref = pipe.estimator.estimate(prefetch);
+    npusim::NpuSimulator sim_plain(est_plain);
+    npusim::NpuSimulator sim_pref(est_pref);
+
+    TextTable table("extension: double-buffered weight loading");
+    table.row()
+        .cell("workload")
+        .cell("TMAC/s (paper design)")
+        .cell("TMAC/s (+prefetch)")
+        .cell("gain")
+        .cell("weight-load share before/after");
+
+    double gain_sum = 0.0;
+    for (const auto &net : pipe.workloads) {
+        const int batch = npusim::maxBatch(plain, est_plain, net);
+        const auto before = sim_plain.run(net, batch);
+        const auto after = sim_pref.run(net, batch);
+        const double gain = after.effectiveMacPerSec() /
+                            before.effectiveMacPerSec();
+        gain_sum += gain / (double)pipe.workloads.size();
+
+        char share[64];
+        std::snprintf(share, sizeof(share), "%.0f%% -> %.0f%%",
+                      100.0 * (double)before.prep.weightLoad /
+                          (double)before.totalCycles,
+                      100.0 * (double)after.prep.weightLoad /
+                          (double)after.totalCycles);
+        table.row()
+            .cell(net.name)
+            .cell(before.effectiveMacPerSec() / 1e12, 1)
+            .cell(after.effectiveMacPerSec() / 1e12, 1)
+            .cell(gain, 2)
+            .cell(share);
+    }
+    table.print();
+    std::printf("\ntakeaway: %.2fx average for one extra 128 KB bank."
+                " Conv-heavy networks gain the most (their compute"
+                " fully hides the fetch); the FC-heavy ones stay"
+                " weight-bandwidth bound — overlap cannot hide a"
+                " fetch longer than the computation itself.\n",
+                gain_sum);
+    return 0;
+}

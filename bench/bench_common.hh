@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Shared helpers for the per-figure/table benchmark binaries: every
+ * binary builds the same evaluation pipeline the paper uses
+ * (RSFQ 1.0 um library -> estimator -> cycle simulator -> power) and
+ * prints the figure's rows through TextTable.
+ */
+
+#ifndef SUPERNPU_BENCH_COMMON_HH
+#define SUPERNPU_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "dnn/networks.hh"
+#include "estimator/npu_estimator.hh"
+#include "npusim/batch.hh"
+#include "npusim/sim.hh"
+#include "scalesim/tpu.hh"
+
+namespace supernpu {
+namespace bench {
+
+/** The full evaluation pipeline at the paper's process point. */
+struct Pipeline
+{
+    sfq::DeviceConfig device;
+    sfq::CellLibrary library;
+    estimator::NpuEstimator estimator;
+    scalesim::TpuConfig tpuConfig;
+    scalesim::TpuSimulator tpu;
+    std::vector<dnn::Network> workloads;
+
+    explicit Pipeline(
+        sfq::Technology tech = sfq::Technology::RSFQ)
+        : device(makeDevice(tech)),
+          library(device),
+          estimator(library),
+          tpu(tpuConfig),
+          workloads(dnn::evaluationWorkloads())
+    {
+    }
+
+    /** Average effective MAC/s of the TPU at Table II batches. */
+    double
+    tpuAveragePerf()
+    {
+        double total = 0.0;
+        for (const auto &net : workloads) {
+            const int batch = npusim::maxBatchUnified(
+                tpuConfig.unifiedBufferBytes, net);
+            total += tpu.run(net, batch).effectiveMacPerSec();
+        }
+        return total / (double)workloads.size();
+    }
+
+    /**
+     * Average effective MAC/s of an SFQ NPU configuration; batch 0
+     * means "solve the Table II maximum batch per workload".
+     */
+    double
+    npuAveragePerf(const estimator::NpuConfig &config, int batch = 0)
+    {
+        const estimator::NpuEstimate est = estimator.estimate(config);
+        npusim::NpuSimulator sim(est);
+        double total = 0.0;
+        for (const auto &net : workloads) {
+            const int b = batch > 0
+                              ? batch
+                              : npusim::maxBatch(config, est, net);
+            total += sim.run(net, b).effectiveMacPerSec();
+        }
+        return total / (double)workloads.size();
+    }
+
+  private:
+    static sfq::DeviceConfig
+    makeDevice(sfq::Technology tech)
+    {
+        sfq::DeviceConfig dev;
+        dev.technology = tech;
+        return dev;
+    }
+};
+
+/** The four Table I SFQ configurations in optimization order. */
+inline std::vector<estimator::NpuConfig>
+tableOneConfigs()
+{
+    return {estimator::NpuConfig::baseline(),
+            estimator::NpuConfig::bufferOpt(),
+            estimator::NpuConfig::resourceOpt(),
+            estimator::NpuConfig::superNpu()};
+}
+
+} // namespace bench
+} // namespace supernpu
+
+#endif // SUPERNPU_BENCH_COMMON_HH

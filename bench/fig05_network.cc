@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Regenerates Fig. 5: critical-path delay (a) and area (b) of the
+ * three on-chip network candidates versus PE-array width. Expected
+ * shape: the 2D splitter tree's delay grows linearly with width and
+ * exceeds 800 ps at 64; the systolic array is flat and smallest in
+ * both metrics; the two trees have similarly large areas.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "estimator/network_model.hh"
+
+using namespace supernpu;
+using estimator::NetworkDesign;
+using estimator::NetworkUnitModel;
+
+int
+main()
+{
+    bench::Pipeline pipe;
+
+    TextTable delay("Fig. 5(a): network critical-path delay (ps)");
+    delay.row()
+        .cell("PE array width")
+        .cell("2D splitter tree")
+        .cell("1D splitter tree")
+        .cell("2D systolic array");
+
+    TextTable area("Fig. 5(b): network area (mm2, 1.0 um node)");
+    area.row()
+        .cell("PE array width")
+        .cell("2D splitter tree")
+        .cell("1D splitter tree")
+        .cell("2D systolic array");
+
+    for (int width : {4, 8, 16, 32, 64}) {
+        NetworkUnitModel tree2(pipe.library,
+                               NetworkDesign::SplitterTree2D, width, 8);
+        NetworkUnitModel tree1(pipe.library,
+                               NetworkDesign::SplitterTree1D, width, 8);
+        NetworkUnitModel systolic(pipe.library,
+                                  NetworkDesign::Systolic2D, width, 8);
+        delay.row()
+            .cell(width)
+            .cell(tree2.criticalPathPs(), 1)
+            .cell(tree1.criticalPathPs(), 1)
+            .cell(systolic.criticalPathPs(), 1);
+        area.row()
+            .cell(width)
+            .cell(tree2.area(), 3)
+            .cell(tree1.area(), 3)
+            .cell(systolic.area(), 3);
+    }
+
+    delay.print();
+    std::printf("\n");
+    area.print();
+    std::printf("\npaper reference: 2D tree exceeds 800 ps at width 64;"
+                " systolic flat and smallest in delay and area.\n");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Regenerates Fig. 13: the SFQ-NPU estimator's model outputs against
+ * the physical references (fabricated 4-bit MAC die, post-layout
+ * characterizations of the SRmem, NW unit, and 2x2 NPU). The paper
+ * reports average errors of 5.6 / 1.2 / 1.3 % (frequency / power /
+ * area) at the unit level and 4.7 / 2.3 / 9.5 % for the NPU.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "estimator/validation.hh"
+
+using namespace supernpu;
+
+int
+main()
+{
+    bench::Pipeline pipe;
+    const auto entries = estimator::validationReport(pipe.library);
+
+    TextTable table("Fig. 13: model validation");
+    table.row()
+        .cell("unit")
+        .cell("metric")
+        .cell("model")
+        .cell("reference")
+        .cell("error %");
+    for (const auto &e : entries) {
+        table.row()
+            .cell(e.unit)
+            .cell(e.metric)
+            .cell(e.modelValue, 3)
+            .cell(e.referenceValue, 3)
+            .cell(e.errorPercent(), 1);
+    }
+    table.print();
+
+    TextTable summary("mean absolute error");
+    summary.row().cell("level").cell("frequency").cell("power").cell(
+        "area");
+    summary.row()
+        .cell("unit level")
+        .cell(estimator::meanAbsErrorPercent(entries, "frequency",
+                                             false), 1)
+        .cell(estimator::meanAbsErrorPercent(entries, "power", false), 1)
+        .cell(estimator::meanAbsErrorPercent(entries, "area", false), 1);
+    summary.row()
+        .cell("NPU (2x2)")
+        .cell(estimator::meanAbsErrorPercent(entries, "frequency", true),
+              1)
+        .cell(estimator::meanAbsErrorPercent(entries, "power", true), 1)
+        .cell(estimator::meanAbsErrorPercent(entries, "area", true), 1);
+    std::printf("\n");
+    summary.print();
+    std::printf("\npaper reference: 5.6 / 1.2 / 1.3 %% unit level;"
+                " 4.7 / 2.3 / 9.5 %% NPU level.\n");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Regenerates Fig. 17: the Baseline's roofline at a single input
+ * batch. For each workload: computational intensity (MAC per mapped
+ * weight byte), the roofline-attainable performance, the simulated
+ * effective performance, and the implied PE utilization. The paper
+ * reports roofline utilization below 2 % and effective performance
+ * more than 98 % below even that roofline (~6.45 TMAC/s average
+ * against a 3.4 PMAC/s peak).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "dnn/analysis.hh"
+
+using namespace supernpu;
+
+int
+main()
+{
+    bench::Pipeline pipe;
+    const auto config = estimator::NpuConfig::baseline();
+    const auto est = pipe.estimator.estimate(config);
+    npusim::NpuSimulator sim(est);
+
+    const double peak = est.peakMacPerSec;
+    const double bw = config.memoryBandwidth;
+
+    TextTable table("Fig. 17: Baseline roofline, single batch");
+    table.row()
+        .cell("workload")
+        .cell("intensity (MAC/B)")
+        .cell("roofline (TMAC/s)")
+        .cell("effective (TMAC/s)")
+        .cell("roofline util %")
+        .cell("PE util %");
+
+    double total_eff = 0.0;
+    for (const auto &net : pipe.workloads) {
+        const double intensity = dnn::computationalIntensity(net, 1);
+        const double roofline =
+            dnn::rooflinePerformance(peak, intensity, bw);
+        const auto result = sim.run(net, 1);
+        const double effective = result.effectiveMacPerSec();
+        total_eff += effective;
+        table.row()
+            .cell(net.name)
+            .cell(intensity, 1)
+            .cell(roofline / 1e12, 2)
+            .cell(effective / 1e12, 2)
+            .cell(100.0 * roofline / peak, 2)
+            .cell(100.0 * result.peUtilization(config.peCount()), 3);
+    }
+    table.print();
+    std::printf("\npeak: %.0f TMAC/s; average effective: %.2f TMAC/s"
+                " (paper: 3366 TMAC/s peak, ~6.45 TMAC/s effective,"
+                " roofline util < 2 %%)\n",
+                peak / 1e12,
+                total_eff / (double)pipe.workloads.size() / 1e12);
+    return 0;
+}

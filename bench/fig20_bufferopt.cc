@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Regenerates Fig. 20: performance impact and area overhead of the
+ * on-chip buffer optimizations — psum/ofmap integration, then
+ * division into 2..4096 chunks. The paper: single-batch performance
+ * saturates at ~6.26x from division degree 64; max-batch performance
+ * reaches ~20x; the mux/demux area overhead stays flat until ~256
+ * chunks and then grows rapidly.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "common/units.hh"
+
+using namespace supernpu;
+using estimator::NpuConfig;
+
+namespace {
+
+NpuConfig
+dividedConfig(int division)
+{
+    NpuConfig config = NpuConfig::baseline();
+    config.name = "int+div" + std::to_string(division);
+    config.integratedOutputBuffer = true;
+    // Integration merges the three 8 MB buffers into matched 12 MB
+    // input/output pairs (Section V-B1).
+    config.ifmapBufferBytes = 12 * units::MiB;
+    config.outputBufferBytes = 12 * units::MiB;
+    config.psumBufferBytes = 0;
+    config.ofmapBufferBytes = 0;
+    config.ifmapDivision = division;
+    config.outputDivision = division;
+    return config;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::Pipeline pipe;
+
+    const NpuConfig baseline = NpuConfig::baseline();
+    const auto base_est = pipe.estimator.estimate(baseline);
+    const double base_single = pipe.npuAveragePerf(baseline, 1);
+    const double base_area = base_est.areaMm2;
+
+    TextTable table(
+        "Fig. 20: buffer integration + division (vs Baseline)");
+    table.row()
+        .cell("configuration")
+        .cell("single-batch perf")
+        .cell("max-batch perf")
+        .cell("area");
+    table.row().cell("Baseline").cell(1.0, 2).cell(1.0, 2).cell(1.0, 2);
+
+    for (int division : {2, 4, 16, 64, 256, 1024, 4096}) {
+        const NpuConfig config = dividedConfig(division);
+        const auto est = pipe.estimator.estimate(config);
+        const std::string label = division == 2
+                                      ? "+Integration (div 2)"
+                                      : "+Division " +
+                                            std::to_string(division);
+        table.row()
+            .cell(label)
+            .cell(pipe.npuAveragePerf(config, 1) / base_single, 2)
+            .cell(pipe.npuAveragePerf(config) / base_single, 2)
+            .cell(est.areaMm2 / base_area, 2);
+    }
+    table.print();
+    std::printf("\npaper reference: ~6.26x single batch and ~20x max"
+                " batch from division 64; area flat until ~256 chunks,"
+                " then rapidly growing.\n");
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulation kernels
+ * themselves: how fast the analog transient engine, the functional
+ * systolic array, the estimator, and the cycle-level performance
+ * simulator run on the host. Useful when sizing sweeps.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "dnn/networks.hh"
+#include "estimator/npu_estimator.hh"
+#include "functional/npu.hh"
+#include "jsim/cells.hh"
+#include "npusim/sim.hh"
+#include "scalesim/tpu.hh"
+
+using namespace supernpu;
+
+namespace {
+
+void
+BM_JsimJtlTransient(benchmark::State &state)
+{
+    const std::size_t stages = (std::size_t)state.range(0);
+    jsim::DeviceParams params;
+    jsim::Circuit circuit;
+    const jsim::JtlChain chain =
+        jsim::appendJtl(circuit, params, stages, "J");
+    jsim::attachPulseInput(circuit, params, chain.input, {50e-12});
+    jsim::TransientConfig config;
+    config.duration = 200e-12;
+    for (auto _ : state) {
+        jsim::TransientSimulator sim(circuit, config);
+        benchmark::DoNotOptimize(sim.run().steps);
+    }
+}
+BENCHMARK(BM_JsimJtlTransient)->Arg(4)->Arg(16)->Arg(64);
+
+void
+BM_FunctionalConv(benchmark::State &state)
+{
+    const int hw = (int)state.range(0);
+    Rng rng(1);
+    functional::Tensor3 ifmap(8, hw, hw);
+    ifmap.fillRandom(rng);
+    const auto filters = functional::FilterBank::random(8, 8, 3, 3, rng);
+    const functional::ConvSpec spec{1, 1};
+    functional::FunctionalNpu npu(72, 8);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            npu.conv(ifmap, filters, spec).arrayCycles);
+    }
+}
+BENCHMARK(BM_FunctionalConv)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_EstimateSuperNpu(benchmark::State &state)
+{
+    sfq::DeviceConfig dev;
+    sfq::CellLibrary lib(dev);
+    estimator::NpuEstimator estimator(lib);
+    const auto config = estimator::NpuConfig::superNpu();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            estimator.estimate(config).frequencyGhz);
+    }
+}
+BENCHMARK(BM_EstimateSuperNpu);
+
+void
+BM_SimulateWorkload(benchmark::State &state)
+{
+    sfq::DeviceConfig dev;
+    sfq::CellLibrary lib(dev);
+    estimator::NpuEstimator estimator(lib);
+    const auto est =
+        estimator.estimate(estimator::NpuConfig::superNpu());
+    npusim::NpuSimulator sim(est);
+    const auto nets = dnn::evaluationWorkloads();
+    const dnn::Network &net = nets[(std::size_t)state.range(0)];
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim.run(net, 30).totalCycles);
+    }
+    state.SetLabel(net.name);
+}
+BENCHMARK(BM_SimulateWorkload)->DenseRange(0, 5);
+
+void
+BM_TpuSimulateResNet(benchmark::State &state)
+{
+    scalesim::TpuSimulator tpu{scalesim::TpuConfig{}};
+    const dnn::Network net = dnn::makeResNet50();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tpu.run(net, 20).totalCycles);
+    }
+}
+BENCHMARK(BM_TpuSimulateResNet);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Regenerates Table I: the evaluation setup — architectural
+ * parameters, achievable clock, peak performance, and 28 nm-
+ * equivalent area of the TPU comparator and the four SFQ designs.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "common/units.hh"
+
+using namespace supernpu;
+
+int
+main()
+{
+    bench::Pipeline pipe;
+
+    TextTable table("Table I: evaluation setup");
+    table.row()
+        .cell("parameter")
+        .cell("TPU")
+        .cell("Baseline")
+        .cell("Buffer opt.")
+        .cell("Resource opt.")
+        .cell("SuperNPU");
+
+    const auto configs = bench::tableOneConfigs();
+    std::vector<estimator::NpuEstimate> estimates;
+    for (const auto &config : configs)
+        estimates.push_back(pipe.estimator.estimate(config));
+
+    auto add = [&](const std::string &name, auto tpu_value,
+                   auto value_of) {
+        auto &row = table.row();
+        row.cell(name);
+        row.cell(tpu_value);
+        for (std::size_t i = 0; i < configs.size(); ++i)
+            row.cell(value_of(configs[i], estimates[i]));
+    };
+
+    using estimator::NpuConfig;
+    using estimator::NpuEstimate;
+
+    add("PE array width", std::string("256"),
+        [](const NpuConfig &c, const NpuEstimate &) {
+            return std::to_string(c.peWidth);
+        });
+    add("PE array height", std::string("256"),
+        [](const NpuConfig &c, const NpuEstimate &) {
+            return std::to_string(c.peHeight);
+        });
+    add("Ifmap buffer", std::string("24 MiB (unified)"),
+        [](const NpuConfig &c, const NpuEstimate &) {
+            return units::bytesHuman(c.ifmapBufferBytes);
+        });
+    add("Output-side buffer", std::string("(unified)"),
+        [](const NpuConfig &c, const NpuEstimate &) {
+            const std::string kind =
+                c.integratedOutputBuffer ? " (integrated)"
+                                         : " (psum+ofmap)";
+            return units::bytesHuman(c.outputSideBytes()) + kind;
+        });
+    add("Weight buffer", std::string("-"),
+        [](const NpuConfig &c, const NpuEstimate &) {
+            return units::bytesHuman(c.weightBufferBytes);
+        });
+    add("# regs in PE", std::string("1"),
+        [](const NpuConfig &c, const NpuEstimate &) {
+            return std::to_string(c.regsPerPe);
+        });
+    add("Buffer division (if/out)", std::string("-"),
+        [](const NpuConfig &c, const NpuEstimate &) {
+            return std::to_string(c.ifmapDivision) + "/" +
+                   std::to_string(c.outputDivision);
+        });
+
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f",
+                  pipe.tpuConfig.frequencyGhz);
+    add("Frequency (GHz)", std::string(buf),
+        [](const NpuConfig &, const NpuEstimate &e) {
+            char b[64];
+            std::snprintf(b, sizeof(b), "%.1f", e.frequencyGhz);
+            return std::string(b);
+        });
+    std::snprintf(buf, sizeof(buf), "%.0f",
+                  pipe.tpuConfig.peakMacPerSec() / 1e12);
+    add("Peak perf (TMAC/s)", std::string(buf),
+        [](const NpuConfig &, const NpuEstimate &e) {
+            char b[64];
+            std::snprintf(b, sizeof(b), "%.0f",
+                          e.peakMacPerSec / 1e12);
+            return std::string(b);
+        });
+    add("Area (mm2 @ 28 nm-equiv)", std::string("< 330"),
+        [](const NpuConfig &, const NpuEstimate &e) {
+            char b[64];
+            std::snprintf(b, sizeof(b), "~%.0f", e.areaMm2At(28.0));
+            return std::string(b);
+        });
+
+    table.print();
+    std::printf("\npaper reference: 52.6 GHz; peaks 3366 / 3366 / 842 /"
+                " 842 TMAC/s; areas ~283 / ~285 / ~298 / ~299 mm2.\n");
+    return 0;
+}

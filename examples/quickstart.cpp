@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Quickstart: the five-minute tour of the SuperNPU library.
+ *
+ *  1. Pick a device technology and build the SFQ cell library.
+ *  2. Estimate an NPU architecture (frequency / power / area).
+ *  3. Run a CNN workload through the cycle-level simulator.
+ *  4. Turn the activity counters into a power report.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "common/units.hh"
+#include "dnn/networks.hh"
+#include "estimator/npu_estimator.hh"
+#include "npusim/batch.hh"
+#include "npusim/sim.hh"
+#include "power/power.hh"
+
+using namespace supernpu;
+
+int
+main()
+{
+    // 1. An ERSFQ library at the AIST 1.0 um process point.
+    sfq::DeviceConfig device;
+    device.technology = sfq::Technology::ERSFQ;
+    sfq::CellLibrary library(device);
+
+    // 2. Estimate the paper's SuperNPU configuration.
+    estimator::NpuEstimator npu_estimator(library);
+    const auto config = estimator::NpuConfig::superNpu();
+    const auto estimate = npu_estimator.estimate(config);
+
+    std::printf("SuperNPU (%s, %.1f um process)\n",
+                sfq::technologyName(device.technology),
+                device.featureSizeUm);
+    std::printf("  clock      : %.1f GHz (limited by %s)\n",
+                estimate.frequencyGhz, estimate.limitingUnit.c_str());
+    std::printf("  peak       : %.0f TMAC/s\n",
+                estimate.peakMacPerSec / 1e12);
+    std::printf("  junctions  : %.2f billion\n",
+                (double)estimate.jjCount / 1e9);
+    std::printf("  area       : %.0f mm2 at 28 nm-equivalent\n",
+                estimate.areaMm2At(28.0));
+
+    // 3. Simulate ResNet-50 inference at the largest on-chip batch.
+    const dnn::Network resnet = dnn::makeResNet50();
+    const int batch = npusim::maxBatch(config, estimate, resnet);
+    npusim::NpuSimulator simulator(estimate);
+    const auto run = simulator.run(resnet, batch);
+
+    std::printf("\nResNet-50, batch %d:\n", batch);
+    std::printf("  latency    : %.2f us for the whole batch\n",
+                run.seconds() * 1e6);
+    std::printf("  throughput : %.0f TMAC/s effective (%.0f%% of peak)\n",
+                run.effectiveMacPerSec() / 1e12,
+                100.0 * run.effectiveMacPerSec() /
+                    estimate.peakMacPerSec);
+    std::printf("  breakdown  : %.0f%% compute, %.0f%% preparation\n",
+                100.0 * (double)run.computeCycles /
+                    (double)run.totalCycles,
+                100.0 * run.preparationFraction());
+
+    // 4. Power: chip and with the 400x 4 K cooling overhead.
+    const power::PowerReport report = power::analyze(estimate, run);
+    std::printf("\npower:\n");
+    std::printf("  chip       : %.2f W (%.2f static + %.2f dynamic)\n",
+                report.chipW(), report.staticW, report.dynamicW);
+    std::printf("  w/ cooling : %.0f W\n", report.totalWithCoolingW());
+    std::printf("  efficiency : %.1f TMAC/s/W at the chip\n",
+                power::perfPerWatt(run.effectiveMacPerSec(),
+                                   report.chipW()) / 1e12);
+    return 0;
+}

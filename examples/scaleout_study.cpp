@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Scale-out study: the paper evaluates one SFQ NPU die; a serving
+ * deployment would rack several inside one cryostat. This example
+ * models data-parallel scale-out — N dies, each running its own
+ * image stream, sharing the cryocooler — and reports throughput,
+ * power, and perf/W against an equal-power rack of TPUs.
+ *
+ * The interesting effect: the cryocooler's 400x overhead is paid per
+ * watt, so ERSFQ dies (1.9 W each) scale to dozens per cooler before
+ * the cold budget of a typical 4 K stage (~2-3 W/cooler per die of
+ * headroom in small systems, kilowatt-class in large ones) binds.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "dnn/networks.hh"
+#include "estimator/npu_estimator.hh"
+#include "npusim/batch.hh"
+#include "npusim/sim.hh"
+#include "power/power.hh"
+#include "scalesim/tpu.hh"
+
+using namespace supernpu;
+
+int
+main()
+{
+    const dnn::Network net = dnn::makeResNet50();
+
+    sfq::DeviceConfig device;
+    device.technology = sfq::Technology::ERSFQ;
+    sfq::CellLibrary library(device);
+    estimator::NpuEstimator npu_estimator(library);
+    const auto config = estimator::NpuConfig::superNpu();
+    const auto estimate = npu_estimator.estimate(config);
+    npusim::NpuSimulator sim(estimate);
+
+    const int batch = npusim::maxBatch(config, estimate, net);
+    const auto run = sim.run(net, batch);
+    const auto report = power::analyze(estimate, run);
+    const double die_images = (double)batch / run.seconds();
+    const double die_power = report.chipW();
+
+    scalesim::TpuConfig tpu_config;
+    scalesim::TpuSimulator tpu(tpu_config);
+    const int tpu_batch = npusim::maxBatchUnified(
+        tpu_config.unifiedBufferBytes, net);
+    const double tpu_images =
+        (double)tpu_batch / tpu.run(net, tpu_batch).seconds();
+
+    TextTable table("ResNet-50 scale-out: N ERSFQ dies in one cryostat");
+    table.row()
+        .cell("dies")
+        .cell("images/s")
+        .cell("chip W")
+        .cell("wall W (cooling incl.)")
+        .cell("images/s/W")
+        .cell("TPUs at equal wall W")
+        .cell("TPU images/s");
+
+    for (int dies : {1, 2, 4, 8, 16, 32}) {
+        const double images = die_images * dies;
+        const double chip = die_power * dies;
+        const double wall = chip * (1.0 + power::coolingFactor);
+        const double tpus_at_wall = wall / tpu_config.averagePowerW;
+        table.row()
+            .cell(dies)
+            .cell(images, 0)
+            .cell(chip, 1)
+            .cell(wall, 0)
+            .cell(images / wall, 1)
+            .cell(tpus_at_wall, 1)
+            .cell(tpus_at_wall * tpu_images, 0);
+    }
+    table.print();
+
+    std::printf("\nper die: %.0f images/s at %.1f W chip; one TPU:"
+                " %.0f images/s at %.0f W.\n",
+                die_images, die_power, tpu_images,
+                tpu_config.averagePowerW);
+    std::printf("takeaway: because cooling scales with chip watts, the"
+                " ERSFQ rack's images/s/W is flat in N — the paper's"
+                " 1.2x cooled perf/W advantage carries to any rack"
+                " size, and rises toward 500x wherever cold capacity"
+                " is already paid for (the quantum-computing 'free"
+                " cooling' scenario).\n");
+    return 0;
+}

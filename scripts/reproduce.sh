@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Reproduce everything: build, run the full test suite, regenerate
+# every paper table/figure and ablation, and run the examples.
+# Outputs land in test_output.txt and bench_output.txt at the repo
+# root (the files EXPERIMENTS.md's numbers are checked against).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+    for b in build/bench/*; do
+        [ -f "$b" ] && [ -x "$b" ] || continue
+        echo "######## $(basename "$b")"
+        "$b"
+        echo
+    done
+} 2>&1 | tee bench_output.txt
+
+echo
+echo "examples:"
+for e in build/examples/*; do
+    [ -f "$e" ] && [ -x "$e" ] || continue
+    echo "######## $(basename "$e")"
+    "$e" > /dev/null && echo "  ok"
+done
+
+echo "done: see test_output.txt and bench_output.txt"

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Implementation of the logging sinks.
+ */
+
+#include "logging.hh"
+
+#include <cstdio>
+#include <exception>
+
+namespace supernpu {
+namespace detail {
+
+void
+emit(const char *tag, const std::string &message)
+{
+    std::fprintf(stderr, "[%s] %s\n", tag, message.c_str());
+    std::fflush(stderr);
+}
+
+void
+panicImpl(const std::string &message)
+{
+    emit("panic", message);
+    std::abort();
+}
+
+void
+fatalImpl(const std::string &message)
+{
+    emit("fatal", message);
+    std::exit(1);
+}
+
+} // namespace detail
+} // namespace supernpu

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Status and error reporting helpers.
+ *
+ * Modeled after the gem5 logging conventions:
+ *  - panic():  an internal invariant was violated (a simulator bug).
+ *              Aborts so a debugger or core dump can capture the state.
+ *  - fatal():  the simulation cannot continue due to user input
+ *              (bad configuration, impossible parameters). Exits cleanly.
+ *  - warn():   something is modeled approximately; results nearby may
+ *              deserve scrutiny.
+ *  - inform(): normal operating status messages.
+ */
+
+#ifndef SUPERNPU_COMMON_LOGGING_HH
+#define SUPERNPU_COMMON_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace supernpu {
+
+namespace detail {
+
+/** Stream-compose a message from parts; terminal sink for recursion. */
+inline void
+composeInto(std::ostringstream &os)
+{
+    (void)os;
+}
+
+/** Stream-compose a message from parts. */
+template <typename T, typename... Rest>
+void
+composeInto(std::ostringstream &os, const T &first, const Rest &...rest)
+{
+    os << first;
+    composeInto(os, rest...);
+}
+
+/** Build a single string from a pack of streamable parts. */
+template <typename... Parts>
+std::string
+compose(const Parts &...parts)
+{
+    std::ostringstream os;
+    composeInto(os, parts...);
+    return os.str();
+}
+
+/** Emit a tagged message to stderr. Defined in logging.cc. */
+void emit(const char *tag, const std::string &message);
+
+/** Abort after emitting; never returns. */
+[[noreturn]] void panicImpl(const std::string &message);
+
+/** Exit(1) after emitting; never returns. */
+[[noreturn]] void fatalImpl(const std::string &message);
+
+} // namespace detail
+
+/**
+ * Report an internal error (a bug in this library) and abort.
+ * Use when an invariant that no user input should be able to break
+ * has been broken.
+ */
+template <typename... Parts>
+[[noreturn]] void
+panic(const Parts &...parts)
+{
+    detail::panicImpl(detail::compose(parts...));
+}
+
+/**
+ * Report an unrecoverable user-facing error (bad configuration,
+ * impossible parameters) and exit with a failure code.
+ */
+template <typename... Parts>
+[[noreturn]] void
+fatal(const Parts &...parts)
+{
+    detail::fatalImpl(detail::compose(parts...));
+}
+
+/** Warn that something is modeled approximately or looks suspicious. */
+template <typename... Parts>
+void
+warn(const Parts &...parts)
+{
+    detail::emit("warn", detail::compose(parts...));
+}
+
+/** Emit a normal status message. */
+template <typename... Parts>
+void
+inform(const Parts &...parts)
+{
+    detail::emit("info", detail::compose(parts...));
+}
+
+/**
+ * Check a library invariant; panic with a message when it fails.
+ * Unlike assert() this is active in release builds: the simulators
+ * here are always built Release and silent corruption is worse than
+ * the branch cost.
+ */
+#define SUPERNPU_ASSERT(cond, ...)                                          \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::supernpu::panic("assertion '", #cond, "' failed at ",         \
+                              __FILE__, ":", __LINE__, ": ", __VA_ARGS__);  \
+        }                                                                   \
+    } while (0)
+
+} // namespace supernpu
+
+#endif // SUPERNPU_COMMON_LOGGING_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Rng implementation (splitmix64 seeding + xoshiro256**).
+ */
+
+#include "rng.hh"
+
+#include <cmath>
+
+#include "logging.hh"
+
+namespace supernpu {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : _state)
+        word = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(_state[1] * 5, 7) * 9;
+    const std::uint64_t t = _state[1] << 17;
+    _state[2] ^= _state[0];
+    _state[3] ^= _state[1];
+    _state[1] ^= _state[2];
+    _state[0] ^= _state[3];
+    _state[2] ^= t;
+    _state[3] = rotl(_state[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    return (double)(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    SUPERNPU_ASSERT(lo <= hi, "bad uniformInt range");
+    const std::uint64_t span = (std::uint64_t)(hi - lo) + 1;
+    return lo + (std::int64_t)(next() % span);
+}
+
+double
+Rng::normal()
+{
+    if (_haveSpareNormal) {
+        _haveSpareNormal = false;
+        return _spareNormal;
+    }
+    double u1 = uniform();
+    double u2 = uniform();
+    // Avoid log(0).
+    if (u1 < 1e-300)
+        u1 = 1e-300;
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    _spareNormal = mag * std::sin(2.0 * M_PI * u2);
+    _haveSpareNormal = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+} // namespace supernpu

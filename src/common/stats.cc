@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Statistics helper implementations.
+ */
+
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace supernpu {
+
+void
+RunningStats::add(double sample)
+{
+    if (_count == 0) {
+        _min = sample;
+        _max = sample;
+    } else {
+        _min = std::min(_min, sample);
+        _max = std::max(_max, sample);
+    }
+    ++_count;
+    _sum += sample;
+    if (sample > 0.0) {
+        ++_positiveCount;
+        _logSum += std::log(sample);
+    }
+}
+
+double
+RunningStats::mean() const
+{
+    return _count ? _sum / (double)_count : 0.0;
+}
+
+double
+RunningStats::geomean() const
+{
+    return _positiveCount ? std::exp(_logSum / (double)_positiveCount) : 0.0;
+}
+
+double
+mean(const std::vector<double> &samples)
+{
+    RunningStats stats;
+    for (double s : samples)
+        stats.add(s);
+    return stats.mean();
+}
+
+double
+geomean(const std::vector<double> &samples)
+{
+    RunningStats stats;
+    for (double s : samples)
+        stats.add(s);
+    return stats.geomean();
+}
+
+} // namespace supernpu

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Small statistics helpers shared by the simulators and benches.
+ */
+
+#ifndef SUPERNPU_COMMON_STATS_HH
+#define SUPERNPU_COMMON_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace supernpu {
+
+/**
+ * Streaming accumulator for min / max / mean / geometric mean.
+ * Geometric mean silently skips non-positive samples (they have no
+ * geomean) but still counts them toward the arithmetic statistics.
+ */
+class RunningStats
+{
+  public:
+    /** Add one sample. */
+    void add(double sample);
+
+    /** Number of samples added. */
+    std::size_t count() const { return _count; }
+    /** Smallest sample; 0 when empty. */
+    double min() const { return _count ? _min : 0.0; }
+    /** Largest sample; 0 when empty. */
+    double max() const { return _count ? _max : 0.0; }
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const;
+    /** Geometric mean over the positive samples; 0 when none. */
+    double geomean() const;
+    /** Sum of all samples. */
+    double sum() const { return _sum; }
+
+  private:
+    std::size_t _count = 0;
+    std::size_t _positiveCount = 0;
+    double _sum = 0.0;
+    double _logSum = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+};
+
+/** Arithmetic mean of a vector; 0 when empty. */
+double mean(const std::vector<double> &samples);
+
+/** Geometric mean of the positive entries of a vector; 0 when none. */
+double geomean(const std::vector<double> &samples);
+
+} // namespace supernpu
+
+#endif // SUPERNPU_COMMON_STATS_HH

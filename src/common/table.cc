@@ -1,0 +1,135 @@
+/**
+ * @file
+ * TextTable implementation.
+ */
+
+#include "table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "logging.hh"
+
+namespace supernpu {
+
+TextTable::TextTable(std::string title)
+    : _title(std::move(title))
+{
+}
+
+TextTable &
+TextTable::row()
+{
+    _rows.emplace_back();
+    return *this;
+}
+
+TextTable &
+TextTable::cell(const std::string &text)
+{
+    SUPERNPU_ASSERT(!_rows.empty(), "cell() before row()");
+    _rows.back().push_back(text);
+    return *this;
+}
+
+TextTable &
+TextTable::cell(const char *text)
+{
+    return cell(std::string(text));
+}
+
+TextTable &
+TextTable::cell(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return cell(std::string(buf));
+}
+
+TextTable &
+TextTable::cell(long long value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%lld", value);
+    return cell(std::string(buf));
+}
+
+TextTable &
+TextTable::cell(unsigned long long value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%llu", value);
+    return cell(std::string(buf));
+}
+
+std::string
+TextTable::str() const
+{
+    std::vector<std::size_t> widths;
+    for (const auto &row : _rows) {
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    }
+
+    std::string out;
+    if (!_title.empty()) {
+        out += "== " + _title + " ==\n";
+    }
+    for (std::size_t r = 0; r < _rows.size(); ++r) {
+        const auto &row = _rows[r];
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            out += row[i];
+            if (i + 1 < row.size())
+                out.append(widths[i] - row[i].size() + 2, ' ');
+        }
+        out += '\n';
+        if (r == 0) {
+            std::size_t total = 0;
+            for (std::size_t w : widths)
+                total += w + 2;
+            out.append(total > 2 ? total - 2 : total, '-');
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+std::string
+TextTable::csv() const
+{
+    auto escape = [](const std::string &cell) {
+        if (cell.find_first_of(",\"\n") == std::string::npos)
+            return cell;
+        std::string quoted = "\"";
+        for (char c : cell) {
+            if (c == '"')
+                quoted += '"';
+            quoted += c;
+        }
+        quoted += '"';
+        return quoted;
+    };
+
+    std::string out;
+    for (const auto &row : _rows) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                out += ',';
+            out += escape(row[i]);
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+void
+TextTable::print(std::FILE *out) const
+{
+    const std::string rendered = str();
+    std::fwrite(rendered.data(), 1, rendered.size(), out);
+    std::fflush(out);
+}
+
+} // namespace supernpu

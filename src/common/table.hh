@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Plain-text aligned table emitter used by the benchmark binaries to
+ * print the rows/series of each paper table and figure.
+ */
+
+#ifndef SUPERNPU_COMMON_TABLE_HH
+#define SUPERNPU_COMMON_TABLE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace supernpu {
+
+/**
+ * Accumulates rows of string cells and prints them with aligned
+ * columns. Numeric convenience overloads format with a fixed
+ * precision. The first row added is treated as the header.
+ */
+class TextTable
+{
+  public:
+    /** Optional caption printed above the table. */
+    explicit TextTable(std::string title = "");
+
+    /** Begin a new row. */
+    TextTable &row();
+
+    /** Append a string cell to the current row. */
+    TextTable &cell(const std::string &text);
+    /** Append a C-string cell to the current row. */
+    TextTable &cell(const char *text);
+    /** Append a numeric cell with the given precision. */
+    TextTable &cell(double value, int precision = 2);
+    /** Append an integer cell. */
+    TextTable &cell(long long value);
+    /** Append an unsigned integer cell. */
+    TextTable &cell(unsigned long long value);
+    /** Append an int cell. */
+    TextTable &cell(int value) { return cell((long long)value); }
+    /** Append a size cell. */
+    TextTable &cell(std::size_t value)
+    {
+        return cell((unsigned long long)value);
+    }
+
+    /** Render to a string. */
+    std::string str() const;
+
+    /**
+     * Render as RFC-4180-style CSV (the title is omitted; cells
+     * containing commas or quotes are quoted and escaped).
+     */
+    std::string csv() const;
+
+    /** Print to the given stream (stdout by default). */
+    void print(std::FILE *out = stdout) const;
+
+  private:
+    std::string _title;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace supernpu
+
+#endif // SUPERNPU_COMMON_TABLE_HH

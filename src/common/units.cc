@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Unit formatting helpers.
+ */
+
+#include "units.hh"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace supernpu {
+namespace units {
+
+std::string
+siPrefixed(double value, int precision)
+{
+    struct Prefix { double scale; const char *suffix; };
+    static constexpr std::array<Prefix, 9> prefixes = {{
+        {1e15, "P"}, {1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"},
+        {1.0, ""}, {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"},
+    }};
+
+    const double mag = std::fabs(value);
+    for (const auto &p : prefixes) {
+        if (mag >= p.scale || (p.scale == 1e-9 && mag > 0)) {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "%.*f %s", precision,
+                          value / p.scale, p.suffix);
+            return buf;
+        }
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f ", precision, value);
+    return buf;
+}
+
+std::string
+bytesHuman(std::uint64_t bytes)
+{
+    char buf[64];
+    if (bytes >= GiB && bytes % GiB == 0) {
+        std::snprintf(buf, sizeof(buf), "%llu GiB",
+                      (unsigned long long)(bytes / GiB));
+    } else if (bytes >= MiB) {
+        std::snprintf(buf, sizeof(buf), "%.1f MiB",
+                      (double)bytes / (double)MiB);
+    } else if (bytes >= kiB) {
+        std::snprintf(buf, sizeof(buf), "%.1f KiB",
+                      (double)bytes / (double)kiB);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%llu B",
+                      (unsigned long long)bytes);
+    }
+    return buf;
+}
+
+} // namespace units
+} // namespace supernpu

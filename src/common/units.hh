@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Physical unit conventions and conversion helpers.
+ *
+ * The library stores quantities in a fixed set of base units and uses
+ * plain double arithmetic; these helpers document the convention and
+ * provide readable constructors / formatters.
+ *
+ * Base units used throughout:
+ *   time        : picoseconds (ps)
+ *   frequency   : gigahertz   (GHz)
+ *   power       : watts       (W)
+ *   energy      : joules      (J)
+ *   area        : square millimeters (mm^2)
+ *   capacity    : bytes
+ *   bandwidth   : bytes per second
+ */
+
+#ifndef SUPERNPU_COMMON_UNITS_HH
+#define SUPERNPU_COMMON_UNITS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace supernpu {
+namespace units {
+
+// --- time ----------------------------------------------------------------
+/** Nanoseconds expressed in picoseconds. */
+constexpr double nsToPs = 1e3;
+/** Seconds expressed in picoseconds. */
+constexpr double sToPs = 1e12;
+
+/** Convert a period in picoseconds to a frequency in GHz. */
+constexpr double
+psToGHz(double period_ps)
+{
+    return 1e3 / period_ps;
+}
+
+/** Convert a frequency in GHz to a period in picoseconds. */
+constexpr double
+ghzToPs(double freq_ghz)
+{
+    return 1e3 / freq_ghz;
+}
+
+/** Convert a frequency in GHz to hertz. */
+constexpr double
+ghzToHz(double freq_ghz)
+{
+    return freq_ghz * 1e9;
+}
+
+// --- power / energy ------------------------------------------------------
+/** Microwatts to watts. */
+constexpr double
+uwToW(double microwatts)
+{
+    return microwatts * 1e-6;
+}
+
+/** Milliwatts to watts. */
+constexpr double
+mwToW(double milliwatts)
+{
+    return milliwatts * 1e-3;
+}
+
+/** Attojoules to joules. */
+constexpr double
+ajToJ(double attojoules)
+{
+    return attojoules * 1e-18;
+}
+
+// --- capacity ------------------------------------------------------------
+constexpr std::uint64_t kiB = 1024ull;
+constexpr std::uint64_t MiB = 1024ull * 1024ull;
+constexpr std::uint64_t GiB = 1024ull * 1024ull * 1024ull;
+
+/** Gigabytes-per-second to bytes-per-second (SI, as memory vendors do). */
+constexpr double
+gbpsToBps(double gb_per_s)
+{
+    return gb_per_s * 1e9;
+}
+
+// --- formatting ----------------------------------------------------------
+/** Render a value with an SI suffix and fixed precision, e.g. "3.37 T". */
+std::string siPrefixed(double value, int precision = 2);
+
+/** Render a byte count as "512 B", "24 MiB", ... */
+std::string bytesHuman(std::uint64_t bytes);
+
+} // namespace units
+} // namespace supernpu
+
+#endif // SUPERNPU_COMMON_UNITS_HH

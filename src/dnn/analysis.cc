@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Workload analysis implementations.
+ */
+
+#include "analysis.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace supernpu {
+namespace dnn {
+
+double
+DuplicationStats::duplicatedRatio() const
+{
+    if (naivePixels == 0)
+        return 0.0;
+    const std::uint64_t duplicated =
+        naivePixels > uniquePixels ? naivePixels - uniquePixels : 0;
+    return (double)duplicated / (double)naivePixels;
+}
+
+DuplicationStats
+layerDuplication(const Layer &layer)
+{
+    DuplicationStats stats;
+    stats.uniquePixels = layer.ifmapBytes();
+
+    // Each weight position (R*S per channel; filters share the same
+    // ifmap pixels) reads one pixel per output position.
+    const std::uint64_t weight_positions =
+        (std::uint64_t)layer.kernelH * layer.kernelW * layer.inChannels;
+    stats.naivePixels = weight_positions * layer.outputPositions();
+
+    // A strided or pooled layer can read fewer pixels than it holds;
+    // the unique count can exceed the naive count for degenerate 1x1
+    // stride-2 layers. Clamp: duplication is never negative.
+    stats.naivePixels = std::max(stats.naivePixels, stats.uniquePixels);
+    return stats;
+}
+
+double
+networkDuplicatedRatio(const Network &network, bool spatial_only)
+{
+    std::uint64_t unique = 0;
+    std::uint64_t naive = 0;
+    for (const auto &layer : network.layers) {
+        // Fig. 8 concerns convolutional weight sharing; FC layers
+        // read each input exactly once and are excluded.
+        if (layer.kind == LayerKind::FullyConnected)
+            continue;
+        if (spatial_only && layer.kernelH == 1 && layer.kernelW == 1)
+            continue;
+        const DuplicationStats stats = layerDuplication(layer);
+        unique += stats.uniquePixels;
+        naive += stats.naivePixels;
+    }
+    if (naive == 0)
+        return 0.0;
+    return (double)(naive - unique) / (double)naive;
+}
+
+double
+computationalIntensity(const Network &network, int batch)
+{
+    SUPERNPU_ASSERT(batch >= 1, "batch must be positive");
+    const double macs = (double)network.totalMacs() * (double)batch;
+    const double weight_bytes = (double)network.totalWeightBytes();
+    return macs / weight_bytes;
+}
+
+double
+rooflinePerformance(double peak_mac_per_s, double intensity,
+                    double bandwidth_bytes_per_s)
+{
+    return std::min(peak_mac_per_s, intensity * bandwidth_bytes_per_s);
+}
+
+} // namespace dnn
+} // namespace supernpu

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Workload analyses used by the paper's motivation figures:
+ * ifmap duplication across PE rows (Fig. 8) and the computational
+ * intensity / roofline quantities (Fig. 17).
+ */
+
+#ifndef SUPERNPU_DNN_ANALYSIS_HH
+#define SUPERNPU_DNN_ANALYSIS_HH
+
+#include <cstdint>
+
+#include "layer.hh"
+
+namespace supernpu {
+namespace dnn {
+
+/** Fig. 8 quantities for one layer. */
+struct DuplicationStats
+{
+    /** Distinct ifmap pixels the layer reads. */
+    std::uint64_t uniquePixels = 0;
+    /**
+     * Pixels a naive per-PE-row buffering scheme would store: each
+     * weight position's PE row holds its own copy of every ifmap
+     * pixel it consumes.
+     */
+    std::uint64_t naivePixels = 0;
+
+    /** Fraction of the naive storage that is duplicated data. */
+    double duplicatedRatio() const;
+};
+
+/**
+ * Duplication analysis for one layer: with weight-stationary
+ * mapping, each of the R*S*C weight positions occupies a PE row and
+ * consumes one ifmap pixel per output position; without a data
+ * alignment unit, each ifmap buffer row must hold all of them.
+ */
+DuplicationStats layerDuplication(const Layer &layer);
+
+/**
+ * Pixel-weighted duplication ratio across a network's convolution
+ * layers. With `spatial_only`, 1x1 convolutions are excluded: they
+ * have no cross-row weight sharing, so they neither duplicate nor
+ * benefit from the DAU (the paper's Fig. 8 counts the layers where
+ * the weight-sharing property applies).
+ */
+double networkDuplicatedRatio(const Network &network,
+                              bool spatial_only = false);
+
+/**
+ * Computational intensity as the paper defines it: MAC operations
+ * executed per weight byte mapped on the PE array, for a given input
+ * batch size.
+ */
+double computationalIntensity(const Network &network, int batch);
+
+/**
+ * Roofline-attainable performance in MAC/s for a given intensity:
+ * min(peak, intensity * memory bandwidth).
+ */
+double rooflinePerformance(double peak_mac_per_s, double intensity,
+                           double bandwidth_bytes_per_s);
+
+} // namespace dnn
+} // namespace supernpu
+
+#endif // SUPERNPU_DNN_ANALYSIS_HH

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Layer arithmetic.
+ */
+
+#include "layer.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace supernpu {
+namespace dnn {
+
+const char *
+layerKindName(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::Conv:
+        return "conv";
+      case LayerKind::DepthwiseConv:
+        return "dwconv";
+      case LayerKind::FullyConnected:
+        return "fc";
+    }
+    panic("unknown layer kind");
+}
+
+int
+Layer::outHeight() const
+{
+    return (inHeight + 2 * padding - kernelH) / stride + 1;
+}
+
+int
+Layer::outWidth() const
+{
+    return (inWidth + 2 * padding - kernelW) / stride + 1;
+}
+
+std::uint64_t
+Layer::outputPositions() const
+{
+    return (std::uint64_t)outHeight() * (std::uint64_t)outWidth();
+}
+
+std::uint64_t
+Layer::macCount() const
+{
+    const std::uint64_t per_position =
+        kind == LayerKind::DepthwiseConv
+            ? (std::uint64_t)kernelH * kernelW * inChannels
+            : (std::uint64_t)kernelH * kernelW * inChannels * outChannels;
+    return per_position * outputPositions();
+}
+
+std::uint64_t
+Layer::weightBytes() const
+{
+    if (kind == LayerKind::DepthwiseConv)
+        return (std::uint64_t)kernelH * kernelW * inChannels;
+    return (std::uint64_t)kernelH * kernelW * inChannels * outChannels;
+}
+
+std::uint64_t
+Layer::ifmapBytes() const
+{
+    return (std::uint64_t)inChannels * inHeight * inWidth;
+}
+
+std::uint64_t
+Layer::ofmapBytes() const
+{
+    return (std::uint64_t)outChannels * outputPositions();
+}
+
+int
+Layer::mappedFilters() const
+{
+    return kind == LayerKind::DepthwiseConv ? 1 : outChannels;
+}
+
+std::uint64_t
+Layer::weightsPerFilter() const
+{
+    if (kind == LayerKind::DepthwiseConv)
+        return (std::uint64_t)kernelH * kernelW;
+    return (std::uint64_t)kernelH * kernelW * inChannels;
+}
+
+void
+Layer::check() const
+{
+    SUPERNPU_ASSERT(inChannels > 0 && inHeight > 0 && inWidth > 0,
+                    "layer '", name, "' has a bad input shape");
+    SUPERNPU_ASSERT(outChannels > 0, "layer '", name, "' has no filters");
+    SUPERNPU_ASSERT(kernelH > 0 && kernelW > 0 && stride > 0,
+                    "layer '", name, "' has a bad kernel");
+    SUPERNPU_ASSERT(padding >= 0, "layer '", name, "' has bad padding");
+    SUPERNPU_ASSERT(outHeight() > 0 && outWidth() > 0,
+                    "layer '", name, "' produces an empty output");
+    if (kind == LayerKind::DepthwiseConv) {
+        SUPERNPU_ASSERT(inChannels == outChannels,
+                        "depthwise layer '", name,
+                        "' must keep its channel count");
+    }
+}
+
+Layer
+conv(const std::string &name, int in_c, int in_hw, int out_c, int kernel,
+     int stride, int padding)
+{
+    Layer layer;
+    layer.name = name;
+    layer.kind = LayerKind::Conv;
+    layer.inChannels = in_c;
+    layer.inHeight = in_hw;
+    layer.inWidth = in_hw;
+    layer.outChannels = out_c;
+    layer.kernelH = kernel;
+    layer.kernelW = kernel;
+    layer.stride = stride;
+    // padding -1 means "same-style": keep the spatial size at
+    // stride 1 (the common (k-1)/2 halo).
+    layer.padding = padding >= 0 ? padding : (kernel - 1) / 2;
+    layer.check();
+    return layer;
+}
+
+Layer
+depthwise(const std::string &name, int channels, int in_hw, int stride)
+{
+    Layer layer;
+    layer.name = name;
+    layer.kind = LayerKind::DepthwiseConv;
+    layer.inChannels = channels;
+    layer.inHeight = in_hw;
+    layer.inWidth = in_hw;
+    layer.outChannels = channels;
+    layer.kernelH = 3;
+    layer.kernelW = 3;
+    layer.stride = stride;
+    layer.padding = 1;
+    layer.check();
+    return layer;
+}
+
+Layer
+fullyConnected(const std::string &name, int in_features, int out_features)
+{
+    Layer layer;
+    layer.name = name;
+    layer.kind = LayerKind::FullyConnected;
+    layer.inChannels = in_features;
+    layer.inHeight = 1;
+    layer.inWidth = 1;
+    layer.outChannels = out_features;
+    layer.kernelH = 1;
+    layer.kernelW = 1;
+    layer.stride = 1;
+    layer.padding = 0;
+    layer.check();
+    return layer;
+}
+
+std::uint64_t
+Network::totalMacs() const
+{
+    std::uint64_t total = 0;
+    for (const auto &layer : layers)
+        total += layer.macCount();
+    return total;
+}
+
+std::uint64_t
+Network::totalWeightBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &layer : layers)
+        total += layer.weightBytes();
+    return total;
+}
+
+std::uint64_t
+Network::maxLayerIoBytes() const
+{
+    std::uint64_t largest = 0;
+    for (const auto &layer : layers) {
+        largest = std::max(largest,
+                           layer.ifmapBytes() + layer.ofmapBytes());
+    }
+    return largest;
+}
+
+void
+Network::check() const
+{
+    SUPERNPU_ASSERT(!layers.empty(), "network '", name, "' has no layers");
+    for (const auto &layer : layers)
+        layer.check();
+}
+
+} // namespace dnn
+} // namespace supernpu

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * DNN layer and network descriptions.
+ *
+ * The simulators consume layer *shapes* only (the paper's "DNN
+ * description file": ifmap window size, filter window size, number of
+ * filters, strides). All tensor data types are 8-bit (the paper's
+ * NPUs are 8-bit MAC designs, like the TPU).
+ */
+
+#ifndef SUPERNPU_DNN_LAYER_HH
+#define SUPERNPU_DNN_LAYER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace supernpu {
+namespace dnn {
+
+/** Layer kinds relevant to NPU mapping. */
+enum class LayerKind
+{
+    Conv,          ///< standard convolution
+    DepthwiseConv, ///< one filter per input channel (MobileNet)
+    FullyConnected,///< matrix-vector layer (modeled as 1x1 conv)
+};
+
+/** Name of a layer kind for reports. */
+const char *layerKindName(LayerKind kind);
+
+/**
+ * A single weight layer. Pooling and activation layers carry no MAC
+ * work and are folded into the successive layers' input shapes.
+ */
+struct Layer
+{
+    std::string name;
+    LayerKind kind = LayerKind::Conv;
+
+    int inChannels = 0;  ///< C
+    int inHeight = 0;    ///< H (after any preceding pooling)
+    int inWidth = 0;     ///< W
+    int outChannels = 0; ///< K (== C for depthwise)
+    int kernelH = 0;     ///< R
+    int kernelW = 0;     ///< S
+    int stride = 1;
+    int padding = 0;
+
+    /** Output feature map height. */
+    int outHeight() const;
+    /** Output feature map width. */
+    int outWidth() const;
+    /** Number of sliding-window positions per image. */
+    std::uint64_t outputPositions() const;
+
+    /** Multiply-accumulate operations per image. */
+    std::uint64_t macCount() const;
+
+    /** Weight footprint in bytes (8-bit weights). */
+    std::uint64_t weightBytes() const;
+    /** Input feature map footprint per image, bytes. */
+    std::uint64_t ifmapBytes() const;
+    /** Output feature map footprint per image, bytes. */
+    std::uint64_t ofmapBytes() const;
+
+    /**
+     * Effective number of independent filters from the mapper's
+     * perspective: K for conv/FC, 1 for depthwise (each channel's
+     * filter is a separate single-filter mapping).
+     */
+    int mappedFilters() const;
+
+    /** Weights per filter along the PE-array-height dimension. */
+    std::uint64_t weightsPerFilter() const;
+
+    /** Validate shape consistency; panics on malformed layers. */
+    void check() const;
+};
+
+/** Convenience constructor for a convolution layer. */
+Layer conv(const std::string &name, int in_c, int in_hw, int out_c,
+           int kernel, int stride = 1, int padding = -1);
+
+/** Convenience constructor for a depthwise convolution layer. */
+Layer depthwise(const std::string &name, int channels, int in_hw,
+                int stride);
+
+/** Convenience constructor for a fully-connected layer. */
+Layer fullyConnected(const std::string &name, int in_features,
+                     int out_features);
+
+/** A named sequence of layers. */
+struct Network
+{
+    std::string name;
+    std::vector<Layer> layers;
+
+    /** Total MACs per image. */
+    std::uint64_t totalMacs() const;
+    /** Total weight bytes. */
+    std::uint64_t totalWeightBytes() const;
+    /** Largest single-layer (ifmap + ofmap) footprint, bytes. */
+    std::uint64_t maxLayerIoBytes() const;
+    /** Validate every layer. */
+    void check() const;
+};
+
+} // namespace dnn
+} // namespace supernpu
+
+#endif // SUPERNPU_DNN_LAYER_HH

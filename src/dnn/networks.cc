@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Workload zoo definitions.
+ *
+ * Spatial sizes already account for the interleaved pooling layers
+ * (pooling carries no MAC work for the NPU). All networks are the
+ * standard ImageNet-inference configurations at 224 x 224 input
+ * (227 x 227 for AlexNet's historical first layer).
+ */
+
+#include "networks.hh"
+
+namespace supernpu {
+namespace dnn {
+
+Network
+makeAlexNet()
+{
+    Network net;
+    net.name = "AlexNet";
+    net.layers = {
+        conv("conv1", 3, 227, 96, 11, 4, 0),  // -> 55
+        // conv2 runs pre-pooling at 55 x 55 (the paper's variant: its
+        // quoted 1.05 MB largest-layer footprint and TPU batch of 22
+        // only arise with conv2's ifmap+ofmap at 55 x 55).
+        conv("conv2", 96, 55, 256, 5),
+        conv("conv3", 256, 13, 384, 3),       // after pools -> 13
+        conv("conv4", 384, 13, 384, 3),
+        conv("conv5", 384, 13, 256, 3),
+        fullyConnected("fc6", 256 * 6 * 6, 4096), // after pool -> 6
+        fullyConnected("fc7", 4096, 4096),
+        fullyConnected("fc8", 4096, 1000),
+    };
+    net.check();
+    return net;
+}
+
+namespace {
+
+/** Append the 13 VGG16 convolution layers. */
+void
+appendVggBackbone(Network &net)
+{
+    net.layers.push_back(conv("conv1_1", 3, 224, 64, 3));
+    net.layers.push_back(conv("conv1_2", 64, 224, 64, 3));
+    net.layers.push_back(conv("conv2_1", 64, 112, 128, 3));
+    net.layers.push_back(conv("conv2_2", 128, 112, 128, 3));
+    net.layers.push_back(conv("conv3_1", 128, 56, 256, 3));
+    net.layers.push_back(conv("conv3_2", 256, 56, 256, 3));
+    net.layers.push_back(conv("conv3_3", 256, 56, 256, 3));
+    net.layers.push_back(conv("conv4_1", 256, 28, 512, 3));
+    net.layers.push_back(conv("conv4_2", 512, 28, 512, 3));
+    net.layers.push_back(conv("conv4_3", 512, 28, 512, 3));
+    net.layers.push_back(conv("conv5_1", 512, 14, 512, 3));
+    net.layers.push_back(conv("conv5_2", 512, 14, 512, 3));
+    net.layers.push_back(conv("conv5_3", 512, 14, 512, 3));
+}
+
+} // namespace
+
+Network
+makeVgg16()
+{
+    Network net;
+    net.name = "VGG16";
+    appendVggBackbone(net);
+    net.layers.push_back(fullyConnected("fc6", 512 * 7 * 7, 4096));
+    net.layers.push_back(fullyConnected("fc7", 4096, 4096));
+    net.layers.push_back(fullyConnected("fc8", 4096, 1000));
+    net.check();
+    return net;
+}
+
+namespace {
+
+/**
+ * Append one ResNet bottleneck block: 1x1 reduce, 3x3, 1x1 expand,
+ * plus the projection shortcut when the block changes dimensions.
+ */
+void
+appendBottleneck(Network &net, const std::string &prefix, int in_c,
+                 int mid_c, int out_c, int in_hw, int stride,
+                 bool project)
+{
+    net.layers.push_back(
+        conv(prefix + "_1x1a", in_c, in_hw, mid_c, 1, 1, 0));
+    net.layers.push_back(
+        conv(prefix + "_3x3", mid_c, in_hw, mid_c, 3, stride));
+    const int out_hw = in_hw / stride;
+    net.layers.push_back(
+        conv(prefix + "_1x1b", mid_c, out_hw, out_c, 1, 1, 0));
+    if (project) {
+        net.layers.push_back(
+            conv(prefix + "_proj", in_c, in_hw, out_c, 1, stride, 0));
+    }
+}
+
+} // namespace
+
+Network
+makeResNet50()
+{
+    Network net;
+    net.name = "ResNet50";
+    net.layers.push_back(conv("conv1", 3, 224, 64, 7, 2, 3)); // -> 112
+
+    struct Stage { int blocks, mid, out, hw, stride; };
+    // After conv1's 3x3/2 max pool, stage 2 starts at 56 x 56.
+    const Stage stages[] = {
+        {3, 64, 256, 56, 1},
+        {4, 128, 512, 56, 2},
+        {6, 256, 1024, 28, 2},
+        {3, 512, 2048, 14, 2},
+    };
+
+    int in_c = 64;
+    for (int s = 0; s < 4; ++s) {
+        const Stage &stage = stages[s];
+        int hw = stage.hw;
+        for (int b = 0; b < stage.blocks; ++b) {
+            const std::string prefix =
+                "res" + std::to_string(s + 2) + char('a' + b);
+            const int stride = b == 0 ? stage.stride : 1;
+            appendBottleneck(net, prefix, in_c, stage.mid, stage.out, hw,
+                             stride, b == 0);
+            if (b == 0)
+                hw /= stride;
+            in_c = stage.out;
+        }
+    }
+
+    net.layers.push_back(fullyConnected("fc", 2048, 1000));
+    net.check();
+    return net;
+}
+
+namespace {
+
+/** Append one GoogLeNet inception module's six weight layers. */
+void
+appendInception(Network &net, const std::string &prefix, int in_c, int hw,
+                int b1, int b2_reduce, int b2, int b3_reduce, int b3,
+                int b4)
+{
+    net.layers.push_back(conv(prefix + "_1x1", in_c, hw, b1, 1, 1, 0));
+    net.layers.push_back(
+        conv(prefix + "_3x3r", in_c, hw, b2_reduce, 1, 1, 0));
+    net.layers.push_back(conv(prefix + "_3x3", b2_reduce, hw, b2, 3));
+    net.layers.push_back(
+        conv(prefix + "_5x5r", in_c, hw, b3_reduce, 1, 1, 0));
+    net.layers.push_back(conv(prefix + "_5x5", b3_reduce, hw, b3, 5));
+    net.layers.push_back(conv(prefix + "_pool", in_c, hw, b4, 1, 1, 0));
+}
+
+} // namespace
+
+Network
+makeGoogLeNet()
+{
+    Network net;
+    net.name = "GoogLeNet";
+    net.layers.push_back(conv("conv1", 3, 224, 64, 7, 2, 3));  // -> 112
+    net.layers.push_back(conv("conv2r", 64, 56, 64, 1, 1, 0)); // pool -> 56
+    net.layers.push_back(conv("conv2", 64, 56, 192, 3));
+
+    // name, in_c, hw, #1x1, #3x3r, #3x3, #5x5r, #5x5, pool-proj
+    appendInception(net, "3a", 192, 28, 64, 96, 128, 16, 32, 32);
+    appendInception(net, "3b", 256, 28, 128, 128, 192, 32, 96, 64);
+    appendInception(net, "4a", 480, 14, 192, 96, 208, 16, 48, 64);
+    appendInception(net, "4b", 512, 14, 160, 112, 224, 24, 64, 64);
+    appendInception(net, "4c", 512, 14, 128, 128, 256, 24, 64, 64);
+    appendInception(net, "4d", 512, 14, 112, 144, 288, 32, 64, 64);
+    appendInception(net, "4e", 528, 14, 256, 160, 320, 32, 128, 128);
+    appendInception(net, "5a", 832, 7, 256, 160, 320, 32, 128, 128);
+    appendInception(net, "5b", 832, 7, 384, 192, 384, 48, 128, 128);
+
+    net.layers.push_back(fullyConnected("fc", 1024, 1000));
+    net.check();
+    return net;
+}
+
+Network
+makeMobileNet()
+{
+    Network net;
+    net.name = "MobileNet";
+    net.layers.push_back(conv("conv1", 3, 224, 32, 3, 2)); // -> 112
+
+    struct Block { int out_c, stride, in_hw; };
+    const Block blocks[] = {
+        {64, 1, 112},  {128, 2, 112}, {128, 1, 56}, {256, 2, 56},
+        {256, 1, 28},  {512, 2, 28},  {512, 1, 14}, {512, 1, 14},
+        {512, 1, 14},  {512, 1, 14},  {512, 1, 14}, {1024, 2, 14},
+        {1024, 1, 7},
+    };
+
+    int in_c = 32;
+    int index = 2;
+    for (const Block &block : blocks) {
+        const std::string tag = std::to_string(index++);
+        net.layers.push_back(
+            depthwise("dw" + tag, in_c, block.in_hw, block.stride));
+        const int out_hw = block.in_hw / block.stride;
+        net.layers.push_back(
+            conv("pw" + tag, in_c, out_hw, block.out_c, 1, 1, 0));
+        in_c = block.out_c;
+    }
+
+    net.layers.push_back(fullyConnected("fc", 1024, 1000));
+    net.check();
+    return net;
+}
+
+Network
+makeFasterRcnn()
+{
+    Network net;
+    net.name = "FasterRCNN";
+    // VGG16 backbone feature extractor (through conv5_3).
+    appendVggBackbone(net);
+    // Region proposal network on the 14 x 14 conv5 feature map.
+    net.layers.push_back(conv("rpn_conv", 512, 14, 512, 3));
+    net.layers.push_back(conv("rpn_cls", 512, 14, 18, 1, 1, 0));
+    net.layers.push_back(conv("rpn_bbox", 512, 14, 36, 1, 1, 0));
+    // Detection head on RoI-pooled 7 x 7 x 512 features.
+    net.layers.push_back(fullyConnected("head_fc6", 512 * 7 * 7, 4096));
+    net.layers.push_back(fullyConnected("head_fc7", 4096, 4096));
+    net.layers.push_back(fullyConnected("head_cls", 4096, 21));
+    net.layers.push_back(fullyConnected("head_bbox", 4096, 84));
+    net.check();
+    return net;
+}
+
+Network
+makeResNet18()
+{
+    Network net;
+    net.name = "ResNet18";
+    net.layers.push_back(conv("conv1", 3, 224, 64, 7, 2, 3)); // -> 112
+
+    struct Stage { int blocks, channels, hw, stride; };
+    // After the stem's max pool, stage 2 starts at 56 x 56.
+    const Stage stages[] = {
+        {2, 64, 56, 1},
+        {2, 128, 56, 2},
+        {2, 256, 28, 2},
+        {2, 512, 14, 2},
+    };
+
+    int in_c = 64;
+    for (int s = 0; s < 4; ++s) {
+        const Stage &stage = stages[s];
+        int hw = stage.hw;
+        for (int b = 0; b < stage.blocks; ++b) {
+            const std::string prefix =
+                "res" + std::to_string(s + 2) + char('a' + b);
+            const int stride = b == 0 ? stage.stride : 1;
+            net.layers.push_back(conv(prefix + "_3x3a", in_c, hw,
+                                      stage.channels, 3, stride));
+            hw /= stride;
+            net.layers.push_back(conv(prefix + "_3x3b", stage.channels,
+                                      hw, stage.channels, 3));
+            if (b == 0 && stride != 1) {
+                net.layers.push_back(conv(prefix + "_proj", in_c,
+                                          hw * stride, stage.channels,
+                                          1, stride, 0));
+            }
+            in_c = stage.channels;
+        }
+    }
+
+    net.layers.push_back(fullyConnected("fc", 512, 1000));
+    net.check();
+    return net;
+}
+
+Network
+makeVgg19()
+{
+    Network net;
+    net.name = "VGG19";
+    net.layers.push_back(conv("conv1_1", 3, 224, 64, 3));
+    net.layers.push_back(conv("conv1_2", 64, 224, 64, 3));
+    net.layers.push_back(conv("conv2_1", 64, 112, 128, 3));
+    net.layers.push_back(conv("conv2_2", 128, 112, 128, 3));
+    for (int i = 1; i <= 4; ++i) {
+        net.layers.push_back(conv("conv3_" + std::to_string(i),
+                                  i == 1 ? 128 : 256, 56, 256, 3));
+    }
+    for (int i = 1; i <= 4; ++i) {
+        net.layers.push_back(conv("conv4_" + std::to_string(i),
+                                  i == 1 ? 256 : 512, 28, 512, 3));
+    }
+    for (int i = 1; i <= 4; ++i) {
+        net.layers.push_back(
+            conv("conv5_" + std::to_string(i), 512, 14, 512, 3));
+    }
+    net.layers.push_back(fullyConnected("fc6", 512 * 7 * 7, 4096));
+    net.layers.push_back(fullyConnected("fc7", 4096, 4096));
+    net.layers.push_back(fullyConnected("fc8", 4096, 1000));
+    net.check();
+    return net;
+}
+
+std::vector<Network>
+evaluationWorkloads()
+{
+    return {
+        makeAlexNet(),   makeFasterRcnn(), makeGoogLeNet(),
+        makeMobileNet(), makeResNet50(),   makeVgg16(),
+    };
+}
+
+} // namespace dnn
+} // namespace supernpu

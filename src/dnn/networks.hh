@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The six CNN workloads the paper evaluates (Section V): AlexNet,
+ * Faster R-CNN (VGG16 backbone), GoogLeNet, MobileNet v1, ResNet-50,
+ * and VGG16, all at the paper's 224 x 224 x 3 input.
+ */
+
+#ifndef SUPERNPU_DNN_NETWORKS_HH
+#define SUPERNPU_DNN_NETWORKS_HH
+
+#include <vector>
+
+#include "layer.hh"
+
+namespace supernpu {
+namespace dnn {
+
+/** AlexNet (Krizhevsky et al.), single-tower variant. */
+Network makeAlexNet();
+
+/** VGG16 (Simonyan & Zisserman), configuration D. */
+Network makeVgg16();
+
+/** ResNet-50 (He et al.) with bottleneck blocks. */
+Network makeResNet50();
+
+/** GoogLeNet / Inception v1 (Szegedy et al.). */
+Network makeGoogLeNet();
+
+/** MobileNet v1 (Howard et al.), width multiplier 1.0. */
+Network makeMobileNet();
+
+/** Faster R-CNN with a VGG16 backbone, RPN, and detection head. */
+Network makeFasterRcnn();
+
+/**
+ * ResNet-18 (He et al.) with basic (2 x 3x3) blocks. Not part of the
+ * paper's evaluation set; provided for design-space studies.
+ */
+Network makeResNet18();
+
+/** VGG19 (configuration E). Not part of the paper's evaluation set. */
+Network makeVgg19();
+
+/** All six evaluation workloads, in the paper's Fig. 23 order. */
+std::vector<Network> evaluationWorkloads();
+
+} // namespace dnn
+} // namespace supernpu
+
+#endif // SUPERNPU_DNN_NETWORKS_HH

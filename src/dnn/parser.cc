@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Network description parser / formatter.
+ */
+
+#include "parser.hh"
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace supernpu {
+namespace dnn {
+
+namespace {
+
+/** Split a line into whitespace-separated tokens. */
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> tokens;
+    std::istringstream stream(line);
+    std::string token;
+    while (stream >> token) {
+        if (token[0] == '#')
+            break; // trailing comment
+        tokens.push_back(token);
+    }
+    return tokens;
+}
+
+/** Parse a required integer field; '-' is not allowed here. */
+int
+intField(const std::string &token, int line_no, const char *what)
+{
+    SUPERNPU_ASSERT(token != "-", "line ", line_no, ": field '", what,
+                    "' is required for this layer kind");
+    try {
+        std::size_t used = 0;
+        const int value = std::stoi(token, &used);
+        SUPERNPU_ASSERT(used == token.size(), "line ", line_no,
+                        ": bad integer '", token, "' for ", what);
+        return value;
+    } catch (const std::exception &) {
+        panic("line ", line_no, ": bad integer '", token, "' for ",
+              what);
+    }
+}
+
+} // namespace
+
+Network
+parseNetwork(const std::string &text)
+{
+    Network net;
+    std::istringstream stream(text);
+    std::string line;
+    int line_no = 0;
+
+    while (std::getline(stream, line)) {
+        ++line_no;
+        const auto tokens = tokenize(line);
+        if (tokens.empty())
+            continue;
+
+        if (tokens[0] == "network") {
+            SUPERNPU_ASSERT(tokens.size() >= 2, "line ", line_no,
+                            ": 'network' needs a name");
+            SUPERNPU_ASSERT(net.name.empty(), "line ", line_no,
+                            ": duplicate 'network' line");
+            net.name = tokens[1];
+            continue;
+        }
+
+        SUPERNPU_ASSERT(!net.name.empty(), "line ", line_no,
+                        ": the first entry must be 'network <name>'");
+        SUPERNPU_ASSERT(tokens.size() == 8, "line ", line_no,
+                        ": expected 8 fields, got ", tokens.size());
+
+        const std::string &kind = tokens[0];
+        const std::string &name = tokens[1];
+        if (kind == "conv") {
+            net.layers.push_back(
+                conv(name, intField(tokens[2], line_no, "inC"),
+                     intField(tokens[3], line_no, "inHW"),
+                     intField(tokens[4], line_no, "outC"),
+                     intField(tokens[5], line_no, "kernel"),
+                     intField(tokens[6], line_no, "stride"),
+                     intField(tokens[7], line_no, "padding")));
+        } else if (kind == "dwconv") {
+            Layer layer = depthwise(
+                name, intField(tokens[2], line_no, "inC"),
+                intField(tokens[3], line_no, "inHW"),
+                intField(tokens[6], line_no, "stride"));
+            layer.kernelH = layer.kernelW =
+                intField(tokens[5], line_no, "kernel");
+            layer.padding = intField(tokens[7], line_no, "padding");
+            layer.check();
+            net.layers.push_back(layer);
+        } else if (kind == "fc") {
+            net.layers.push_back(fullyConnected(
+                name, intField(tokens[2], line_no, "inC"),
+                intField(tokens[4], line_no, "outC")));
+        } else {
+            panic("line ", line_no, ": unknown layer kind '", kind,
+                  "' (conv, dwconv, fc)");
+        }
+    }
+
+    SUPERNPU_ASSERT(!net.layers.empty(), "description has no layers");
+    net.check();
+    return net;
+}
+
+std::string
+formatNetwork(const Network &network)
+{
+    std::string out = "network " + network.name + "\n";
+    out += "# kind  name  inC inHW outC kernel stride padding\n";
+    char line[160];
+    for (const auto &layer : network.layers) {
+        switch (layer.kind) {
+          case LayerKind::Conv:
+            std::snprintf(line, sizeof(line),
+                          "conv %s %d %d %d %d %d %d\n",
+                          layer.name.c_str(), layer.inChannels,
+                          layer.inHeight, layer.outChannels,
+                          layer.kernelH, layer.stride, layer.padding);
+            break;
+          case LayerKind::DepthwiseConv:
+            std::snprintf(line, sizeof(line),
+                          "dwconv %s %d %d - %d %d %d\n",
+                          layer.name.c_str(), layer.inChannels,
+                          layer.inHeight, layer.kernelH, layer.stride,
+                          layer.padding);
+            break;
+          case LayerKind::FullyConnected:
+            std::snprintf(line, sizeof(line), "fc %s %d - %d - - -\n",
+                          layer.name.c_str(), layer.inChannels,
+                          layer.outChannels);
+            break;
+        }
+        out += line;
+    }
+    return out;
+}
+
+} // namespace dnn
+} // namespace supernpu

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Shift-register buffer estimator implementation.
+ */
+
+#include "buffer_model.hh"
+
+#include "common/logging.hh"
+
+namespace supernpu {
+namespace estimator {
+
+using sfq::ClockScheme;
+using sfq::GateKind;
+using sfq::GatePair;
+
+namespace {
+
+/**
+ * Junctions per stored bit: the DFF cell plus its amortized share of
+ * clock splitters, re-circulation wiring, and inter-cell JTLs.
+ * Calibrated jointly with the static-power-per-JJ constant against
+ * the paper's 964 W RSFQ-SuperNPU figure (Table III).
+ */
+constexpr double jjPerStoredBit = 13.5;
+
+/**
+ * Mux + demux tree junctions per row-bit line and per chunk beyond
+ * the first: pulse mergers on the read side, gated splitters on the
+ * write side, NDRO select control, and the PTL routing to reach
+ * every chunk port. Calibrated against Fig. 20's area curve (flat
+ * through division 256, then rapidly growing).
+ */
+constexpr double muxJjPerPortChunk = 44.0;
+
+} // namespace
+
+BufferModel::BufferModel(const sfq::CellLibrary &lib,
+                         std::uint64_t capacity_bytes, int rows,
+                         int width_bits, int division)
+    : _lib(lib),
+      _capacityBytes(capacity_bytes),
+      _rows(rows),
+      _widthBits(width_bits),
+      _division(division)
+{
+    SUPERNPU_ASSERT(capacity_bytes > 0, "empty buffer");
+    SUPERNPU_ASSERT(rows > 0 && width_bits > 0, "bad buffer geometry");
+    SUPERNPU_ASSERT(division >= 1, "bad division degree");
+}
+
+std::uint64_t
+BufferModel::rowLengthEntries() const
+{
+    const std::uint64_t row_bytes = _capacityBytes / (std::uint64_t)_rows;
+    const std::uint64_t entry_bytes = (std::uint64_t)_widthBits / 8;
+    SUPERNPU_ASSERT(entry_bytes > 0, "sub-byte entries unsupported");
+    const std::uint64_t entries = row_bytes / entry_bytes;
+    SUPERNPU_ASSERT(entries > 0, "buffer too small for its row count");
+    return entries;
+}
+
+std::uint64_t
+BufferModel::chunkLengthEntries() const
+{
+    const std::uint64_t entries = rowLengthEntries() / (std::uint64_t)_division;
+    return entries > 0 ? entries : 1;
+}
+
+std::uint64_t
+BufferModel::bytesPerCycle() const
+{
+    return (std::uint64_t)_rows * (std::uint64_t)_widthBits / 8;
+}
+
+sfq::GatePair
+BufferModel::criticalPair() const
+{
+    // DFF -> DFF shift arc. The clock runs counter to the shift
+    // direction through its own JTL + splitter segment so the
+    // re-circulation feedback path is timing-safe.
+    GatePair pair = sfq::makePair(
+        _lib, "SR DFF->DFF (counter-flow)",
+        GateKind::DFF, GateKind::DFF, {GateKind::JTL}, 0.0,
+        ClockScheme::CounterFlow);
+    // Clock segment between adjacent cells: a JTL run plus the
+    // splitter feeding the neighbour's clock tap (library delays are
+    // already node-scaled).
+    pair.clockPathDelay = _lib.gate(GateKind::DFF).delay +
+                          _lib.gate(GateKind::JTL).delay +
+                          _lib.gate(GateKind::SPLITTER).delay;
+    return pair;
+}
+
+double
+BufferModel::frequencyGhz() const
+{
+    return sfq::pairFrequencyGhz(criticalPair());
+}
+
+std::uint64_t
+BufferModel::storageJjCount() const
+{
+    const double bits = (double)_capacityBytes * 8.0;
+    return (std::uint64_t)(bits * jjPerStoredBit);
+}
+
+std::uint64_t
+BufferModel::muxTreeJjCount() const
+{
+    if (_division <= 1)
+        return 0;
+    const double ports = (double)_rows * (double)_widthBits;
+    return (std::uint64_t)(ports * muxJjPerPortChunk *
+                           (double)(_division - 1));
+}
+
+std::uint64_t
+BufferModel::jjCount() const
+{
+    return storageJjCount() + muxTreeJjCount();
+}
+
+double
+BufferModel::staticPower() const
+{
+    return (double)jjCount() * _lib.staticPowerPerJj();
+}
+
+double
+BufferModel::chunkShiftEnergy() const
+{
+    // One chunk per row shifts in lockstep across all rows.
+    const double chunk_bits = (double)chunkLengthEntries() *
+                              (double)_rows * (double)_widthBits;
+    // Every bit cell clocks: DFF access plus its clock splitter.
+    const double per_bit = _lib.accessEnergy(GateKind::DFF) +
+                           _lib.accessEnergy(GateKind::SPLITTER);
+    return chunk_bits * per_bit;
+}
+
+double
+BufferModel::area() const
+{
+    return (double)storageJjCount() * _lib.memoryAreaPerJj() +
+           (double)muxTreeJjCount() * _lib.areaPerJj();
+}
+
+} // namespace estimator
+} // namespace supernpu

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Microarchitecture model of a shift-register-based on-chip buffer
+ * (Section II-B3), optionally divided into chunks connected through
+ * multiplexer / demultiplexer trees (Section V-B1).
+ *
+ * Geometry: the buffer feeds `rows` parallel ports of `widthBits`
+ * each (one per PE row or column); each row is a serial shift
+ * register of `rowLengthEntries()` words. Division by D splits each
+ * row into D independently selectable chunks of length
+ * `chunkLengthEntries()`, shortening every intra-buffer move from
+ * O(row length) to O(chunk length).
+ */
+
+#ifndef SUPERNPU_ESTIMATOR_BUFFER_MODEL_HH
+#define SUPERNPU_ESTIMATOR_BUFFER_MODEL_HH
+
+#include <cstdint>
+
+#include "sfq/cells.hh"
+#include "sfq/clocking.hh"
+
+namespace supernpu {
+namespace estimator {
+
+/** Shift-register buffer estimator. */
+class BufferModel
+{
+  public:
+    /**
+     * @param lib The scaled cell library.
+     * @param capacity_bytes Total storage capacity.
+     * @param rows Parallel port count (matches a PE array dimension).
+     * @param width_bits Word width of each port.
+     * @param division Number of chunks each row is divided into.
+     */
+    BufferModel(const sfq::CellLibrary &lib,
+                std::uint64_t capacity_bytes, int rows, int width_bits,
+                int division);
+
+    /** Shift entries per (undivided) row. */
+    std::uint64_t rowLengthEntries() const;
+
+    /** Shift entries per chunk. */
+    std::uint64_t chunkLengthEntries() const;
+
+    /** Bytes moved into / out of the buffer per shift cycle. */
+    std::uint64_t bytesPerCycle() const;
+
+    /**
+     * Maximum shift clock, GHz. The feedback re-circulation path
+     * forces counter-flow clocking (Section III-B / Fig. 7).
+     */
+    double frequencyGhz() const;
+
+    /** The limiting timing arc. */
+    sfq::GatePair criticalPair() const;
+
+    /** Physical junction count, mux/demux trees included. */
+    std::uint64_t jjCount() const;
+
+    /** Junctions in the storage bit-slices only. */
+    std::uint64_t storageJjCount() const;
+
+    /** Junctions in the division mux/demux trees and their control. */
+    std::uint64_t muxTreeJjCount() const;
+
+    /** Static power, watts (zero for ERSFQ). */
+    double staticPower() const;
+
+    /**
+     * Dynamic energy of shifting one chunk by one position, joules
+     * (every occupied bit cell in the chunk is clocked).
+     */
+    double chunkShiftEnergy() const;
+
+    /** Layout area, mm^2 (dense memory tiling + logic-density mux). */
+    double area() const;
+
+  private:
+    const sfq::CellLibrary &_lib;
+    std::uint64_t _capacityBytes;
+    int _rows;
+    int _widthBits;
+    int _division;
+};
+
+} // namespace estimator
+} // namespace supernpu
+
+#endif // SUPERNPU_ESTIMATOR_BUFFER_MODEL_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * DAU estimator implementation.
+ */
+
+#include "dau_model.hh"
+
+#include "common/logging.hh"
+
+namespace supernpu {
+namespace estimator {
+
+using sfq::ClockScheme;
+using sfq::GateKind;
+using sfq::GatePair;
+
+namespace {
+/** Control state machine per DAU row (index compare + valid bit). */
+constexpr std::uint64_t controllerJjPerRow = 500;
+} // namespace
+
+DauModel::DauModel(const sfq::CellLibrary &lib, int rows, int bit_width,
+                   int pe_pipeline_stages)
+    : _lib(lib), _rows(rows), _bits(bit_width),
+      _peStages(pe_pipeline_stages)
+{
+    SUPERNPU_ASSERT(rows >= 1 && bit_width >= 1, "bad DAU geometry");
+    SUPERNPU_ASSERT(pe_pipeline_stages >= 1, "bad PE pipeline depth");
+}
+
+double
+DauModel::frequencyGhz() const
+{
+    // The bypassable-DFF cascade dominates: special DFF to special
+    // DFF through the bypass mux wiring.
+    GatePair pair = sfq::makePair(
+        _lib, "DAU bypass-DFF cascade",
+        GateKind::DFF_BYPASS, GateKind::DFF_BYPASS,
+        {GateKind::JTL, GateKind::MERGER}, 0.0,
+        ClockScheme::ConcurrentFlow);
+    return sfq::pairFrequencyGhz(pair);
+}
+
+std::uint64_t
+DauModel::jjCount() const
+{
+    // Per row: a selector (one AND per data bit), the controller,
+    // and the timing-adjustment cascade of bypassable DFFs.
+    const std::uint64_t selector_jj =
+        (std::uint64_t)_bits * _lib.gate(GateKind::AND).jjCount;
+    const std::uint64_t cascade_jj =
+        (std::uint64_t)(_peStages - 1) * _bits *
+        _lib.gate(GateKind::DFF_BYPASS).jjCount;
+    const std::uint64_t per_row =
+        selector_jj + controllerJjPerRow + cascade_jj;
+
+    // Fan-out from every ifmap buffer row to all DAU rows: a
+    // splitter tree with `rows` leaves per buffer row (Fig. 9 step 1).
+    const std::uint64_t fanout_jj =
+        (std::uint64_t)_rows * (std::uint64_t)(_rows - 1) * _bits / 8 *
+        _lib.gate(GateKind::SPLITTER).jjCount;
+
+    return (std::uint64_t)_rows * per_row + fanout_jj;
+}
+
+double
+DauModel::staticPower() const
+{
+    return (double)jjCount() * _lib.staticPowerPerJj();
+}
+
+double
+DauModel::forwardEnergy() const
+{
+    // One word traverses the selector AND, about half the cascade
+    // DFFs, and one splitter-tree path.
+    const double cascade = 0.5 * (double)(_peStages - 1) *
+                           _lib.accessEnergy(GateKind::DFF_BYPASS);
+    return (double)_bits *
+           (_lib.accessEnergy(GateKind::AND) + cascade +
+            _lib.accessEnergy(GateKind::SPLITTER));
+}
+
+double
+DauModel::area() const
+{
+    return (double)jjCount() * _lib.areaPerJj();
+}
+
+} // namespace estimator
+} // namespace supernpu

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Data alignment unit model (Section III-C, Fig. 9): per-PE-row
+ * selectors, controllers, and cascaded bypassable DFF delay chains
+ * that deduplicate ifmap pixels and re-time them for the systolic
+ * array.
+ */
+
+#ifndef SUPERNPU_ESTIMATOR_DAU_MODEL_HH
+#define SUPERNPU_ESTIMATOR_DAU_MODEL_HH
+
+#include <cstdint>
+
+#include "sfq/cells.hh"
+#include "sfq/clocking.hh"
+
+namespace supernpu {
+namespace estimator {
+
+/** DAU estimator. */
+class DauModel
+{
+  public:
+    /**
+     * @param lib The scaled cell library.
+     * @param rows PE array height (one DAU row per PE row).
+     * @param bit_width Ifmap word width.
+     * @param pe_pipeline_stages Depth of the PE pipeline; the r-th
+     *        DAU row delays its data by up to stages-1 cycles for
+     *        arrival alignment (Fig. 9's timing adjustment).
+     */
+    DauModel(const sfq::CellLibrary &lib, int rows, int bit_width,
+             int pe_pipeline_stages);
+
+    /** Maximum clock frequency of the delay cascade, GHz. */
+    double frequencyGhz() const;
+
+    /** Junction count (selectors, controllers, cascades, fan-out). */
+    std::uint64_t jjCount() const;
+
+    /** Static power, watts. */
+    double staticPower() const;
+
+    /** Dynamic energy per forwarded ifmap word, joules. */
+    double forwardEnergy() const;
+
+    /** Layout area, mm^2. */
+    double area() const;
+
+  private:
+    const sfq::CellLibrary &_lib;
+    int _rows;
+    int _bits;
+    int _peStages;
+};
+
+} // namespace estimator
+} // namespace supernpu
+
+#endif // SUPERNPU_ESTIMATOR_DAU_MODEL_HH

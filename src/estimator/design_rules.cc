@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Design-rule implementations.
+ */
+
+#include "design_rules.hh"
+
+#include <algorithm>
+
+#include "common/units.hh"
+
+namespace supernpu {
+namespace estimator {
+
+std::vector<RuleFinding>
+checkDesignRules(const NpuConfig &config, const NpuEstimate &estimate)
+{
+    std::vector<RuleFinding> findings;
+    auto add = [&](RuleSeverity severity, const std::string &rule,
+                   const std::string &message) {
+        findings.push_back({severity, rule, message});
+    };
+
+    // The weight buffer must stage one full mapping.
+    const std::uint64_t mapping_weights =
+        (std::uint64_t)config.peWidth * config.peHeight *
+        config.regsPerPe;
+    if (config.weightBufferBytes < mapping_weights) {
+        add(RuleSeverity::Error, "weight-buffer",
+            "weight buffer (" +
+                units::bytesHuman(config.weightBufferBytes) +
+                ") is smaller than one mapping's weights (" +
+                units::bytesHuman(mapping_weights) +
+                "); the array can never be fully loaded");
+    } else if (config.weightDoubleBuffering &&
+               config.weightBufferBytes < 2 * mapping_weights) {
+        add(RuleSeverity::Error, "weight-buffer",
+            "weight double buffering needs two mapping-sized banks");
+    }
+
+    // Separate psum/ofmap buffers: the Baseline's dominant cost.
+    if (!config.integratedOutputBuffer) {
+        add(RuleSeverity::Warning, "psum-separation",
+            "separate psum/ofmap buffers pay a " +
+                std::to_string(2 * estimate.outputRowLength) +
+                "-cycle move per row fold; integrate them "
+                "(Section V-B1)");
+    }
+
+    // Monolithic buffers rewind their full rows.
+    if (config.ifmapDivision <= 1 || config.outputDivision <= 1) {
+        add(RuleSeverity::Warning, "undivided-buffers",
+            "undivided shift-register buffers pay full-row rewinds "
+            "and forced flushes; divide into chunks (Section V-B1)");
+    }
+
+    // Excessive division blows up the mux/demux trees.
+    if (std::max(config.ifmapDivision, config.outputDivision) > 1024) {
+        add(RuleSeverity::Warning, "division-area",
+            "division degrees beyond ~1024 grow the mux/demux area "
+            "rapidly for no performance gain (Fig. 20)");
+    }
+
+    // Output chunks must cover a column's in-flight psums.
+    const int pipeline = 2 * config.bitWidth - 1;
+    if (config.integratedOutputBuffer &&
+        estimate.outputChunkLength < (std::uint64_t)pipeline) {
+        add(RuleSeverity::Error, "chunk-depth",
+            "output chunks of " +
+                std::to_string(estimate.outputChunkLength) +
+                " entries cannot hold the PE pipeline's " +
+                std::to_string(pipeline) + " in-flight psums");
+    }
+
+    // CNN filters are deep and few: depth-major arrays map better.
+    if (config.peWidth > config.peHeight) {
+        add(RuleSeverity::Warning, "aspect-ratio",
+            "array is wider than tall; CNN filters fold depth-major, "
+            "so width beyond the filter count idles columns "
+            "(Section V-B2)");
+    }
+
+    std::stable_sort(findings.begin(), findings.end(),
+                     [](const RuleFinding &a, const RuleFinding &b) {
+                         return (int)a.severity > (int)b.severity;
+                     });
+    return findings;
+}
+
+bool
+designIsOperable(const std::vector<RuleFinding> &findings)
+{
+    for (const auto &finding : findings) {
+        if (finding.severity == RuleSeverity::Error)
+            return false;
+    }
+    return true;
+}
+
+} // namespace estimator
+} // namespace supernpu

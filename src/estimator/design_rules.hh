@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Architecture design-rule checks: catches configurations that are
+ * structurally valid (NpuConfig::check passes) but architecturally
+ * unsound — the pitfalls Section V's analysis exists to avoid.
+ * Returned as advisory findings rather than hard failures so design-
+ * space sweeps can still visit (and learn from) bad corners.
+ */
+
+#ifndef SUPERNPU_ESTIMATOR_DESIGN_RULES_HH
+#define SUPERNPU_ESTIMATOR_DESIGN_RULES_HH
+
+#include <string>
+#include <vector>
+
+#include "npu_config.hh"
+#include "npu_estimator.hh"
+
+namespace supernpu {
+namespace estimator {
+
+/** Severity of one design-rule finding. */
+enum class RuleSeverity
+{
+    Warning, ///< works, but leaves known performance on the table
+    Error,   ///< the configuration cannot operate as intended
+};
+
+/** One design-rule finding. */
+struct RuleFinding
+{
+    RuleSeverity severity = RuleSeverity::Warning;
+    std::string rule;    ///< short identifier, e.g. "weight-buffer"
+    std::string message; ///< human-readable explanation
+};
+
+/**
+ * Run all design rules against a configuration (using its estimate
+ * for derived geometry). Returns findings ordered errors-first.
+ *
+ * Rules:
+ *  - weight-buffer: must hold at least one full mapping's weights.
+ *  - psum-separation: separate psum/ofmap buffers pay full-length
+ *    moves every row fold (the Baseline's #1 bottleneck).
+ *  - undivided-buffers: monolithic shift registers pay full-row
+ *    rewinds and forced flushes.
+ *  - division-area: division degrees past ~1024 blow up mux area.
+ *  - chunk-depth: output chunks shorter than the PE pipeline cannot
+ *    hold a column's in-flight psums.
+ *  - aspect-ratio: arrays wider than tall waste the WS dataflow's
+ *    depth-major mapping for CNN layers.
+ */
+std::vector<RuleFinding> checkDesignRules(const NpuConfig &config,
+                                          const NpuEstimate &estimate);
+
+/** True when no Error-severity finding is present. */
+bool designIsOperable(const std::vector<RuleFinding> &findings);
+
+} // namespace estimator
+} // namespace supernpu
+
+#endif // SUPERNPU_ESTIMATOR_DESIGN_RULES_HH

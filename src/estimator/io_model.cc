@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Interface-circuitry estimator implementation.
+ */
+
+#include "io_model.hh"
+
+#include "common/logging.hh"
+
+namespace supernpu {
+namespace estimator {
+
+using sfq::GateKind;
+
+namespace {
+/** Sideband pads (control, status, test) beyond the data ports. */
+constexpr std::uint64_t sidebandPads = 16;
+} // namespace
+
+IoModel::IoModel(const sfq::CellLibrary &lib, const NpuConfig &config)
+    : _lib(lib), _config(config)
+{
+    config.check();
+}
+
+std::uint64_t
+IoModel::inputConverterCount() const
+{
+    // The DRAM interface fills the ifmap and weight buffers: one
+    // converter per data-bit lane on each fill port.
+    const std::uint64_t lanes =
+        (std::uint64_t)(_config.peHeight + _config.peWidth) *
+        (std::uint64_t)_config.bitWidth;
+    return lanes + sidebandPads;
+}
+
+std::uint64_t
+IoModel::outputAmplifierCount() const
+{
+    // Drain port lanes back toward DRAM plus status outputs.
+    const std::uint64_t lanes =
+        (std::uint64_t)_config.peWidth * (std::uint64_t)_config.bitWidth;
+    return lanes + sidebandPads;
+}
+
+std::uint64_t
+IoModel::jjCount() const
+{
+    return inputConverterCount() *
+               _lib.gate(GateKind::DCSFQ).jjCount +
+           outputAmplifierCount() *
+               _lib.gate(GateKind::SFQDC).jjCount +
+           _lib.gate(GateKind::CLKGEN).jjCount;
+}
+
+double
+IoModel::staticPower() const
+{
+    return (double)inputConverterCount() *
+               _lib.staticPower(GateKind::DCSFQ) +
+           (double)outputAmplifierCount() *
+               _lib.staticPower(GateKind::SFQDC) +
+           _lib.staticPower(GateKind::CLKGEN);
+}
+
+double
+IoModel::area() const
+{
+    return (double)jjCount() * _lib.areaPerJj();
+}
+
+} // namespace estimator
+} // namespace supernpu

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Chip interface model: the support circuitry every SFQ die carries
+ * (visible in the paper's Fig. 12 microphotograph) — DC-to-SFQ
+ * converters on the input pads, SFQ-to-DC output amplifiers on the
+ * output pads, and the on-chip clock generator.
+ *
+ * The output amplifiers dominate: driving room-temperature-readable
+ * voltages from ~0.1 mV pulses takes stacked SQUID drivers with
+ * heavy biasing, which is why real SFQ chips minimize their off-chip
+ * pin count.
+ */
+
+#ifndef SUPERNPU_ESTIMATOR_IO_MODEL_HH
+#define SUPERNPU_ESTIMATOR_IO_MODEL_HH
+
+#include <cstdint>
+
+#include "npu_config.hh"
+#include "sfq/cells.hh"
+
+namespace supernpu {
+namespace estimator {
+
+/** Interface-circuitry estimator for one NPU die. */
+class IoModel
+{
+  public:
+    IoModel(const sfq::CellLibrary &lib, const NpuConfig &config);
+
+    /** DC/SFQ input converters (DRAM-side fill ports + control). */
+    std::uint64_t inputConverterCount() const;
+
+    /** SFQ/DC output amplifiers (DRAM-side drain ports + status). */
+    std::uint64_t outputAmplifierCount() const;
+
+    /** Total junction count including the clock generator. */
+    std::uint64_t jjCount() const;
+
+    /** Static power, watts (amplifier biasing dominates). */
+    double staticPower() const;
+
+    /** Layout area, mm^2. */
+    double area() const;
+
+  private:
+    const sfq::CellLibrary &_lib;
+    NpuConfig _config;
+};
+
+} // namespace estimator
+} // namespace supernpu
+
+#endif // SUPERNPU_ESTIMATOR_IO_MODEL_HH

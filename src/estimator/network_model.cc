@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Network-unit candidate models.
+ */
+
+#include "network_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace supernpu {
+namespace estimator {
+
+using sfq::ClockScheme;
+using sfq::GateKind;
+using sfq::GatePair;
+
+namespace {
+
+/**
+ * Per-PE-column wire delay of the global clock line shared by the
+ * two splitter trees in the 2D design, ps at 1.0 um. The two PE
+ * inputs' arrival times diverge by this amount per column (Fig. 4(a)
+ * "input arrival timing"), reaching the paper's >800 ps at a 64-wide
+ * array.
+ */
+constexpr double treeSkewPerColumnPs = 12.5;
+
+/** JTL stages per PE pitch of routed tree wiring. */
+constexpr double jtlPerPitch = 0.8;
+
+} // namespace
+
+const char *
+networkDesignName(NetworkDesign design)
+{
+    switch (design) {
+      case NetworkDesign::SplitterTree2D:
+        return "2D splitter tree";
+      case NetworkDesign::SplitterTree1D:
+        return "1D splitter tree";
+      case NetworkDesign::Systolic2D:
+        return "2D systolic array";
+    }
+    panic("unknown network design");
+}
+
+NetworkUnitModel::NetworkUnitModel(const sfq::CellLibrary &lib,
+                                   NetworkDesign design, int array_width,
+                                   int bit_width)
+    : _lib(lib), _design(design), _width(array_width), _bits(bit_width)
+{
+    SUPERNPU_ASSERT(array_width >= 1, "bad array width");
+    SUPERNPU_ASSERT(bit_width >= 1, "bad bit width");
+}
+
+double
+NetworkUnitModel::criticalPathPs() const
+{
+    const double timing = _lib.device().timingScale();
+
+    // The branch cell (DFF + splitter) shift arc common to all
+    // designs.
+    GatePair branch = sfq::makePair(
+        _lib, "NW DFF->DFF", GateKind::DFF, GateKind::DFF,
+        {GateKind::SPLITTER, GateKind::JTL}, 0.0,
+        ClockScheme::ConcurrentFlow);
+
+    switch (_design) {
+      case NetworkDesign::Systolic2D:
+        // Store-and-forward: neighbour hops only; the timing
+        // divergence between the two PE inputs is one hop for both,
+        // i.e. negligible (Fig. 4(c)).
+        return sfq::pairCct(branch);
+
+      case NetworkDesign::SplitterTree1D: {
+        // One fan-out tree: all leaves share the clock root, so
+        // leaf arrival is uniform; only the tree depth's residual
+        // jitter adds to the branch arc.
+        const double depth = std::ceil(std::log2((double)_width));
+        GatePair pair = branch;
+        pair.dataWireDelay += 0.3 * depth * timing;
+        return sfq::pairCct(pair);
+      }
+
+      case NetworkDesign::SplitterTree2D: {
+        // Two trees feed each PE; their input arrival divergence
+        // grows linearly with the array width along the shared
+        // global clock line (Fig. 4(a), Fig. 5(a)).
+        GatePair pair = branch;
+        pair.dataWireDelay +=
+            treeSkewPerColumnPs * (double)_width * timing;
+        return sfq::pairCct(pair);
+      }
+    }
+    panic("unknown network design");
+}
+
+double
+NetworkUnitModel::frequencyGhz() const
+{
+    return 1e3 / criticalPathPs();
+}
+
+std::uint64_t
+NetworkUnitModel::jjCount() const
+{
+    const std::uint64_t branch_jj =
+        _lib.gate(GateKind::DFF).jjCount +
+        _lib.gate(GateKind::SPLITTER).jjCount +
+        2 * _lib.gate(GateKind::JTL).jjCount;
+
+    switch (_design) {
+      case NetworkDesign::Systolic2D:
+        // One branch cell per PE hop per bit along a row.
+        return (std::uint64_t)_width * _bits * branch_jj;
+
+      case NetworkDesign::SplitterTree1D:
+      case NetworkDesign::SplitterTree2D: {
+        // (width - 1) splitters per bit plus the long JTL runs from
+        // the tree to each leaf; run length grows with the square of
+        // the width (each of `width` leaves is reached over an
+        // average of width/2 PE pitches).
+        const double splitter_jj =
+            (double)(_width - 1) * _bits *
+            _lib.gate(GateKind::SPLITTER).jjCount;
+        const double run_jj = (double)_width * (double)_width / 2.0 *
+                              jtlPerPitch * _bits *
+                              _lib.gate(GateKind::JTL).jjCount;
+        double total = splitter_jj + run_jj;
+        if (_design == NetworkDesign::SplitterTree2D)
+            total *= 1.1; // second tree shares most of the routing
+        return (std::uint64_t)total;
+      }
+    }
+    panic("unknown network design");
+}
+
+double
+NetworkUnitModel::staticPower() const
+{
+    return (double)jjCount() * _lib.staticPowerPerJj();
+}
+
+double
+NetworkUnitModel::area() const
+{
+    return (double)jjCount() * _lib.areaPerJj();
+}
+
+double
+NetworkUnitModel::hopEnergy() const
+{
+    return (double)_bits * (_lib.accessEnergy(GateKind::DFF) +
+                            _lib.accessEnergy(GateKind::SPLITTER));
+}
+
+} // namespace estimator
+} // namespace supernpu

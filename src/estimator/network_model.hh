@@ -1,0 +1,76 @@
+/**
+ * @file
+ * On-chip network unit models (Section III-A, Figs. 4-5): the two
+ * fan-out splitter-tree candidates and the store-and-forward 2D
+ * systolic chain the paper adopts.
+ */
+
+#ifndef SUPERNPU_ESTIMATOR_NETWORK_MODEL_HH
+#define SUPERNPU_ESTIMATOR_NETWORK_MODEL_HH
+
+#include <cstdint>
+
+#include "sfq/cells.hh"
+#include "sfq/clocking.hh"
+
+namespace supernpu {
+namespace estimator {
+
+/** The three candidate network structures of Fig. 4. */
+enum class NetworkDesign
+{
+    SplitterTree2D, ///< fan-out trees on both PE inputs (OS dataflow)
+    SplitterTree1D, ///< fan-out tree on one PE input (WS dataflow)
+    Systolic2D,     ///< store-and-forward chain (adopted)
+};
+
+/** Name of a network design for reports. */
+const char *networkDesignName(NetworkDesign design);
+
+/** Critical-path / area model of one network unit. */
+class NetworkUnitModel
+{
+  public:
+    /**
+     * @param lib The scaled cell library.
+     * @param design Candidate structure.
+     * @param array_width PE array width the network spans.
+     * @param bit_width Data width per link.
+     */
+    NetworkUnitModel(const sfq::CellLibrary &lib, NetworkDesign design,
+                     int array_width, int bit_width);
+
+    /**
+     * Critical-path delay, ps: the inverse of the maximum frequency
+     * (Fig. 5(a)). For the 2D splitter tree this includes the
+     * input-arrival timing divergence that grows with the PE array
+     * width (Fig. 4(a)).
+     */
+    double criticalPathPs() const;
+
+    /** Maximum clock frequency, GHz. */
+    double frequencyGhz() const;
+
+    /** Junction count of the network row/column structures. */
+    std::uint64_t jjCount() const;
+
+    /** Static power, watts. */
+    double staticPower() const;
+
+    /** Layout area, mm^2 (Fig. 5(b)). */
+    double area() const;
+
+    /** Dynamic energy per transferred word per hop, joules. */
+    double hopEnergy() const;
+
+  private:
+    const sfq::CellLibrary &_lib;
+    NetworkDesign _design;
+    int _width;
+    int _bits;
+};
+
+} // namespace estimator
+} // namespace supernpu
+
+#endif // SUPERNPU_ESTIMATOR_NETWORK_MODEL_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * NpuConfig presets (the paper's Table I).
+ */
+
+#include "npu_config.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace supernpu {
+namespace estimator {
+
+std::uint64_t
+NpuConfig::outputSideBytes() const
+{
+    if (integratedOutputBuffer)
+        return outputBufferBytes;
+    return psumBufferBytes + ofmapBufferBytes;
+}
+
+std::uint64_t
+NpuConfig::totalBufferBytes() const
+{
+    return ifmapBufferBytes + outputSideBytes() + weightBufferBytes;
+}
+
+void
+NpuConfig::check() const
+{
+    SUPERNPU_ASSERT(peWidth > 0 && peHeight > 0, "empty PE array");
+    SUPERNPU_ASSERT(bitWidth > 0 && bitWidth <= 32, "bad bit width");
+    SUPERNPU_ASSERT(regsPerPe >= 1, "need at least one weight register");
+    SUPERNPU_ASSERT(ifmapBufferBytes > 0, "no ifmap buffer");
+    SUPERNPU_ASSERT(weightBufferBytes > 0, "no weight buffer");
+    if (integratedOutputBuffer) {
+        SUPERNPU_ASSERT(outputBufferBytes > 0, "no output buffer");
+    } else {
+        SUPERNPU_ASSERT(psumBufferBytes > 0 && ofmapBufferBytes > 0,
+                        "separate psum/ofmap buffers required");
+    }
+    SUPERNPU_ASSERT(ifmapDivision >= 1 && outputDivision >= 1,
+                    "division degree must be >= 1");
+    SUPERNPU_ASSERT(memoryBandwidth > 0, "no memory bandwidth");
+}
+
+NpuConfig
+NpuConfig::baseline()
+{
+    NpuConfig config;
+    config.name = "Baseline";
+    config.peWidth = 256;
+    config.peHeight = 256;
+    config.ifmapBufferBytes = 8 * units::MiB;
+    config.integratedOutputBuffer = false;
+    config.psumBufferBytes = 8 * units::MiB;
+    config.ofmapBufferBytes = 8 * units::MiB;
+    config.weightBufferBytes = 64 * units::kiB;
+    config.ifmapDivision = 1;
+    config.outputDivision = 1;
+    config.regsPerPe = 1;
+    config.check();
+    return config;
+}
+
+NpuConfig
+NpuConfig::bufferOpt()
+{
+    NpuConfig config;
+    config.name = "Buffer opt.";
+    config.peWidth = 256;
+    config.peHeight = 256;
+    // Psum and ofmap merge into one 12 MB integrated buffer; the
+    // ifmap buffer grows to the matching 12 MB (Table I).
+    config.ifmapBufferBytes = 12 * units::MiB;
+    config.integratedOutputBuffer = true;
+    config.outputBufferBytes = 12 * units::MiB;
+    config.weightBufferBytes = 64 * units::kiB;
+    config.ifmapDivision = 64;
+    config.outputDivision = 64;
+    config.regsPerPe = 1;
+    config.check();
+    return config;
+}
+
+NpuConfig
+NpuConfig::resourceOpt()
+{
+    NpuConfig config = bufferOpt();
+    config.name = "Resource opt.";
+    // Trade 3/4 of the PE columns for doubled buffer capacity; the
+    // output buffer is divided further (64 -> 256) to keep the chunk
+    // length constant (Section V-B2).
+    config.peWidth = 64;
+    config.ifmapBufferBytes = 24 * units::MiB;
+    config.outputBufferBytes = 24 * units::MiB;
+    config.weightBufferBytes = 16 * units::kiB;
+    config.outputDivision = 256;
+    config.check();
+    return config;
+}
+
+NpuConfig
+NpuConfig::superNpu()
+{
+    NpuConfig config = resourceOpt();
+    config.name = "SuperNPU";
+    // Eight weight registers per PE enable multi-kernel execution;
+    // the weight buffer grows to hold the extra kernels (Table I).
+    config.regsPerPe = 8;
+    config.weightBufferBytes = 128 * units::kiB;
+    config.check();
+    return config;
+}
+
+} // namespace estimator
+} // namespace supernpu

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Architecture-level configuration of an SFQ-based NPU, shared by
+ * the estimator (frequency / power / area) and the cycle-level
+ * performance simulator.
+ *
+ * The named presets reproduce the paper's Table I columns.
+ */
+
+#ifndef SUPERNPU_ESTIMATOR_NPU_CONFIG_HH
+#define SUPERNPU_ESTIMATOR_NPU_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace supernpu {
+namespace estimator {
+
+/** Full architectural description of an SFQ NPU instance. */
+struct NpuConfig
+{
+    std::string name = "custom";
+
+    // --- PE array ---------------------------------------------------
+    int peWidth = 256;   ///< columns (filters map across)
+    int peHeight = 256;  ///< rows (weights of a filter map down)
+    int bitWidth = 8;    ///< operand width
+    int regsPerPe = 1;   ///< weight registers per PE (Section V-B3)
+
+    // --- on-chip buffers --------------------------------------------
+    std::uint64_t ifmapBufferBytes = 0;
+    /**
+     * When true, the psum and ofmap buffers are merged into one
+     * integrated output buffer of `outputBufferBytes` whose chunks
+     * take either role dynamically (Section V-B1). When false, the
+     * separate psumBufferBytes / ofmapBufferBytes are used.
+     */
+    bool integratedOutputBuffer = false;
+    std::uint64_t outputBufferBytes = 0;
+    std::uint64_t psumBufferBytes = 0;
+    std::uint64_t ofmapBufferBytes = 0;
+    std::uint64_t weightBufferBytes = 0;
+
+    /** Chunks each ifmap buffer row is divided into (1 = monolithic). */
+    int ifmapDivision = 1;
+    /** Chunks the output-side buffer(s) are divided into. */
+    int outputDivision = 1;
+
+    // --- memory system ----------------------------------------------
+    /** Off-chip memory bandwidth, bytes per second (HBM-class). */
+    double memoryBandwidth = 300e9;
+
+    /**
+     * Extension (not in the paper's designs): a second weight-buffer
+     * bank so the next mapping's weights stream from DRAM during the
+     * current mapping's computation. The paper's weight buffers hold
+     * exactly one mapping (64 KB = 256 x 256 weights), which is why
+     * its designs serialize weight loads; enabling this doubles the
+     * weight-buffer capacity and overlaps the fetch.
+     */
+    bool weightDoubleBuffering = false;
+
+    /** Total PE count. */
+    int peCount() const { return peWidth * peHeight; }
+
+    /** Output-side on-chip capacity (psum + ofmap or integrated). */
+    std::uint64_t outputSideBytes() const;
+
+    /** Total on-chip buffer capacity in bytes. */
+    std::uint64_t totalBufferBytes() const;
+
+    /** Sanity-check the configuration; panics when malformed. */
+    void check() const;
+
+    // --- Table I presets --------------------------------------------
+    /** Baseline SFQ NPU (Section III / V-A). */
+    static NpuConfig baseline();
+    /** Baseline + integrated, divided output buffer (Section V-B1). */
+    static NpuConfig bufferOpt();
+    /** Buffer opt + resource balancing 64-wide array (Section V-B2). */
+    static NpuConfig resourceOpt();
+    /** Resource opt + 8 weight registers per PE (Section V-B3). */
+    static NpuConfig superNpu();
+};
+
+} // namespace estimator
+} // namespace supernpu
+
+#endif // SUPERNPU_ESTIMATOR_NPU_CONFIG_HH

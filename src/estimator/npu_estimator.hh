@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Architecture-level estimation (Section IV-A3): integrates the
+ * microarchitecture unit models into whole-NPU frequency, power,
+ * area, and the energy coefficients the cycle simulator consumes.
+ */
+
+#ifndef SUPERNPU_ESTIMATOR_NPU_ESTIMATOR_HH
+#define SUPERNPU_ESTIMATOR_NPU_ESTIMATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "npu_config.hh"
+#include "sfq/cells.hh"
+
+namespace supernpu {
+namespace estimator {
+
+/** Per-unit summary inside an NpuEstimate. */
+struct UnitEstimate
+{
+    std::string name;
+    /** Unit clock limit, GHz; 0 for units with no clocked arcs. */
+    double frequencyGhz = 0.0;
+    double staticPowerW = 0.0;
+    double areaMm2 = 0.0;
+    std::uint64_t jjCount = 0;
+};
+
+/** Whole-NPU estimation results. */
+struct NpuEstimate
+{
+    NpuConfig config;
+
+    /** Achievable clock: min over units and inter-unit arcs, GHz. */
+    double frequencyGhz = 0.0;
+    /** Name of the limiting unit or arc. */
+    std::string limitingUnit;
+
+    double staticPowerW = 0.0;
+    std::uint64_t jjCount = 0;
+    /** Area at the library's native node, mm^2. */
+    double areaMm2 = 0.0;
+    /** The library's native feature size, um (for area rescaling). */
+    double nativeFeatureUm = 1.0;
+    /** Peak throughput at the achievable clock, MAC/s. */
+    double peakMacPerSec = 0.0;
+
+    /** Per-unit breakdown. */
+    std::vector<UnitEstimate> units;
+
+    // --- energy coefficients for the performance simulator ---------
+    /** Dynamic energy per MAC operation, joules. */
+    double peMacEnergyJ = 0.0;
+    /** Energy to shift one ifmap buffer chunk one position, joules. */
+    double ifmapChunkShiftEnergyJ = 0.0;
+    /** Same for the output-side buffer chunks. */
+    double outputChunkShiftEnergyJ = 0.0;
+    /** Energy per ifmap word through the DAU, joules. */
+    double dauForwardEnergyJ = 0.0;
+    /** Energy per word per systolic hop, joules. */
+    double nwHopEnergyJ = 0.0;
+
+    // --- buffer geometry snapshots (cycle-cost inputs) -------------
+    std::uint64_t ifmapRowLength = 0;   ///< entries per ifmap row
+    std::uint64_t ifmapChunkLength = 0; ///< entries per ifmap chunk
+    std::uint64_t outputRowLength = 0;  ///< entries per output row
+    std::uint64_t outputChunkLength = 0;///< entries per output chunk
+
+    /**
+     * Area scaled to another lithography node for CMOS-comparable
+     * reporting (Table I quotes 28 nm equivalents), mm^2.
+     */
+    double areaMm2At(double feature_nm) const;
+};
+
+/** The estimator front-end. */
+class NpuEstimator
+{
+  public:
+    explicit NpuEstimator(const sfq::CellLibrary &lib);
+
+    /** Estimate one architecture configuration. */
+    NpuEstimate estimate(const NpuConfig &config) const;
+
+  private:
+    const sfq::CellLibrary &_lib;
+};
+
+} // namespace estimator
+} // namespace supernpu
+
+#endif // SUPERNPU_ESTIMATOR_NPU_ESTIMATOR_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Off-chip memory survey values.
+ *
+ * Reconstructed from the literature the paper cites: Tahara et al.
+ * (VTM, 4 kbit), Konno et al. / Tanaka et al. (Josephson-CMOS
+ * hybrid, 64 kbit), Dayton et al. (JMRAM cell demonstrations), and
+ * TPUv2-class HBM for the CMOS DRAM the evaluation assumes.
+ */
+
+#include "offchip_memory.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace supernpu {
+namespace estimator {
+
+const char *
+offChipKindName(OffChipKind kind)
+{
+    switch (kind) {
+      case OffChipKind::CmosDram:
+        return "CMOS DRAM (HBM)";
+      case OffChipKind::VortexTransition:
+        return "Vortex transition memory";
+      case OffChipKind::JosephsonCmosHybrid:
+        return "Josephson-CMOS hybrid";
+      case OffChipKind::JosephsonMagnetic:
+        return "Josephson magnetic RAM";
+    }
+    panic("unknown memory kind");
+}
+
+OffChipMemoryModel
+OffChipMemoryModel::survey(OffChipKind kind)
+{
+    OffChipMemoryModel m;
+    m.kind = kind;
+    switch (kind) {
+      case OffChipKind::CmosDram:
+        m.demonstratedCapacity = 8ull << 30; // 8 GiB stack
+        m.accessLatencyNs = 100.0;           // incl. cold-warm link
+        m.bandwidth = 300e9;
+        m.energyPerBit = 5e-12; // pJ/bit class, link included
+        m.cryogenic = false;
+        m.practical = true;
+        m.note = "large and reliable; pays the cryostat link";
+        break;
+      case OffChipKind::VortexTransition:
+        m.demonstratedCapacity = 4096 / 8; // 4 kbit prototype
+        m.accessLatencyNs = 1.0;
+        m.bandwidth = 10e9;
+        m.energyPerBit = 1e-16;
+        m.cryogenic = true;
+        m.practical = false;
+        m.note = "AC biasing and large cells block scaling";
+        break;
+      case OffChipKind::JosephsonCmosHybrid:
+        m.demonstratedCapacity = 65536 / 8; // 64 kbit
+        m.accessLatencyNs = 2.0;
+        m.bandwidth = 50e9;
+        m.energyPerBit = 1e-14;
+        m.cryogenic = true;
+        m.practical = false;
+        m.note = "CMOS array at 4 K; interface amplifiers dominate";
+        break;
+      case OffChipKind::JosephsonMagnetic:
+        m.demonstratedCapacity = 64; // cell-level demonstrations
+        m.accessLatencyNs = 0.5;
+        m.bandwidth = 20e9;
+        m.energyPerBit = 1e-15;
+        m.cryogenic = true;
+        m.practical = false;
+        m.note = "pi-junction cells demonstrated; no array yet";
+        break;
+    }
+    return m;
+}
+
+std::vector<OffChipMemoryModel>
+OffChipMemoryModel::surveyAll()
+{
+    return {
+        survey(OffChipKind::CmosDram),
+        survey(OffChipKind::VortexTransition),
+        survey(OffChipKind::JosephsonCmosHybrid),
+        survey(OffChipKind::JosephsonMagnetic),
+    };
+}
+
+std::uint64_t
+OffChipMemoryModel::modulesForCapacity(std::uint64_t bytes) const
+{
+    SUPERNPU_ASSERT(demonstratedCapacity > 0, "memory with no capacity");
+    return (bytes + demonstratedCapacity - 1) / demonstratedCapacity;
+}
+
+std::uint64_t
+OffChipMemoryModel::modulesForBandwidth(double bytes_per_s) const
+{
+    SUPERNPU_ASSERT(bandwidth > 0, "memory with no bandwidth");
+    return (std::uint64_t)std::ceil(bytes_per_s / bandwidth);
+}
+
+} // namespace estimator
+} // namespace supernpu

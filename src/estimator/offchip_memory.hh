@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Off-chip memory technology models (Section II-B4): the paper's
+ * survey of 4 K-capable memories — the vortex transition memory
+ * (VTM), the Josephson-CMOS hybrid, and Josephson magnetic RAM
+ * (JMRAM) — against the room-temperature CMOS DRAM (HBM) the NPU
+ * actually uses. The survey's conclusion (only CMOS DRAM offers
+ * practical capacity today, at the cost of a cold-to-warm link)
+ * shapes the whole architecture toward minimizing off-chip traffic.
+ */
+
+#ifndef SUPERNPU_ESTIMATOR_OFFCHIP_MEMORY_HH
+#define SUPERNPU_ESTIMATOR_OFFCHIP_MEMORY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace supernpu {
+namespace estimator {
+
+/** Surveyed off-chip memory technologies. */
+enum class OffChipKind
+{
+    CmosDram,       ///< room-temperature HBM over a cryostat link
+    VortexTransition, ///< Tahara et al. 4-kbit VTM
+    JosephsonCmosHybrid, ///< Konno et al. 64-kbit hybrid
+    JosephsonMagnetic,   ///< Dayton et al. JMRAM (demonstrator cells)
+};
+
+/** Name for reports. */
+const char *offChipKindName(OffChipKind kind);
+
+/** Characteristics of one memory technology. */
+struct OffChipMemoryModel
+{
+    OffChipKind kind = OffChipKind::CmosDram;
+    std::string note;
+
+    /** Largest demonstrated / plausible module capacity, bytes. */
+    std::uint64_t demonstratedCapacity = 0;
+    /** Random-access latency, ns. */
+    double accessLatencyNs = 0.0;
+    /** Sustained bandwidth per module, bytes/s. */
+    double bandwidth = 0.0;
+    /** Energy per transferred bit at the device, joules. */
+    double energyPerBit = 0.0;
+    /** Operates inside the 4 K stage (no cold-warm link needed). */
+    bool cryogenic = false;
+    /** Mature enough to build a server NPU around today. */
+    bool practical = false;
+
+    /** The surveyed model for one technology. */
+    static OffChipMemoryModel survey(OffChipKind kind);
+
+    /** All four surveyed technologies. */
+    static std::vector<OffChipMemoryModel> surveyAll();
+
+    /**
+     * Modules needed to hold a working set and to sustain a
+     * bandwidth demand — the feasibility arithmetic that rules the
+     * JJ memories out for NPU-scale buffering.
+     */
+    std::uint64_t modulesForCapacity(std::uint64_t bytes) const;
+    std::uint64_t modulesForBandwidth(double bytes_per_s) const;
+};
+
+} // namespace estimator
+} // namespace supernpu
+
+#endif // SUPERNPU_ESTIMATOR_OFFCHIP_MEMORY_HH

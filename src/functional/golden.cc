@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Golden convolution reference.
+ */
+
+#include "golden.hh"
+
+namespace supernpu {
+namespace functional {
+
+FilterBank
+FilterBank::random(int k, int c, int r, int s, Rng &rng)
+{
+    FilterBank bank;
+    bank.filters.reserve((std::size_t)k);
+    for (int i = 0; i < k; ++i) {
+        Tensor3 filter(c, r, s);
+        filter.fillRandom(rng);
+        bank.filters.push_back(std::move(filter));
+    }
+    return bank;
+}
+
+Tensor3
+convReference(const Tensor3 &ifmap, const FilterBank &filters,
+              const ConvSpec &spec)
+{
+    SUPERNPU_ASSERT(filters.count() > 0, "empty filter bank");
+    const Tensor3 &f0 = filters.filters.front();
+    SUPERNPU_ASSERT(f0.channels() == ifmap.channels(),
+                    "filter/ifmap channel mismatch");
+
+    const int out_h = spec.outDim(ifmap.height(), f0.height());
+    const int out_w = spec.outDim(ifmap.width(), f0.width());
+    SUPERNPU_ASSERT(out_h > 0 && out_w > 0, "empty convolution output");
+
+    Tensor3 ofmap(filters.count(), out_h, out_w);
+    for (int k = 0; k < filters.count(); ++k) {
+        const Tensor3 &filter = filters.filters[k];
+        for (int oy = 0; oy < out_h; ++oy) {
+            for (int ox = 0; ox < out_w; ++ox) {
+                std::int64_t acc = 0;
+                for (int c = 0; c < ifmap.channels(); ++c) {
+                    for (int dy = 0; dy < filter.height(); ++dy) {
+                        for (int dx = 0; dx < filter.width(); ++dx) {
+                            const int iy =
+                                oy * spec.stride + dy - spec.padding;
+                            const int ix =
+                                ox * spec.stride + dx - spec.padding;
+                            acc += (std::int64_t)filter.at(c, dy, dx) *
+                                   ifmap.atPadded(c, iy, ix);
+                        }
+                    }
+                }
+                ofmap.at(k, oy, ox) = (std::int32_t)acc;
+            }
+        }
+    }
+    return ofmap;
+}
+
+} // namespace functional
+} // namespace supernpu

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Direct-convolution golden reference the functional NPU model is
+ * validated against.
+ */
+
+#ifndef SUPERNPU_FUNCTIONAL_GOLDEN_HH
+#define SUPERNPU_FUNCTIONAL_GOLDEN_HH
+
+#include "tensor.hh"
+
+namespace supernpu {
+namespace functional {
+
+/** Convolution shape parameters. */
+struct ConvSpec
+{
+    int stride = 1;
+    int padding = 0;
+
+    /** Output height for an input of `in` rows and kernel `k`. */
+    int outDim(int in, int k) const
+    {
+        return (in + 2 * padding - k) / stride + 1;
+    }
+};
+
+/**
+ * Direct convolution: ifmap (C, H, W) * filters (K x (C, R, S)) ->
+ * ofmap (K, outH, outW). Naive quadruple loop, the trusted oracle.
+ */
+Tensor3 convReference(const Tensor3 &ifmap, const FilterBank &filters,
+                      const ConvSpec &spec);
+
+} // namespace functional
+} // namespace supernpu
+
+#endif // SUPERNPU_FUNCTIONAL_GOLDEN_HH

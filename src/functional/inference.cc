@@ -1,0 +1,283 @@
+/**
+ * @file
+ * End-to-end functional inference implementation.
+ */
+
+#include "inference.hh"
+
+#include <algorithm>
+
+namespace supernpu {
+namespace functional {
+
+namespace {
+
+/** Clamp to the int8 activation range. */
+std::int32_t
+clampInt8(std::int32_t value)
+{
+    return std::clamp(value, -128, 127);
+}
+
+/** One 2x2 stride-2 max pool. */
+Tensor3
+maxPool2(const Tensor3 &in)
+{
+    const int out_h = (in.height() - 2) / 2 + 1;
+    const int out_w = (in.width() - 2) / 2 + 1;
+    SUPERNPU_ASSERT(out_h > 0 && out_w > 0, "pooling an empty map");
+    Tensor3 out(in.channels(), out_h, out_w);
+    for (int c = 0; c < in.channels(); ++c) {
+        for (int y = 0; y < out_h; ++y) {
+            for (int x = 0; x < out_w; ++x) {
+                std::int32_t best = in.at(c, 2 * y, 2 * x);
+                best = std::max(best, in.at(c, 2 * y, 2 * x + 1));
+                best = std::max(best, in.at(c, 2 * y + 1, 2 * x));
+                best = std::max(best, in.at(c, 2 * y + 1, 2 * x + 1));
+                out.at(c, y, x) = best;
+            }
+        }
+    }
+    return out;
+}
+
+/** Flatten (C,H,W) into (C*H*W, 1, 1), channel-major. */
+Tensor3
+flatten(const Tensor3 &in)
+{
+    Tensor3 out(in.channels() * in.height() * in.width(), 1, 1);
+    int index = 0;
+    for (int c = 0; c < in.channels(); ++c) {
+        for (int y = 0; y < in.height(); ++y) {
+            for (int x = 0; x < in.width(); ++x)
+                out.at(index++, 0, 0) = in.at(c, y, x);
+        }
+    }
+    return out;
+}
+
+/**
+ * Requantization shift keeping a conv's output in int8 range. Sums
+ * of independent products grow with the square root of the fan-in,
+ * so the shift grows at half a bit per fan-in doubling; calibrating
+ * on the RMS (not the worst case) keeps activations from collapsing
+ * to zero across deep pipelines.
+ */
+int
+shiftFor(const dnn::Layer &shape)
+{
+    const std::uint64_t taps = shape.weightsPerFilter();
+    int shift = 7; // the ~2^7 weight-magnitude contribution
+    std::uint64_t span = 1;
+    while (span < taps) {
+        span <<= 2; // half a bit of shift per doubling of fan-in
+        ++shift;
+    }
+    return shift;
+}
+
+/** Convolve with the golden oracle, depthwise-aware. */
+Tensor3
+goldenConv(const Tensor3 &in, const InferenceLayer &layer)
+{
+    const ConvSpec spec{layer.shape.stride, layer.shape.padding};
+    if (layer.shape.kind != dnn::LayerKind::DepthwiseConv)
+        return convReference(in, layer.weights, spec);
+
+    // Depthwise: channel c convolves with its own 1-channel filter.
+    Tensor3 out;
+    for (int c = 0; c < in.channels(); ++c) {
+        Tensor3 channel(1, in.height(), in.width());
+        for (int y = 0; y < in.height(); ++y)
+            for (int x = 0; x < in.width(); ++x)
+                channel.at(0, y, x) = in.at(c, y, x);
+        FilterBank one;
+        one.filters.push_back(layer.weights.filters[(std::size_t)c]);
+        const Tensor3 res = convReference(channel, one, spec);
+        if (c == 0)
+            out = Tensor3(in.channels(), res.height(), res.width());
+        for (int y = 0; y < res.height(); ++y)
+            for (int x = 0; x < res.width(); ++x)
+                out.at(c, y, x) = res.at(0, y, x);
+    }
+    return out;
+}
+
+/** Convolve on the systolic model, depthwise-aware. */
+Tensor3
+systolicConv(const Tensor3 &in, const InferenceLayer &layer,
+             FunctionalNpu &npu, PipelineRunStats &stats)
+{
+    const ConvSpec spec{layer.shape.stride, layer.shape.padding};
+    if (layer.shape.kind != dnn::LayerKind::DepthwiseConv) {
+        FunctionalRunResult run = npu.conv(in, layer.weights, spec);
+        stats.weightMappings += run.weightMappings;
+        stats.arrayCycles += run.arrayCycles;
+        return std::move(run.ofmap);
+    }
+
+    Tensor3 out;
+    for (int c = 0; c < in.channels(); ++c) {
+        Tensor3 channel(1, in.height(), in.width());
+        for (int y = 0; y < in.height(); ++y)
+            for (int x = 0; x < in.width(); ++x)
+                channel.at(0, y, x) = in.at(c, y, x);
+        FilterBank one;
+        one.filters.push_back(layer.weights.filters[(std::size_t)c]);
+        FunctionalRunResult run = npu.conv(channel, one, spec);
+        stats.weightMappings += run.weightMappings;
+        stats.arrayCycles += run.arrayCycles;
+        if (c == 0) {
+            out = Tensor3(in.channels(), run.ofmap.height(),
+                          run.ofmap.width());
+        }
+        for (int y = 0; y < out.height(); ++y)
+            for (int x = 0; x < out.width(); ++x)
+                out.at(c, y, x) = run.ofmap.at(0, y, x);
+    }
+    return out;
+}
+
+} // namespace
+
+void
+InferencePipeline::check() const
+{
+    SUPERNPU_ASSERT(!layers.empty(), "empty pipeline");
+    for (const auto &layer : layers) {
+        layer.shape.check();
+        SUPERNPU_ASSERT(layer.weights.count() ==
+                            (layer.shape.kind ==
+                                     dnn::LayerKind::DepthwiseConv
+                                 ? layer.shape.inChannels
+                                 : layer.shape.outChannels),
+                        "layer '", layer.shape.name,
+                        "' weight count mismatch");
+    }
+}
+
+InferencePipeline
+buildPipeline(const dnn::Network &network, Rng &rng)
+{
+    network.check();
+
+    InferencePipeline pipeline;
+    pipeline.name = network.name;
+
+    // Chain shapes: re-insert pooling / flattening where consecutive
+    // descriptions imply them.
+    int cur_c = network.layers.front().inChannels;
+    int cur_h = network.layers.front().inHeight;
+    int cur_w = network.layers.front().inWidth;
+
+    for (const auto &shape : network.layers) {
+        InferenceLayer layer;
+        layer.shape = shape;
+        layer.postShift = shiftFor(shape);
+
+        if (shape.kind == dnn::LayerKind::FullyConnected &&
+            (cur_h > 1 || cur_w > 1)) {
+            // FC entry: pool until the flattened size matches, then
+            // flatten.
+            while (!pipeline.layers.empty() &&
+                   cur_c * cur_h * cur_w > shape.inChannels &&
+                   cur_h >= 2) {
+                ++pipeline.layers.back().maxPool2Count;
+                cur_h = (cur_h - 2) / 2 + 1;
+                cur_w = (cur_w - 2) / 2 + 1;
+            }
+            SUPERNPU_ASSERT(cur_c * cur_h * cur_w == shape.inChannels,
+                            "cannot flatten ", cur_c, "x", cur_h, "x",
+                            cur_w, " into FC '", shape.name, "'");
+            layer.flattenBefore = true;
+        } else {
+            while (!pipeline.layers.empty() && cur_h > shape.inHeight &&
+                   cur_h >= 2) {
+                ++pipeline.layers.back().maxPool2Count;
+                cur_h = (cur_h - 2) / 2 + 1;
+                cur_w = (cur_w - 2) / 2 + 1;
+            }
+            SUPERNPU_ASSERT(cur_h == shape.inHeight &&
+                                cur_c == shape.inChannels,
+                            "shape break before layer '", shape.name,
+                            "': have ", cur_c, "x", cur_h, ", need ",
+                            shape.inChannels, "x", shape.inHeight);
+        }
+
+        if (shape.kind == dnn::LayerKind::DepthwiseConv) {
+            layer.weights = FilterBank::random(
+                shape.inChannels, 1, shape.kernelH, shape.kernelW, rng);
+        } else {
+            layer.weights = FilterBank::random(
+                shape.outChannels, shape.inChannels, shape.kernelH,
+                shape.kernelW, rng);
+        }
+
+        cur_c = shape.outChannels;
+        cur_h = shape.outHeight();
+        cur_w = shape.outWidth();
+        pipeline.layers.push_back(std::move(layer));
+    }
+
+    // The classifier head emits signed logits.
+    pipeline.layers.back().relu = false;
+
+    pipeline.check();
+    return pipeline;
+}
+
+Tensor3
+applyPostOps(const Tensor3 &conv_out, const InferenceLayer &layer)
+{
+    Tensor3 out(conv_out.channels(), conv_out.height(),
+                conv_out.width());
+    for (int c = 0; c < out.channels(); ++c) {
+        for (int y = 0; y < out.height(); ++y) {
+            for (int x = 0; x < out.width(); ++x) {
+                std::int32_t value =
+                    conv_out.at(c, y, x) >> layer.postShift;
+                value = clampInt8(value);
+                if (layer.relu)
+                    value = std::max(value, 0);
+                out.at(c, y, x) = value;
+            }
+        }
+    }
+    for (int p = 0; p < layer.maxPool2Count; ++p)
+        out = maxPool2(out);
+    return out;
+}
+
+Tensor3
+runGolden(const InferencePipeline &pipeline, const Tensor3 &input)
+{
+    pipeline.check();
+    Tensor3 activ = input;
+    for (const auto &layer : pipeline.layers) {
+        if (layer.flattenBefore)
+            activ = flatten(activ);
+        activ = applyPostOps(goldenConv(activ, layer), layer);
+    }
+    return activ;
+}
+
+PipelineRunStats
+runSystolic(const InferencePipeline &pipeline, const Tensor3 &input,
+            int array_rows, int array_cols)
+{
+    pipeline.check();
+    FunctionalNpu npu(array_rows, array_cols);
+    PipelineRunStats stats;
+    Tensor3 activ = input;
+    for (const auto &layer : pipeline.layers) {
+        if (layer.flattenBefore)
+            activ = flatten(activ);
+        activ = applyPostOps(systolicConv(activ, layer, npu, stats),
+                             layer);
+    }
+    stats.output = std::move(activ);
+    return stats;
+}
+
+} // namespace functional
+} // namespace supernpu

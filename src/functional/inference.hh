@@ -1,0 +1,93 @@
+/**
+ * @file
+ * End-to-end functional inference: run a whole CNN, layer by layer,
+ * through the cycle-accurate systolic array + DAU model with real
+ * (random-initialized) 8-bit weights, quantization, ReLU, and the
+ * pooling the dnn:: shape descriptions fold away.
+ *
+ * The same pipeline runs against the golden direct-convolution
+ * oracle; the tests require bit-exact agreement, which pins down the
+ * whole dataflow (mapping folds, DAU alignment, psum accumulation,
+ * drain ordering) at network scale rather than single layers.
+ */
+
+#ifndef SUPERNPU_FUNCTIONAL_INFERENCE_HH
+#define SUPERNPU_FUNCTIONAL_INFERENCE_HH
+
+#include <vector>
+
+#include "dnn/layer.hh"
+#include "golden.hh"
+#include "npu.hh"
+#include "tensor.hh"
+
+namespace supernpu {
+namespace functional {
+
+/** One executable layer: shape + weights + post-ops. */
+struct InferenceLayer
+{
+    dnn::Layer shape;
+    FilterBank weights;
+    /**
+     * Requantization: the conv output is arithmetically shifted
+     * right by this amount and clamped to int8 range, keeping the
+     * network's activations bounded like real quantized inference.
+     */
+    int postShift = 8;
+    bool relu = true;
+    /**
+     * Number of successive 2x2 stride-2 max pools after the
+     * activation (re-inserting the pooling the dnn:: descriptions
+     * fold into the next layer's input shape).
+     */
+    int maxPool2Count = 0;
+    /** Flatten (C,H,W) -> (C*H*W,1,1) before this layer (FC entry). */
+    bool flattenBefore = false;
+};
+
+/** An executable network: layers chained with consistent shapes. */
+struct InferencePipeline
+{
+    std::string name;
+    std::vector<InferenceLayer> layers;
+
+    /** Verify that every layer's input matches its predecessor. */
+    void check() const;
+};
+
+/**
+ * Build an executable pipeline from a dnn::Network description with
+ * deterministic random weights: pooling layers are re-inserted
+ * wherever consecutive shapes imply downsampling, and FC layers are
+ * preceded by flattening. Depthwise layers are supported.
+ */
+InferencePipeline buildPipeline(const dnn::Network &network, Rng &rng);
+
+/** Apply a layer's post-ops (shift, clamp, ReLU, pool) in place. */
+Tensor3 applyPostOps(const Tensor3 &conv_out, const InferenceLayer &layer);
+
+/** Run the pipeline with the golden direct convolution. */
+Tensor3 runGolden(const InferencePipeline &pipeline,
+                  const Tensor3 &input);
+
+/** Statistics from a systolic run of the whole pipeline. */
+struct PipelineRunStats
+{
+    Tensor3 output;
+    std::uint64_t weightMappings = 0;
+    std::uint64_t arrayCycles = 0;
+};
+
+/**
+ * Run the pipeline on the cycle-accurate systolic array + DAU model
+ * with the given PE-array geometry.
+ */
+PipelineRunStats runSystolic(const InferencePipeline &pipeline,
+                             const Tensor3 &input, int array_rows,
+                             int array_cols);
+
+} // namespace functional
+} // namespace supernpu
+
+#endif // SUPERNPU_FUNCTIONAL_INFERENCE_HH

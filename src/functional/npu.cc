@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Functional NPU mapping loop.
+ */
+
+#include "npu.hh"
+
+#include <algorithm>
+
+namespace supernpu {
+namespace functional {
+
+FunctionalNpu::FunctionalNpu(int array_rows, int array_cols)
+    : _rows(array_rows), _cols(array_cols)
+{
+    SUPERNPU_ASSERT(array_rows > 0 && array_cols > 0, "empty array");
+}
+
+FunctionalRunResult
+FunctionalNpu::conv(const Tensor3 &ifmap, const FilterBank &filters,
+                    const ConvSpec &spec)
+{
+    SUPERNPU_ASSERT(filters.count() > 0, "empty filter bank");
+    const Tensor3 &f0 = filters.filters.front();
+    const int kernel_h = f0.height();
+    const int kernel_w = f0.width();
+
+    const auto positions =
+        enumerateWeightPositions(ifmap.channels(), kernel_h, kernel_w);
+    const int out_h = spec.outDim(ifmap.height(), kernel_h);
+    const int out_w = spec.outDim(ifmap.width(), kernel_w);
+    const std::size_t out_positions = (std::size_t)out_h * out_w;
+
+    const std::size_t row_folds =
+        (positions.size() + (std::size_t)_rows - 1) / (std::size_t)_rows;
+    const std::size_t col_folds =
+        ((std::size_t)filters.count() + (std::size_t)_cols - 1) /
+        (std::size_t)_cols;
+
+    FunctionalRunResult result;
+    result.ofmap = Tensor3(filters.count(), out_h, out_w);
+
+    SystolicArray array(_rows, _cols);
+
+    for (std::size_t cf = 0; cf < col_folds; ++cf) {
+        const int first_filter = (int)(cf * (std::size_t)_cols);
+        const int active_cols =
+            std::min(_cols, filters.count() - first_filter);
+
+        // The psum buffer: accumulates across row folds.
+        std::vector<std::vector<std::int64_t>> psum(
+            (std::size_t)active_cols,
+            std::vector<std::int64_t>(out_positions, 0));
+
+        for (std::size_t rf = 0; rf < row_folds; ++rf) {
+            const std::size_t first_pos = rf * (std::size_t)_rows;
+            const std::size_t active_rows = std::min(
+                (std::size_t)_rows, positions.size() - first_pos);
+
+            // Weight mapping: this fold's weight positions for each
+            // active filter column; inactive PEs get zero weights.
+            ++result.weightMappings;
+            result.weightLoadCycles +=
+                (std::uint64_t)(_rows + _cols);
+            for (int r = 0; r < _rows; ++r) {
+                for (int c = 0; c < _cols; ++c) {
+                    std::int32_t w = 0;
+                    if ((std::size_t)r < active_rows && c < active_cols) {
+                        const WeightPosition &pos =
+                            positions[first_pos + (std::size_t)r];
+                        w = filters.filters[(std::size_t)(first_filter + c)]
+                                .at(pos.channel, pos.dy, pos.dx);
+                    }
+                    array.loadWeight(r, c, w);
+                }
+            }
+
+            // The DAU builds this fold's aligned streams; rows past
+            // the active count stream zero bubbles.
+            std::vector<WeightPosition> fold_positions(
+                positions.begin() + (std::ptrdiff_t)first_pos,
+                positions.begin() +
+                    (std::ptrdiff_t)(first_pos + active_rows));
+            auto streams = buildAlignedStreams(ifmap, fold_positions,
+                                               kernel_h, kernel_w, spec);
+            streams.resize((std::size_t)_rows,
+                           std::vector<std::int32_t>(out_positions, 0));
+
+            const auto column_sums = array.streamThrough(streams);
+            result.arrayCycles += array.cyclesElapsed();
+
+            for (int c = 0; c < active_cols; ++c) {
+                for (std::size_t t = 0; t < out_positions; ++t) {
+                    psum[(std::size_t)c][t] +=
+                        column_sums[(std::size_t)c][t];
+                }
+            }
+        }
+
+        // Drain the integrated output buffer into the ofmap tensor.
+        for (int c = 0; c < active_cols; ++c) {
+            std::size_t t = 0;
+            for (int oy = 0; oy < out_h; ++oy) {
+                for (int ox = 0; ox < out_w; ++ox) {
+                    result.ofmap.at(first_filter + c, oy, ox) =
+                        (std::int32_t)psum[(std::size_t)c][t++];
+                }
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace functional
+} // namespace supernpu

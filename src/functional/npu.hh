@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Functional NPU: ties the DAU and the systolic array together with
+ * the weight-stationary mapping loop and a psum-buffer accumulator,
+ * computing real convolutions exactly as the microarchitecture
+ * would. Validated against the direct-convolution oracle.
+ */
+
+#ifndef SUPERNPU_FUNCTIONAL_NPU_HH
+#define SUPERNPU_FUNCTIONAL_NPU_HH
+
+#include <cstdint>
+
+#include "dau.hh"
+#include "golden.hh"
+#include "systolic.hh"
+#include "tensor.hh"
+
+namespace supernpu {
+namespace functional {
+
+/** Result of a functional convolution run. */
+struct FunctionalRunResult
+{
+    Tensor3 ofmap;
+    std::uint64_t weightMappings = 0; ///< array reload count
+    std::uint64_t arrayCycles = 0;    ///< cycles spent streaming
+    /**
+     * Cycles spent loading stationary weights: a mapping streams its
+     * weights down the columns (rows deep) and across (cols wide) —
+     * the same rows + cols charge the performance model's
+     * weight-shift term uses.
+     */
+    std::uint64_t weightLoadCycles = 0;
+};
+
+/** A small functional NPU with a rows x cols PE array. */
+class FunctionalNpu
+{
+  public:
+    FunctionalNpu(int array_rows, int array_cols);
+
+    /**
+     * Run a convolution through the array: filters fold over the
+     * array height (partial sums accumulate across folds, the psum
+     * buffer role) and spread over the array width (column folds).
+     */
+    FunctionalRunResult conv(const Tensor3 &ifmap,
+                             const FilterBank &filters,
+                             const ConvSpec &spec);
+
+  private:
+    int _rows;
+    int _cols;
+};
+
+} // namespace functional
+} // namespace supernpu
+
+#endif // SUPERNPU_FUNCTIONAL_NPU_HH

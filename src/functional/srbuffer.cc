@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Behavioural shift-register buffer implementation.
+ */
+
+#include "srbuffer.hh"
+
+namespace supernpu {
+namespace functional {
+
+ShiftRegisterChunk::ShiftRegisterChunk(std::size_t length)
+    : _cells(length, 0)
+{
+    SUPERNPU_ASSERT(length > 0, "empty shift register chunk");
+}
+
+std::int32_t
+ShiftRegisterChunk::shiftIn(std::int32_t word)
+{
+    // Ring emulation of the serial DFF chain: the head word falls
+    // out, every other word advances, the new word enters the tail.
+    const std::int32_t out = _cells[_head];
+    _cells[_head] = word;
+    _head = (_head + 1) % _cells.size();
+    return out;
+}
+
+void
+ShiftRegisterChunk::rotate()
+{
+    // The feedback loop: the head word re-enters at the tail.
+    _head = (_head + 1) % _cells.size();
+}
+
+std::vector<std::int32_t>
+ShiftRegisterChunk::snapshot() const
+{
+    std::vector<std::int32_t> out;
+    out.reserve(_cells.size());
+    for (std::size_t i = 0; i < _cells.size(); ++i)
+        out.push_back(_cells[(_head + i) % _cells.size()]);
+    return out;
+}
+
+ShiftRegisterBuffer::ShiftRegisterBuffer(std::size_t rows,
+                                         std::size_t row_length,
+                                         std::size_t division)
+    : _rows(rows), _rowLength(row_length), _division(division)
+{
+    SUPERNPU_ASSERT(rows > 0 && row_length > 0 && division > 0,
+                    "bad buffer geometry");
+    SUPERNPU_ASSERT(row_length % division == 0,
+                    "division must split rows evenly");
+    _chunks.reserve(rows * division);
+    for (std::size_t i = 0; i < rows * division; ++i)
+        _chunks.emplace_back(row_length / division);
+}
+
+const ShiftRegisterChunk &
+ShiftRegisterBuffer::chunk(std::size_t row, std::size_t index) const
+{
+    SUPERNPU_ASSERT(row < _rows && index < _division,
+                    "chunk index out of range");
+    return _chunks[row * _division + index];
+}
+
+std::uint64_t
+ShiftRegisterBuffer::fillChunk(
+    std::size_t index, const std::vector<std::vector<std::int32_t>> &data)
+{
+    SUPERNPU_ASSERT(index < _division, "chunk index out of range");
+    SUPERNPU_ASSERT(data.size() == _rows, "fill data row mismatch");
+    const std::size_t words = data.front().size();
+    SUPERNPU_ASSERT(words <= chunkLength(), "fill overflows the chunk");
+
+    for (std::size_t r = 0; r < _rows; ++r) {
+        SUPERNPU_ASSERT(data[r].size() == words,
+                        "ragged fill data");
+        ShiftRegisterChunk &target = _chunks[r * _division + index];
+        for (std::int32_t word : data[r])
+            (void)target.shiftIn(word);
+    }
+    return words; // one word per row per cycle
+}
+
+std::vector<std::vector<std::int32_t>>
+ShiftRegisterBuffer::drainChunk(std::size_t index, std::size_t words,
+                                std::uint64_t &cycles_out)
+{
+    SUPERNPU_ASSERT(index < _division, "chunk index out of range");
+    SUPERNPU_ASSERT(words <= chunkLength(), "drain exceeds the chunk");
+
+    std::vector<std::vector<std::int32_t>> out(_rows);
+    for (std::size_t r = 0; r < _rows; ++r) {
+        ShiftRegisterChunk &source = _chunks[r * _division + index];
+        out[r].reserve(words);
+        for (std::size_t w = 0; w < words; ++w)
+            out[r].push_back(source.shiftIn(0));
+    }
+    cycles_out = words;
+    return out;
+}
+
+std::uint64_t
+ShiftRegisterBuffer::rewindChunk(std::size_t index)
+{
+    SUPERNPU_ASSERT(index < _division, "chunk index out of range");
+    for (std::size_t r = 0; r < _rows; ++r) {
+        ShiftRegisterChunk &target = _chunks[r * _division + index];
+        for (std::size_t i = 0; i < chunkLength(); ++i)
+            target.rotate();
+    }
+    return chunkLength();
+}
+
+std::uint64_t
+ShiftRegisterBuffer::moveChunk(ShiftRegisterBuffer &source,
+                               std::size_t source_index,
+                               ShiftRegisterBuffer &destination,
+                               std::size_t destination_index)
+{
+    SUPERNPU_ASSERT(source.rows() == destination.rows(),
+                    "buffer row mismatch");
+    SUPERNPU_ASSERT(source.chunkLength() <= destination.chunkLength(),
+                    "destination chunk too small");
+
+    std::uint64_t drain_cycles = 0;
+    auto words = source.drainChunk(source_index, source.chunkLength(),
+                                   drain_cycles);
+    // Pad so the moved words finish flush at the destination head.
+    for (auto &row : words)
+        row.resize(destination.chunkLength(), 0);
+    const std::uint64_t fill_cycles =
+        destination.fillChunk(destination_index, words);
+    // The paper's Fig. 16 example: moving across the 8 MB + 8 MB
+    // buffer pair costs the sum of both lengths (65,536 cycles).
+    return drain_cycles + fill_cycles;
+}
+
+} // namespace functional
+} // namespace supernpu

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Behavioural model of the shift-register-based on-chip buffer
+ * (Section II-B3 / V-B1): data actually moves, cycle by cycle,
+ * through fixed-length recirculating shift registers organized as
+ * rows x division chunks.
+ *
+ * This model serves two purposes:
+ *  - it demonstrates the data-movement semantics the performance
+ *    simulator's cost formulas abstract (fill = words shifted in,
+ *    reuse = a full recirculation of the chunk, inter-buffer move =
+ *    source length + destination length), and
+ *  - the tests cross-validate those npusim/estimator cycle formulas
+ *    against the cycles this model actually consumes.
+ */
+
+#ifndef SUPERNPU_FUNCTIONAL_SRBUFFER_HH
+#define SUPERNPU_FUNCTIONAL_SRBUFFER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace supernpu {
+namespace functional {
+
+/**
+ * One fixed-length recirculating shift register (a buffer row chunk
+ * in Fig. 2(b)): serially connected DFFs with a feedback loop.
+ * Position 0 is the head (the read port).
+ */
+class ShiftRegisterChunk
+{
+  public:
+    /** A chunk of `length` word cells, initially all zero. */
+    explicit ShiftRegisterChunk(std::size_t length);
+
+    std::size_t length() const { return _cells.size(); }
+
+    /** The word at the read port. */
+    std::int32_t head() const { return _cells[_head]; }
+
+    /**
+     * One shift cycle with an external input at the tail: every cell
+     * advances one position; the head word falls out and is
+     * returned. This is the fill / drain primitive.
+     */
+    std::int32_t shiftIn(std::int32_t word);
+
+    /**
+     * One recirculating shift cycle: the head word re-enters at the
+     * tail (the Fig. 2(b) feedback loop).
+     */
+    void rotate();
+
+    /** Words in head-to-tail order (testing convenience). */
+    std::vector<std::int32_t> snapshot() const;
+
+  private:
+    std::vector<std::int32_t> _cells;
+    std::size_t _head = 0; // circular-buffer emulation of the shift
+};
+
+/**
+ * A divided buffer: `rows` parallel rows, each split into `division`
+ * chunks of equal length. All cycle-returning operations move one
+ * word per row per cycle (the paper's bytes-per-cycle geometry).
+ */
+class ShiftRegisterBuffer
+{
+  public:
+    /**
+     * @param rows Parallel ports (a PE-array dimension).
+     * @param row_length Words per (undivided) row.
+     * @param division Chunks per row; must divide row_length.
+     */
+    ShiftRegisterBuffer(std::size_t rows, std::size_t row_length,
+                        std::size_t division);
+
+    std::size_t rows() const { return _rows; }
+    std::size_t rowLength() const { return _rowLength; }
+    std::size_t division() const { return _division; }
+    std::size_t chunkLength() const { return _rowLength / _division; }
+
+    /** Access a chunk for inspection. */
+    const ShiftRegisterChunk &chunk(std::size_t row,
+                                    std::size_t index) const;
+
+    /**
+     * Fill one chunk across all rows: data[r] supplies row r's
+     * words, oldest first; all rows shift in lockstep.
+     * @return cycles consumed (= words per row).
+     */
+    std::uint64_t fillChunk(
+        std::size_t index,
+        const std::vector<std::vector<std::int32_t>> &data);
+
+    /**
+     * Drain `words` words per row from one chunk (they fall out of
+     * the head; zeros shift in behind).
+     * @return the drained words per row; cycles = words.
+     */
+    std::vector<std::vector<std::int32_t>> drainChunk(
+        std::size_t index, std::size_t words,
+        std::uint64_t &cycles_out);
+
+    /**
+     * Recirculate one chunk all the way around so previously
+     * consumed data is back at the head — the "rewind" the paper's
+     * Fig. 16 step 2 pays when ifmap data is reused.
+     * @return cycles consumed (= chunk length).
+     */
+    std::uint64_t rewindChunk(std::size_t index);
+
+    /**
+     * Move one chunk's live words into another buffer's chunk, as
+     * the Baseline's ofmap -> psum copy does (Fig. 16 step 1): the
+     * source drains fully while the destination shifts in behind its
+     * existing contents.
+     * @return cycles consumed (= source chunk length + destination
+     *         chunk length, the paper's 65,536-cycle example).
+     */
+    static std::uint64_t moveChunk(ShiftRegisterBuffer &source,
+                                   std::size_t source_index,
+                                   ShiftRegisterBuffer &destination,
+                                   std::size_t destination_index);
+
+  private:
+    std::size_t _rows;
+    std::size_t _rowLength;
+    std::size_t _division;
+    std::vector<ShiftRegisterChunk> _chunks; // rows x division
+};
+
+} // namespace functional
+} // namespace supernpu
+
+#endif // SUPERNPU_FUNCTIONAL_SRBUFFER_HH

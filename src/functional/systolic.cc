@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Systolic array cycle model.
+ */
+
+#include "systolic.hh"
+
+namespace supernpu {
+namespace functional {
+
+SystolicArray::SystolicArray(int rows, int cols)
+    : _rows(rows), _cols(cols),
+      _weights((std::size_t)rows * cols, 0),
+      _ifmapRegs((std::size_t)rows * cols, 0),
+      _psumRegs((std::size_t)rows * cols, 0)
+{
+    SUPERNPU_ASSERT(rows > 0 && cols > 0, "empty systolic array");
+}
+
+void
+SystolicArray::loadWeight(int row, int col, std::int32_t weight)
+{
+    SUPERNPU_ASSERT(row >= 0 && row < _rows && col >= 0 && col < _cols,
+                    "weight index out of range");
+    _weights[at(row, col)] = weight;
+}
+
+void
+SystolicArray::resetPipeline()
+{
+    std::fill(_ifmapRegs.begin(), _ifmapRegs.end(), 0);
+    std::fill(_psumRegs.begin(), _psumRegs.end(), 0);
+    _cycles = 0;
+}
+
+std::vector<std::int64_t>
+SystolicArray::step(const std::vector<std::int32_t> &left_inputs)
+{
+    SUPERNPU_ASSERT((int)left_inputs.size() == _rows,
+                    "left input width mismatch");
+
+    // All registers update simultaneously from the previous state:
+    // compute next values before committing any of them.
+    std::vector<std::int32_t> next_ifmap((std::size_t)_rows * _cols);
+    std::vector<std::int64_t> next_psum((std::size_t)_rows * _cols);
+
+    for (int r = 0; r < _rows; ++r) {
+        for (int c = 0; c < _cols; ++c) {
+            const std::int32_t in =
+                c == 0 ? left_inputs[r] : _ifmapRegs[at(r, c - 1)];
+            const std::int64_t psum_above =
+                r == 0 ? 0 : _psumRegs[at(r - 1, c)];
+            next_ifmap[at(r, c)] = in;
+            next_psum[at(r, c)] =
+                psum_above + (std::int64_t)_weights[at(r, c)] * in;
+        }
+    }
+
+    _ifmapRegs = std::move(next_ifmap);
+    _psumRegs = std::move(next_psum);
+    ++_cycles;
+
+    std::vector<std::int64_t> bottom(_cols);
+    for (int c = 0; c < _cols; ++c)
+        bottom[(std::size_t)c] = _psumRegs[at(_rows - 1, c)];
+    return bottom;
+}
+
+std::vector<std::vector<std::int64_t>>
+SystolicArray::streamThrough(
+    const std::vector<std::vector<std::int32_t>> &streams)
+{
+    SUPERNPU_ASSERT((int)streams.size() == _rows,
+                    "stream count must match the array height");
+    const std::size_t positions = streams.front().size();
+    for (const auto &s : streams) {
+        SUPERNPU_ASSERT(s.size() == positions,
+                        "all streams must be equally long");
+    }
+
+    resetPipeline();
+
+    std::vector<std::vector<std::int64_t>> out(
+        (std::size_t)_cols, std::vector<std::int64_t>(positions, 0));
+
+    // Row r's word for logical time t enters at cycle t + r; the
+    // complete sum for time t leaves column c's bottom register at
+    // the end of cycle t + (rows - 1) + c... with one extra cycle of
+    // register latency at the PE itself: t + rows + c is when it is
+    // *visible* after that step. We simply run until fully drained.
+    const std::size_t total_cycles = positions + _rows + _cols;
+    std::vector<std::int32_t> left((std::size_t)_rows, 0);
+
+    for (std::size_t cycle = 0; cycle < total_cycles; ++cycle) {
+        for (int r = 0; r < _rows; ++r) {
+            const std::int64_t t = (std::int64_t)cycle - r;
+            left[(std::size_t)r] =
+                (t >= 0 && t < (std::int64_t)positions)
+                    ? streams[(std::size_t)r][(std::size_t)t]
+                    : 0;
+        }
+        const std::vector<std::int64_t> bottom = step(left);
+        // After this step, column c's bottom register holds the sum
+        // for logical time t = cycle - (rows - 1) - c.
+        for (int c = 0; c < _cols; ++c) {
+            const std::int64_t t =
+                (std::int64_t)cycle - (_rows - 1) - c;
+            if (t >= 0 && t < (std::int64_t)positions)
+                out[(std::size_t)c][(std::size_t)t] = bottom[(std::size_t)c];
+        }
+    }
+    return out;
+}
+
+} // namespace functional
+} // namespace supernpu

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Cycle-accurate functional model of the weight-stationary systolic
+ * array (Section III-A/B): ifmap words enter the left edge and hop
+ * right, partial sums flow downward, weights stay put. Row r's input
+ * is skewed by r cycles so each column's bottom port emits one
+ * complete dot product per cycle after the fill phase.
+ */
+
+#ifndef SUPERNPU_FUNCTIONAL_SYSTOLIC_HH
+#define SUPERNPU_FUNCTIONAL_SYSTOLIC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace supernpu {
+namespace functional {
+
+/** One weight-stationary systolic array instance. */
+class SystolicArray
+{
+  public:
+    /** Construct a rows x cols array with zero weights. */
+    SystolicArray(int rows, int cols);
+
+    int rows() const { return _rows; }
+    int cols() const { return _cols; }
+
+    /** Load the stationary weight of PE (row, col). */
+    void loadWeight(int row, int col, std::int32_t weight);
+
+    /** Reset the pipeline registers (weights are kept). */
+    void resetPipeline();
+
+    /**
+     * Advance one clock: `left_inputs` holds the word entering each
+     * row this cycle (callers apply the per-row skew). Returns the
+     * partial sums leaving the bottom edge of each column.
+     */
+    std::vector<std::int64_t> step(
+        const std::vector<std::int32_t> &left_inputs);
+
+    /** Cycles stepped since construction or the last pipeline reset. */
+    std::uint64_t cyclesElapsed() const { return _cycles; }
+
+    /**
+     * Stream a full set of aligned input rows through the array.
+     * `streams[r][t]` is row r's word for logical time t; the method
+     * applies the r-cycle skew, runs the pipeline to drain, and
+     * returns `out[c][t]`, the completed column-c dot product for
+     * logical time t.
+     */
+    std::vector<std::vector<std::int64_t>> streamThrough(
+        const std::vector<std::vector<std::int32_t>> &streams);
+
+  private:
+    int _rows;
+    int _cols;
+    std::uint64_t _cycles = 0;
+    std::vector<std::int32_t> _weights;   // rows x cols
+    std::vector<std::int32_t> _ifmapRegs; // rows x cols
+    std::vector<std::int64_t> _psumRegs;  // rows x cols
+
+    std::size_t
+    at(int r, int c) const
+    {
+        return (std::size_t)r * _cols + c;
+    }
+};
+
+} // namespace functional
+} // namespace supernpu
+
+#endif // SUPERNPU_FUNCTIONAL_SYSTOLIC_HH

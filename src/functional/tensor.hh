@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Minimal dense tensor for the functional NPU model. Values are
+ * int32 so accumulated 8-bit MACs never overflow in tests.
+ */
+
+#ifndef SUPERNPU_FUNCTIONAL_TENSOR_HH
+#define SUPERNPU_FUNCTIONAL_TENSOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace supernpu {
+namespace functional {
+
+/** Channel-major 3D tensor (C, H, W). */
+class Tensor3
+{
+  public:
+    Tensor3() = default;
+
+    /** Construct a zeroed (channels, height, width) tensor. */
+    Tensor3(int channels, int height, int width)
+        : _channels(channels), _height(height), _width(width),
+          _data((std::size_t)channels * height * width, 0)
+    {
+        SUPERNPU_ASSERT(channels > 0 && height > 0 && width > 0,
+                        "bad tensor shape");
+    }
+
+    int channels() const { return _channels; }
+    int height() const { return _height; }
+    int width() const { return _width; }
+
+    /** Mutable element access. */
+    std::int32_t &
+    at(int c, int y, int x)
+    {
+        return _data[index(c, y, x)];
+    }
+
+    /** Const element access. */
+    std::int32_t
+    at(int c, int y, int x) const
+    {
+        return _data[index(c, y, x)];
+    }
+
+    /**
+     * Padded read: coordinates outside the tensor return 0 (the
+     * convolution halo).
+     */
+    std::int32_t
+    atPadded(int c, int y, int x) const
+    {
+        if (y < 0 || y >= _height || x < 0 || x >= _width)
+            return 0;
+        return at(c, y, x);
+    }
+
+    /** Fill with uniform random int8-range values. */
+    void
+    fillRandom(Rng &rng)
+    {
+        for (auto &v : _data)
+            v = (std::int32_t)rng.uniformInt(-128, 127);
+    }
+
+    /** Exact element-wise equality. */
+    bool
+    operator==(const Tensor3 &other) const
+    {
+        return _channels == other._channels && _height == other._height &&
+               _width == other._width && _data == other._data;
+    }
+
+  private:
+    std::size_t
+    index(int c, int y, int x) const
+    {
+        SUPERNPU_ASSERT(c >= 0 && c < _channels && y >= 0 &&
+                            y < _height && x >= 0 && x < _width,
+                        "tensor index out of range");
+        return ((std::size_t)c * _height + y) * _width + x;
+    }
+
+    int _channels = 0;
+    int _height = 0;
+    int _width = 0;
+    std::vector<std::int32_t> _data;
+};
+
+/** A stack of filters: (K, C, R, S) stored as K tensors. */
+struct FilterBank
+{
+    std::vector<Tensor3> filters; ///< each (C, R, S)
+
+    /** Number of filters. */
+    int count() const { return (int)filters.size(); }
+
+    /** Build a random bank of k (c, r, s) filters. */
+    static FilterBank random(int k, int c, int r, int s, Rng &rng);
+};
+
+} // namespace functional
+} // namespace supernpu
+
+#endif // SUPERNPU_FUNCTIONAL_TENSOR_HH

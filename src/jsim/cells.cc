@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Demonstration circuit builders.
+ */
+
+#include "cells.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace supernpu {
+namespace jsim {
+
+double
+DeviceParams::shuntFor(double ic_scale) const
+{
+    // beta_c = 2 pi Ic R^2 C / Phi0  =>  R = sqrt(beta_c Phi0 / (2 pi Ic C))
+    const double ic = unitIc * ic_scale;
+    const double c = unitCap * ic_scale; // capacitance scales with area
+    return std::sqrt(betaC * phi0 / (2.0 * M_PI * ic * c));
+}
+
+JtlChain
+appendJtl(Circuit &circuit, const DeviceParams &params, std::size_t stages,
+          const std::string &label_prefix)
+{
+    const NodeId head = circuit.addNode();
+    JtlChain chain = appendJtlFrom(circuit, params, head, stages,
+                                   label_prefix);
+    chain.input = head;
+    return chain;
+}
+
+JtlChain
+appendJtlFrom(Circuit &circuit, const DeviceParams &params, NodeId from,
+              std::size_t stages, const std::string &label_prefix)
+{
+    SUPERNPU_ASSERT(stages >= 1, "JTL needs at least one stage");
+
+    JtlChain chain;
+    chain.input = from;
+
+    NodeId prev = from;
+    for (std::size_t s = 0; s < stages; ++s) {
+        NodeId node;
+        if (s == 0 && from != ground) {
+            node = from;
+        } else {
+            node = circuit.addNode();
+            circuit.addInductor(prev, node, params.jtlInductance);
+        }
+        const std::size_t jj = circuit.addJunction(
+            label_prefix + std::to_string(s), node, ground, params.unitIc,
+            params.shuntFor(), params.unitCap);
+        circuit.addBias(node, params.jtlBiasFraction * params.unitIc);
+        chain.junctionIndices.push_back(jj);
+        prev = node;
+        chain.output = node;
+    }
+    return chain;
+}
+
+void
+attachPulseInput(Circuit &circuit, const DeviceParams &params, NodeId node,
+                 const std::vector<double> &times)
+{
+    // Amplitude and width chosen (and locked in by the unit tests) so
+    // that a 0.7 Ic biased JTL junction slips exactly once per pulse.
+    const double amplitude = 1.3 * params.unitIc;
+    const double width = 6e-12;
+    circuit.addPulses(node, amplitude, width, times);
+}
+
+Splitter
+appendSplitter(Circuit &circuit, const DeviceParams &params, NodeId from,
+               const std::string &label_prefix)
+{
+    Splitter splitter;
+    splitter.input = from;
+
+    // Confluence junction: slightly larger, strongly biased, drives
+    // two output branches through inductors.
+    const double in_scale = 1.4;
+    splitter.inputJunction = circuit.addJunction(
+        label_prefix + "_in", from, ground, in_scale * params.unitIc,
+        params.shuntFor(in_scale), in_scale * params.unitCap);
+    circuit.addBias(from, params.jtlBiasFraction * in_scale * params.unitIc);
+
+    for (int branch = 0; branch < 2; ++branch) {
+        const NodeId out = circuit.addNode();
+        circuit.addInductor(from, out, params.jtlInductance);
+        const std::size_t jj = circuit.addJunction(
+            label_prefix + (branch == 0 ? "_a" : "_b"), out, ground,
+            params.unitIc, params.shuntFor(), params.unitCap);
+        circuit.addBias(out, params.jtlBiasFraction * params.unitIc);
+        if (branch == 0) {
+            splitter.outputA = out;
+            splitter.outputJunctionA = jj;
+        } else {
+            splitter.outputB = out;
+            splitter.outputJunctionB = jj;
+        }
+    }
+    return splitter;
+}
+
+Dff
+appendDff(Circuit &circuit, const DeviceParams &params,
+          const DffParams &dff_params, const std::string &label_prefix)
+{
+    Dff dff;
+    dff.dataIn = circuit.addNode();
+    dff.clockIn = circuit.addNode();
+    dff.output = circuit.addNode();
+
+    // Quantizing storage loop: ground - J_store - dataIn - L_store -
+    // loop_out - J_release - ground. A data pulse switches J_store
+    // and leaves one fluxon circulating; the circulating current
+    // pre-biases J_release so the next clock pulse can switch it.
+    // The clock enters through a series escape junction: with no
+    // stored fluxon the escape junction slips instead of J_release,
+    // absorbing the clock without output.
+    const NodeId loop_out = circuit.addNode();
+
+    dff.storeJunction = circuit.addJunction(
+        label_prefix + "_store", dff.dataIn, ground,
+        dff_params.storeIcScale * params.unitIc,
+        params.shuntFor(dff_params.storeIcScale),
+        dff_params.storeIcScale * params.unitCap);
+
+    circuit.addInductor(dff.dataIn, loop_out,
+                        dff_params.storageInductance);
+
+    dff.releaseJunction = circuit.addJunction(
+        label_prefix + "_release", loop_out, ground,
+        dff_params.releaseIcScale * params.unitIc,
+        params.shuntFor(dff_params.releaseIcScale),
+        dff_params.releaseIcScale * params.unitCap);
+
+    dff.escapeJunction = circuit.addJunction(
+        label_prefix + "_escape", dff.clockIn, loop_out,
+        dff_params.escapeIcScale * params.unitIc,
+        params.shuntFor(dff_params.escapeIcScale),
+        dff_params.escapeIcScale * params.unitCap);
+
+    circuit.addBias(loop_out, dff_params.loopBias);
+
+    // Output tap: the release switch's voltage pulse propagates to
+    // the output node through a JTL-style inductor.
+    circuit.addInductor(loop_out, dff.output, params.jtlInductance);
+
+    return dff;
+}
+
+ClockedAnd
+appendClockedAnd(Circuit &circuit, const DeviceParams &params,
+                 const ClockedAndParams &and_params,
+                 const std::string &label_prefix)
+{
+    ClockedAnd gate;
+
+    gate.loopA = appendDff(circuit, params, DffParams{},
+                           label_prefix + "_a");
+    gate.loopB = appendDff(circuit, params, DffParams{},
+                           label_prefix + "_b");
+    gate.inputA = gate.loopA.dataIn;
+    gate.inputB = gate.loopB.dataIn;
+
+    // Common clock fans out to both loops through a splitter.
+    gate.clockIn = circuit.addNode();
+    const JtlChain clock_feed = appendJtlFrom(
+        circuit, params, gate.clockIn, 1, label_prefix + "_ck");
+    const Splitter split = appendSplitter(circuit, params,
+                                          clock_feed.output,
+                                          label_prefix + "_cs");
+    const JtlChain branch_a = appendJtlFrom(
+        circuit, params, split.outputA, 2, label_prefix + "_ca");
+    const JtlChain branch_b = appendJtlFrom(
+        circuit, params, split.outputB, 2, label_prefix + "_cb");
+    circuit.addInductor(branch_a.output, gate.loopA.clockIn,
+                        params.jtlInductance);
+    circuit.addInductor(branch_b.output, gate.loopB.clockIn,
+                        params.jtlInductance);
+
+    // Coincidence stage: both releases must land together to push
+    // the output junction past its critical current.
+    const NodeId x = circuit.addNode();
+    circuit.addInductor(gate.loopA.output, x, params.jtlInductance);
+    circuit.addInductor(gate.loopB.output, x, params.jtlInductance);
+    gate.outputJunction = circuit.addJunction(
+        label_prefix + "_out", x, ground,
+        and_params.outputIcScale * params.unitIc,
+        params.shuntFor(and_params.outputIcScale),
+        and_params.outputIcScale * params.unitCap);
+    circuit.addBias(x, and_params.outputBias);
+    gate.output = x;
+    return gate;
+}
+
+ClockedOr
+appendClockedOr(Circuit &circuit, const DeviceParams &params,
+                const std::string &label_prefix)
+{
+    ClockedOr gate;
+    gate.loop = appendDff(circuit, params, DffParams{}, label_prefix);
+
+    // Wired merge: both inputs couple into the shared loop's data
+    // node through their own inductors; the quantizing loop absorbs
+    // a duplicate fluxon.
+    gate.inputA = circuit.addNode();
+    gate.inputB = circuit.addNode();
+    circuit.addInductor(gate.inputA, gate.loop.dataIn,
+                        params.jtlInductance);
+    circuit.addInductor(gate.inputB, gate.loop.dataIn,
+                        params.jtlInductance);
+
+    gate.clockIn = gate.loop.clockIn;
+    gate.output = gate.loop.output;
+    return gate;
+}
+
+double
+propagationDelay(const TransientResult &result, std::size_t from_junction,
+                 std::size_t to_junction, std::size_t k)
+{
+    SUPERNPU_ASSERT(result.switchTimes.size() > from_junction &&
+                        result.switchTimes.size() > to_junction,
+                    "junction index out of range");
+    const auto &from = result.switchTimes[from_junction];
+    const auto &to = result.switchTimes[to_junction];
+    SUPERNPU_ASSERT(from.size() > k, "source junction switched too few times");
+    SUPERNPU_ASSERT(to.size() > k, "sink junction switched too few times");
+    return to[k] - from[k];
+}
+
+} // namespace jsim
+} // namespace supernpu

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Canned demonstration circuits for the JJ transient simulator:
+ * Josephson transmission lines (JTL), a pulse splitter, and an SFQ
+ * delay flip-flop (DFF) with its quantizing storage loop.
+ *
+ * These circuits demonstrate, at the analog level, the behaviours the
+ * architecture model in src/sfq abstracts: ballistic picosecond pulse
+ * propagation, pulse fan-out, and clocked storage/release of a single
+ * flux quantum (the paper's Fig. 1).
+ *
+ * Device parameters approximate a 10 kA/cm^2 Nb process with 1 um
+ * minimum junction size (the AIST ADP-class process the paper's cell
+ * library targets): Ic = 0.1 mA for a unit junction, C = 42 fF,
+ * critically damped external shunt.
+ */
+
+#ifndef SUPERNPU_JSIM_CELLS_HH
+#define SUPERNPU_JSIM_CELLS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit.hh"
+#include "simulator.hh"
+
+namespace supernpu {
+namespace jsim {
+
+/** Unit-junction device parameters for circuit construction. */
+struct DeviceParams
+{
+    double unitIc = 1.0e-4;       ///< critical current of a 1x junction, A
+    double unitCap = 4.2e-14;     ///< junction capacitance, F
+    double betaC = 1.0;           ///< Stewart-McCumber damping target
+    double jtlInductance = 4e-12; ///< H, between JTL stages
+    double jtlBiasFraction = 0.7; ///< DC bias as a fraction of Ic
+
+    /** Shunt resistance giving the requested beta_c for a junction
+     *  scaled by `ic_scale`. */
+    double shuntFor(double ic_scale = 1.0) const;
+};
+
+/**
+ * A JTL chain appended to a circuit: `stages` junctions to ground
+ * joined by series inductors. The first stage's node is the input,
+ * the last stage's node is the output.
+ */
+struct JtlChain
+{
+    NodeId input = ground;
+    NodeId output = ground;
+    std::vector<std::size_t> junctionIndices;
+};
+
+/** Append a JTL chain starting at a fresh node. */
+JtlChain appendJtl(Circuit &circuit, const DeviceParams &params,
+                   std::size_t stages, const std::string &label_prefix);
+
+/** Append a JTL chain driven from an existing node. */
+JtlChain appendJtlFrom(Circuit &circuit, const DeviceParams &params,
+                       NodeId from, std::size_t stages,
+                       const std::string &label_prefix);
+
+/**
+ * Attach an SFQ launch source to a node: a raised-cosine current
+ * pulse sized so a biased unit JTL junction slips exactly once per
+ * pulse.
+ */
+void attachPulseInput(Circuit &circuit, const DeviceParams &params,
+                      NodeId node, const std::vector<double> &times);
+
+/**
+ * A pulse splitter: one input junction driving two output branches,
+ * each through its own slightly larger junction, so one input pulse
+ * yields one pulse on each output.
+ */
+struct Splitter
+{
+    NodeId input = ground;
+    NodeId outputA = ground;
+    NodeId outputB = ground;
+    std::size_t inputJunction = 0;
+    std::size_t outputJunctionA = 0;
+    std::size_t outputJunctionB = 0;
+};
+
+/** Append a splitter fed from an existing node. */
+Splitter appendSplitter(Circuit &circuit, const DeviceParams &params,
+                        NodeId from, const std::string &label_prefix);
+
+/**
+ * An SFQ delay flip-flop: data pulses store one fluxon in the
+ * quantizing loop (J_in, L_store, J_out); a clock pulse releases it
+ * to the output. A clock with no stored fluxon is absorbed without
+ * producing output.
+ */
+struct Dff
+{
+    NodeId dataIn = ground;    ///< feed data JTL into this node
+    NodeId clockIn = ground;   ///< feed clock JTL into this node
+    NodeId output = ground;    ///< output node (attach output JTL)
+    std::size_t storeJunction = 0;   ///< J_in: slips when data stored
+    std::size_t releaseJunction = 0; ///< J_out: slips when clocked out
+    std::size_t escapeJunction = 0;  ///< absorbs clocks with no data
+};
+
+/** Tuning knobs for the DFF storage loop. */
+struct DffParams
+{
+    double storeIcScale = 1.0;    ///< J_in Ic relative to unit
+    double releaseIcScale = 1.1;  ///< J_out Ic relative to unit
+    double escapeIcScale = 0.9;   ///< series clock escape junction
+    double storageInductance = 20e-12; ///< quantizing loop L, H
+    double loopBias = 0.05e-3;    ///< DC bias into the release node, A
+};
+
+/** Append a DFF to the circuit. */
+Dff appendDff(Circuit &circuit, const DeviceParams &params,
+              const DffParams &dff_params, const std::string &label_prefix);
+
+/**
+ * A clocked AND gate: each input pulse is stored in its own DFF
+ * loop; the common clock releases both loops and their coincident
+ * release pulses switch an output junction whose critical current
+ * exceeds what a single pulse can deliver. One output pulse appears
+ * iff both inputs arrived during the clock period — the SFQ logic
+ * convention of Fig. 1(d).
+ */
+struct ClockedAnd
+{
+    NodeId inputA = ground;   ///< feed input-A JTL into this node
+    NodeId inputB = ground;   ///< feed input-B JTL into this node
+    NodeId clockIn = ground;  ///< feed the clock JTL into this node
+    NodeId output = ground;   ///< attach the output JTL here
+    Dff loopA;                ///< input A's storage loop
+    Dff loopB;                ///< input B's storage loop
+    std::size_t outputJunction = 0; ///< the coincidence junction
+};
+
+/** Tuning knobs for the AND's coincidence stage. */
+struct ClockedAndParams
+{
+    double outputIcScale = 1.6; ///< above one release, below two
+    double outputBias = 0.03e-3; ///< DC assist into the output node, A
+};
+
+/** Append a clocked AND gate; internally builds the clock splitter. */
+ClockedAnd appendClockedAnd(Circuit &circuit, const DeviceParams &params,
+                            const ClockedAndParams &and_params,
+                            const std::string &label_prefix);
+
+/**
+ * A clocked OR gate: both inputs merge into one DFF storage loop.
+ * The quantizing loop holds at most one fluxon, so a second pulse in
+ * the same period is absorbed without corrupting the state; the
+ * clock releases one output pulse iff at least one input arrived.
+ */
+struct ClockedOr
+{
+    NodeId inputA = ground;
+    NodeId inputB = ground;
+    NodeId clockIn = ground;
+    NodeId output = ground;
+    Dff loop; ///< the shared storage loop
+};
+
+/** Append a clocked OR gate. */
+ClockedOr appendClockedOr(Circuit &circuit, const DeviceParams &params,
+                          const std::string &label_prefix);
+
+/**
+ * Propagation delay between the k-th switch of two junctions;
+ * panics when either junction switched fewer than k+1 times.
+ */
+double propagationDelay(const TransientResult &result,
+                        std::size_t from_junction,
+                        std::size_t to_junction, std::size_t k = 0);
+
+} // namespace jsim
+} // namespace supernpu
+
+#endif // SUPERNPU_JSIM_CELLS_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Circuit netlist implementation.
+ */
+
+#include "circuit.hh"
+
+#include "common/logging.hh"
+
+namespace supernpu {
+namespace jsim {
+
+Circuit::Circuit()
+    : _nodeCount(1) // ground pre-exists
+{
+}
+
+NodeId
+Circuit::addNode()
+{
+    return _nodeCount++;
+}
+
+std::size_t
+Circuit::addJunction(const std::string &label, NodeId pos, NodeId neg,
+                     double ic, double r, double c)
+{
+    SUPERNPU_ASSERT(pos < _nodeCount && neg < _nodeCount,
+                    "junction references unknown node");
+    SUPERNPU_ASSERT(ic > 0 && r > 0 && c > 0, "bad junction parameters");
+    _junctions.push_back({label, pos, neg, ic, r, c});
+    return _junctions.size() - 1;
+}
+
+void
+Circuit::addInductor(NodeId pos, NodeId neg, double l)
+{
+    SUPERNPU_ASSERT(pos < _nodeCount && neg < _nodeCount,
+                    "inductor references unknown node");
+    SUPERNPU_ASSERT(l > 0, "bad inductance");
+    _inductors.push_back({pos, neg, l});
+}
+
+void
+Circuit::addResistor(NodeId pos, NodeId neg, double r)
+{
+    SUPERNPU_ASSERT(pos < _nodeCount && neg < _nodeCount,
+                    "resistor references unknown node");
+    SUPERNPU_ASSERT(r > 0, "bad resistance");
+    _resistors.push_back({pos, neg, r});
+}
+
+void
+Circuit::addBias(NodeId into, double current)
+{
+    SUPERNPU_ASSERT(into < _nodeCount, "bias references unknown node");
+    _biases.push_back({into, current});
+}
+
+void
+Circuit::addPulses(NodeId into, double amplitude, double width,
+                   std::vector<double> times)
+{
+    SUPERNPU_ASSERT(into < _nodeCount, "pulse references unknown node");
+    SUPERNPU_ASSERT(width > 0, "bad pulse width");
+    _pulses.push_back({into, amplitude, width, std::move(times)});
+}
+
+std::size_t
+Circuit::junctionIndex(const std::string &label) const
+{
+    for (std::size_t i = 0; i < _junctions.size(); ++i) {
+        if (_junctions[i].label == label)
+            return i;
+    }
+    panic("no junction labeled '", label, "'");
+}
+
+double
+Circuit::totalBiasCurrent() const
+{
+    double total = 0.0;
+    for (const auto &bias : _biases)
+        total += bias.current;
+    return total;
+}
+
+std::string
+Circuit::dumpNetlist() const
+{
+    std::string out;
+    char line[160];
+    std::snprintf(line, sizeof(line), "* %zu nodes (0 = ground)\n",
+                  _nodeCount);
+    out += line;
+    for (const auto &jj : _junctions) {
+        std::snprintf(line, sizeof(line),
+                      "B%-10s %3zu %3zu ic=%.1fuA r=%.2fohm c=%.1ffF\n",
+                      jj.label.c_str(), jj.positive, jj.negative,
+                      jj.criticalCurrent * 1e6, jj.shuntResistance,
+                      jj.capacitance * 1e15);
+        out += line;
+    }
+    std::size_t index = 0;
+    for (const auto &l : _inductors) {
+        std::snprintf(line, sizeof(line), "L%-10zu %3zu %3zu %.2fpH\n",
+                      index++, l.positive, l.negative,
+                      l.inductance * 1e12);
+        out += line;
+    }
+    index = 0;
+    for (const auto &r : _resistors) {
+        std::snprintf(line, sizeof(line), "R%-10zu %3zu %3zu %.2fohm\n",
+                      index++, r.positive, r.negative, r.resistance);
+        out += line;
+    }
+    index = 0;
+    for (const auto &b : _biases) {
+        std::snprintf(line, sizeof(line), "I%-10zu %3zu     %.1fuA\n",
+                      index++, b.into, b.current * 1e6);
+        out += line;
+    }
+    index = 0;
+    for (const auto &p : _pulses) {
+        std::snprintf(line, sizeof(line),
+                      "P%-10zu %3zu     %.1fuA w=%.1fps n=%zu\n",
+                      index++, p.into, p.amplitude * 1e6,
+                      p.width * 1e12, p.times.size());
+        out += line;
+    }
+    return out;
+}
+
+} // namespace jsim
+} // namespace supernpu

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Dense LU implementation.
+ */
+
+#include "linalg.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace supernpu {
+namespace jsim {
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols)
+    : _rows(rows), _cols(cols), _data(rows * cols, 0.0)
+{
+}
+
+double &
+DenseMatrix::at(std::size_t r, std::size_t c)
+{
+    SUPERNPU_ASSERT(r < _rows && c < _cols, "matrix index out of range");
+    return _data[r * _cols + c];
+}
+
+double
+DenseMatrix::at(std::size_t r, std::size_t c) const
+{
+    SUPERNPU_ASSERT(r < _rows && c < _cols, "matrix index out of range");
+    return _data[r * _cols + c];
+}
+
+LuFactorization::LuFactorization(const DenseMatrix &matrix)
+    : _size(matrix.rows()), _lu(_size * _size), _perm(_size)
+{
+    SUPERNPU_ASSERT(matrix.rows() == matrix.cols(),
+                    "LU requires a square matrix");
+
+    for (std::size_t r = 0; r < _size; ++r) {
+        _perm[r] = r;
+        for (std::size_t c = 0; c < _size; ++c)
+            _lu[r * _size + c] = matrix.at(r, c);
+    }
+
+    for (std::size_t k = 0; k < _size; ++k) {
+        // Partial pivot: find the largest magnitude in column k.
+        std::size_t pivot = k;
+        double best = std::fabs(_lu[k * _size + k]);
+        for (std::size_t r = k + 1; r < _size; ++r) {
+            const double mag = std::fabs(_lu[r * _size + k]);
+            if (mag > best) {
+                best = mag;
+                pivot = r;
+            }
+        }
+        SUPERNPU_ASSERT(best > 1e-300, "singular matrix in LU");
+        if (pivot != k) {
+            for (std::size_t c = 0; c < _size; ++c)
+                std::swap(_lu[k * _size + c], _lu[pivot * _size + c]);
+            std::swap(_perm[k], _perm[pivot]);
+        }
+        const double diag = _lu[k * _size + k];
+        for (std::size_t r = k + 1; r < _size; ++r) {
+            const double factor = _lu[r * _size + k] / diag;
+            _lu[r * _size + k] = factor;
+            for (std::size_t c = k + 1; c < _size; ++c)
+                _lu[r * _size + c] -= factor * _lu[k * _size + c];
+        }
+    }
+}
+
+void
+LuFactorization::solveInPlace(std::vector<double> &b) const
+{
+    SUPERNPU_ASSERT(b.size() == _size, "rhs size mismatch");
+
+    // Apply permutation.
+    std::vector<double> x(_size);
+    for (std::size_t r = 0; r < _size; ++r)
+        x[r] = b[_perm[r]];
+
+    // Forward substitution (unit lower-triangular).
+    for (std::size_t r = 1; r < _size; ++r) {
+        double acc = x[r];
+        for (std::size_t c = 0; c < r; ++c)
+            acc -= _lu[r * _size + c] * x[c];
+        x[r] = acc;
+    }
+
+    // Back substitution.
+    for (std::size_t ri = _size; ri-- > 0;) {
+        double acc = x[ri];
+        for (std::size_t c = ri + 1; c < _size; ++c)
+            acc -= _lu[ri * _size + c] * x[c];
+        x[ri] = acc / _lu[ri * _size + ri];
+    }
+
+    b = std::move(x);
+}
+
+} // namespace jsim
+} // namespace supernpu

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Minimal dense linear algebra for the circuit simulator: a dense
+ * matrix with LU factorization (partial pivoting) reused across
+ * thousands of time steps.
+ */
+
+#ifndef SUPERNPU_JSIM_LINALG_HH
+#define SUPERNPU_JSIM_LINALG_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace supernpu {
+namespace jsim {
+
+/** Row-major dense square-capable matrix of doubles. */
+class DenseMatrix
+{
+  public:
+    DenseMatrix() = default;
+    /** Construct a rows x cols zero matrix. */
+    DenseMatrix(std::size_t rows, std::size_t cols);
+
+    std::size_t rows() const { return _rows; }
+    std::size_t cols() const { return _cols; }
+
+    /** Mutable element access. */
+    double &at(std::size_t r, std::size_t c);
+    /** Const element access. */
+    double at(std::size_t r, std::size_t c) const;
+
+  private:
+    std::size_t _rows = 0;
+    std::size_t _cols = 0;
+    std::vector<double> _data;
+};
+
+/**
+ * LU factorization with partial pivoting of a square matrix,
+ * factored once and solved many times.
+ */
+class LuFactorization
+{
+  public:
+    /** Factor the given square matrix; panics when singular. */
+    explicit LuFactorization(const DenseMatrix &matrix);
+
+    /** Solve A x = b in place: `b` becomes the solution. */
+    void solveInPlace(std::vector<double> &b) const;
+
+    std::size_t size() const { return _size; }
+
+  private:
+    std::size_t _size = 0;
+    std::vector<double> _lu;        // packed LU factors, row-major
+    std::vector<std::size_t> _perm; // row permutation
+};
+
+} // namespace jsim
+} // namespace supernpu
+
+#endif // SUPERNPU_JSIM_LINALG_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Batch solver implementation.
+ */
+
+#include "batch.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace supernpu {
+namespace npusim {
+
+std::uint64_t
+usableOutputBytes(const estimator::NpuConfig &config,
+                  const dnn::Layer &layer)
+{
+    const std::uint64_t capacity = config.outputSideBytes();
+    if (layer.kind == dnn::LayerKind::DepthwiseConv) {
+        // Depthwise filters cannot share an ifmap stream across
+        // columns: one channel maps at a time, so only one column's
+        // output-buffer row is in use per mapping.
+        return capacity / (std::uint64_t)config.peWidth;
+    }
+    // Fig. 18(b): with K filters on a W-wide array, only
+    // min(K, W) / W of the output buffer rows ever receive data.
+    const int active = std::min(layer.outChannels, config.peWidth);
+    return capacity * (std::uint64_t)active /
+           (std::uint64_t)config.peWidth;
+}
+
+namespace {
+
+/** Output bytes the batch constraint compares against: per channel
+ *  for depthwise (channels map serially), per image otherwise. */
+std::uint64_t
+outputBytesPerImage(const dnn::Layer &layer)
+{
+    if (layer.kind == dnn::LayerKind::DepthwiseConv)
+        return layer.ofmapBytes() / (std::uint64_t)layer.outChannels;
+    return layer.ofmapBytes();
+}
+
+} // namespace
+
+int
+maxIfmapBatch(const estimator::NpuConfig &config,
+              const estimator::NpuEstimate &estimate,
+              const dnn::Layer &layer)
+{
+    const std::uint64_t per_image = layer.ifmapBytes();
+    if (per_image == 0)
+        return batchCap;
+
+    if (config.ifmapDivision <= 1) {
+        // One buffer row per input channel: every channel's batch of
+        // data must fit within a single row (Fig. 18(c)).
+        const std::uint64_t channel_bytes =
+            (std::uint64_t)layer.inHeight * layer.inWidth;
+        const std::uint64_t row_bytes =
+            estimate.ifmapRowLength * (std::uint64_t)config.bitWidth / 8;
+        return (int)(row_bytes / std::max<std::uint64_t>(channel_bytes, 1));
+    }
+
+    // Divided buffer: chunk-granular allocation uses the whole
+    // capacity regardless of the channel count.
+    return (int)(config.ifmapBufferBytes / per_image);
+}
+
+int
+maxBatch(const estimator::NpuConfig &config,
+         const estimator::NpuEstimate &estimate,
+         const dnn::Network &network)
+{
+    int batch = batchCap;
+    for (const auto &layer : network.layers) {
+        const std::uint64_t out_bytes = outputBytesPerImage(layer);
+        if (out_bytes > 0) {
+            const std::uint64_t usable = usableOutputBytes(config, layer);
+            batch = std::min<int>(batch, (int)(usable / out_bytes));
+        }
+        batch = std::min(batch, maxIfmapBatch(config, estimate, layer));
+        if (batch <= 1)
+            break;
+    }
+    return std::clamp(batch, 1, batchCap);
+}
+
+int
+maxBatchUnified(std::uint64_t buffer_bytes, const dnn::Network &network)
+{
+    const std::uint64_t largest = network.maxLayerIoBytes();
+    SUPERNPU_ASSERT(largest > 0, "network with empty layers");
+    const int batch = (int)(buffer_bytes / largest);
+    return std::max(batch, 1);
+}
+
+} // namespace npusim
+} // namespace supernpu

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Maximum-batch solver (the paper's Table II policy): the largest
+ * input batch whose per-layer working set the on-chip buffers can
+ * hold without additional off-chip memory accesses, accounting for
+ * the buffer-underutilization rules of Fig. 18.
+ */
+
+#ifndef SUPERNPU_NPUSIM_BATCH_HH
+#define SUPERNPU_NPUSIM_BATCH_HH
+
+#include "dnn/layer.hh"
+#include "estimator/npu_estimator.hh"
+
+namespace supernpu {
+namespace npusim {
+
+/** Cap the solver applies (the paper evaluates at most batch 30). */
+constexpr int batchCap = 30;
+
+/**
+ * Usable output-side buffer bytes for one layer: when the layer has
+ * fewer filters than the PE array is wide, the unused array columns'
+ * output buffer rows are stranded (Fig. 18(b)).
+ */
+std::uint64_t usableOutputBytes(const estimator::NpuConfig &config,
+                                const dnn::Layer &layer);
+
+/**
+ * Largest batch of one layer's ifmap data the ifmap buffer can hold.
+ * Undivided buffers dedicate one row per input channel, stranding
+ * capacity when channels are few or rows overflow (Fig. 18(c));
+ * divided buffers allocate at chunk granularity.
+ */
+int maxIfmapBatch(const estimator::NpuConfig &config,
+                  const estimator::NpuEstimate &estimate,
+                  const dnn::Layer &layer);
+
+/**
+ * The Table II batch for an SFQ NPU configuration: the largest batch
+ * every layer of the network can hold on-chip, clamped to
+ * [1, batchCap]. A result of 1 may still imply off-chip re-streaming
+ * for layers that do not fit even one image (the Baseline case).
+ */
+int maxBatch(const estimator::NpuConfig &config,
+             const estimator::NpuEstimate &estimate,
+             const dnn::Network &network);
+
+/**
+ * The Table II batch for a unified-buffer CMOS NPU (the TPU column):
+ * buffer bytes divided by the largest layer's ifmap+ofmap footprint.
+ */
+int maxBatchUnified(std::uint64_t buffer_bytes,
+                    const dnn::Network &network);
+
+} // namespace npusim
+} // namespace supernpu
+
+#endif // SUPERNPU_NPUSIM_BATCH_HH

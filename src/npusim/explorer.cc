@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Design-space explorer implementation.
+ */
+
+#include "explorer.hh"
+
+#include <algorithm>
+
+#include "batch.hh"
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "estimator/design_rules.hh"
+#include "sim.hh"
+
+namespace supernpu {
+namespace npusim {
+
+const char *
+objectiveName(Objective objective)
+{
+    switch (objective) {
+      case Objective::Throughput:
+        return "throughput";
+      case Objective::PerfPerWatt:
+        return "perf/W";
+      case Objective::PerfPerArea:
+        return "perf/area";
+    }
+    panic("unknown objective");
+}
+
+DesignSpaceExplorer::DesignSpaceExplorer(
+    const sfq::CellLibrary &lib, std::vector<dnn::Network> workloads)
+    : _lib(lib), _workloads(std::move(workloads))
+{
+    SUPERNPU_ASSERT(!_workloads.empty(), "no workloads to score");
+}
+
+estimator::NpuConfig
+DesignSpaceExplorer::makeConfig(int width, int division, int regs,
+                                int buffer_mb)
+{
+    estimator::NpuConfig config;
+    config.name = "w" + std::to_string(width) + "/d" +
+                  std::to_string(division) + "/r" +
+                  std::to_string(regs);
+    config.peWidth = width;
+    config.peHeight = 256;
+    config.integratedOutputBuffer = true;
+    const std::uint64_t half =
+        (std::uint64_t)buffer_mb / 2 * units::MiB;
+    config.ifmapBufferBytes = half;
+    config.outputBufferBytes =
+        (std::uint64_t)buffer_mb * units::MiB - half;
+    config.ifmapDivision = std::min(division, 64);
+    config.outputDivision = division;
+    config.regsPerPe = regs;
+    config.weightBufferBytes =
+        (std::uint64_t)width * 256 * (std::uint64_t)regs;
+    return config;
+}
+
+std::vector<Candidate>
+DesignSpaceExplorer::explore(const ExplorationSpace &space,
+                             Objective objective) const
+{
+    SUPERNPU_ASSERT(space.widths.size() ==
+                        space.bufferMbForWidth.size(),
+                    "bufferMbForWidth must parallel widths");
+
+    estimator::NpuEstimator npu_estimator(_lib);
+    std::vector<Candidate> candidates;
+
+    for (std::size_t w = 0; w < space.widths.size(); ++w) {
+        for (int division : space.divisions) {
+            for (int regs : space.regsPerPe) {
+                Candidate cand;
+                cand.config =
+                    makeConfig(space.widths[w], division, regs,
+                               space.bufferMbForWidth[w]);
+                const auto est =
+                    npu_estimator.estimate(cand.config);
+                cand.areaMm2 = est.areaMm2;
+
+                const auto findings = estimator::checkDesignRules(
+                    cand.config, est);
+                if (!estimator::designIsOperable(findings)) {
+                    cand.operable = false;
+                    for (const auto &finding : findings) {
+                        if (finding.severity ==
+                            estimator::RuleSeverity::Error) {
+                            cand.note = finding.message;
+                            break;
+                        }
+                    }
+                    candidates.push_back(std::move(cand));
+                    continue;
+                }
+
+                NpuSimulator sim(est);
+                double dynamic = 0.0;
+                for (const auto &net : _workloads) {
+                    const int batch =
+                        maxBatch(cand.config, est, net);
+                    const auto run = sim.run(net, batch);
+                    cand.avgMacPerSec +=
+                        run.effectiveMacPerSec() /
+                        (double)_workloads.size();
+                    dynamic += power::analyze(est, run).dynamicW /
+                               (double)_workloads.size();
+                }
+                cand.chipPowerW = est.staticPowerW + dynamic;
+
+                switch (objective) {
+                  case Objective::Throughput:
+                    cand.score = cand.avgMacPerSec;
+                    break;
+                  case Objective::PerfPerWatt:
+                    cand.score = cand.avgMacPerSec / cand.chipPowerW;
+                    break;
+                  case Objective::PerfPerArea:
+                    cand.score = cand.avgMacPerSec / cand.areaMm2;
+                    break;
+                }
+                candidates.push_back(std::move(cand));
+            }
+        }
+    }
+
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Candidate &a, const Candidate &b) {
+                         if (a.operable != b.operable)
+                             return a.operable;
+                         return a.score > b.score;
+                     });
+    return candidates;
+}
+
+} // namespace npusim
+} // namespace supernpu

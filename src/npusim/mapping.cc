@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Weight-mapping plan construction.
+ */
+
+#include "mapping.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace supernpu {
+namespace npusim {
+
+namespace {
+
+std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace
+
+MappingPlan
+MappingPlan::build(const dnn::Layer &layer,
+                   const estimator::NpuConfig &config)
+{
+    layer.check();
+    config.check();
+
+    MappingPlan plan;
+    plan.depthwise = layer.kind == dnn::LayerKind::DepthwiseConv;
+
+    const std::uint64_t array_w = (std::uint64_t)config.peWidth;
+    const std::uint64_t array_h = (std::uint64_t)config.peHeight;
+    const std::uint64_t regs = (std::uint64_t)config.regsPerPe;
+
+    const std::uint64_t filter_len = layer.weightsPerFilter();
+    const std::uint64_t num_filters =
+        plan.depthwise ? (std::uint64_t)layer.inChannels
+                       : (std::uint64_t)layer.outChannels;
+    const std::uint64_t filters_per_mapping =
+        plan.depthwise ? 1 : array_w * regs;
+
+    plan.rowFolds = ceilDiv(filter_len, array_h);
+    plan.colFolds = ceilDiv(num_filters, filters_per_mapping);
+    plan.mappings.reserve(plan.rowFolds * plan.colFolds);
+
+    for (std::uint64_t c = 0; c < plan.colFolds; ++c) {
+        const std::uint64_t active_filters =
+            std::min(num_filters - c * filters_per_mapping,
+                     filters_per_mapping);
+        for (std::uint64_t r = 0; r < plan.rowFolds; ++r) {
+            WeightMapping mapping;
+            mapping.colFold = c;
+            mapping.rowFold = r;
+            mapping.activeRows =
+                std::min(filter_len - r * array_h, array_h);
+            mapping.activeFilters = active_filters;
+            mapping.activeCols =
+                plan.depthwise ? 1
+                               : std::min(active_filters, array_w);
+            mapping.regsUsed =
+                plan.depthwise ? 1
+                               : ceilDiv(active_filters, array_w);
+            plan.mappings.push_back(mapping);
+        }
+    }
+    return plan;
+}
+
+std::uint64_t
+MappingPlan::totalWeightBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &mapping : mappings) {
+        // Only the truly resident filters carry weights; the last
+        // column fold's final register bank may be partial.
+        total += mapping.activeRows * mapping.activeFilters;
+    }
+    return total;
+}
+
+std::uint64_t
+MappingPlan::totalMacs(std::uint64_t positions,
+                       std::uint64_t batch) const
+{
+    std::uint64_t total = 0;
+    for (const auto &mapping : mappings) {
+        total += positions * batch * mapping.activeRows *
+                 mapping.activeFilters;
+    }
+    return total;
+}
+
+} // namespace npusim
+} // namespace supernpu

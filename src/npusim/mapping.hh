@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Weight-mapping generation — the first stage of the paper's Fig. 14
+ * simulator pipeline ("the simulator analyzes all required weight
+ * mappings"). A layer's filters fold over the PE array: the R*S*C
+ * weights of one filter tile down the array height (row folds), and
+ * filters spread across width * registers columns (column folds).
+ *
+ * The cycle simulator consumes the plan mapping by mapping; the plan
+ * itself carries enough information to verify global conservation
+ * properties (every weight mapped exactly once, every MAC covered).
+ */
+
+#ifndef SUPERNPU_NPUSIM_MAPPING_HH
+#define SUPERNPU_NPUSIM_MAPPING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dnn/layer.hh"
+#include "estimator/npu_config.hh"
+
+namespace supernpu {
+namespace npusim {
+
+/** One stationary-weight residency of the PE array. */
+struct WeightMapping
+{
+    std::uint64_t colFold = 0; ///< filter-group index
+    std::uint64_t rowFold = 0; ///< filter-depth tile index
+
+    std::uint64_t activeRows = 0;    ///< occupied PE rows
+    std::uint64_t activeFilters = 0; ///< filters resident (regs incl.)
+    std::uint64_t activeCols = 0;    ///< occupied PE columns
+    std::uint64_t regsUsed = 0;      ///< weight registers in use
+
+    /** Weights loaded for this mapping, bytes (8-bit weights). */
+    std::uint64_t weightBytes() const
+    {
+        return activeRows * activeCols * regsUsed;
+    }
+
+    /** First tile of each filter group (no psums to re-inject). */
+    bool firstRowFold() const { return rowFold == 0; }
+    /** First filter group (the ifmap's first use this layer). */
+    bool firstColFold() const { return colFold == 0; }
+};
+
+/** The complete mapping sequence for one layer on one array. */
+struct MappingPlan
+{
+    std::uint64_t rowFolds = 0;
+    std::uint64_t colFolds = 0;
+    bool depthwise = false;
+    std::vector<WeightMapping> mappings; ///< column-major order
+
+    /** Build the plan for a layer on an architecture. */
+    static MappingPlan build(const dnn::Layer &layer,
+                             const estimator::NpuConfig &config);
+
+    /** Total weight bytes across the plan (== the layer's weights). */
+    std::uint64_t totalWeightBytes() const;
+
+    /**
+     * MACs the plan executes for `positions` output positions and a
+     * batch (== layer.macCount() * batch when the plan is sound).
+     */
+    std::uint64_t totalMacs(std::uint64_t positions,
+                            std::uint64_t batch) const;
+};
+
+} // namespace npusim
+} // namespace supernpu
+
+#endif // SUPERNPU_NPUSIM_MAPPING_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * SimResult derived metrics.
+ */
+
+#include "result.hh"
+
+#include "common/logging.hh"
+
+namespace supernpu {
+namespace npusim {
+
+void
+PrepBreakdown::add(const PrepBreakdown &other)
+{
+    weightLoad += other.weightLoad;
+    ifmapFill += other.ifmapFill;
+    ifmapRewind += other.ifmapRewind;
+    psumMove += other.psumMove;
+    outputFlush += other.outputFlush;
+    outputHandoff += other.outputHandoff;
+}
+
+double
+SimResult::seconds() const
+{
+    SUPERNPU_ASSERT(frequencyGhz > 0, "result has no frequency");
+    return (double)totalCycles / (frequencyGhz * 1e9);
+}
+
+double
+SimResult::effectiveMacPerSec() const
+{
+    const double s = seconds();
+    return s > 0 ? (double)macOps / s : 0.0;
+}
+
+double
+SimResult::peUtilization(int pe_count) const
+{
+    SUPERNPU_ASSERT(pe_count > 0, "bad PE count");
+    if (totalCycles == 0)
+        return 0.0;
+    return (double)macOps / ((double)totalCycles * (double)pe_count);
+}
+
+double
+SimResult::preparationFraction() const
+{
+    if (totalCycles == 0)
+        return 0.0;
+    return (double)(prepCycles + memoryStallCycles) / (double)totalCycles;
+}
+
+} // namespace npusim
+} // namespace supernpu

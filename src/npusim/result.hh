@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Result records of the SFQ-NPU cycle-level performance simulator.
+ */
+
+#ifndef SUPERNPU_NPUSIM_RESULT_HH
+#define SUPERNPU_NPUSIM_RESULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace supernpu {
+namespace npusim {
+
+/**
+ * Categorized preparation cycles (the paper's Fig. 14 trace/stall
+ * analyzers): every prep cycle the simulator charges lands in
+ * exactly one of these buckets.
+ */
+struct PrepBreakdown
+{
+    std::uint64_t weightLoad = 0;   ///< DRAM->weight buffer->array
+    std::uint64_t ifmapFill = 0;    ///< first-use buffer fills
+    std::uint64_t ifmapRewind = 0;  ///< reuse recirculation
+    std::uint64_t psumMove = 0;     ///< inter/intra output-buffer moves
+    std::uint64_t outputFlush = 0;  ///< forced drains to DRAM
+    std::uint64_t outputHandoff = 0;///< on-chip layer-to-layer moves
+
+    /** Sum of every bucket. */
+    std::uint64_t total() const
+    {
+        return weightLoad + ifmapFill + ifmapRewind + psumMove +
+               outputFlush + outputHandoff;
+    }
+
+    /** Accumulate another breakdown. */
+    void add(const PrepBreakdown &other);
+};
+
+/** Cycle and activity accounting for one layer. */
+struct LayerResult
+{
+    std::string layerName;
+
+    std::uint64_t computeCycles = 0; ///< PE array streaming cycles
+    std::uint64_t prepCycles = 0;    ///< buffer fill/move/drain/weights
+    std::uint64_t memoryStallCycles = 0; ///< DRAM-bandwidth exposed
+    PrepBreakdown prep;              ///< categorized prep cycles
+
+    std::uint64_t macOps = 0;        ///< MACs executed (batch included)
+    std::uint64_t weightMappings = 0;///< mappings this layer needed
+    std::uint64_t dramBytes = 0;     ///< off-chip traffic
+    /** The layer's outputs stayed on chip for the next layer. */
+    bool outputOnChip = false;
+
+    // Activity counters for the power model.
+    std::uint64_t ifmapShiftChunkCycles = 0; ///< chunk-shift events
+    std::uint64_t outputShiftChunkCycles = 0;
+    std::uint64_t dauWordsForwarded = 0;
+    std::uint64_t nwHops = 0;
+
+    /** All cycles of this layer. */
+    std::uint64_t totalCycles() const
+    {
+        return computeCycles + prepCycles + memoryStallCycles;
+    }
+};
+
+/** Whole-network simulation result. */
+struct SimResult
+{
+    std::string networkName;
+    std::string configName;
+    int batch = 1;
+    double frequencyGhz = 0.0;
+
+    std::vector<LayerResult> layers;
+
+    std::uint64_t totalCycles = 0;
+    std::uint64_t computeCycles = 0;
+    std::uint64_t prepCycles = 0;
+    std::uint64_t memoryStallCycles = 0;
+    PrepBreakdown prep;
+    std::uint64_t macOps = 0;
+    std::uint64_t dramBytes = 0;
+
+    std::uint64_t ifmapShiftChunkCycles = 0;
+    std::uint64_t outputShiftChunkCycles = 0;
+    std::uint64_t dauWordsForwarded = 0;
+    std::uint64_t nwHops = 0;
+
+    /** Wall-clock seconds for the whole batch. */
+    double seconds() const;
+    /** Effective throughput, MAC/s. */
+    double effectiveMacPerSec() const;
+    /** Effective MACs per cycle divided by the PE count. */
+    double peUtilization(int pe_count) const;
+    /** Fraction of cycles spent outside computation. */
+    double preparationFraction() const;
+};
+
+} // namespace npusim
+} // namespace supernpu
+
+#endif // SUPERNPU_NPUSIM_RESULT_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Trace recorder implementation.
+ */
+
+#include "trace.hh"
+
+#include <cstdio>
+
+namespace supernpu {
+namespace npusim {
+
+void
+TraceRecorder::record(MappingTraceEvent event)
+{
+    _events.push_back(std::move(event));
+}
+
+std::string
+TraceRecorder::csv() const
+{
+    std::string out =
+        "layer,col_fold,row_fold,weight_load,ifmap_fill,ifmap_rewind,"
+        "psum_move,compute,stall,macs\n";
+    char line[256];
+    for (const auto &e : _events) {
+        std::snprintf(line, sizeof(line),
+                      "%s,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
+                      "%llu\n",
+                      e.layer.c_str(),
+                      (unsigned long long)e.colFold,
+                      (unsigned long long)e.rowFold,
+                      (unsigned long long)e.weightLoadCycles,
+                      (unsigned long long)e.ifmapFillCycles,
+                      (unsigned long long)e.ifmapRewindCycles,
+                      (unsigned long long)e.psumMoveCycles,
+                      (unsigned long long)e.computeCycles,
+                      (unsigned long long)e.stallCycles,
+                      (unsigned long long)e.macOps);
+        out += line;
+    }
+    return out;
+}
+
+} // namespace npusim
+} // namespace supernpu

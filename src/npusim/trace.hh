@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Per-mapping execution trace — the paper's Fig. 14 "access trace
+ * analyzer" as a recordable artifact: one event per weight mapping
+ * with its categorized cycle costs, exportable as CSV for external
+ * tooling.
+ */
+
+#ifndef SUPERNPU_NPUSIM_TRACE_HH
+#define SUPERNPU_NPUSIM_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace supernpu {
+namespace npusim {
+
+/** One weight-mapping residency's costs. */
+struct MappingTraceEvent
+{
+    std::string layer;
+    std::uint64_t colFold = 0;
+    std::uint64_t rowFold = 0;
+
+    std::uint64_t weightLoadCycles = 0;
+    std::uint64_t ifmapFillCycles = 0;
+    std::uint64_t ifmapRewindCycles = 0;
+    std::uint64_t psumMoveCycles = 0;
+    std::uint64_t computeCycles = 0;
+    std::uint64_t stallCycles = 0;
+    std::uint64_t macOps = 0;
+
+    /** All cycles of the mapping. */
+    std::uint64_t totalCycles() const
+    {
+        return weightLoadCycles + ifmapFillCycles + ifmapRewindCycles +
+               psumMoveCycles + computeCycles + stallCycles;
+    }
+};
+
+/** Collects mapping events during a simulation. */
+class TraceRecorder
+{
+  public:
+    /** Append one event. */
+    void record(MappingTraceEvent event);
+
+    /** Recorded events in execution order. */
+    const std::vector<MappingTraceEvent> &events() const
+    {
+        return _events;
+    }
+
+    /** Drop all recorded events. */
+    void clear() { _events.clear(); }
+
+    /** Render as CSV with a header row. */
+    std::string csv() const;
+
+  private:
+    std::vector<MappingTraceEvent> _events;
+};
+
+} // namespace npusim
+} // namespace supernpu
+
+#endif // SUPERNPU_NPUSIM_TRACE_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Power aggregation implementation.
+ */
+
+#include "power.hh"
+
+#include "common/logging.hh"
+
+namespace supernpu {
+namespace power {
+
+PowerReport
+analyze(const estimator::NpuEstimate &estimate,
+        const npusim::SimResult &run)
+{
+    PowerReport report;
+    report.staticW = estimate.staticPowerW;
+
+    const double seconds = run.seconds();
+    SUPERNPU_ASSERT(seconds > 0, "zero-length run");
+
+    const double pe_energy = (double)run.macOps * estimate.peMacEnergyJ;
+    const double buffer_energy =
+        (double)run.ifmapShiftChunkCycles *
+            estimate.ifmapChunkShiftEnergyJ +
+        (double)run.outputShiftChunkCycles *
+            estimate.outputChunkShiftEnergyJ;
+    const double dau_energy =
+        (double)run.dauWordsForwarded * estimate.dauForwardEnergyJ;
+    const double nw_energy = (double)run.nwHops * estimate.nwHopEnergyJ;
+
+    report.dynamicPeW = pe_energy / seconds;
+    report.dynamicBufferW = buffer_energy / seconds;
+    report.dynamicDauW = dau_energy / seconds;
+    report.dynamicNwW = nw_energy / seconds;
+    report.dynamicW = report.dynamicPeW + report.dynamicBufferW +
+                      report.dynamicDauW + report.dynamicNwW;
+    return report;
+}
+
+double
+perfPerWatt(double mac_per_sec, double watts)
+{
+    SUPERNPU_ASSERT(watts > 0, "non-positive power");
+    return mac_per_sec / watts;
+}
+
+} // namespace power
+} // namespace supernpu

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Chip power aggregation and cryogenic cooling model (Section VI-C,
+ * Table III): static power from the estimator, dynamic power from
+ * the performance simulator's activity counters, and the 400x
+ * cooling overhead for operation at 4 K (Holmes et al.).
+ */
+
+#ifndef SUPERNPU_POWER_POWER_HH
+#define SUPERNPU_POWER_POWER_HH
+
+#include "estimator/npu_estimator.hh"
+#include "npusim/result.hh"
+
+namespace supernpu {
+namespace power {
+
+/** Watts of cooling per watt dissipated at 4 K. */
+constexpr double coolingFactor = 400.0;
+
+/** Power breakdown of one simulated workload on one NPU instance. */
+struct PowerReport
+{
+    double staticW = 0.0;
+    double dynamicW = 0.0;
+
+    // Per-unit dynamic components (they sum to dynamicW).
+    double dynamicPeW = 0.0;     ///< MAC datapaths
+    double dynamicBufferW = 0.0; ///< shift-register chunk activity
+    double dynamicDauW = 0.0;    ///< alignment-unit forwarding
+    double dynamicNwW = 0.0;     ///< systolic edge network
+
+    /** Chip power (static + dynamic). */
+    double chipW() const { return staticW + dynamicW; }
+    /** Cooling power drawn at room temperature. */
+    double coolingW() const { return chipW() * coolingFactor; }
+    /** Chip + cooling. */
+    double totalWithCoolingW() const { return chipW() + coolingW(); }
+};
+
+/**
+ * Aggregate a simulation run into a power report: dynamic energy is
+ * the sum over the run's activity counters weighted by the
+ * estimator's per-event energies, divided by the run's wall time.
+ */
+PowerReport analyze(const estimator::NpuEstimate &estimate,
+                    const npusim::SimResult &run);
+
+/** Performance per watt, MAC/s/W. */
+double perfPerWatt(double mac_per_sec, double watts);
+
+} // namespace power
+} // namespace supernpu
+
+#endif // SUPERNPU_POWER_POWER_HH

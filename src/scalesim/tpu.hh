@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Cycle-level model of the paper's comparator: a TPU-core-class CMOS
+ * NPU (256 x 256 weight-stationary systolic array, 0.7 GHz, 24 MB
+ * unified buffer, 300 GB/s HBM). The paper evaluates it with
+ * SCALE-Sim; this module implements the equivalent timing model:
+ * per-tile systolic fill/stream/drain cycles with a bandwidth
+ * roofline on the layer's DRAM traffic.
+ */
+
+#ifndef SUPERNPU_SCALESIM_TPU_HH
+#define SUPERNPU_SCALESIM_TPU_HH
+
+#include <cstdint>
+
+#include "dnn/layer.hh"
+#include "npusim/result.hh"
+
+namespace supernpu {
+namespace scalesim {
+
+/** Systolic dataflow options (SCALE-Sim's WS and OS modes). */
+enum class TpuDataflow
+{
+    WeightStationary, ///< weights resident; the TPU's (and paper's) choice
+    OutputStationary, ///< outputs resident; operands both stream
+};
+
+/** CMOS comparator configuration (Table I's TPU column). */
+struct TpuConfig
+{
+    int arrayWidth = 256;
+    int arrayHeight = 256;
+    double frequencyGhz = 0.7;
+    std::uint64_t unifiedBufferBytes = 24ull * 1024 * 1024;
+    double memoryBandwidth = 300e9; ///< bytes per second
+    double averagePowerW = 40.0;    ///< Jouppi et al. average
+    TpuDataflow dataflow = TpuDataflow::WeightStationary;
+
+    /** Peak throughput, MAC/s. */
+    double peakMacPerSec() const;
+};
+
+/** SCALE-Sim-style weight-stationary timing model. */
+class TpuSimulator
+{
+  public:
+    explicit TpuSimulator(const TpuConfig &config);
+
+    /** Simulate one layer at a batch size. */
+    npusim::LayerResult simulateLayer(const dnn::Layer &layer,
+                                      int batch) const;
+
+    /** Simulate a whole network. */
+    npusim::SimResult run(const dnn::Network &network, int batch) const;
+
+    const TpuConfig &config() const { return _config; }
+
+  private:
+    TpuConfig _config;
+};
+
+} // namespace scalesim
+} // namespace supernpu
+
+#endif // SUPERNPU_SCALESIM_TPU_HH

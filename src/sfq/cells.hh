@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Reconstructed RSFQ standard-cell library for the AIST 1.0 um
+ * process (the paper's Nb 9-layer process, Nagasawa et al.).
+ *
+ * The paper publishes two anchor cells extracted with JSIM:
+ *
+ *     gate   delay    static power   dynamic energy
+ *     AND    8.3 ps   3.6 uW         1.4 aJ
+ *     XOR    6.5 ps   3.0 uW         1.4 aJ
+ *
+ * plus the process-wide bias conditions (2.5 mV, 70 uA per JJ). The
+ * remaining cells are reconstructed from published RSFQ cell
+ * libraries for comparable Nb processes, scaled so that the composite
+ * units reproduce the paper's unit-level results (52.6 GHz NPU clock,
+ * 66/30 GHz full adder, 133/71 GHz shift register; see
+ * tests/test_sfq.cc and bench/fig07_feedback).
+ */
+
+#ifndef SUPERNPU_SFQ_CELLS_HH
+#define SUPERNPU_SFQ_CELLS_HH
+
+#include <cstddef>
+
+#include "device.hh"
+
+namespace supernpu {
+namespace sfq {
+
+/** Cell kinds modeled by the library. */
+enum class GateKind
+{
+    DFF,      ///< clocked delay flip-flop (also the shift-reg bit)
+    AND,      ///< clocked 2-input AND
+    OR,       ///< clocked 2-input OR
+    XOR,      ///< clocked 2-input XOR
+    NOT,      ///< clocked inverter
+    TFF,      ///< toggle flip-flop (frequency divider)
+    NDRO,     ///< non-destructive readout cell (register bit)
+    DFF_BYPASS, ///< DAU special DFF with a bypass path
+    DCSFQ,    ///< DC-to-SFQ input converter (chip input pad)
+    SFQDC,    ///< SFQ-to-DC output amplifier (chip output pad)
+    CLKGEN,   ///< on-chip clock generator (JJ ring oscillator)
+    SPLITTER, ///< asynchronous 1-to-2 pulse splitter
+    MERGER,   ///< asynchronous confluence buffer (2-to-1)
+    JTL,      ///< asynchronous transmission-line stage
+    COUNT,    ///< number of kinds (bookkeeping)
+};
+
+/** Human-readable gate name. */
+const char *gateName(GateKind kind);
+
+/** Per-gate parameters at the library's native 1.0 um node. */
+struct GateParams
+{
+    /** Clock-to-output delay for clocked cells, input-to-output for
+     *  asynchronous cells (ps). */
+    double delay = 0.0;
+    /** Data setup time before the clock pulse (ps); 0 when async. */
+    double setupTime = 0.0;
+    /** Data hold requirement after the clock pulse (ps). */
+    double holdTime = 0.0;
+    /** Physical junction count (area accounting). */
+    std::size_t jjCount = 0;
+    /**
+     * Effective number of biased junctions for static power; may be
+     * fractional where the paper's published static power implies a
+     * non-integer multiple of the per-JJ bias.
+     */
+    double biasJjEquivalent = 0.0;
+    /** Average dynamic energy per access at RSFQ biasing (aJ). */
+    double accessEnergyAj = 0.0;
+};
+
+/**
+ * The cell library: gate parameters after applying the device
+ * config's technology and feature-size scaling.
+ */
+class CellLibrary
+{
+  public:
+    /** Build the library for a device configuration. */
+    explicit CellLibrary(const DeviceConfig &device);
+
+    /** Scaled parameters of one gate kind. */
+    const GateParams &gate(GateKind kind) const;
+
+    /** Static power of one instance of a gate kind, watts. */
+    double staticPower(GateKind kind) const;
+
+    /** Dynamic energy of one access of a gate kind, joules. */
+    double accessEnergy(GateKind kind) const;
+
+    /** Layout area of one instance of a gate kind, mm^2. */
+    double area(GateKind kind) const;
+
+    /** Static power of a composite block given its JJ count, watts. */
+    double staticPowerPerJj() const;
+
+    /**
+     * Layout area per junction for random logic, wiring included,
+     * mm^2. Calibrated against the paper's Table I areas.
+     */
+    double areaPerJj() const;
+
+    /**
+     * Layout area per junction inside dense shift-register memory
+     * arrays, mm^2. Memory bit-slices tile ~3x denser than random
+     * logic (abutted cells, no PTL routing channels).
+     */
+    double memoryAreaPerJj() const;
+
+    /** The device configuration the library was built for. */
+    const DeviceConfig &device() const { return _device; }
+
+  private:
+    DeviceConfig _device;
+    GateParams _gates[(std::size_t)GateKind::COUNT];
+};
+
+} // namespace sfq
+} // namespace supernpu
+
+#endif // SUPERNPU_SFQ_CELLS_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Clock-tree model implementation.
+ */
+
+#include "clock_tree.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace supernpu {
+namespace sfq {
+
+namespace {
+/** Per-level timing mismatch (device spread), ps at 1.0 um. */
+constexpr double perLevelMismatchPs = 0.25;
+} // namespace
+
+ClockTreeModel::ClockTreeModel(const CellLibrary &lib,
+                               std::uint64_t sinks,
+                               double jtl_per_branch)
+    : _lib(lib), _sinks(sinks), _jtlPerBranch(jtl_per_branch)
+{
+    SUPERNPU_ASSERT(sinks >= 1, "clock tree needs at least one sink");
+    SUPERNPU_ASSERT(jtl_per_branch >= 0, "bad branch length");
+}
+
+int
+ClockTreeModel::depth() const
+{
+    if (_sinks <= 1)
+        return 0;
+    return (int)std::ceil(std::log2((double)_sinks));
+}
+
+std::uint64_t
+ClockTreeModel::splitterCount() const
+{
+    return _sinks - 1;
+}
+
+std::uint64_t
+ClockTreeModel::jjCount() const
+{
+    const std::uint64_t splitter_jj =
+        splitterCount() * _lib.gate(GateKind::SPLITTER).jjCount;
+    // Each splitter output drives a JTL run to the next level.
+    const double jtl_jj = (double)(2 * splitterCount()) *
+                          _jtlPerBranch *
+                          (double)_lib.gate(GateKind::JTL).jjCount;
+    return splitter_jj + (std::uint64_t)jtl_jj;
+}
+
+double
+ClockTreeModel::staticPower() const
+{
+    return (double)jjCount() * _lib.staticPowerPerJj();
+}
+
+double
+ClockTreeModel::tickEnergy() const
+{
+    const double splitter_energy =
+        (double)splitterCount() * _lib.accessEnergy(GateKind::SPLITTER);
+    const double jtl_energy = (double)(2 * splitterCount()) *
+                              _jtlPerBranch *
+                              _lib.accessEnergy(GateKind::JTL);
+    return splitter_energy + jtl_energy;
+}
+
+double
+ClockTreeModel::dynamicPower(double frequency_ghz) const
+{
+    SUPERNPU_ASSERT(frequency_ghz > 0, "bad frequency");
+    return tickEnergy() * frequency_ghz * 1e9;
+}
+
+double
+ClockTreeModel::insertionDelayPs() const
+{
+    const double per_level =
+        _lib.gate(GateKind::SPLITTER).delay +
+        _jtlPerBranch * _lib.gate(GateKind::JTL).delay;
+    return per_level * (double)depth();
+}
+
+double
+ClockTreeModel::accumulatedSkewPs() const
+{
+    // Independent per-level mismatches between two leaf paths add in
+    // quadrature over 2 * depth branch segments.
+    const double scaled =
+        perLevelMismatchPs * _lib.device().timingScale();
+    return scaled * std::sqrt(2.0 * (double)depth());
+}
+
+} // namespace sfq
+} // namespace supernpu

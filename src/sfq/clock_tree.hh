@@ -1,0 +1,77 @@
+/**
+ * @file
+ * SFQ clock distribution network model.
+ *
+ * Every clocked SFQ gate consumes one clock pulse per cycle, so the
+ * clock source fans out through a binary splitter tree to every gate
+ * in the design — a major structural difference from CMOS clock
+ * distribution (there is no "wire" that many loads can share; each
+ * branch is an active splitter). This model sizes that tree: JJ
+ * count, per-cycle switching energy (the clock network fires every
+ * cycle regardless of data), insertion delay, and the accumulated
+ * skew between leaves, which feeds the Eq. (1) delta_t budget.
+ */
+
+#ifndef SUPERNPU_SFQ_CLOCK_TREE_HH
+#define SUPERNPU_SFQ_CLOCK_TREE_HH
+
+#include <cstdint>
+
+#include "cells.hh"
+
+namespace supernpu {
+namespace sfq {
+
+/** Splitter-tree clock network for a given number of sinks. */
+class ClockTreeModel
+{
+  public:
+    /**
+     * @param lib The scaled cell library.
+     * @param sinks Clocked gates to reach (one leaf each).
+     * @param jtl_per_branch JTL stages between consecutive splitter
+     *        levels (routing distance).
+     */
+    ClockTreeModel(const CellLibrary &lib, std::uint64_t sinks,
+                   double jtl_per_branch = 2.0);
+
+    /** Tree depth in splitter levels. */
+    int depth() const;
+
+    /** Splitters in the tree (sinks - 1 for a binary tree). */
+    std::uint64_t splitterCount() const;
+
+    /** Total junction count (splitters + branch JTLs). */
+    std::uint64_t jjCount() const;
+
+    /** Static power of the network, watts. */
+    double staticPower() const;
+
+    /**
+     * Energy of one clock tick: every splitter and JTL in the tree
+     * switches once per cycle, data or no data. Joules.
+     */
+    double tickEnergy() const;
+
+    /** Dynamic power at a clock frequency, watts. */
+    double dynamicPower(double frequency_ghz) const;
+
+    /** Source-to-leaf insertion delay, ps. */
+    double insertionDelayPs() const;
+
+    /**
+     * Worst-case leaf-to-leaf skew, ps: per-level device mismatch
+     * accumulates as a random walk over the tree depth.
+     */
+    double accumulatedSkewPs() const;
+
+  private:
+    const CellLibrary &_lib;
+    std::uint64_t _sinks;
+    double _jtlPerBranch;
+};
+
+} // namespace sfq
+} // namespace supernpu
+
+#endif // SUPERNPU_SFQ_CLOCK_TREE_HH

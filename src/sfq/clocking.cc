@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Eq. (1) frequency model implementation.
+ */
+
+#include "clocking.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace supernpu {
+namespace sfq {
+
+const char *
+clockSchemeName(ClockScheme scheme)
+{
+    switch (scheme) {
+      case ClockScheme::ConcurrentFlow:
+        return "concurrent-flow";
+      case ClockScheme::CounterFlow:
+        return "counter-flow";
+    }
+    panic("unknown clock scheme");
+}
+
+double
+pairDeltaT(const GatePair &pair)
+{
+    const double tau_data = pair.driverDelay + pair.dataWireDelay;
+    switch (pair.scheme) {
+      case ClockScheme::ConcurrentFlow:
+        // Clock segment delay subtracts: the receiver's clock pulse
+        // departs after the driver's, chasing the data.
+        return tau_data - pair.clockPathDelay;
+      case ClockScheme::CounterFlow:
+        // The receiver is clocked before the driver; the next clock
+        // pulse must cover the clock segment plus the data path.
+        return tau_data + pair.clockPathDelay;
+    }
+    panic("unknown clock scheme");
+}
+
+double
+pairCct(const GatePair &pair)
+{
+    return pair.setupTime + std::max(pair.holdTime, pairDeltaT(pair));
+}
+
+double
+pairFrequencyGhz(const GatePair &pair)
+{
+    const double cct = pairCct(pair);
+    SUPERNPU_ASSERT(cct > 0, "non-positive CCT for pair '", pair.name, "'");
+    return units::psToGHz(cct);
+}
+
+double
+minFrequencyGhz(const std::vector<GatePair> &pairs)
+{
+    return pairFrequencyGhz(criticalPair(pairs));
+}
+
+const GatePair &
+criticalPair(const std::vector<GatePair> &pairs)
+{
+    SUPERNPU_ASSERT(!pairs.empty(), "no gate pairs given");
+    const GatePair *worst = &pairs.front();
+    for (const auto &pair : pairs) {
+        if (pairCct(pair) > pairCct(*worst))
+            worst = &pair;
+    }
+    return *worst;
+}
+
+GatePair
+withClockSkew(GatePair pair, double fraction)
+{
+    SUPERNPU_ASSERT(fraction >= 0.0 && fraction <= 1.0,
+                    "skew fraction out of range");
+    if (pair.scheme != ClockScheme::ConcurrentFlow)
+        return pair;
+    const double delta = pairDeltaT(pair);
+    if (delta > 0.0)
+        pair.clockPathDelay += fraction * delta;
+    return pair;
+}
+
+GatePair
+makePair(const CellLibrary &lib, const std::string &name, GateKind driver,
+         GateKind receiver, const std::vector<GateKind> &via,
+         double clock_path_ps, ClockScheme scheme)
+{
+    GatePair pair;
+    pair.name = name;
+    pair.driverDelay = lib.gate(driver).delay;
+    for (GateKind kind : via) {
+        SUPERNPU_ASSERT(lib.gate(kind).setupTime == 0.0,
+                        "via element '", gateName(kind),
+                        "' must be asynchronous");
+        pair.dataWireDelay += lib.gate(kind).delay;
+    }
+    pair.setupTime = lib.gate(receiver).setupTime;
+    pair.holdTime = lib.gate(receiver).holdTime;
+    pair.clockPathDelay = clock_path_ps;
+    pair.scheme = scheme;
+    return pair;
+}
+
+} // namespace sfq
+} // namespace supernpu

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The paper's Eq. (1) frequency model and the two clocking schemes.
+ *
+ * SFQ circuits are gate-level pipelined: every clocked gate latches.
+ * The clock cycle time (CCT) of a driver->receiver gate pair is
+ *
+ *     CCT = SetupTime + max(HoldTime, delta_t)
+ *     delta_t = tau_data - tau_clock
+ *
+ * where tau_data is the data propagation delay from the driver's
+ * clock tap to the receiver's data input and tau_clock is the clock
+ * propagation delay between the two gates' clock taps (Fig. 11).
+ *
+ * Concurrent-flow clocking routes the clock in the direction of data
+ * flow, so tau_clock subtracts from tau_data; with deliberate clock
+ * skewing delta_t can approach a small residual. It cannot be used
+ * around feedback loops (the clock would have to travel backwards).
+ *
+ * Counter-flow clocking routes the clock against the data flow: the
+ * feedback delay is hidden, but the forward data delay and the clock
+ * segment delay now both add to delta_t, halving the achievable
+ * frequency (Fig. 7).
+ */
+
+#ifndef SUPERNPU_SFQ_CLOCKING_HH
+#define SUPERNPU_SFQ_CLOCKING_HH
+
+#include <string>
+#include <vector>
+
+#include "cells.hh"
+
+namespace supernpu {
+namespace sfq {
+
+/** Clock distribution scheme for a pipeline segment. */
+enum class ClockScheme
+{
+    ConcurrentFlow, ///< clock flows with data (feed-forward only)
+    CounterFlow,    ///< clock flows against data (feedback-safe)
+};
+
+/** Name of a clocking scheme for report output. */
+const char *clockSchemeName(ClockScheme scheme);
+
+/**
+ * A driver->receiver timing arc inside (or between) units. Delays
+ * are picoseconds at the library's scaled node.
+ */
+struct GatePair
+{
+    std::string name;         ///< e.g. "AND->XOR (carry merge)"
+    double driverDelay = 0.0; ///< driver clock-to-output, ps
+    double dataWireDelay = 0.0; ///< async cells + wiring on data path
+    double clockPathDelay = 0.0; ///< clock segment between the taps
+    double setupTime = 0.0;   ///< receiver setup, ps
+    double holdTime = 0.0;    ///< receiver hold, ps
+    ClockScheme scheme = ClockScheme::ConcurrentFlow;
+};
+
+/** Data/clock arrival difference delta_t for a pair, ps. */
+double pairDeltaT(const GatePair &pair);
+
+/** Clock cycle time of a pair per Eq. (1), ps. */
+double pairCct(const GatePair &pair);
+
+/** Maximum clock frequency of a pair, GHz. */
+double pairFrequencyGhz(const GatePair &pair);
+
+/**
+ * Frequency of a unit: the minimum pair frequency over its timing
+ * arcs. Panics on an empty list.
+ */
+double minFrequencyGhz(const std::vector<GatePair> &pairs);
+
+/** The pair that limits a unit's frequency (ties: first). */
+const GatePair &criticalPair(const std::vector<GatePair> &pairs);
+
+/**
+ * Apply clock skewing to a concurrent-flow pair: lengthen the clock
+ * segment toward the data path delay, canceling `fraction` in [0, 1]
+ * of the positive part of delta_t. Counter-flow pairs are returned
+ * unchanged (skewing cannot help when the clock runs backwards).
+ */
+GatePair withClockSkew(GatePair pair, double fraction);
+
+/**
+ * Build a gate pair from two library cells: `via` lists asynchronous
+ * elements (splitters, JTLs, mergers) on the data path.
+ */
+GatePair makePair(const CellLibrary &lib, const std::string &name,
+                  GateKind driver, GateKind receiver,
+                  const std::vector<GateKind> &via,
+                  double clock_path_ps, ClockScheme scheme);
+
+} // namespace sfq
+} // namespace supernpu
+
+#endif // SUPERNPU_SFQ_CLOCKING_HH

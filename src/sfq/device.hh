@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Device-level configuration for the SFQ cell library.
+ *
+ * Mirrors the "device parameters" input layer of the paper's SFQ-NPU
+ * estimator (Fig. 10): fabrication feature size, bias conditions, and
+ * the RSFQ / ERSFQ technology selector.
+ *
+ * RSFQ supplies each junction's DC bias through a resistor from a
+ * 2.5 mV rail, dissipating V_bias * I_bias per junction statically.
+ * ERSFQ replaces the bias resistors with bias junctions + inductors:
+ * zero static power, but the extra junctions double the switching
+ * energy (Section IV-A1 of the paper).
+ */
+
+#ifndef SUPERNPU_SFQ_DEVICE_HH
+#define SUPERNPU_SFQ_DEVICE_HH
+
+namespace supernpu {
+namespace sfq {
+
+/** Bias-supply technology. */
+enum class Technology
+{
+    RSFQ,  ///< resistor biasing: static power, 1x switch energy
+    ERSFQ, ///< junction biasing: zero static power, 2x switch energy
+};
+
+/** Name of a technology for report output. */
+const char *technologyName(Technology tech);
+
+/** Fabrication and biasing parameters. */
+struct DeviceConfig
+{
+    Technology technology = Technology::RSFQ;
+
+    /** Process feature size in micrometers (AIST 1.0 um default). */
+    double featureSizeUm = 1.0;
+
+    /** DC bias rail voltage, volts (RSFQ resistor biasing). */
+    double biasVoltage = 2.5e-3;
+
+    /** Average DC bias current per junction, amperes. */
+    double biasCurrentPerJj = 70e-6;
+
+    /** Critical current of a unit junction, amperes. */
+    double unitCriticalCurrent = 1.0e-4;
+
+    /**
+     * Gate-level timing/area scale factor relative to the 1.0 um
+     * library. Frequency scales with the inverse of the feature size
+     * down to 0.2 um (Kadin et al., as cited by the paper); area
+     * scales with the square of the feature size.
+     */
+    double timingScale() const;
+
+    /** Area scale factor relative to the 1.0 um library. */
+    double areaScale() const;
+
+    /** Static power of one biased junction (zero for ERSFQ), watts. */
+    double staticPowerPerJj() const;
+
+    /**
+     * Multiplier applied to switching energy: 1 for RSFQ, 2 for
+     * ERSFQ (bias junctions switch along with logic junctions).
+     */
+    double switchEnergyFactor() const;
+
+    /** Energy of a single junction 2-pi switch (Ic * Phi0), joules. */
+    double energyPerJjSwitch() const;
+};
+
+} // namespace sfq
+} // namespace supernpu
+
+#endif // SUPERNPU_SFQ_DEVICE_HH

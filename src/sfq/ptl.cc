@@ -1,0 +1,82 @@
+/**
+ * @file
+ * PTL model implementation.
+ */
+
+#include "ptl.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace supernpu {
+namespace sfq {
+
+namespace {
+/** Propagation velocity on a Nb stripline: ~c/3 = 0.1 mm/ps. */
+constexpr double mmPerPs = 0.1;
+/** Driver + receiver junction cost per link end. */
+constexpr std::uint64_t endpointJj = 4;
+/** Re-timing repeater spacing, mm. */
+constexpr double repeaterSpacingMm = 5.0;
+/** Per-sqrt(mm) mismatch between co-routed lines, ps. */
+constexpr double skewPerSqrtMm = 0.15;
+} // namespace
+
+PtlModel::PtlModel(const CellLibrary &lib, double length_mm)
+    : _lib(lib), _lengthMm(length_mm)
+{
+    SUPERNPU_ASSERT(length_mm >= 0, "negative PTL length");
+}
+
+double
+PtlModel::delayPs() const
+{
+    // Endpoint JTL-equivalent latency plus the ballistic flight.
+    return 2.0 * _lib.gate(GateKind::JTL).delay + _lengthMm / mmPerPs;
+}
+
+std::uint64_t
+PtlModel::jjCount() const
+{
+    const std::uint64_t repeaters =
+        (std::uint64_t)(_lengthMm / repeaterSpacingMm);
+    return 2 * endpointJj +
+           repeaters * _lib.gate(GateKind::JTL).jjCount;
+}
+
+double
+PtlModel::staticPower() const
+{
+    return (double)jjCount() * _lib.staticPowerPerJj();
+}
+
+double
+PtlModel::transferEnergy() const
+{
+    // Only the active endpoints and repeaters switch; the stripline
+    // itself is lossless.
+    const double endpoint =
+        2.0 * _lib.accessEnergy(GateKind::JTL) * 2.0;
+    const double repeaters = (_lengthMm / repeaterSpacingMm) *
+                             _lib.accessEnergy(GateKind::JTL);
+    return endpoint + repeaters;
+}
+
+double
+PtlModel::coRoutedSkewPs() const
+{
+    return skewPerSqrtMm * std::sqrt(_lengthMm) *
+           _lib.device().timingScale();
+}
+
+double
+PtlModel::pulsesInFlight(double frequency_ghz) const
+{
+    SUPERNPU_ASSERT(frequency_ghz > 0, "bad frequency");
+    const double period_ps = 1e3 / frequency_ghz;
+    return delayPs() / period_ps;
+}
+
+} // namespace sfq
+} // namespace supernpu

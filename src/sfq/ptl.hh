@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Passive transmission line (PTL) interconnect model.
+ *
+ * SFQ designs route long on-chip links over superconducting
+ * striplines: a driver launches the picosecond pulse onto the line,
+ * it propagates ballistically near c/3, and a receiver regenerates
+ * it (Takagi et al., cited by the paper). Because a line can carry
+ * many pulses in flight, its *latency* does not bound the clock —
+ * only the residual data-vs-clock skew after co-routing enters the
+ * Eq. (1) delta_t budget. This model sizes the delay, junction cost,
+ * energy, and the residual skew of a co-routed link pair.
+ */
+
+#ifndef SUPERNPU_SFQ_PTL_HH
+#define SUPERNPU_SFQ_PTL_HH
+
+#include <cstdint>
+
+#include "cells.hh"
+
+namespace supernpu {
+namespace sfq {
+
+/** One driver-line-receiver PTL link. */
+class PtlModel
+{
+  public:
+    /**
+     * @param lib The scaled cell library.
+     * @param length_mm Routed length in millimeters.
+     */
+    PtlModel(const CellLibrary &lib, double length_mm);
+
+    /** End-to-end propagation delay, ps (ballistic, ~c/3). */
+    double delayPs() const;
+
+    /** Junctions: driver + receiver + re-timing repeaters. */
+    std::uint64_t jjCount() const;
+
+    /** Static power, watts. */
+    double staticPower() const;
+
+    /** Energy per transferred pulse, joules. */
+    double transferEnergy() const;
+
+    /**
+     * Residual skew between this data line and a clock line
+     * co-routed alongside it, ps: process mismatch accumulates with
+     * the square root of the length.
+     */
+    double coRoutedSkewPs() const;
+
+    /**
+     * Maximum pulses concurrently in flight at a clock frequency:
+     * the pipelining depth of the wire itself.
+     */
+    double pulsesInFlight(double frequency_ghz) const;
+
+  private:
+    const CellLibrary &_lib;
+    double _lengthMm;
+};
+
+} // namespace sfq
+} // namespace supernpu
+
+#endif // SUPERNPU_SFQ_PTL_HH

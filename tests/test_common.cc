@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Unit tests for the common module: units, stats, tables, RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+
+namespace supernpu {
+namespace {
+
+// --- units -----------------------------------------------------------
+
+TEST(Units, FrequencyPeriodRoundTrip)
+{
+    EXPECT_DOUBLE_EQ(units::psToGHz(1000.0), 1.0);
+    EXPECT_DOUBLE_EQ(units::ghzToPs(1.0), 1000.0);
+    for (double f : {0.7, 52.6, 133.0}) {
+        EXPECT_NEAR(units::psToGHz(units::ghzToPs(f)), f, 1e-9);
+    }
+}
+
+TEST(Units, GhzToHz)
+{
+    EXPECT_DOUBLE_EQ(units::ghzToHz(52.6), 52.6e9);
+}
+
+TEST(Units, PowerEnergyConversions)
+{
+    EXPECT_DOUBLE_EQ(units::uwToW(3.6), 3.6e-6);
+    EXPECT_DOUBLE_EQ(units::mwToW(5.6), 5.6e-3);
+    EXPECT_DOUBLE_EQ(units::ajToJ(1.4), 1.4e-18);
+}
+
+TEST(Units, CapacityConstants)
+{
+    EXPECT_EQ(units::MiB, 1024ull * units::kiB);
+    EXPECT_EQ(units::GiB, 1024ull * units::MiB);
+    EXPECT_DOUBLE_EQ(units::gbpsToBps(300.0), 300e9);
+}
+
+TEST(Units, SiPrefixedFormatting)
+{
+    EXPECT_EQ(units::siPrefixed(3.366e15, 2), "3.37 P");
+    EXPECT_EQ(units::siPrefixed(52.6e9, 1), "52.6 G");
+    EXPECT_EQ(units::siPrefixed(3.6e-6, 1), "3.6 u");
+    EXPECT_EQ(units::siPrefixed(0.0, 1), "0.0 ");
+}
+
+TEST(Units, BytesHuman)
+{
+    EXPECT_EQ(units::bytesHuman(512), "512 B");
+    EXPECT_EQ(units::bytesHuman(24ull * units::MiB), "24.0 MiB");
+    EXPECT_EQ(units::bytesHuman(64ull * units::kiB), "64.0 KiB");
+}
+
+// --- logging ----------------------------------------------------------
+
+TEST(LoggingDeath, PanicAbortsWithComposedMessage)
+{
+    EXPECT_DEATH(panic("broke at step ", 7, " of ", "run"),
+                 "broke at step 7 of run");
+}
+
+TEST(LoggingDeath, FatalExitsCleanlyWithCodeOne)
+{
+    EXPECT_EXIT(fatal("bad config: ", 42),
+                ::testing::ExitedWithCode(1), "bad config: 42");
+}
+
+TEST(LoggingDeath, AssertMacroNamesTheCondition)
+{
+    const int x = 3;
+    EXPECT_DEATH(SUPERNPU_ASSERT(x == 4, "x was ", x),
+                 "assertion 'x == 4' failed");
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    warn("approximation in effect: ", 1.5);
+    inform("status ", "message");
+    SUCCEED();
+}
+
+// --- stats -----------------------------------------------------------
+
+TEST(Stats, EmptyAccumulator)
+{
+    RunningStats stats;
+    EXPECT_EQ(stats.count(), 0u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.geomean(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.min(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 0.0);
+}
+
+TEST(Stats, BasicMoments)
+{
+    RunningStats stats;
+    for (double v : {2.0, 8.0})
+        stats.add(v);
+    EXPECT_EQ(stats.count(), 2u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+    EXPECT_NEAR(stats.geomean(), 4.0, 1e-12);
+    EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 8.0);
+    EXPECT_DOUBLE_EQ(stats.sum(), 10.0);
+}
+
+TEST(Stats, GeomeanSkipsNonPositive)
+{
+    RunningStats stats;
+    stats.add(-1.0);
+    stats.add(0.0);
+    stats.add(4.0);
+    stats.add(9.0);
+    EXPECT_NEAR(stats.geomean(), 6.0, 1e-12);
+    EXPECT_DOUBLE_EQ(stats.min(), -1.0);
+    EXPECT_EQ(stats.count(), 4u);
+}
+
+TEST(Stats, VectorHelpers)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_NEAR(geomean({1.0, 100.0}), 10.0, 1e-9);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+/** Geometric mean is invariant under reordering (property). */
+TEST(Stats, GeomeanOrderInvariant)
+{
+    const std::vector<double> a = {3.0, 7.0, 0.5, 11.0, 2.2};
+    std::vector<double> b = a;
+    std::reverse(b.begin(), b.end());
+    EXPECT_NEAR(geomean(a), geomean(b), 1e-12);
+}
+
+// --- table -----------------------------------------------------------
+
+TEST(Table, AlignsColumnsAndSeparatesHeader)
+{
+    TextTable table("demo");
+    table.row().cell("name").cell("value");
+    table.row().cell("x").cell(3.14159, 2);
+    table.row().cell("long-name").cell(7ll);
+    const std::string rendered = table.str();
+    EXPECT_NE(rendered.find("== demo =="), std::string::npos);
+    EXPECT_NE(rendered.find("3.14"), std::string::npos);
+    EXPECT_NE(rendered.find("long-name"), std::string::npos);
+    // Header separator exists.
+    EXPECT_NE(rendered.find("----"), std::string::npos);
+}
+
+TEST(Table, NumericCellFormats)
+{
+    TextTable table;
+    table.row().cell(-5ll).cell(42ull).cell(1.5, 3).cell((std::size_t)9);
+    const std::string rendered = table.str();
+    EXPECT_NE(rendered.find("-5"), std::string::npos);
+    EXPECT_NE(rendered.find("42"), std::string::npos);
+    EXPECT_NE(rendered.find("1.500"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials)
+{
+    TextTable table("ignored title");
+    table.row().cell("plain").cell("with,comma").cell("with\"quote");
+    table.row().cell(1.5, 1).cell(2ll).cell("x");
+    const std::string csv = table.csv();
+    EXPECT_EQ(csv,
+              "plain,\"with,comma\",\"with\"\"quote\"\n1.5,2,x\n");
+    // The title never leaks into machine-readable output.
+    EXPECT_EQ(csv.find("ignored"), std::string::npos);
+}
+
+TEST(Table, CsvOfEmptyTableIsEmpty)
+{
+    TextTable table;
+    EXPECT_EQ(table.csv(), "");
+}
+
+// --- rng -------------------------------------------------------------
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng;
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusively)
+{
+    Rng rng;
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const std::int64_t v = rng.uniformInt(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng;
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal();
+        sum += v;
+        sq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+} // namespace
+} // namespace supernpu

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the architecture design-rule checker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "estimator/design_rules.hh"
+#include "estimator/npu_estimator.hh"
+
+namespace supernpu {
+namespace estimator {
+namespace {
+
+class RulesFixture : public ::testing::Test
+{
+  protected:
+    sfq::DeviceConfig dev;
+    sfq::CellLibrary lib{dev};
+    NpuEstimator estimator{lib};
+
+    std::vector<RuleFinding>
+    check(const NpuConfig &config)
+    {
+        return checkDesignRules(config, estimator.estimate(config));
+    }
+
+    static bool
+    has(const std::vector<RuleFinding> &findings,
+        const std::string &rule)
+    {
+        for (const auto &f : findings) {
+            if (f.rule == rule)
+                return true;
+        }
+        return false;
+    }
+};
+
+TEST_F(RulesFixture, SuperNpuIsCleanAndOperable)
+{
+    const auto findings = check(NpuConfig::superNpu());
+    EXPECT_TRUE(designIsOperable(findings));
+    EXPECT_FALSE(has(findings, "weight-buffer"));
+    EXPECT_FALSE(has(findings, "psum-separation"));
+    EXPECT_FALSE(has(findings, "undivided-buffers"));
+    EXPECT_FALSE(has(findings, "aspect-ratio"));
+}
+
+TEST_F(RulesFixture, BaselineTriggersTheSectionVWarnings)
+{
+    const auto findings = check(NpuConfig::baseline());
+    // Operable (the paper evaluates it) but warned about the exact
+    // bottlenecks Section V-A identifies.
+    EXPECT_TRUE(designIsOperable(findings));
+    EXPECT_TRUE(has(findings, "psum-separation"));
+    EXPECT_TRUE(has(findings, "undivided-buffers"));
+}
+
+TEST_F(RulesFixture, TinyWeightBufferIsAnError)
+{
+    NpuConfig config = NpuConfig::superNpu();
+    config.weightBufferBytes = 4 * units::kiB; // < 64 x 256 x 8
+    const auto findings = check(config);
+    EXPECT_FALSE(designIsOperable(findings));
+    EXPECT_TRUE(has(findings, "weight-buffer"));
+    // Errors sort first.
+    EXPECT_EQ(findings.front().severity, RuleSeverity::Error);
+}
+
+TEST_F(RulesFixture, PrefetchNeedsTwoBanks)
+{
+    NpuConfig config = NpuConfig::superNpu();
+    config.weightDoubleBuffering = true; // buffer still single-bank
+    const auto findings = check(config);
+    EXPECT_FALSE(designIsOperable(findings));
+    config.weightBufferBytes *= 2;
+    EXPECT_TRUE(designIsOperable(check(config)));
+}
+
+TEST_F(RulesFixture, ExtremeDivisionWarns)
+{
+    NpuConfig config = NpuConfig::superNpu();
+    config.outputDivision = 4096;
+    EXPECT_TRUE(has(check(config), "division-area"));
+}
+
+TEST_F(RulesFixture, ShallowChunksAreAnError)
+{
+    NpuConfig config = NpuConfig::superNpu();
+    // 24 MB over 64 rows divided so far each chunk is < 15 entries.
+    config.outputDivision = 32768;
+    const auto findings = check(config);
+    EXPECT_TRUE(has(findings, "chunk-depth"));
+    EXPECT_FALSE(designIsOperable(findings));
+}
+
+TEST_F(RulesFixture, WideAspectRatioWarns)
+{
+    NpuConfig config = NpuConfig::superNpu();
+    config.peWidth = 512;
+    config.peHeight = 64;
+    config.weightBufferBytes = 512ull * 64 * 8;
+    EXPECT_TRUE(has(check(config), "aspect-ratio"));
+}
+
+} // namespace
+} // namespace estimator
+} // namespace supernpu

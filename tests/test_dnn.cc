@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Tests for the DNN layer arithmetic, the workload zoo, and the
+ * duplication / intensity analyses (paper Figs. 8 and 17 inputs).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/analysis.hh"
+#include "dnn/layer.hh"
+#include "dnn/networks.hh"
+
+namespace supernpu {
+namespace dnn {
+namespace {
+
+// --- layer arithmetic ---------------------------------------------------
+
+TEST(Layer, ConvOutputDims)
+{
+    const Layer l = conv("c", 3, 227, 96, 11, 4, 0);
+    EXPECT_EQ(l.outHeight(), 55);
+    EXPECT_EQ(l.outWidth(), 55);
+    EXPECT_EQ(l.outputPositions(), 55ull * 55ull);
+}
+
+TEST(Layer, SamePaddingKeepsSize)
+{
+    const Layer l = conv("c", 64, 56, 128, 3); // default padding
+    EXPECT_EQ(l.padding, 1);
+    EXPECT_EQ(l.outHeight(), 56);
+}
+
+TEST(Layer, MacCountConv)
+{
+    const Layer l = conv("c", 2, 4, 3, 3, 1, 1); // out 4x4
+    // 3*3*2 per position per filter x 16 positions x 3 filters.
+    EXPECT_EQ(l.macCount(), 18ull * 16ull * 3ull);
+}
+
+TEST(Layer, MacCountDepthwise)
+{
+    const Layer l = depthwise("dw", 8, 10, 1); // out 10x10
+    EXPECT_EQ(l.macCount(), 9ull * 8ull * 100ull);
+    EXPECT_EQ(l.mappedFilters(), 1);
+    EXPECT_EQ(l.weightsPerFilter(), 9ull);
+}
+
+TEST(Layer, FullyConnectedAsConv)
+{
+    const Layer l = fullyConnected("fc", 4096, 1000);
+    EXPECT_EQ(l.macCount(), 4096ull * 1000ull);
+    EXPECT_EQ(l.weightBytes(), 4096ull * 1000ull);
+    EXPECT_EQ(l.outputPositions(), 1ull);
+    EXPECT_EQ(l.ifmapBytes(), 4096ull);
+    EXPECT_EQ(l.ofmapBytes(), 1000ull);
+}
+
+TEST(Layer, FootprintBytes)
+{
+    const Layer l = conv("c", 96, 55, 256, 5);
+    EXPECT_EQ(l.ifmapBytes(), 96ull * 55 * 55);
+    EXPECT_EQ(l.ofmapBytes(), 256ull * 55 * 55);
+    EXPECT_EQ(l.weightBytes(), 5ull * 5 * 96 * 256);
+}
+
+TEST(LayerDeath, RejectsMalformedShapes)
+{
+    Layer l = conv("ok", 3, 8, 4, 3);
+    l.inChannels = 0;
+    EXPECT_DEATH(l.check(), "bad input shape");
+    Layer k = conv("ok", 3, 8, 4, 3);
+    k.stride = 0;
+    EXPECT_DEATH(k.check(), "bad kernel");
+}
+
+TEST(LayerDeath, DepthwiseMustKeepChannels)
+{
+    Layer l = depthwise("dw", 8, 10, 1);
+    l.outChannels = 4;
+    EXPECT_DEATH(l.check(), "channel count");
+}
+
+// --- the workload zoo -----------------------------------------------------
+
+/** Every evaluation network passes validation and has sane totals. */
+class WorkloadZoo : public ::testing::TestWithParam<int>
+{
+  protected:
+    Network
+    net() const
+    {
+        return evaluationWorkloads()[(std::size_t)GetParam()];
+    }
+};
+
+TEST_P(WorkloadZoo, ValidatesAndHasWork)
+{
+    const Network network = net();
+    network.check();
+    EXPECT_GT(network.totalMacs(), 100ull * 1000 * 1000);
+    EXPECT_GT(network.totalWeightBytes(), 1000ull * 1000);
+    EXPECT_GT(network.maxLayerIoBytes(), 0ull);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSix, WorkloadZoo,
+                         ::testing::Range(0, 6));
+
+TEST(WorkloadZoo, SixWorkloadsInPaperOrder)
+{
+    const auto nets = evaluationWorkloads();
+    ASSERT_EQ(nets.size(), 6u);
+    EXPECT_EQ(nets[0].name, "AlexNet");
+    EXPECT_EQ(nets[1].name, "FasterRCNN");
+    EXPECT_EQ(nets[2].name, "GoogLeNet");
+    EXPECT_EQ(nets[3].name, "MobileNet");
+    EXPECT_EQ(nets[4].name, "ResNet50");
+    EXPECT_EQ(nets[5].name, "VGG16");
+}
+
+TEST(WorkloadZoo, Vgg16KnownTotals)
+{
+    const Network net = makeVgg16();
+    // 13 convs + 3 FCs; ~15.3 GMAC of conv + ~0.12 GMAC of FC.
+    EXPECT_EQ(net.layers.size(), 16u);
+    EXPECT_NEAR((double)net.totalMacs(), 15.47e9, 0.3e9);
+    // ~138 M parameters, most in fc6.
+    EXPECT_NEAR((double)net.totalWeightBytes(), 138.3e6, 2e6);
+}
+
+TEST(WorkloadZoo, ResNet50KnownTotals)
+{
+    const Network net = makeResNet50();
+    // 53 convs + 1 FC = 54 weight layers; ~4 GMAC.
+    EXPECT_EQ(net.layers.size(), 54u);
+    EXPECT_NEAR((double)net.totalMacs(), 4.1e9, 0.4e9);
+}
+
+TEST(WorkloadZoo, MobileNetKnownTotals)
+{
+    const Network net = makeMobileNet();
+    // conv1 + 13 x (dw + pw) + fc = 28 layers; ~0.57 GMAC.
+    EXPECT_EQ(net.layers.size(), 28u);
+    EXPECT_NEAR((double)net.totalMacs(), 0.57e9, 0.06e9);
+    // Depthwise layers present.
+    int dw = 0;
+    for (const auto &l : net.layers)
+        dw += l.kind == LayerKind::DepthwiseConv;
+    EXPECT_EQ(dw, 13);
+}
+
+TEST(WorkloadZoo, AlexNetPaperVariantLargestLayer)
+{
+    const Network net = makeAlexNet();
+    // The paper quotes 1.05 MB for the second layer's ifmap+ofmap,
+    // which pins conv2 at 55 x 55 (see networks.cc).
+    EXPECT_NEAR((double)net.maxLayerIoBytes(), 1.05e6, 0.03e6);
+}
+
+TEST(WorkloadZoo, GoogLeNetInceptionStructure)
+{
+    const Network net = makeGoogLeNet();
+    // 3 stem convs + 9 inceptions x 6 + 1 fc.
+    EXPECT_EQ(net.layers.size(), 3u + 9u * 6u + 1u);
+    EXPECT_NEAR((double)net.totalMacs(), 1.58e9, 0.25e9);
+}
+
+TEST(WorkloadZoo, ResNet18KnownTotals)
+{
+    const Network net = makeResNet18();
+    // stem + 8 basic blocks (16 convs) + 3 projections + fc.
+    EXPECT_EQ(net.layers.size(), 1u + 16u + 3u + 1u);
+    EXPECT_NEAR((double)net.totalMacs(), 1.82e9, 0.2e9);
+    EXPECT_NEAR((double)net.totalWeightBytes(), 11.5e6, 1e6);
+}
+
+TEST(WorkloadZoo, Vgg19KnownTotals)
+{
+    const Network net = makeVgg19();
+    EXPECT_EQ(net.layers.size(), 19u);
+    EXPECT_NEAR((double)net.totalMacs(), 19.6e9, 0.5e9);
+    // VGG19 has ~5.7 M more conv weights than VGG16, same FC stack.
+    EXPECT_GT(net.totalWeightBytes(), makeVgg16().totalWeightBytes());
+}
+
+TEST(WorkloadZoo, FasterRcnnExtendsVggBackbone)
+{
+    const Network net = makeFasterRcnn();
+    EXPECT_GT(net.layers.size(), 16u);
+    // The RPN conv exists on the 14x14 map.
+    bool has_rpn = false;
+    for (const auto &l : net.layers)
+        has_rpn |= l.name == "rpn_conv";
+    EXPECT_TRUE(has_rpn);
+}
+
+// --- duplication analysis (Fig. 8) -----------------------------------------
+
+TEST(Duplication, SingleLayerRatioMatchesFormula)
+{
+    // 3x3 stride-1 same-padded conv: each pixel is read ~9 times.
+    const Layer l = conv("c", 16, 32, 16, 3);
+    const DuplicationStats stats = layerDuplication(l);
+    EXPECT_EQ(stats.uniquePixels, 16ull * 32 * 32);
+    EXPECT_EQ(stats.naivePixels, 9ull * 16 * 32 * 32);
+    EXPECT_NEAR(stats.duplicatedRatio(), 8.0 / 9.0, 1e-12);
+}
+
+TEST(Duplication, OneByOneConvHasNoDuplication)
+{
+    const Layer l = conv("c", 64, 28, 128, 1, 1, 0);
+    EXPECT_NEAR(layerDuplication(l).duplicatedRatio(), 0.0, 1e-12);
+}
+
+TEST(Duplication, StridedConvDuplicatesLess)
+{
+    const Layer dense = conv("d", 3, 224, 64, 7, 1, 3);
+    const Layer strided = conv("s", 3, 224, 64, 7, 2, 3);
+    EXPECT_GT(layerDuplication(dense).duplicatedRatio(),
+              layerDuplication(strided).duplicatedRatio());
+}
+
+/** Fig. 8: the three named networks duplicate > 85 % of pixels. */
+class Fig8Networks : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(Fig8Networks, DuplicationAboveEightyFivePercent)
+{
+    for (const auto &net : evaluationWorkloads()) {
+        if (net.name != GetParam())
+            continue;
+        const double ratio =
+            networkDuplicatedRatio(net, /*spatial_only=*/true);
+        EXPECT_GT(ratio, 0.85) << net.name;
+        EXPECT_LT(ratio, 1.0) << net.name;
+        // The all-layer ratio includes 1x1 convolutions, which have
+        // no weight sharing: it is lower but still substantial.
+        EXPECT_GT(networkDuplicatedRatio(net), 0.4) << net.name;
+        return;
+    }
+    FAIL() << "workload not found";
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperTrio, Fig8Networks,
+                         ::testing::Values("AlexNet", "ResNet50",
+                                           "VGG16"));
+
+// --- intensity / roofline (Fig. 17) ----------------------------------------
+
+TEST(Intensity, ScalesLinearlyWithBatch)
+{
+    const Network net = makeResNet50();
+    const double i1 = computationalIntensity(net, 1);
+    const double i8 = computationalIntensity(net, 8);
+    EXPECT_NEAR(i8, 8.0 * i1, 1e-9 * i8);
+}
+
+TEST(Intensity, FcHeavyNetworksHaveLowIntensity)
+{
+    // VGG16's FC layers dominate its weights: single-batch intensity
+    // is far below a conv-only network's.
+    const double vgg = computationalIntensity(makeVgg16(), 1);
+    const double resnet = computationalIntensity(makeResNet50(), 1);
+    EXPECT_LT(vgg, resnet);
+}
+
+TEST(Roofline, MinOfPeakAndBandwidthBound)
+{
+    const double peak = 3366e12;
+    const double bw = 300e9;
+    EXPECT_DOUBLE_EQ(rooflinePerformance(peak, 10.0, bw), 10.0 * bw);
+    EXPECT_DOUBLE_EQ(rooflinePerformance(peak, 1e9, bw), peak);
+}
+
+TEST(Roofline, SingleBatchUtilizationBelowTwoPercent)
+{
+    // Fig. 17: single-batch roofline utilization averages < 2 % of
+    // the Baseline's 3.4 PMAC/s peak.
+    const double peak = 3447e12;
+    const double bw = 300e9;
+    double total = 0.0;
+    const auto nets = evaluationWorkloads();
+    for (const auto &net : nets) {
+        const double intensity = computationalIntensity(net, 1);
+        total += rooflinePerformance(peak, intensity, bw) / peak;
+    }
+    EXPECT_LT(total / (double)nets.size(), 0.02);
+}
+
+} // namespace
+} // namespace dnn
+} // namespace supernpu

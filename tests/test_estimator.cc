@@ -1,0 +1,454 @@
+/**
+ * @file
+ * Tests for the SFQ-NPU estimator: microarchitecture unit models,
+ * architecture-level roll-up (Table I), and the Fig. 13 validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "estimator/buffer_model.hh"
+#include "estimator/dau_model.hh"
+#include "estimator/io_model.hh"
+#include "estimator/network_model.hh"
+#include "estimator/npu_config.hh"
+#include "estimator/npu_estimator.hh"
+#include "estimator/offchip_memory.hh"
+#include "estimator/pe_model.hh"
+#include "estimator/validation.hh"
+
+namespace supernpu {
+namespace estimator {
+namespace {
+
+class EstimatorFixture : public ::testing::Test
+{
+  protected:
+    sfq::DeviceConfig dev;
+    sfq::CellLibrary lib{dev};
+    NpuEstimator estimator{lib};
+};
+
+// --- PE model --------------------------------------------------------------
+
+TEST_F(EstimatorFixture, PePipelineStagesMatchPaper)
+{
+    // "our 8-bit PE consists of 15 pipeline stages" (Section III-C).
+    EXPECT_EQ(PeModel(lib, 8, 1).pipelineStages(), 15);
+    EXPECT_EQ(PeModel(lib, 4, 1).pipelineStages(), 7);
+}
+
+TEST_F(EstimatorFixture, EightBitPeClocksAtPaperFrequency)
+{
+    PeModel pe(lib, 8, 1);
+    EXPECT_NEAR(pe.frequencyGhz(), 52.6, 0.5);
+}
+
+TEST_F(EstimatorFixture, NarrowerPeClocksFaster)
+{
+    EXPECT_GT(PeModel(lib, 4, 1).frequencyGhz(),
+              PeModel(lib, 8, 1).frequencyGhz());
+}
+
+TEST_F(EstimatorFixture, RegistersAddJjsNotDelay)
+{
+    PeModel one(lib, 8, 1), eight(lib, 8, 8);
+    EXPECT_GT(eight.jjCount(), one.jjCount());
+    EXPECT_DOUBLE_EQ(eight.frequencyGhz(), one.frequencyGhz());
+    // 7 extra NDRO bytes per PE, a small fraction of the MAC logic.
+    EXPECT_LT((double)(eight.jjCount() - one.jjCount()),
+              0.1 * (double)one.jjCount());
+}
+
+TEST_F(EstimatorFixture, PeEnergyAndPowerArePositive)
+{
+    PeModel pe(lib, 8, 1);
+    EXPECT_GT(pe.macEnergy(), 0.0);
+    EXPECT_LT(pe.macEnergy(), 1e-12); // well below a picojoule
+    EXPECT_GT(pe.staticPower(), 0.0);
+    EXPECT_GT(pe.area(), 0.0);
+}
+
+// --- buffer model ------------------------------------------------------------
+
+TEST_F(EstimatorFixture, BufferGeometryMatchesPaperExample)
+{
+    // The paper's Fig. 16 example: a 16 MB buffer pair moving at
+    // 256 B/cycle costs 65,536 cycles; each 8 MB buffer with 256
+    // one-byte rows is 32,768 entries long.
+    BufferModel buf(lib, 8 * units::MiB, 256, 8, 1);
+    EXPECT_EQ(buf.rowLengthEntries(), 32768ull);
+    EXPECT_EQ(buf.bytesPerCycle(), 256ull);
+    EXPECT_EQ(2 * buf.rowLengthEntries(), 65536ull);
+}
+
+TEST_F(EstimatorFixture, DivisionShortensChunks)
+{
+    BufferModel whole(lib, 12 * units::MiB, 256, 8, 1);
+    BufferModel divided(lib, 12 * units::MiB, 256, 8, 64);
+    EXPECT_EQ(divided.chunkLengthEntries(),
+              whole.rowLengthEntries() / 64);
+}
+
+TEST_F(EstimatorFixture, BufferRunsAtCounterFlowFrequency)
+{
+    BufferModel buf(lib, 8 * units::MiB, 256, 8, 1);
+    // Fig. 7(c): the feedback-looped shift register clocks ~71 GHz.
+    EXPECT_NEAR(buf.frequencyGhz(), 71.0, 3.0);
+}
+
+TEST_F(EstimatorFixture, MuxTreeCostsNothingUndivided)
+{
+    BufferModel whole(lib, 12 * units::MiB, 256, 8, 1);
+    EXPECT_EQ(whole.muxTreeJjCount(), 0ull);
+}
+
+TEST_F(EstimatorFixture, MuxTreeGrowsWithDivision)
+{
+    std::uint64_t prev = 0;
+    for (int division : {2, 16, 256, 4096}) {
+        BufferModel buf(lib, 12 * units::MiB, 256, 8, division);
+        EXPECT_GT(buf.muxTreeJjCount(), prev);
+        prev = buf.muxTreeJjCount();
+    }
+}
+
+TEST_F(EstimatorFixture, ChunkShiftEnergyScalesWithChunkSize)
+{
+    BufferModel coarse(lib, 12 * units::MiB, 256, 8, 4);
+    BufferModel fine(lib, 12 * units::MiB, 256, 8, 256);
+    EXPECT_NEAR(coarse.chunkShiftEnergy() / fine.chunkShiftEnergy(),
+                64.0, 0.5);
+}
+
+TEST_F(EstimatorFixture, BufferAreaUsesMemoryDensity)
+{
+    BufferModel buf(lib, 12 * units::MiB, 256, 8, 1);
+    const double bits = 12.0 * (double)units::MiB * 8.0;
+    EXPECT_LT(buf.area(), bits * 14.0 * lib.areaPerJj());
+    EXPECT_GT(buf.area(), 0.0);
+}
+
+// --- network models (Figs. 4-5) ------------------------------------------------
+
+TEST_F(EstimatorFixture, SystolicDelayFlatAcrossWidths)
+{
+    NetworkUnitModel narrow(lib, NetworkDesign::Systolic2D, 4, 8);
+    NetworkUnitModel wide(lib, NetworkDesign::Systolic2D, 64, 8);
+    EXPECT_DOUBLE_EQ(narrow.criticalPathPs(), wide.criticalPathPs());
+}
+
+TEST_F(EstimatorFixture, TwoDTreeDelayGrowsLinearly)
+{
+    NetworkUnitModel w16(lib, NetworkDesign::SplitterTree2D, 16, 8);
+    NetworkUnitModel w64(lib, NetworkDesign::SplitterTree2D, 64, 8);
+    EXPECT_GT(w64.criticalPathPs(), 3.5 * w16.criticalPathPs());
+    // Fig. 5(a): above 800 ps at a 64-wide array.
+    EXPECT_GT(w64.criticalPathPs(), 800.0);
+}
+
+TEST_F(EstimatorFixture, SystolicWinsOnDelayAndArea)
+{
+    for (int width : {4, 16, 64}) {
+        NetworkUnitModel t2(lib, NetworkDesign::SplitterTree2D, width, 8);
+        NetworkUnitModel t1(lib, NetworkDesign::SplitterTree1D, width, 8);
+        NetworkUnitModel sy(lib, NetworkDesign::Systolic2D, width, 8);
+        EXPECT_LE(sy.criticalPathPs(), t1.criticalPathPs()) << width;
+        EXPECT_LT(sy.criticalPathPs(), t2.criticalPathPs()) << width;
+        if (width >= 16) {
+            EXPECT_LT(sy.area(), t1.area()) << width;
+            EXPECT_LT(sy.area(), t2.area()) << width;
+        }
+    }
+}
+
+TEST_F(EstimatorFixture, TreeAreasSimilarAtSixtyFour)
+{
+    // Fig. 5(b): the two tree designs have similarly large areas.
+    NetworkUnitModel t2(lib, NetworkDesign::SplitterTree2D, 64, 8);
+    NetworkUnitModel t1(lib, NetworkDesign::SplitterTree1D, 64, 8);
+    EXPECT_NEAR(t2.area() / t1.area(), 1.1, 0.15);
+}
+
+// --- DAU --------------------------------------------------------------------
+
+TEST_F(EstimatorFixture, DauIsNotTheClockBottleneck)
+{
+    DauModel dau(lib, 256, 8, 15);
+    EXPECT_GT(dau.frequencyGhz(), 52.6);
+    EXPECT_GT(dau.jjCount(), 0ull);
+    EXPECT_GT(dau.forwardEnergy(), 0.0);
+}
+
+TEST_F(EstimatorFixture, DauScalesWithRowsAndPipeline)
+{
+    DauModel small(lib, 64, 8, 15);
+    DauModel tall(lib, 256, 8, 15);
+    DauModel deep(lib, 64, 8, 31);
+    EXPECT_GT(tall.jjCount(), small.jjCount());
+    EXPECT_GT(deep.jjCount(), small.jjCount());
+}
+
+// --- chip interface circuitry -----------------------------------------------
+
+TEST_F(EstimatorFixture, IoModelScalesWithPortWidth)
+{
+    IoModel wide(lib, NpuConfig::baseline());   // 256-wide
+    IoModel narrow(lib, NpuConfig::superNpu()); // 64-wide
+    EXPECT_GT(wide.outputAmplifierCount(),
+              narrow.outputAmplifierCount());
+    EXPECT_GT(wide.jjCount(), narrow.jjCount());
+}
+
+TEST_F(EstimatorFixture, OutputAmplifiersDominateIoStaticPower)
+{
+    IoModel io(lib, NpuConfig::superNpu());
+    const double amp_power =
+        (double)io.outputAmplifierCount() *
+        lib.staticPower(sfq::GateKind::SFQDC);
+    EXPECT_GT(amp_power, 0.5 * io.staticPower());
+}
+
+TEST_F(EstimatorFixture, IoIsNegligibleAgainstTheBuffers)
+{
+    // The interface circuitry must not disturb the Table I / III
+    // calibrations: well below 1% of the chip's junctions and power.
+    const NpuEstimate est = estimator.estimate(NpuConfig::superNpu());
+    for (const auto &unit : est.units) {
+        if (unit.name != "I/O + clkgen")
+            continue;
+        EXPECT_LT((double)unit.jjCount, 0.01 * (double)est.jjCount);
+        EXPECT_LT(unit.staticPowerW, 0.01 * est.staticPowerW);
+        return;
+    }
+    FAIL() << "I/O unit missing from the estimate";
+}
+
+// --- off-chip memory survey ---------------------------------------------------
+
+TEST(OffChipMemory, SurveyCoversAllFourTechnologies)
+{
+    const auto survey = OffChipMemoryModel::surveyAll();
+    ASSERT_EQ(survey.size(), 4u);
+    int practical = 0;
+    for (const auto &m : survey)
+        practical += m.practical;
+    // Section II-B4's conclusion: only CMOS DRAM is practical.
+    EXPECT_EQ(practical, 1);
+    EXPECT_TRUE(
+        OffChipMemoryModel::survey(OffChipKind::CmosDram).practical);
+}
+
+TEST(OffChipMemory, JjMemoriesAreCryogenicButTiny)
+{
+    for (OffChipKind kind :
+         {OffChipKind::VortexTransition,
+          OffChipKind::JosephsonCmosHybrid,
+          OffChipKind::JosephsonMagnetic}) {
+        const auto m = OffChipMemoryModel::survey(kind);
+        EXPECT_TRUE(m.cryogenic) << offChipKindName(kind);
+        // Thousands of modules for one ResNet-50 weight set.
+        EXPECT_GT(m.modulesForCapacity(25u << 20), 1000u)
+            << offChipKindName(kind);
+    }
+    const auto dram = OffChipMemoryModel::survey(OffChipKind::CmosDram);
+    EXPECT_EQ(dram.modulesForCapacity(25u << 20), 1u);
+}
+
+TEST(OffChipMemory, ModuleArithmetic)
+{
+    const auto vtm =
+        OffChipMemoryModel::survey(OffChipKind::VortexTransition);
+    EXPECT_EQ(vtm.modulesForCapacity(512), 1u);
+    EXPECT_EQ(vtm.modulesForCapacity(513), 2u);
+    EXPECT_EQ(vtm.modulesForBandwidth(25e9), 3u);
+}
+
+// --- config presets (Table I) --------------------------------------------------
+
+TEST(NpuConfig, BaselineMatchesTableOne)
+{
+    const NpuConfig c = NpuConfig::baseline();
+    EXPECT_EQ(c.peWidth, 256);
+    EXPECT_EQ(c.peHeight, 256);
+    EXPECT_EQ(c.ifmapBufferBytes, 8 * units::MiB);
+    EXPECT_EQ(c.psumBufferBytes, 8 * units::MiB);
+    EXPECT_EQ(c.ofmapBufferBytes, 8 * units::MiB);
+    EXPECT_EQ(c.weightBufferBytes, 64 * units::kiB);
+    EXPECT_EQ(c.regsPerPe, 1);
+    EXPECT_FALSE(c.integratedOutputBuffer);
+}
+
+TEST(NpuConfig, SuperNpuMatchesTableOne)
+{
+    const NpuConfig c = NpuConfig::superNpu();
+    EXPECT_EQ(c.peWidth, 64);
+    EXPECT_EQ(c.peHeight, 256);
+    EXPECT_EQ(c.ifmapBufferBytes, 24 * units::MiB);
+    EXPECT_EQ(c.outputBufferBytes, 24 * units::MiB);
+    EXPECT_EQ(c.weightBufferBytes, 128 * units::kiB);
+    EXPECT_EQ(c.regsPerPe, 8);
+    EXPECT_TRUE(c.integratedOutputBuffer);
+    // Fig. 19's chunk counts: 64 x 384 KB ifmap, 256 x 96 KB output.
+    EXPECT_EQ(c.ifmapDivision, 64);
+    EXPECT_EQ(c.outputDivision, 256);
+}
+
+TEST(NpuConfigDeath, ChecksRejectNonsense)
+{
+    NpuConfig c = NpuConfig::baseline();
+    c.peWidth = 0;
+    EXPECT_DEATH(c.check(), "empty PE array");
+    NpuConfig d = NpuConfig::baseline();
+    d.ifmapBufferBytes = 0;
+    EXPECT_DEATH(d.check(), "no ifmap buffer");
+}
+
+// --- architecture-level estimates ------------------------------------------------
+
+/** All four Table I configurations clock at the same 52.6 GHz. */
+class TableOneConfigs : public ::testing::TestWithParam<int>
+{
+  protected:
+    static NpuConfig
+    config(int index)
+    {
+        switch (index) {
+          case 0: return NpuConfig::baseline();
+          case 1: return NpuConfig::bufferOpt();
+          case 2: return NpuConfig::resourceOpt();
+          default: return NpuConfig::superNpu();
+        }
+    }
+};
+
+TEST_P(TableOneConfigs, FrequencyIsPeLimitedAtPaperValue)
+{
+    sfq::DeviceConfig dev;
+    sfq::CellLibrary lib(dev);
+    NpuEstimator estimator(lib);
+    const NpuEstimate est = estimator.estimate(config(GetParam()));
+    EXPECT_NEAR(est.frequencyGhz, 52.6, 0.5);
+    EXPECT_EQ(est.limitingUnit, "PE array");
+}
+
+TEST_P(TableOneConfigs, AreaAt28nmNearTableOne)
+{
+    sfq::DeviceConfig dev;
+    sfq::CellLibrary lib(dev);
+    NpuEstimator estimator(lib);
+    const NpuEstimate est = estimator.estimate(config(GetParam()));
+    // Table I: ~283-299 mm^2 across all four configurations.
+    EXPECT_GT(est.areaMm2At(28.0), 250.0);
+    EXPECT_LT(est.areaMm2At(28.0), 340.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFour, TableOneConfigs,
+                         ::testing::Range(0, 4));
+
+TEST_F(EstimatorFixture, PeakPerformanceRatios)
+{
+    const NpuEstimate base = estimator.estimate(NpuConfig::baseline());
+    const NpuEstimate super = estimator.estimate(NpuConfig::superNpu());
+    // Table I: 3366 vs 842 TMAC/s -> exactly 4x (the width ratio).
+    EXPECT_NEAR(base.peakMacPerSec / super.peakMacPerSec, 4.0, 1e-9);
+    EXPECT_NEAR(base.peakMacPerSec, 3366e12, 150e12);
+}
+
+TEST_F(EstimatorFixture, SuperNpuRsfqStaticNearPaper)
+{
+    const NpuEstimate est = estimator.estimate(NpuConfig::superNpu());
+    // Table III: 964 W RSFQ static.
+    EXPECT_NEAR(est.staticPowerW, 964.0, 80.0);
+}
+
+TEST_F(EstimatorFixture, ErsfqHasZeroStatic)
+{
+    sfq::DeviceConfig edev;
+    edev.technology = sfq::Technology::ERSFQ;
+    sfq::CellLibrary elib(edev);
+    NpuEstimator e(elib);
+    EXPECT_DOUBLE_EQ(e.estimate(NpuConfig::superNpu()).staticPowerW, 0.0);
+}
+
+TEST_F(EstimatorFixture, UnitBreakdownSumsToTotals)
+{
+    const NpuEstimate est = estimator.estimate(NpuConfig::baseline());
+    double static_sum = 0.0, area_sum = 0.0;
+    std::uint64_t jj_sum = 0;
+    for (const auto &unit : est.units) {
+        static_sum += unit.staticPowerW;
+        area_sum += unit.areaMm2;
+        jj_sum += unit.jjCount;
+    }
+    EXPECT_NEAR(static_sum, est.staticPowerW, 1e-9);
+    EXPECT_NEAR(area_sum, est.areaMm2, 1e-9);
+    EXPECT_EQ(jj_sum, est.jjCount);
+}
+
+TEST_F(EstimatorFixture, BuffersDominateStaticPower)
+{
+    // The shift-register buffers hold billions of junctions; they
+    // dominate the static budget (the Table III story).
+    const NpuEstimate est = estimator.estimate(NpuConfig::superNpu());
+    double buffer_static = 0.0;
+    for (const auto &unit : est.units) {
+        if (unit.name.find("buffer") != std::string::npos)
+            buffer_static += unit.staticPowerW;
+    }
+    EXPECT_GT(buffer_static, 0.8 * est.staticPowerW);
+}
+
+TEST_F(EstimatorFixture, GeometrySnapshotsConsistent)
+{
+    const NpuEstimate est = estimator.estimate(NpuConfig::superNpu());
+    EXPECT_EQ(est.ifmapChunkLength,
+              est.ifmapRowLength / (std::uint64_t)64);
+    EXPECT_EQ(est.outputChunkLength,
+              est.outputRowLength / (std::uint64_t)256);
+}
+
+// --- Fig. 13 validation -----------------------------------------------------------
+
+TEST_F(EstimatorFixture, ValidationCoversAllPrototypes)
+{
+    const auto entries = validationReport(lib);
+    int mac = 0, srmem = 0, nw = 0, npu = 0;
+    for (const auto &e : entries) {
+        mac += e.unit == "MAC unit";
+        srmem += e.unit == "SRmem";
+        nw += e.unit == "NW unit";
+        npu += e.unit == "NPU";
+    }
+    EXPECT_EQ(mac, 3);   // frequency, power, area
+    EXPECT_EQ(srmem, 3);
+    EXPECT_EQ(nw, 2);    // the NW unit has no frequency result
+    EXPECT_EQ(npu, 3);
+}
+
+TEST_F(EstimatorFixture, ValidationErrorsMatchPaperBands)
+{
+    const auto entries = validationReport(lib);
+    // Unit level: 5.6 % frequency, 1.2 % power, 1.3 % area.
+    EXPECT_NEAR(meanAbsErrorPercent(entries, "frequency", false), 5.6,
+                0.3);
+    EXPECT_NEAR(meanAbsErrorPercent(entries, "power", false), 1.2, 0.2);
+    EXPECT_NEAR(meanAbsErrorPercent(entries, "area", false), 1.3, 0.2);
+    // Architecture level: 4.7 / 2.3 / 9.5 %.
+    EXPECT_NEAR(meanAbsErrorPercent(entries, "frequency", true), 4.7,
+                0.2);
+    EXPECT_NEAR(meanAbsErrorPercent(entries, "power", true), 2.3, 0.2);
+    EXPECT_NEAR(meanAbsErrorPercent(entries, "area", true), 9.5, 0.2);
+}
+
+TEST_F(EstimatorFixture, ValidationReferencesArePositive)
+{
+    for (const auto &e : validationReport(lib)) {
+        EXPECT_GT(e.modelValue, 0.0) << e.unit << " " << e.metric;
+        EXPECT_GT(e.referenceValue, 0.0) << e.unit << " " << e.metric;
+    }
+}
+
+} // namespace
+} // namespace estimator
+} // namespace supernpu

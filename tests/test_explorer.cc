@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the design-space explorer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/networks.hh"
+#include "npusim/explorer.hh"
+
+namespace supernpu {
+namespace npusim {
+namespace {
+
+class ExplorerFixture : public ::testing::Test
+{
+  protected:
+    sfq::DeviceConfig dev;
+    sfq::CellLibrary lib{dev};
+    // Two representative workloads keep the sweep fast.
+    std::vector<dnn::Network> nets = {dnn::makeResNet50(),
+                                      dnn::makeGoogLeNet()};
+};
+
+TEST_F(ExplorerFixture, RediscoversThePaperRecipeForThroughput)
+{
+    DesignSpaceExplorer explorer(lib, nets);
+    const auto ranked =
+        explorer.explore(ExplorationSpace{}, Objective::Throughput);
+    ASSERT_FALSE(ranked.empty());
+    const Candidate &best = ranked.front();
+    EXPECT_TRUE(best.operable);
+    // Section V's conclusion: narrow array, many registers.
+    EXPECT_EQ(best.config.peWidth, 64);
+    EXPECT_EQ(best.config.regsPerPe, 8);
+}
+
+TEST_F(ExplorerFixture, RankingIsMonotoneInScore)
+{
+    DesignSpaceExplorer explorer(lib, nets);
+    const auto ranked =
+        explorer.explore(ExplorationSpace{}, Objective::Throughput);
+    for (std::size_t i = 1; i < ranked.size(); ++i) {
+        if (!ranked[i].operable)
+            break; // inoperable candidates trail in any order
+        EXPECT_GE(ranked[i - 1].score, ranked[i].score) << i;
+    }
+}
+
+TEST_F(ExplorerFixture, CoversTheFullSpace)
+{
+    ExplorationSpace space;
+    space.widths = {128, 64};
+    space.bufferMbForWidth = {38, 46};
+    space.divisions = {64};
+    space.regsPerPe = {1, 8};
+    DesignSpaceExplorer explorer(lib, nets);
+    const auto ranked =
+        explorer.explore(space, Objective::Throughput);
+    EXPECT_EQ(ranked.size(), 4u);
+}
+
+TEST_F(ExplorerFixture, PerfPerAreaPrefersSmallerDies)
+{
+    ExplorationSpace space;
+    space.widths = {256, 64};
+    space.bufferMbForWidth = {24, 46};
+    space.divisions = {64};
+    space.regsPerPe = {8};
+    DesignSpaceExplorer explorer(lib, nets);
+    const auto by_perf =
+        explorer.explore(space, Objective::Throughput);
+    const auto by_area =
+        explorer.explore(space, Objective::PerfPerArea);
+    // Both objectives rank w64 first here, but the scores differ.
+    EXPECT_NE(by_perf.front().score, by_area.front().score);
+    for (const auto &cand : by_area)
+        EXPECT_GT(cand.areaMm2, 0.0);
+}
+
+TEST_F(ExplorerFixture, InoperableCandidatesAreFlaggedNotDropped)
+{
+    ExplorationSpace space;
+    space.widths = {64};
+    space.bufferMbForWidth = {46};
+    space.divisions = {32768}; // chunk-depth error
+    space.regsPerPe = {1};
+    DesignSpaceExplorer explorer(lib, nets);
+    const auto ranked =
+        explorer.explore(space, Objective::Throughput);
+    ASSERT_EQ(ranked.size(), 1u);
+    EXPECT_FALSE(ranked.front().operable);
+    EXPECT_FALSE(ranked.front().note.empty());
+}
+
+TEST(ExplorerStatics, MakeConfigIsValid)
+{
+    const auto config =
+        DesignSpaceExplorer::makeConfig(64, 256, 8, 46);
+    config.check();
+    EXPECT_EQ(config.peWidth, 64);
+    EXPECT_EQ(config.outputDivision, 256);
+    EXPECT_EQ(config.ifmapDivision, 64); // capped
+}
+
+} // namespace
+} // namespace npusim
+} // namespace supernpu

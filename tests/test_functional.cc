@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Tests for the functional NPU: tensor plumbing, the DAU's data
+ * selection, the systolic array's cycle behaviour, and end-to-end
+ * convolution correctness against the golden reference.
+ */
+
+#include <gtest/gtest.h>
+
+#include "functional/dau.hh"
+#include "functional/golden.hh"
+#include "functional/npu.hh"
+#include "functional/systolic.hh"
+#include "functional/tensor.hh"
+
+namespace supernpu {
+namespace functional {
+namespace {
+
+// --- tensor -----------------------------------------------------------
+
+TEST(Tensor, PaddedReadsReturnZeroOutside)
+{
+    Tensor3 t(1, 2, 2);
+    t.at(0, 0, 0) = 7;
+    EXPECT_EQ(t.atPadded(0, -1, 0), 0);
+    EXPECT_EQ(t.atPadded(0, 0, 2), 0);
+    EXPECT_EQ(t.atPadded(0, 0, 0), 7);
+}
+
+TEST(Tensor, RandomFillStaysInInt8Range)
+{
+    Rng rng;
+    Tensor3 t(2, 5, 5);
+    t.fillRandom(rng);
+    for (int c = 0; c < 2; ++c) {
+        for (int y = 0; y < 5; ++y) {
+            for (int x = 0; x < 5; ++x) {
+                EXPECT_GE(t.at(c, y, x), -128);
+                EXPECT_LE(t.at(c, y, x), 127);
+            }
+        }
+    }
+}
+
+TEST(TensorDeath, OutOfRangeAccessPanics)
+{
+    Tensor3 t(1, 2, 2);
+    EXPECT_DEATH((void)t.at(0, 2, 0), "out of range");
+}
+
+// --- golden reference ---------------------------------------------------
+
+TEST(Golden, HandComputedConv)
+{
+    // 1-channel 2x2 input, single 2x2 filter of ones, no padding:
+    // output = sum of all inputs.
+    Tensor3 ifmap(1, 2, 2);
+    ifmap.at(0, 0, 0) = 1;
+    ifmap.at(0, 0, 1) = 2;
+    ifmap.at(0, 1, 0) = 3;
+    ifmap.at(0, 1, 1) = 4;
+    FilterBank bank;
+    Tensor3 filter(1, 2, 2);
+    filter.at(0, 0, 0) = 1;
+    filter.at(0, 0, 1) = 1;
+    filter.at(0, 1, 0) = 1;
+    filter.at(0, 1, 1) = 1;
+    bank.filters.push_back(filter);
+
+    const Tensor3 out = convReference(ifmap, bank, ConvSpec{1, 0});
+    ASSERT_EQ(out.height(), 1);
+    ASSERT_EQ(out.width(), 1);
+    EXPECT_EQ(out.at(0, 0, 0), 10);
+}
+
+TEST(Golden, IdentityFilterCopiesInput)
+{
+    Rng rng;
+    Tensor3 ifmap(1, 4, 4);
+    ifmap.fillRandom(rng);
+    FilterBank bank;
+    Tensor3 id(1, 1, 1);
+    id.at(0, 0, 0) = 1;
+    bank.filters.push_back(id);
+    const Tensor3 out = convReference(ifmap, bank, ConvSpec{1, 0});
+    EXPECT_TRUE(out == ifmap);
+}
+
+// --- DAU ------------------------------------------------------------------
+
+TEST(Dau, EnumerationIsRasterOrder)
+{
+    const auto positions = enumerateWeightPositions(2, 2, 2);
+    ASSERT_EQ(positions.size(), 8u);
+    EXPECT_EQ(positions[0].channel, 0);
+    EXPECT_EQ(positions[0].dy, 0);
+    EXPECT_EQ(positions[0].dx, 0);
+    EXPECT_EQ(positions[3].channel, 0);
+    EXPECT_EQ(positions[3].dy, 1);
+    EXPECT_EQ(positions[3].dx, 1);
+    EXPECT_EQ(positions[4].channel, 1);
+}
+
+TEST(Dau, StreamsSelectTheFigNineExample)
+{
+    // The paper's Fig. 9: 3x3 ifmap (i1..i9), 2x2 kernel -> 4 output
+    // positions. Row 0 (w1 at dy=0,dx=0) must stream i1, i2, i4, i5.
+    Tensor3 ifmap(1, 3, 3);
+    int v = 1;
+    for (int y = 0; y < 3; ++y)
+        for (int x = 0; x < 3; ++x)
+            ifmap.at(0, y, x) = v++;
+
+    const auto positions = enumerateWeightPositions(1, 2, 2);
+    const auto streams =
+        buildAlignedStreams(ifmap, positions, 2, 2, ConvSpec{1, 0});
+    ASSERT_EQ(streams.size(), 4u);
+    EXPECT_EQ(streams[0], (std::vector<std::int32_t>{1, 2, 4, 5}));
+    // Row 3 (w4 at dy=1,dx=1) streams i5, i6, i8, i9.
+    EXPECT_EQ(streams[3], (std::vector<std::int32_t>{5, 6, 8, 9}));
+}
+
+TEST(Dau, PaddingBecomesZeroBubbles)
+{
+    Tensor3 ifmap(1, 2, 2);
+    ifmap.at(0, 0, 0) = 5;
+    ifmap.at(0, 0, 1) = 6;
+    ifmap.at(0, 1, 0) = 7;
+    ifmap.at(0, 1, 1) = 8;
+    const auto positions = enumerateWeightPositions(1, 3, 3);
+    const auto streams =
+        buildAlignedStreams(ifmap, positions, 3, 3, ConvSpec{1, 1});
+    // Weight (0,0) reads the pixel one up-left of each output: for
+    // output (0,0) that is outside -> bubble 0.
+    EXPECT_EQ(streams[0][0], 0);
+    // Weight (1,1) (center) reads the output position itself.
+    EXPECT_EQ(streams[4][0], 5);
+}
+
+// --- systolic array ---------------------------------------------------------
+
+TEST(Systolic, SingleCellMultiplies)
+{
+    SystolicArray array(1, 1);
+    array.loadWeight(0, 0, 3);
+    const auto out = array.step({4});
+    EXPECT_EQ(out[0], 12);
+}
+
+TEST(Systolic, ColumnAccumulatesDownward)
+{
+    // 2x1 column with weights (2, 5): feed row 0 then row 1 skewed.
+    SystolicArray array(2, 1);
+    array.loadWeight(0, 0, 2);
+    array.loadWeight(1, 0, 5);
+    const auto out =
+        array.streamThrough({{10}, {100}}); // one logical time step
+    ASSERT_EQ(out.size(), 1u);
+    ASSERT_EQ(out[0].size(), 1u);
+    EXPECT_EQ(out[0][0], 2 * 10 + 5 * 100);
+}
+
+TEST(Systolic, StreamThroughMatchesDotProducts)
+{
+    // 3-row, 2-column array: out[c][t] = sum_r w[r][c] * in[r][t].
+    SystolicArray array(3, 2);
+    const std::int32_t weights[3][2] = {{1, -1}, {2, 0}, {-3, 4}};
+    for (int r = 0; r < 3; ++r)
+        for (int c = 0; c < 2; ++c)
+            array.loadWeight(r, c, weights[r][c]);
+
+    const std::vector<std::vector<std::int32_t>> streams = {
+        {5, 1, 0, 2}, {-1, 3, 7, 0}, {2, 2, -2, 1}};
+    const auto out = array.streamThrough(streams);
+    for (std::size_t t = 0; t < 4; ++t) {
+        for (int c = 0; c < 2; ++c) {
+            std::int64_t expect = 0;
+            for (int r = 0; r < 3; ++r)
+                expect += (std::int64_t)weights[r][c] *
+                          streams[(std::size_t)r][t];
+            EXPECT_EQ(out[(std::size_t)c][t], expect)
+                << "t=" << t << " c=" << c;
+        }
+    }
+}
+
+TEST(Systolic, PipelineResetClearsState)
+{
+    SystolicArray array(2, 2);
+    array.loadWeight(0, 0, 1);
+    array.step({9, 9});
+    array.resetPipeline();
+    EXPECT_EQ(array.cyclesElapsed(), 0u);
+    const auto out = array.step({0, 0});
+    EXPECT_EQ(out[0], 0);
+    EXPECT_EQ(out[1], 0);
+}
+
+TEST(SystolicDeath, WrongInputWidthPanics)
+{
+    SystolicArray array(3, 1);
+    EXPECT_DEATH((void)array.step({1, 2}), "width mismatch");
+}
+
+// --- end-to-end conv correctness ------------------------------------------------
+
+/** Shape x array-geometry sweep; every case must match the oracle. */
+struct ConvCase
+{
+    int channels, in_hw, filters, kernel, stride, padding;
+    int array_rows, array_cols;
+};
+
+class ConvAgainstGolden : public ::testing::TestWithParam<ConvCase>
+{
+};
+
+TEST_P(ConvAgainstGolden, ExactMatch)
+{
+    const ConvCase cs = GetParam();
+    Rng rng(0xC0FFEEu + (unsigned)cs.channels * 131 +
+            (unsigned)cs.kernel);
+    Tensor3 ifmap(cs.channels, cs.in_hw, cs.in_hw);
+    ifmap.fillRandom(rng);
+    const FilterBank filters = FilterBank::random(
+        cs.filters, cs.channels, cs.kernel, cs.kernel, rng);
+    const ConvSpec spec{cs.stride, cs.padding};
+
+    const Tensor3 golden = convReference(ifmap, filters, spec);
+    FunctionalNpu npu(cs.array_rows, cs.array_cols);
+    const FunctionalRunResult run = npu.conv(ifmap, filters, spec);
+
+    EXPECT_TRUE(run.ofmap == golden);
+    EXPECT_GT(run.arrayCycles, 0ull);
+
+    // Mapping count agrees with the fold arithmetic.
+    const std::uint64_t flen =
+        (std::uint64_t)cs.channels * cs.kernel * cs.kernel;
+    const std::uint64_t row_folds =
+        (flen + cs.array_rows - 1) / cs.array_rows;
+    const std::uint64_t col_folds =
+        ((std::uint64_t)cs.filters + cs.array_cols - 1) / cs.array_cols;
+    EXPECT_EQ(run.weightMappings, row_folds * col_folds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeSweep, ConvAgainstGolden,
+    ::testing::Values(
+        // Single mapping: everything fits.
+        ConvCase{3, 8, 4, 3, 1, 1, 27, 4},
+        // Row folds only.
+        ConvCase{4, 6, 2, 3, 1, 0, 8, 2},
+        // Column folds only.
+        ConvCase{2, 6, 9, 2, 1, 0, 8, 4},
+        // Both fold dimensions.
+        ConvCase{5, 7, 7, 3, 1, 1, 16, 3},
+        // Strided.
+        ConvCase{3, 9, 4, 3, 2, 0, 27, 2},
+        // Strided and padded.
+        ConvCase{2, 8, 3, 3, 2, 1, 6, 3},
+        // 1x1 pointwise.
+        ConvCase{16, 5, 8, 1, 1, 0, 16, 8},
+        // Large kernel on a small array.
+        ConvCase{1, 11, 2, 5, 1, 2, 5, 1},
+        // Tall skinny array.
+        ConvCase{8, 6, 3, 3, 1, 1, 72, 1},
+        // Wide flat array.
+        ConvCase{2, 6, 12, 2, 1, 0, 2, 16},
+        // Strided 1x1 projection (ResNet shortcut shape).
+        ConvCase{8, 8, 16, 1, 2, 0, 8, 8},
+        // 5x5 kernel with heavy padding.
+        ConvCase{3, 7, 4, 5, 1, 2, 25, 2},
+        // Single-column array (pure accumulation chain).
+        ConvCase{4, 5, 1, 3, 1, 1, 36, 1},
+        // Single-row array (every weight position its own mapping).
+        ConvCase{2, 5, 3, 2, 1, 0, 1, 3},
+        // Asymmetric stride-2 7x7 stem (ResNet conv1 shape).
+        ConvCase{3, 15, 8, 7, 2, 3, 49, 4},
+        // Exactly array-sized filter length (no fold remainder).
+        ConvCase{4, 6, 4, 2, 1, 0, 16, 4}));
+
+TEST(ConvAgainstGoldenExtra, WeightLoadCyclesFollowArrayGeometry)
+{
+    Rng rng(3);
+    Tensor3 ifmap(4, 6, 6);
+    ifmap.fillRandom(rng);
+    const FilterBank filters = FilterBank::random(6, 4, 3, 3, rng);
+    FunctionalNpu npu(16, 2); // 36/16 = 3 row folds, 6/2 = 3 col folds
+    const auto run = npu.conv(ifmap, filters, ConvSpec{1, 1});
+    EXPECT_EQ(run.weightMappings, 9ull);
+    // rows + cols per mapping, the performance model's charge.
+    EXPECT_EQ(run.weightLoadCycles, 9ull * (16 + 2));
+}
+
+TEST(ConvAgainstGoldenExtra, FullyConnectedAsOneByOne)
+{
+    // FC = 1x1 conv on a 1x1 "image" with many channels.
+    Rng rng(7);
+    Tensor3 ifmap(64, 1, 1);
+    ifmap.fillRandom(rng);
+    const FilterBank filters = FilterBank::random(10, 64, 1, 1, rng);
+    const ConvSpec spec{1, 0};
+    const Tensor3 golden = convReference(ifmap, filters, spec);
+    FunctionalNpu npu(32, 4); // folds in both dimensions
+    EXPECT_TRUE(npu.conv(ifmap, filters, spec).ofmap == golden);
+}
+
+TEST(ConvAgainstGoldenExtra, DepthwiseAsPerChannelConvs)
+{
+    // Depthwise = per-channel single-filter convolutions.
+    Rng rng(11);
+    const int channels = 4;
+    Tensor3 ifmap(channels, 6, 6);
+    ifmap.fillRandom(rng);
+
+    FunctionalNpu npu(9, 2);
+    for (int c = 0; c < channels; ++c) {
+        Tensor3 channel(1, 6, 6);
+        for (int y = 0; y < 6; ++y)
+            for (int x = 0; x < 6; ++x)
+                channel.at(0, y, x) = ifmap.at(c, y, x);
+        const FilterBank bank = FilterBank::random(1, 1, 3, 3, rng);
+        const ConvSpec spec{1, 1};
+        EXPECT_TRUE(npu.conv(channel, bank, spec).ofmap ==
+                    convReference(channel, bank, spec));
+    }
+}
+
+} // namespace
+} // namespace functional
+} // namespace supernpu

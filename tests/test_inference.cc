@@ -1,0 +1,203 @@
+/**
+ * @file
+ * End-to-end functional inference tests: whole quantized CNNs run
+ * through the cycle-accurate systolic model must match the golden
+ * pipeline bit-exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "functional/inference.hh"
+
+namespace supernpu {
+namespace functional {
+namespace {
+
+/** A small VGG-style network with pooling and FC layers. */
+dnn::Network
+tinyVgg()
+{
+    dnn::Network net;
+    net.name = "TinyVGG";
+    net.layers = {
+        dnn::conv("conv1", 3, 16, 8, 3),
+        dnn::conv("conv2", 8, 8, 16, 3),   // pool 16 -> 8
+        dnn::conv("conv3", 16, 4, 16, 3),  // pool 8 -> 4
+        dnn::fullyConnected("fc1", 16 * 2 * 2, 32), // pool + flatten
+        dnn::fullyConnected("fc2", 32, 10),
+    };
+    net.check();
+    return net;
+}
+
+/** A MobileNet-flavoured network with depthwise separable blocks. */
+dnn::Network
+tinyMobile()
+{
+    dnn::Network net;
+    net.name = "TinyMobile";
+    net.layers = {
+        dnn::conv("conv1", 3, 16, 8, 3, 2), // -> 8
+        dnn::depthwise("dw2", 8, 8, 1),
+        dnn::conv("pw2", 8, 8, 16, 1, 1, 0),
+        dnn::depthwise("dw3", 16, 8, 2), // -> 4
+        dnn::conv("pw3", 16, 4, 24, 1, 1, 0),
+        dnn::fullyConnected("fc", 24 * 2 * 2, 10), // pool + flatten
+    };
+    net.check();
+    return net;
+}
+
+/** A strided residual-style stack (projection path omitted). */
+dnn::Network
+tinyRes()
+{
+    dnn::Network net;
+    net.name = "TinyRes";
+    net.layers = {
+        dnn::conv("conv1", 3, 12, 16, 3),
+        dnn::conv("b1_1x1a", 16, 12, 8, 1, 1, 0),
+        dnn::conv("b1_3x3", 8, 12, 8, 3, 2),
+        dnn::conv("b1_1x1b", 8, 6, 32, 1, 1, 0),
+        dnn::fullyConnected("fc", 32 * 3 * 3, 10), // pool + flatten
+    };
+    net.check();
+    return net;
+}
+
+TEST(Pipeline, BuildsTinyVggWithPoolsAndFlatten)
+{
+    Rng rng(1);
+    const InferencePipeline pipe = buildPipeline(tinyVgg(), rng);
+    ASSERT_EQ(pipe.layers.size(), 5u);
+    EXPECT_EQ(pipe.layers[0].maxPool2Count, 1); // 16 -> 8
+    EXPECT_EQ(pipe.layers[1].maxPool2Count, 1); // 8 -> 4
+    EXPECT_EQ(pipe.layers[2].maxPool2Count, 1); // 4 -> 2 before fc
+    EXPECT_TRUE(pipe.layers[3].flattenBefore);
+    EXPECT_FALSE(pipe.layers[0].flattenBefore);
+    // The classifier head keeps its signed logits.
+    EXPECT_FALSE(pipe.layers[4].relu);
+}
+
+TEST(Pipeline, PostOpsClampAndRectify)
+{
+    InferenceLayer layer;
+    layer.shape = dnn::conv("c", 1, 2, 1, 1, 1, 0);
+    layer.postShift = 0;
+    layer.relu = true;
+    Tensor3 raw(1, 2, 2);
+    raw.at(0, 0, 0) = 300;   // clamps to 127
+    raw.at(0, 0, 1) = -5;    // ReLU to 0
+    raw.at(0, 1, 0) = 64;    // passes through
+    raw.at(0, 1, 1) = -4000; // clamp then ReLU
+    const Tensor3 out = applyPostOps(raw, layer);
+    EXPECT_EQ(out.at(0, 0, 0), 127);
+    EXPECT_EQ(out.at(0, 0, 1), 0);
+    EXPECT_EQ(out.at(0, 1, 0), 64);
+    EXPECT_EQ(out.at(0, 1, 1), 0);
+}
+
+TEST(Pipeline, PostShiftScalesWithFanIn)
+{
+    Rng rng(5);
+    const InferencePipeline pipe = buildPipeline(tinyVgg(), rng);
+    // conv3 has 16*9 = 144 taps vs conv1's 27: half a bit of shift
+    // per fan-in doubling.
+    EXPECT_GT(pipe.layers[2].postShift, pipe.layers[0].postShift);
+}
+
+/** Whole-network equality across PE-array geometries. */
+struct GeometryCase
+{
+    int rows, cols;
+};
+
+class EndToEndInference
+    : public ::testing::TestWithParam<GeometryCase>
+{
+};
+
+TEST_P(EndToEndInference, TinyVggMatchesGolden)
+{
+    Rng rng(42);
+    const InferencePipeline pipe = buildPipeline(tinyVgg(), rng);
+    Rng data_rng(7);
+    Tensor3 input(3, 16, 16);
+    input.fillRandom(data_rng);
+
+    const Tensor3 golden = runGolden(pipe, input);
+    const PipelineRunStats run = runSystolic(
+        pipe, input, GetParam().rows, GetParam().cols);
+    EXPECT_TRUE(run.output == golden);
+    EXPECT_GT(run.weightMappings, 0ull);
+    EXPECT_GT(run.arrayCycles, 0ull);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, EndToEndInference,
+    ::testing::Values(GeometryCase{64, 16}, GeometryCase{32, 8},
+                      GeometryCase{128, 4}, GeometryCase{16, 32}));
+
+TEST(EndToEndInferenceExtra, TinyMobileWithDepthwiseMatches)
+{
+    Rng rng(43);
+    const InferencePipeline pipe = buildPipeline(tinyMobile(), rng);
+    Rng data_rng(8);
+    Tensor3 input(3, 16, 16);
+    input.fillRandom(data_rng);
+    const Tensor3 golden = runGolden(pipe, input);
+    const PipelineRunStats run = runSystolic(pipe, input, 32, 8);
+    EXPECT_TRUE(run.output == golden);
+}
+
+TEST(EndToEndInferenceExtra, TinyResWithStridesMatches)
+{
+    Rng rng(44);
+    const InferencePipeline pipe = buildPipeline(tinyRes(), rng);
+    Rng data_rng(9);
+    Tensor3 input(3, 12, 12);
+    input.fillRandom(data_rng);
+    const Tensor3 golden = runGolden(pipe, input);
+    const PipelineRunStats run = runSystolic(pipe, input, 48, 8);
+    EXPECT_TRUE(run.output == golden);
+}
+
+TEST(EndToEndInferenceExtra, OutputShapeIsClassVector)
+{
+    Rng rng(45);
+    const InferencePipeline pipe = buildPipeline(tinyVgg(), rng);
+    Rng data_rng(10);
+    Tensor3 input(3, 16, 16);
+    input.fillRandom(data_rng);
+    const Tensor3 out = runGolden(pipe, input);
+    EXPECT_EQ(out.channels(), 10);
+    EXPECT_EQ(out.height(), 1);
+    EXPECT_EQ(out.width(), 1);
+}
+
+TEST(EndToEndInferenceExtra, DifferentSeedsDiffer)
+{
+    Rng rng_a(1), rng_b(2);
+    const InferencePipeline pa = buildPipeline(tinyVgg(), rng_a);
+    const InferencePipeline pb = buildPipeline(tinyVgg(), rng_b);
+    Rng data_rng(3);
+    Tensor3 input(3, 16, 16);
+    input.fillRandom(data_rng);
+    EXPECT_FALSE(runGolden(pa, input) == runGolden(pb, input));
+}
+
+TEST(PipelineDeath, ShapeBreakIsRejected)
+{
+    dnn::Network net;
+    net.name = "broken";
+    net.layers = {
+        dnn::conv("a", 3, 16, 8, 3),
+        dnn::conv("b", 16, 16, 8, 3), // channel mismatch: 8 != 16
+    };
+    Rng rng(1);
+    EXPECT_DEATH((void)buildPipeline(net, rng), "shape break");
+}
+
+} // namespace
+} // namespace functional
+} // namespace supernpu

@@ -1,0 +1,494 @@
+/**
+ * @file
+ * Tests for the cycle-level NPU performance simulator: the batch
+ * solver (Table II), MAC conservation, the Fig. 15/18/20/22 cost
+ * mechanics, and the optimization-step orderings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "dnn/networks.hh"
+#include "npusim/batch.hh"
+#include "npusim/mapping.hh"
+#include "npusim/sim.hh"
+
+namespace supernpu {
+namespace npusim {
+namespace {
+
+using estimator::NpuConfig;
+using estimator::NpuEstimate;
+using estimator::NpuEstimator;
+
+class SimFixture : public ::testing::Test
+{
+  protected:
+    sfq::DeviceConfig dev;
+    sfq::CellLibrary lib{dev};
+    NpuEstimator estimator{lib};
+
+    NpuEstimate
+    estimate(const NpuConfig &config) const
+    {
+        return estimator.estimate(config);
+    }
+};
+
+// --- batch solver (Table II) ----------------------------------------------
+
+TEST_F(SimFixture, BaselineBatchIsOneEverywhere)
+{
+    const NpuConfig config = NpuConfig::baseline();
+    const NpuEstimate est = estimate(config);
+    for (const auto &net : dnn::evaluationWorkloads())
+        EXPECT_EQ(maxBatch(config, est, net), 1) << net.name;
+}
+
+TEST_F(SimFixture, BufferOptBatchesMatchTableTwo)
+{
+    const NpuConfig config = NpuConfig::bufferOpt();
+    const NpuEstimate est = estimate(config);
+    const auto nets = dnn::evaluationWorkloads();
+    // Table II: AlexNet 15, GoogLeNet 3, MobileNet 3, ResNet50 3,
+    // VGG16 1.
+    EXPECT_NEAR(maxBatch(config, est, nets[0]), 15, 1); // AlexNet
+    EXPECT_EQ(maxBatch(config, est, nets[2]), 3);       // GoogLeNet
+    EXPECT_EQ(maxBatch(config, est, nets[3]), 3);       // MobileNet
+    EXPECT_EQ(maxBatch(config, est, nets[4]), 3);       // ResNet50
+    EXPECT_EQ(maxBatch(config, est, nets[5]), 1);       // VGG16
+}
+
+TEST_F(SimFixture, SuperNpuBatchesMatchTableTwo)
+{
+    const NpuConfig config = NpuConfig::superNpu();
+    const NpuEstimate est = estimate(config);
+    const auto nets = dnn::evaluationWorkloads();
+    // Table II: 30 for most workloads, 7 for VGG16.
+    EXPECT_EQ(maxBatch(config, est, nets[0]), 30); // AlexNet
+    EXPECT_EQ(maxBatch(config, est, nets[2]), 30); // GoogLeNet
+    EXPECT_EQ(maxBatch(config, est, nets[3]), 30); // MobileNet
+    EXPECT_EQ(maxBatch(config, est, nets[4]), 30); // ResNet50
+    EXPECT_EQ(maxBatch(config, est, nets[5]), 7);  // VGG16
+}
+
+TEST_F(SimFixture, UnifiedBatchMatchesTpuColumn)
+{
+    // Table II: the TPU runs AlexNet at batch 22 from its 24 MB
+    // buffer / the 1.05 MB largest layer.
+    const auto nets = dnn::evaluationWorkloads();
+    const std::uint64_t buffer = 24 * units::MiB;
+    EXPECT_NEAR(maxBatchUnified(buffer, nets[0]), 22, 1); // AlexNet
+    EXPECT_EQ(maxBatchUnified(buffer, nets[5]), 3);       // VGG16
+}
+
+TEST_F(SimFixture, BatchIsClampedToCap)
+{
+    // A tiny network would fit hundreds of batches; the solver
+    // follows the paper's conservative cap of 30.
+    dnn::Network tiny;
+    tiny.name = "tiny";
+    tiny.layers = {dnn::conv("c", 8, 8, 64, 3)};
+    const NpuConfig config = NpuConfig::superNpu();
+    EXPECT_EQ(maxBatch(config, estimate(config), tiny), batchCap);
+}
+
+TEST_F(SimFixture, OutputWidthUnderutilizationBindsBatch)
+{
+    // Fig. 18(b): K = 64 filters on a 256-wide array strands 3/4 of
+    // the output buffer; the same layer on a 64-wide array does not.
+    dnn::Network narrow_k;
+    narrow_k.name = "narrowK";
+    narrow_k.layers = {dnn::conv("c", 64, 112, 64, 3)};
+
+    const NpuConfig wide = NpuConfig::bufferOpt();     // width 256
+    const NpuConfig narrow = NpuConfig::resourceOpt(); // width 64
+    const int batch_wide = maxBatch(wide, estimate(wide), narrow_k);
+    const int batch_narrow =
+        maxBatch(narrow, estimate(narrow), narrow_k);
+    EXPECT_GT(batch_narrow, 2 * batch_wide);
+}
+
+// --- mapping plans ----------------------------------------------------------
+
+TEST_F(SimFixture, MappingPlanCoversEveryWeightOnce)
+{
+    for (const NpuConfig &config :
+         {NpuConfig::baseline(), NpuConfig::superNpu()}) {
+        for (const auto &net : dnn::evaluationWorkloads()) {
+            for (const auto &layer : net.layers) {
+                const MappingPlan plan =
+                    MappingPlan::build(layer, config);
+                EXPECT_EQ(plan.totalWeightBytes(), layer.weightBytes())
+                    << net.name << "/" << layer.name;
+                EXPECT_EQ(plan.mappings.size(),
+                          plan.rowFolds * plan.colFolds)
+                    << layer.name;
+            }
+        }
+    }
+}
+
+TEST_F(SimFixture, MappingPlanCoversEveryMac)
+{
+    const NpuConfig config = NpuConfig::superNpu();
+    for (const auto &net : dnn::evaluationWorkloads()) {
+        for (const auto &layer : net.layers) {
+            const MappingPlan plan = MappingPlan::build(layer, config);
+            EXPECT_EQ(plan.totalMacs(layer.outputPositions(), 3),
+                      layer.macCount() * 3ull)
+                << net.name << "/" << layer.name;
+        }
+    }
+}
+
+TEST_F(SimFixture, RegistersShrinkColumnFolds)
+{
+    const dnn::Layer layer = dnn::conv("wide", 256, 14, 2048, 3);
+    const MappingPlan one =
+        MappingPlan::build(layer, NpuConfig::resourceOpt());
+    const MappingPlan eight =
+        MappingPlan::build(layer, NpuConfig::superNpu());
+    EXPECT_EQ(one.colFolds, 32ull);  // 2048 / 64
+    EXPECT_EQ(eight.colFolds, 4ull); // 2048 / (64 * 8)
+    EXPECT_EQ(one.rowFolds, eight.rowFolds);
+}
+
+TEST_F(SimFixture, DepthwisePlansOneFilterPerMapping)
+{
+    const dnn::Layer layer = dnn::depthwise("dw", 128, 14, 1);
+    const MappingPlan plan =
+        MappingPlan::build(layer, NpuConfig::superNpu());
+    EXPECT_TRUE(plan.depthwise);
+    EXPECT_EQ(plan.colFolds, 128ull);
+    for (const auto &mapping : plan.mappings) {
+        EXPECT_EQ(mapping.activeCols, 1ull);
+        EXPECT_EQ(mapping.activeRows, 9ull);
+    }
+}
+
+// --- MAC conservation -------------------------------------------------------
+
+/** The simulator executes exactly batch x layer MACs, per config. */
+class MacConservation : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MacConservation, MacsMatchAnalytical)
+{
+    sfq::DeviceConfig dev;
+    sfq::CellLibrary lib(dev);
+    NpuEstimator estimator(lib);
+    const NpuConfig configs[] = {
+        NpuConfig::baseline(), NpuConfig::bufferOpt(),
+        NpuConfig::resourceOpt(), NpuConfig::superNpu()};
+    const NpuConfig &config = configs[GetParam()];
+    const NpuEstimate est = estimator.estimate(config);
+    NpuSimulator sim(est);
+
+    for (const auto &net : dnn::evaluationWorkloads()) {
+        const int batch = 3;
+        const SimResult result = sim.run(net, batch);
+        EXPECT_EQ(result.macOps, net.totalMacs() * (std::uint64_t)batch)
+            << net.name << " on " << config.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, MacConservation,
+                         ::testing::Range(0, 4));
+
+// --- trace recorder ----------------------------------------------------------
+
+TEST_F(SimFixture, TraceRecordsOneEventPerMapping)
+{
+    const NpuEstimate est = estimate(NpuConfig::superNpu());
+    NpuSimulator sim(est);
+    TraceRecorder trace;
+    sim.setTrace(&trace);
+    const dnn::Layer layer = dnn::conv("c", 256, 14, 512, 3);
+    const LayerResult res = sim.simulateLayer(layer, 2);
+    EXPECT_EQ(trace.events().size(), res.weightMappings);
+
+    // Per-event sums reconcile with the layer aggregates.
+    std::uint64_t macs = 0, compute = 0, weight = 0;
+    for (const auto &event : trace.events()) {
+        macs += event.macOps;
+        compute += event.computeCycles;
+        weight += event.weightLoadCycles;
+        EXPECT_EQ(event.layer, "c");
+    }
+    EXPECT_EQ(macs, res.macOps);
+    EXPECT_EQ(compute, res.computeCycles);
+    EXPECT_EQ(weight, res.prep.weightLoad);
+}
+
+TEST_F(SimFixture, TraceCsvHasHeaderAndRows)
+{
+    const NpuEstimate est = estimate(NpuConfig::superNpu());
+    NpuSimulator sim(est);
+    TraceRecorder trace;
+    sim.setTrace(&trace);
+    sim.simulateLayer(dnn::conv("layerX", 64, 14, 64, 3), 1);
+    const std::string csv = trace.csv();
+    EXPECT_NE(csv.find("layer,col_fold,row_fold"), std::string::npos);
+    EXPECT_NE(csv.find("layerX,0,0,"), std::string::npos);
+    trace.clear();
+    EXPECT_TRUE(trace.events().empty());
+}
+
+TEST_F(SimFixture, DetachedTraceRecordsNothing)
+{
+    const NpuEstimate est = estimate(NpuConfig::superNpu());
+    NpuSimulator sim(est);
+    TraceRecorder trace;
+    sim.setTrace(&trace);
+    sim.setTrace(nullptr);
+    sim.simulateLayer(dnn::conv("c", 64, 14, 64, 3), 1);
+    EXPECT_TRUE(trace.events().empty());
+}
+
+// --- cycle accounting basics -----------------------------------------------
+
+TEST_F(SimFixture, LayerTotalsRollUp)
+{
+    const NpuEstimate est = estimate(NpuConfig::superNpu());
+    NpuSimulator sim(est);
+    const SimResult result = sim.run(dnn::makeResNet50(), 4);
+    std::uint64_t compute = 0, prep = 0, stall = 0, macs = 0;
+    for (const auto &layer : result.layers) {
+        compute += layer.computeCycles;
+        prep += layer.prepCycles;
+        stall += layer.memoryStallCycles;
+        macs += layer.macOps;
+    }
+    EXPECT_EQ(compute, result.computeCycles);
+    EXPECT_EQ(prep, result.prepCycles);
+    EXPECT_EQ(stall, result.memoryStallCycles);
+    EXPECT_EQ(macs, result.macOps);
+    EXPECT_EQ(result.totalCycles, compute + prep + stall);
+}
+
+TEST_F(SimFixture, PrepBreakdownAccountsEveryPrepCycle)
+{
+    // Every prep cycle the simulator charges must land in exactly
+    // one trace bucket (the Fig. 14 analyzer invariant).
+    for (const NpuConfig &config :
+         {NpuConfig::baseline(), NpuConfig::bufferOpt(),
+          NpuConfig::superNpu()}) {
+        const NpuEstimate est = estimate(config);
+        NpuSimulator sim(est);
+        for (const auto &net : dnn::evaluationWorkloads()) {
+            const SimResult r = sim.run(net, 2);
+            EXPECT_EQ(r.prep.total(), r.prepCycles)
+                << net.name << " on " << config.name;
+            for (const auto &layer : r.layers) {
+                EXPECT_EQ(layer.prep.total(), layer.prepCycles)
+                    << layer.layerName;
+            }
+        }
+    }
+}
+
+TEST_F(SimFixture, BaselinePrepDominatedByBufferMovement)
+{
+    // Section V-A2: the Baseline's preparation is dominated by the
+    // psum moves and ifmap rewinds of the monolithic buffers.
+    const NpuEstimate est = estimate(NpuConfig::baseline());
+    NpuSimulator sim(est);
+    const SimResult r = sim.run(dnn::makeVgg16(), 1);
+    const std::uint64_t movement = r.prep.psumMove + r.prep.ifmapRewind;
+    EXPECT_GT(movement, r.prepCycles / 2);
+}
+
+TEST_F(SimFixture, SuperNpuEliminatesPsumMoves)
+{
+    const NpuEstimate base = estimate(NpuConfig::baseline());
+    const NpuEstimate super = estimate(NpuConfig::superNpu());
+    NpuSimulator sim_b(base), sim_s(super);
+    const dnn::Network net = dnn::makeResNet50();
+    const SimResult rb = sim_b.run(net, 1);
+    const SimResult rs = sim_s.run(net, 1);
+    EXPECT_LT(rs.prep.psumMove, rb.prep.psumMove / 100);
+}
+
+TEST_F(SimFixture, UtilizationNeverExceedsOne)
+{
+    for (const NpuConfig &config :
+         {NpuConfig::baseline(), NpuConfig::superNpu()}) {
+        const NpuEstimate est = estimate(config);
+        NpuSimulator sim(est);
+        for (const auto &net : dnn::evaluationWorkloads()) {
+            const SimResult r = sim.run(net, 2);
+            EXPECT_LE(r.peUtilization(config.peCount()), 1.0)
+                << net.name;
+            EXPECT_GT(r.totalCycles, 0ull) << net.name;
+        }
+    }
+}
+
+TEST_F(SimFixture, DramTrafficIncludesWeightsAtLeastOnce)
+{
+    const NpuEstimate est = estimate(NpuConfig::superNpu());
+    NpuSimulator sim(est);
+    for (const auto &net : dnn::evaluationWorkloads()) {
+        const SimResult r = sim.run(net, 1);
+        EXPECT_GE(r.dramBytes, net.totalWeightBytes()) << net.name;
+    }
+}
+
+// --- Fig. 15: preparation dominates the Baseline ------------------------------
+
+TEST_F(SimFixture, BaselinePreparationAboveNinetyPercent)
+{
+    const NpuEstimate est = estimate(NpuConfig::baseline());
+    NpuSimulator sim(est);
+    for (const auto &net : dnn::evaluationWorkloads()) {
+        const SimResult r = sim.run(net, 1);
+        EXPECT_GT(r.preparationFraction(), 0.90) << net.name;
+    }
+}
+
+TEST_F(SimFixture, SuperNpuPreparationMuchLower)
+{
+    const NpuEstimate base = estimate(NpuConfig::baseline());
+    const NpuEstimate super = estimate(NpuConfig::superNpu());
+    NpuSimulator sim_b(base), sim_s(super);
+    const dnn::Network net = dnn::makeResNet50();
+    EXPECT_LT(sim_s.run(net, 30).preparationFraction(),
+              sim_b.run(net, 1).preparationFraction());
+}
+
+// --- optimization-step orderings (Figs. 20-23 mechanics) ----------------------
+
+namespace {
+
+/** Average effective MAC/s over the six workloads at max batch. */
+double
+averagePerf(const NpuEstimator &estimator, const NpuConfig &config)
+{
+    const NpuEstimate est = estimator.estimate(config);
+    NpuSimulator sim(est);
+    double total = 0.0;
+    const auto nets = dnn::evaluationWorkloads();
+    for (const auto &net : nets) {
+        const int batch = maxBatch(config, est, net);
+        total += sim.run(net, batch).effectiveMacPerSec();
+    }
+    return total / (double)nets.size();
+}
+
+} // namespace
+
+TEST_F(SimFixture, EachOptimizationStepHelps)
+{
+    const double base = averagePerf(estimator, NpuConfig::baseline());
+    const double buffer = averagePerf(estimator, NpuConfig::bufferOpt());
+    const double resource =
+        averagePerf(estimator, NpuConfig::resourceOpt());
+    const double super = averagePerf(estimator, NpuConfig::superNpu());
+    EXPECT_GT(buffer, 4.0 * base);
+    EXPECT_GT(resource, buffer);
+    EXPECT_GT(super, resource);
+}
+
+TEST_F(SimFixture, DivisionImprovesSingleBatchPerformance)
+{
+    // Fig. 20's single-batch series: more chunks, shorter moves.
+    const dnn::Network net = dnn::makeVgg16();
+    double prev = 0.0;
+    for (int division : {1, 4, 64}) {
+        NpuConfig config = NpuConfig::baseline();
+        config.name = "div";
+        config.integratedOutputBuffer = division > 1;
+        if (division > 1) {
+            config.outputBufferBytes = 12 * units::MiB;
+            config.ifmapBufferBytes = 12 * units::MiB;
+            config.psumBufferBytes = 0;
+            config.ofmapBufferBytes = 0;
+        }
+        config.ifmapDivision = division;
+        config.outputDivision = division;
+        const NpuEstimate est = estimate(config);
+        NpuSimulator sim(est);
+        const double perf = sim.run(net, 1).effectiveMacPerSec();
+        EXPECT_GT(perf, prev) << "division " << division;
+        prev = perf;
+    }
+}
+
+TEST_F(SimFixture, IntegrationRemovesPsumMoves)
+{
+    // A many-row-fold layer exercises psum movement heavily.
+    dnn::Network net;
+    net.name = "deepC";
+    net.layers = {dnn::conv("c", 512, 14, 128, 3)};
+
+    NpuConfig separate = NpuConfig::baseline();
+    NpuConfig integrated = NpuConfig::baseline();
+    integrated.integratedOutputBuffer = true;
+    integrated.outputBufferBytes = 16 * units::MiB;
+    integrated.psumBufferBytes = 0;
+    integrated.ofmapBufferBytes = 0;
+
+    NpuSimulator sim_sep(estimate(separate));
+    NpuSimulator sim_int(estimate(integrated));
+    EXPECT_LT(sim_int.run(net, 1).prepCycles,
+              sim_sep.run(net, 1).prepCycles / 2);
+}
+
+TEST_F(SimFixture, RegistersHelpManyFilterLayers)
+{
+    // Fig. 22's mechanism: with K >> width, weight registers cut the
+    // column folds and the per-fold preparation.
+    dnn::Network net;
+    net.name = "manyK";
+    net.layers = {dnn::conv("c", 256, 14, 2048, 3)};
+
+    NpuConfig one = NpuConfig::resourceOpt();
+    NpuConfig eight = NpuConfig::superNpu();
+    NpuSimulator sim_one(estimate(one));
+    NpuSimulator sim_eight(estimate(eight));
+    const double p1 = sim_one.run(net, 8).effectiveMacPerSec();
+    const double p8 = sim_eight.run(net, 8).effectiveMacPerSec();
+    EXPECT_GT(p8, p1);
+}
+
+TEST_F(SimFixture, BatchRaisesThroughput)
+{
+    const NpuEstimate est = estimate(NpuConfig::superNpu());
+    NpuSimulator sim(est);
+    const dnn::Network net = dnn::makeAlexNet();
+    const double b1 = sim.run(net, 1).effectiveMacPerSec();
+    const double b30 = sim.run(net, 30).effectiveMacPerSec();
+    EXPECT_GT(b30, 2.0 * b1);
+}
+
+TEST_F(SimFixture, OnChipChainingBeatsDramRefetch)
+{
+    const NpuEstimate est = estimate(NpuConfig::superNpu());
+    NpuSimulator sim(est);
+    const dnn::Layer layer = dnn::conv("c", 256, 28, 256, 3);
+    const LayerResult cold = sim.simulateLayer(layer, 4, false);
+    const LayerResult warm = sim.simulateLayer(layer, 4, true);
+    EXPECT_LT(warm.totalCycles(), cold.totalCycles());
+    EXPECT_LT(warm.dramBytes, cold.dramBytes);
+}
+
+TEST_F(SimFixture, DepthwiseUnderutilizesThePeArray)
+{
+    const NpuEstimate est = estimate(NpuConfig::superNpu());
+    NpuSimulator sim(est);
+    const dnn::Layer dw = dnn::depthwise("dw", 256, 14, 1);
+    const dnn::Layer pw = dnn::conv("pw", 256, 14, 256, 1, 1, 0);
+    const LayerResult rdw = sim.simulateLayer(dw, 4);
+    const LayerResult rpw = sim.simulateLayer(pw, 4);
+    const double util_dw =
+        (double)rdw.macOps / (double)rdw.totalCycles();
+    const double util_pw =
+        (double)rpw.macOps / (double)rpw.totalCycles();
+    EXPECT_LT(util_dw, util_pw / 10.0);
+}
+
+} // namespace
+} // namespace npusim
+} // namespace supernpu

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the network description parser and formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/networks.hh"
+#include "dnn/parser.hh"
+
+namespace supernpu {
+namespace dnn {
+namespace {
+
+TEST(Parser, ParsesAllThreeLayerKinds)
+{
+    const Network net = parseNetwork(
+        "# a demo network\n"
+        "network Demo\n"
+        "conv   conv1  3 32 16 3 2 1\n"
+        "dwconv dw2   16 16  - 3 1 1\n"
+        "fc     fc1  4096 - 10 - - -\n");
+    EXPECT_EQ(net.name, "Demo");
+    ASSERT_EQ(net.layers.size(), 3u);
+    EXPECT_EQ(net.layers[0].kind, LayerKind::Conv);
+    EXPECT_EQ(net.layers[0].outHeight(), 16);
+    EXPECT_EQ(net.layers[1].kind, LayerKind::DepthwiseConv);
+    EXPECT_EQ(net.layers[1].outChannels, 16);
+    EXPECT_EQ(net.layers[2].kind, LayerKind::FullyConnected);
+    EXPECT_EQ(net.layers[2].outChannels, 10);
+}
+
+TEST(Parser, SkipsCommentsAndBlankLines)
+{
+    const Network net = parseNetwork(
+        "\n"
+        "network X  # inline comment\n"
+        "\n"
+        "# full-line comment\n"
+        "conv c 3 8 4 3 1 1  # trailing comment\n");
+    EXPECT_EQ(net.layers.size(), 1u);
+}
+
+TEST(Parser, RoundTripsTheBuiltInZoo)
+{
+    for (const auto &net : evaluationWorkloads()) {
+        const Network reparsed = parseNetwork(formatNetwork(net));
+        EXPECT_EQ(reparsed.name, net.name);
+        ASSERT_EQ(reparsed.layers.size(), net.layers.size())
+            << net.name;
+        EXPECT_EQ(reparsed.totalMacs(), net.totalMacs()) << net.name;
+        EXPECT_EQ(reparsed.totalWeightBytes(), net.totalWeightBytes())
+            << net.name;
+        for (std::size_t i = 0; i < net.layers.size(); ++i) {
+            EXPECT_EQ(reparsed.layers[i].kind, net.layers[i].kind)
+                << net.name << " layer " << i;
+            EXPECT_EQ(reparsed.layers[i].macCount(),
+                      net.layers[i].macCount())
+                << net.name << " layer " << i;
+        }
+    }
+}
+
+TEST(ParserDeath, RejectsMalformedInput)
+{
+    EXPECT_DEATH((void)parseNetwork("conv c 3 8 4 3 1 1\n"),
+                 "must be 'network");
+    EXPECT_DEATH((void)parseNetwork("network X\nconv c 3 8\n"),
+                 "expected 8 fields");
+    EXPECT_DEATH(
+        (void)parseNetwork("network X\nblob c 3 8 4 3 1 1\n"),
+        "unknown layer kind");
+    EXPECT_DEATH((void)parseNetwork("network X\n"), "no layers");
+    EXPECT_DEATH(
+        (void)parseNetwork("network X\nconv c 3 8 4 3 1 oops\n"),
+        "bad integer");
+    EXPECT_DEATH(
+        (void)parseNetwork("network X\nconv c - 8 4 3 1 1\n"),
+        "required");
+}
+
+TEST(ParserDeath, RejectsDuplicateNetworkLine)
+{
+    EXPECT_DEATH((void)parseNetwork("network A\nnetwork B\n"),
+                 "duplicate");
+}
+
+} // namespace
+} // namespace dnn
+} // namespace supernpu

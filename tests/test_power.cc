@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the power / cooling model (Table III).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/networks.hh"
+#include "npusim/batch.hh"
+#include "npusim/sim.hh"
+#include "power/power.hh"
+#include "scalesim/tpu.hh"
+
+namespace supernpu {
+namespace power {
+namespace {
+
+using estimator::NpuConfig;
+using estimator::NpuEstimate;
+using estimator::NpuEstimator;
+
+/** Build an estimate for the given technology. */
+NpuEstimate
+estimateFor(sfq::Technology tech, const NpuConfig &config)
+{
+    sfq::DeviceConfig dev;
+    dev.technology = tech;
+    sfq::CellLibrary lib(dev);
+    NpuEstimator estimator(lib);
+    return estimator.estimate(config);
+}
+
+/** Average chip power and perf over the six workloads at max batch. */
+struct WorkloadAverage
+{
+    PowerReport power;
+    double macPerSec = 0.0;
+};
+
+WorkloadAverage
+averageOver(const NpuEstimate &est)
+{
+    npusim::NpuSimulator sim(est);
+    WorkloadAverage avg;
+    const auto nets = dnn::evaluationWorkloads();
+    for (const auto &net : nets) {
+        const int batch = npusim::maxBatch(est.config, est, net);
+        const auto run = sim.run(net, batch);
+        const PowerReport report = analyze(est, run);
+        avg.power.staticW = report.staticW;
+        avg.power.dynamicW += report.dynamicW / (double)nets.size();
+        avg.macPerSec += run.effectiveMacPerSec() / (double)nets.size();
+    }
+    return avg;
+}
+
+TEST(Power, ReportArithmetic)
+{
+    PowerReport report;
+    report.staticW = 10.0;
+    report.dynamicW = 2.0;
+    EXPECT_DOUBLE_EQ(report.chipW(), 12.0);
+    EXPECT_DOUBLE_EQ(report.coolingW(), 12.0 * 400.0);
+    EXPECT_DOUBLE_EQ(report.totalWithCoolingW(), 12.0 * 401.0);
+}
+
+TEST(Power, PerfPerWatt)
+{
+    EXPECT_DOUBLE_EQ(perfPerWatt(40e12, 40.0), 1e12);
+}
+
+TEST(Power, RsfqSuperNpuNearPaperTableThree)
+{
+    const auto est =
+        estimateFor(sfq::Technology::RSFQ, NpuConfig::superNpu());
+    const WorkloadAverage avg = averageOver(est);
+    // Table III: 964 W, dominated by static dissipation.
+    EXPECT_NEAR(avg.power.chipW(), 964.0, 100.0);
+    EXPECT_GT(avg.power.staticW, 50.0 * avg.power.dynamicW);
+}
+
+TEST(Power, ErsfqSuperNpuNearPaperTableThree)
+{
+    const auto est =
+        estimateFor(sfq::Technology::ERSFQ, NpuConfig::superNpu());
+    const WorkloadAverage avg = averageOver(est);
+    // Table III: 1.9 W, all of it dynamic.
+    EXPECT_DOUBLE_EQ(avg.power.staticW, 0.0);
+    EXPECT_NEAR(avg.power.chipW(), 1.9, 1.0);
+    // With the 400x cooling overhead: ~751 W.
+    EXPECT_NEAR(avg.power.totalWithCoolingW(), 751.0, 380.0);
+}
+
+TEST(Power, TableThreePerfPerWattRatios)
+{
+    // Reproduce all four Table III rows against the TPU reference.
+    scalesim::TpuConfig tpu_config;
+    scalesim::TpuSimulator tpu(tpu_config);
+    double tpu_perf = 0.0;
+    const auto nets = dnn::evaluationWorkloads();
+    for (const auto &net : nets) {
+        const int batch = npusim::maxBatchUnified(
+            tpu_config.unifiedBufferBytes, net);
+        tpu_perf += tpu.run(net, batch).effectiveMacPerSec() /
+                    (double)nets.size();
+    }
+    const double tpu_ppw =
+        perfPerWatt(tpu_perf, tpu_config.averagePowerW);
+
+    const auto rsfq =
+        estimateFor(sfq::Technology::RSFQ, NpuConfig::superNpu());
+    const auto ersfq =
+        estimateFor(sfq::Technology::ERSFQ, NpuConfig::superNpu());
+    const WorkloadAverage avg_r = averageOver(rsfq);
+    const WorkloadAverage avg_e = averageOver(ersfq);
+
+    // RSFQ without cooling: comparable to the TPU (paper: 0.95x).
+    const double r_free =
+        perfPerWatt(avg_r.macPerSec, avg_r.power.chipW()) / tpu_ppw;
+    EXPECT_GT(r_free, 0.4);
+    EXPECT_LT(r_free, 2.0);
+
+    // RSFQ with cooling: catastrophic (paper: 0.002x).
+    const double r_cooled =
+        perfPerWatt(avg_r.macPerSec, avg_r.power.totalWithCoolingW()) /
+        tpu_ppw;
+    EXPECT_LT(r_cooled, 0.01);
+
+    // ERSFQ with free cooling: hundreds of times better (paper 490x).
+    const double e_free =
+        perfPerWatt(avg_e.macPerSec, avg_e.power.chipW()) / tpu_ppw;
+    EXPECT_GT(e_free, 200.0);
+    EXPECT_LT(e_free, 1500.0);
+
+    // ERSFQ with cooling: still ahead of the TPU (paper 1.23x).
+    const double e_cooled =
+        perfPerWatt(avg_e.macPerSec, avg_e.power.totalWithCoolingW()) /
+        tpu_ppw;
+    EXPECT_GT(e_cooled, 0.7);
+    EXPECT_LT(e_cooled, 4.0);
+}
+
+TEST(Power, DynamicComponentsSumToTotal)
+{
+    const auto est =
+        estimateFor(sfq::Technology::ERSFQ, NpuConfig::superNpu());
+    npusim::NpuSimulator sim(est);
+    const auto run = sim.run(dnn::makeVgg16(), 7);
+    const PowerReport report = analyze(est, run);
+    EXPECT_NEAR(report.dynamicW,
+                report.dynamicPeW + report.dynamicBufferW +
+                    report.dynamicDauW + report.dynamicNwW,
+                1e-12);
+    // The MAC datapaths dominate the dynamic budget when busy.
+    EXPECT_GT(report.dynamicPeW, report.dynamicNwW);
+}
+
+TEST(Power, DynamicScalesWithActivity)
+{
+    const auto est =
+        estimateFor(sfq::Technology::ERSFQ, NpuConfig::superNpu());
+    npusim::NpuSimulator sim(est);
+    const dnn::Network net = dnn::makeResNet50();
+    const auto busy = sim.run(net, 30);
+    const auto idle = sim.run(net, 1);
+    // Higher utilization -> higher dynamic power.
+    EXPECT_GT(analyze(est, busy).dynamicW, analyze(est, idle).dynamicW);
+}
+
+TEST(PowerDeath, ZeroWattsRejected)
+{
+    EXPECT_DEATH((void)perfPerWatt(1.0, 0.0), "non-positive");
+}
+
+} // namespace
+} // namespace power
+} // namespace supernpu

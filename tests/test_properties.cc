@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Property-based invariant sweeps across the stack: randomized and
+ * enumerated layer shapes, architecture geometries, and device
+ * points, each checked against invariants that must hold for *every*
+ * instance (conservation, monotonicity, accounting closure).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "dnn/networks.hh"
+#include "estimator/buffer_model.hh"
+#include "estimator/npu_estimator.hh"
+#include "estimator/pe_model.hh"
+#include "npusim/batch.hh"
+#include "npusim/sim.hh"
+#include "scalesim/tpu.hh"
+
+namespace supernpu {
+namespace {
+
+using estimator::NpuConfig;
+using estimator::NpuEstimate;
+using estimator::NpuEstimator;
+
+/** Deterministically generate a valid random conv layer. */
+dnn::Layer
+randomLayer(Rng &rng, int index)
+{
+    const int kernel = (int)rng.uniformInt(1, 7);
+    const int stride = (int)rng.uniformInt(1, 2);
+    const int in_hw =
+        std::max<int>(kernel + 2, (int)rng.uniformInt(6, 64));
+    dnn::Layer layer = dnn::conv(
+        "rand" + std::to_string(index), (int)rng.uniformInt(1, 512),
+        in_hw, (int)rng.uniformInt(1, 512), kernel, stride);
+    return layer;
+}
+
+// --- simulator invariants over random layers ---------------------------
+
+class RandomLayerInvariants : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomLayerInvariants, ConservationAndClosure)
+{
+    Rng rng(0xFACEull + (std::uint64_t)GetParam());
+    sfq::DeviceConfig dev;
+    sfq::CellLibrary lib(dev);
+    NpuEstimator estimator(lib);
+    const NpuConfig config = GetParam() % 2 ? NpuConfig::superNpu()
+                                            : NpuConfig::baseline();
+    const NpuEstimate est = estimator.estimate(config);
+    npusim::NpuSimulator sim(est);
+
+    for (int i = 0; i < 8; ++i) {
+        const dnn::Layer layer = randomLayer(rng, i);
+        const int batch = (int)rng.uniformInt(1, 8);
+        const npusim::LayerResult res =
+            sim.simulateLayer(layer, batch);
+
+        // MAC conservation.
+        EXPECT_EQ(res.macOps,
+                  layer.macCount() * (std::uint64_t)batch)
+            << layer.name;
+        // Prep accounting closes.
+        EXPECT_EQ(res.prep.total(), res.prepCycles) << layer.name;
+        // Work exists and the array is never over-utilized.
+        EXPECT_GT(res.totalCycles(), 0ull) << layer.name;
+        EXPECT_LE((double)res.macOps,
+                  (double)res.totalCycles() * config.peCount())
+            << layer.name;
+        // Off-chip traffic includes at least the weights.
+        EXPECT_GE(res.dramBytes, layer.weightBytes()) << layer.name;
+        // Mapping count follows the fold arithmetic.
+        const std::uint64_t folds_r =
+            (layer.weightsPerFilter() + config.peHeight - 1) /
+            config.peHeight;
+        const std::uint64_t per_map =
+            (std::uint64_t)config.peWidth * config.regsPerPe;
+        const std::uint64_t folds_c =
+            ((std::uint64_t)layer.outChannels + per_map - 1) / per_map;
+        EXPECT_EQ(res.weightMappings, folds_r * folds_c) << layer.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLayerInvariants,
+                         ::testing::Range(0, 10));
+
+// --- batch monotonicity --------------------------------------------------
+
+TEST(Monotonicity, ThroughputNeverDropsWithBatchOnSuperNpu)
+{
+    sfq::DeviceConfig dev;
+    sfq::CellLibrary lib(dev);
+    NpuEstimator estimator(lib);
+    const NpuConfig config = NpuConfig::superNpu();
+    const NpuEstimate est = estimator.estimate(config);
+    npusim::NpuSimulator sim(est);
+
+    for (const auto &net :
+         {dnn::makeResNet50(), dnn::makeGoogLeNet()}) {
+        double prev = 0.0;
+        for (int batch : {1, 2, 4, 8, 16, 30}) {
+            const double perf =
+                sim.run(net, batch).effectiveMacPerSec();
+            EXPECT_GE(perf, prev * 0.999)
+                << net.name << " batch " << batch;
+            prev = perf;
+        }
+    }
+}
+
+TEST(Monotonicity, BandwidthNeverHurts)
+{
+    sfq::DeviceConfig dev;
+    sfq::CellLibrary lib(dev);
+    NpuEstimator estimator(lib);
+    const dnn::Network net = dnn::makeVgg16();
+    double prev = 0.0;
+    for (double bw : {100e9, 300e9, 900e9}) {
+        NpuConfig config = NpuConfig::superNpu();
+        config.memoryBandwidth = bw;
+        npusim::NpuSimulator sim(estimator.estimate(config));
+        const double perf = sim.run(net, 7).effectiveMacPerSec();
+        EXPECT_GE(perf, prev) << "bw " << bw;
+        prev = perf;
+    }
+}
+
+TEST(Monotonicity, WeightPrefetchNeverHurts)
+{
+    sfq::DeviceConfig dev;
+    sfq::CellLibrary lib(dev);
+    NpuEstimator estimator(lib);
+    NpuConfig plain = NpuConfig::superNpu();
+    NpuConfig pref = NpuConfig::superNpu();
+    pref.weightDoubleBuffering = true;
+    npusim::NpuSimulator sim_plain(estimator.estimate(plain));
+    npusim::NpuSimulator sim_pref(estimator.estimate(pref));
+    for (const auto &net : dnn::evaluationWorkloads()) {
+        const double a = sim_plain.run(net, 4).effectiveMacPerSec();
+        const double b = sim_pref.run(net, 4).effectiveMacPerSec();
+        EXPECT_GE(b, a * 0.999) << net.name;
+    }
+}
+
+// --- estimator sweeps ------------------------------------------------------
+
+class GeometrySweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(GeometrySweep, EstimatesAreConsistent)
+{
+    const int width = GetParam();
+    sfq::DeviceConfig dev;
+    sfq::CellLibrary lib(dev);
+    NpuEstimator estimator(lib);
+
+    NpuConfig config = NpuConfig::bufferOpt();
+    config.peWidth = width;
+    config.outputDivision = std::max(1, 64 * (256 / width));
+    config.weightBufferBytes = (std::uint64_t)width * 256;
+    const NpuEstimate est = estimator.estimate(config);
+
+    // Clock is width-independent (PE-limited), peak scales linearly.
+    EXPECT_NEAR(est.frequencyGhz, 52.6, 0.5) << width;
+    EXPECT_NEAR(est.peakMacPerSec,
+                (double)width * 256.0 * est.frequencyGhz * 1e9,
+                1e9)
+        << width;
+    // Roll-up closure.
+    double area = 0.0;
+    for (const auto &unit : est.units)
+        area += unit.areaMm2;
+    EXPECT_NEAR(area, est.areaMm2, 1e-9) << width;
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, GeometrySweep,
+                         ::testing::Values(16, 32, 64, 128, 256));
+
+class DivisionSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DivisionSweep, AreaGrowsMonotonicallyWithDivision)
+{
+    sfq::DeviceConfig dev;
+    sfq::CellLibrary lib(dev);
+    const int division = GetParam();
+    estimator::BufferModel fine(lib, 12 * units::MiB, 256, 8, division);
+    estimator::BufferModel coarse(lib, 12 * units::MiB, 256, 8,
+                                  std::max(1, division / 4));
+    EXPECT_GE(fine.jjCount(), coarse.jjCount());
+    EXPECT_GE(fine.area(), coarse.area());
+    EXPECT_LE(fine.chunkLengthEntries(), coarse.chunkLengthEntries());
+}
+
+INSTANTIATE_TEST_SUITE_P(Divisions, DivisionSweep,
+                         ::testing::Values(4, 16, 64, 256, 1024, 4096));
+
+// --- device sweeps ----------------------------------------------------------
+
+class ProcessSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ProcessSweep, FrequencyFollowsScalingLaw)
+{
+    const double feature = GetParam();
+    sfq::DeviceConfig coarse;
+    sfq::DeviceConfig scaled;
+    scaled.featureSizeUm = feature;
+    sfq::CellLibrary lib_c(coarse), lib_s(scaled);
+    estimator::PeModel pe_c(lib_c, 8, 1), pe_s(lib_s, 8, 1);
+    const double expected_ratio =
+        1.0 / std::max(feature, 0.2); // floor at 0.2 um
+    EXPECT_NEAR(pe_s.frequencyGhz() / pe_c.frequencyGhz(),
+                expected_ratio, 0.02 * expected_ratio);
+    // Energies do not scale with the feature size in this model.
+    EXPECT_DOUBLE_EQ(pe_s.macEnergy(), pe_c.macEnergy());
+}
+
+INSTANTIATE_TEST_SUITE_P(Features, ProcessSweep,
+                         ::testing::Values(1.0, 0.8, 0.5, 0.35, 0.2,
+                                           0.1));
+
+// --- batch solver properties -------------------------------------------------
+
+TEST(BatchSolver, MoreBufferNeverMeansSmallerBatch)
+{
+    sfq::DeviceConfig dev;
+    sfq::CellLibrary lib(dev);
+    NpuEstimator estimator(lib);
+    for (const auto &net : dnn::evaluationWorkloads()) {
+        int prev = 0;
+        for (std::uint64_t mb : {8ull, 16ull, 32ull, 64ull}) {
+            NpuConfig config = NpuConfig::superNpu();
+            config.ifmapBufferBytes = mb * units::MiB;
+            config.outputBufferBytes = mb * units::MiB;
+            const NpuEstimate est = estimator.estimate(config);
+            const int batch = npusim::maxBatch(config, est, net);
+            EXPECT_GE(batch, prev) << net.name << " " << mb << " MiB";
+            prev = batch;
+        }
+    }
+}
+
+TEST(BatchSolver, SolvedBatchActuallyFits)
+{
+    // At the solved batch, no layer's working set exceeds its usable
+    // output capacity (the solver's defining property).
+    sfq::DeviceConfig dev;
+    sfq::CellLibrary lib(dev);
+    NpuEstimator estimator(lib);
+    const NpuConfig config = NpuConfig::superNpu();
+    const NpuEstimate est = estimator.estimate(config);
+    for (const auto &net : dnn::evaluationWorkloads()) {
+        const int batch = npusim::maxBatch(config, est, net);
+        for (const auto &layer : net.layers) {
+            const std::uint64_t usable =
+                npusim::usableOutputBytes(config, layer);
+            const std::uint64_t need =
+                layer.kind == dnn::LayerKind::DepthwiseConv
+                    ? layer.ofmapBytes() /
+                          (std::uint64_t)layer.outChannels
+                    : layer.ofmapBytes();
+            EXPECT_LE(need * (std::uint64_t)batch, usable)
+                << net.name << " / " << layer.name;
+        }
+    }
+}
+
+// --- TPU model properties ------------------------------------------------------
+
+TEST(TpuProperties, SpeedupsAreFiniteAndPositive)
+{
+    scalesim::TpuConfig config;
+    scalesim::TpuSimulator tpu(config);
+    for (const auto &net : dnn::evaluationWorkloads()) {
+        for (int batch : {1, 4, 16}) {
+            const auto run = tpu.run(net, batch);
+            EXPECT_GT(run.effectiveMacPerSec(), 0.0) << net.name;
+            EXPECT_LE(run.effectiveMacPerSec(),
+                      config.peakMacPerSec() * 1.0001)
+                << net.name;
+        }
+    }
+}
+
+} // namespace
+} // namespace supernpu

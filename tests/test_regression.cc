@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Calibration locks: the headline reproduction numbers pinned into
+ * narrow bands. The integration tests assert the paper's qualitative
+ * shapes with generous margins; these tests instead ratchet the
+ * *current* calibration so an innocent-looking constant change that
+ * silently drifts the reproduction fails loudly. If you re-calibrate
+ * deliberately, update EXPERIMENTS.md and these bands together.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/networks.hh"
+#include "npusim/batch.hh"
+#include "npusim/sim.hh"
+#include "power/power.hh"
+#include "scalesim/tpu.hh"
+
+namespace supernpu {
+namespace {
+
+using estimator::NpuConfig;
+
+/** The evaluation pipeline at the paper's process point. */
+class CalibrationLock : public ::testing::Test
+{
+  protected:
+    sfq::DeviceConfig dev;
+    sfq::CellLibrary lib{dev};
+    estimator::NpuEstimator est{lib};
+    scalesim::TpuConfig tpuConfig;
+    scalesim::TpuSimulator tpu{tpuConfig};
+    std::vector<dnn::Network> nets = dnn::evaluationWorkloads();
+
+    double
+    speedupAverage(const NpuConfig &config)
+    {
+        const auto estimate = est.estimate(config);
+        npusim::NpuSimulator sim(estimate);
+        double total = 0.0;
+        for (const auto &net : nets) {
+            const int tpu_batch = npusim::maxBatchUnified(
+                tpuConfig.unifiedBufferBytes, net);
+            const double tpu_perf =
+                tpu.run(net, tpu_batch).effectiveMacPerSec();
+            const int batch =
+                npusim::maxBatch(config, estimate, net);
+            total += sim.run(net, batch).effectiveMacPerSec() /
+                     tpu_perf / (double)nets.size();
+        }
+        return total;
+    }
+};
+
+TEST_F(CalibrationLock, FrequencyExactly52Point6)
+{
+    EXPECT_NEAR(est.estimate(NpuConfig::superNpu()).frequencyGhz,
+                52.60, 0.05);
+}
+
+TEST_F(CalibrationLock, FigTwentyThreeAverages)
+{
+    // Measured: 0.41 / 9.82 / 21.43 / 23.90 (paper 0.4/7.7/17.3/23).
+    EXPECT_NEAR(speedupAverage(NpuConfig::baseline()), 0.41, 0.06);
+    EXPECT_NEAR(speedupAverage(NpuConfig::bufferOpt()), 9.82, 1.5);
+    EXPECT_NEAR(speedupAverage(NpuConfig::resourceOpt()), 21.43, 3.0);
+    EXPECT_NEAR(speedupAverage(NpuConfig::superNpu()), 23.90, 3.5);
+}
+
+TEST_F(CalibrationLock, TableThreePowers)
+{
+    // RSFQ static 1002 W (paper 964); ERSFQ dynamic 1.92 W (1.9).
+    const auto rsfq = est.estimate(NpuConfig::superNpu());
+    EXPECT_NEAR(rsfq.staticPowerW, 1002.0, 30.0);
+
+    sfq::DeviceConfig edev;
+    edev.technology = sfq::Technology::ERSFQ;
+    sfq::CellLibrary elib(edev);
+    estimator::NpuEstimator eest(elib);
+    const auto ersfq = eest.estimate(NpuConfig::superNpu());
+    npusim::NpuSimulator sim(ersfq);
+    double dynamic = 0.0;
+    for (const auto &net : nets) {
+        const int batch =
+            npusim::maxBatch(NpuConfig::superNpu(), ersfq, net);
+        dynamic += power::analyze(ersfq, sim.run(net, batch)).dynamicW /
+                   (double)nets.size();
+    }
+    EXPECT_NEAR(dynamic, 1.92, 0.3);
+}
+
+TEST_F(CalibrationLock, TableOneAreas)
+{
+    // 28 nm-equivalents: ~283 / 285 / 302 / 305 mm^2.
+    EXPECT_NEAR(est.estimate(NpuConfig::baseline()).areaMm2At(28.0),
+                283.0, 8.0);
+    EXPECT_NEAR(est.estimate(NpuConfig::superNpu()).areaMm2At(28.0),
+                305.0, 9.0);
+}
+
+TEST_F(CalibrationLock, BaselineEffectiveThroughput)
+{
+    // Measured 3.70 TMAC/s average at batch 1 (paper 6.45).
+    const auto estimate = est.estimate(NpuConfig::baseline());
+    npusim::NpuSimulator sim(estimate);
+    double total = 0.0;
+    for (const auto &net : nets)
+        total += sim.run(net, 1).effectiveMacPerSec() /
+                 (double)nets.size();
+    EXPECT_NEAR(total / 1e12, 3.70, 0.6);
+}
+
+TEST_F(CalibrationLock, TpuReferencePerformance)
+{
+    // The comparator itself is part of the calibration: AlexNet
+    // 22.4 TMAC/s at batch 23, VGG16 10.7 at batch 3.
+    const auto alexnet = tpu.run(nets[0], 23);
+    EXPECT_NEAR(alexnet.effectiveMacPerSec() / 1e12, 22.4, 2.0);
+    const auto vgg = tpu.run(nets[5], 3);
+    EXPECT_NEAR(vgg.effectiveMacPerSec() / 1e12, 10.7, 1.0);
+}
+
+} // namespace
+} // namespace supernpu

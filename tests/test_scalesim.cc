@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the TPU-class comparator model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/networks.hh"
+#include "npusim/batch.hh"
+#include "scalesim/tpu.hh"
+
+namespace supernpu {
+namespace scalesim {
+namespace {
+
+TEST(Tpu, PeakPerformanceMatchesTableOne)
+{
+    TpuConfig config;
+    // 256 x 256 @ 0.7 GHz ~= 45 TMAC/s (Table I).
+    EXPECT_NEAR(config.peakMacPerSec(), 45e12, 1e12);
+}
+
+TEST(Tpu, MacConservation)
+{
+    TpuSimulator tpu{TpuConfig{}};
+    for (const auto &net : dnn::evaluationWorkloads()) {
+        const auto result = tpu.run(net, 4);
+        EXPECT_EQ(result.macOps, net.totalMacs() * 4ull) << net.name;
+    }
+}
+
+TEST(Tpu, NeverExceedsPeak)
+{
+    TpuConfig config;
+    TpuSimulator tpu(config);
+    for (const auto &net : dnn::evaluationWorkloads()) {
+        const int batch =
+            npusim::maxBatchUnified(config.unifiedBufferBytes, net);
+        const auto result = tpu.run(net, batch);
+        EXPECT_LE(result.effectiveMacPerSec(),
+                  config.peakMacPerSec() * 1.0001)
+            << net.name;
+    }
+}
+
+TEST(Tpu, FcLayersCrawlAtBatchOne)
+{
+    // A big FC layer at batch 1 does one MAC per PE per tile: the
+    // per-tile fill/drain overhead (and the weight delivery it
+    // covers) leaves the array almost entirely idle.
+    dnn::Network net;
+    net.name = "fc";
+    net.layers = {dnn::fullyConnected("fc6", 25088, 4096)};
+    TpuConfig config;
+    TpuSimulator tpu(config);
+    const auto result = tpu.run(net, 1);
+    const double util =
+        result.effectiveMacPerSec() / config.peakMacPerSec();
+    EXPECT_LT(util, 0.05);
+    // All of the layer's DRAM traffic is weights.
+    EXPECT_EQ(result.dramBytes, net.totalWeightBytes());
+}
+
+TEST(Tpu, BatchAmortizesWeightTraffic)
+{
+    dnn::Network net;
+    net.name = "fc";
+    net.layers = {dnn::fullyConnected("fc6", 25088, 4096)};
+    TpuSimulator tpu{TpuConfig{}};
+    const double b1 = tpu.run(net, 1).effectiveMacPerSec();
+    const double b16 = tpu.run(net, 16).effectiveMacPerSec();
+    EXPECT_GT(b16, 8.0 * b1);
+}
+
+TEST(Tpu, ConvNetsReachReasonableUtilization)
+{
+    // VGG16's large convs keep a 256x256 array fairly busy.
+    TpuConfig config;
+    TpuSimulator tpu(config);
+    const auto result = tpu.run(dnn::makeVgg16(), 3);
+    const double util = result.effectiveMacPerSec() /
+                        config.peakMacPerSec();
+    EXPECT_GT(util, 0.1);
+    EXPECT_LE(util, 1.0);
+}
+
+TEST(Tpu, DepthwisePainfullySlow)
+{
+    // The known TPU weakness the paper's MobileNet column exposes.
+    TpuConfig config;
+    TpuSimulator tpu(config);
+    const auto mobilenet = tpu.run(dnn::makeMobileNet(), 20);
+    const double util = mobilenet.effectiveMacPerSec() /
+                        config.peakMacPerSec();
+    EXPECT_LT(util, 0.05);
+}
+
+TEST(Tpu, OutputStationaryConservesMacs)
+{
+    TpuConfig config;
+    config.dataflow = TpuDataflow::OutputStationary;
+    TpuSimulator tpu(config);
+    for (const auto &net : dnn::evaluationWorkloads()) {
+        const auto result = tpu.run(net, 2);
+        EXPECT_EQ(result.macOps, net.totalMacs() * 2ull) << net.name;
+    }
+}
+
+TEST(Tpu, OutputStationaryRestreamsWeights)
+{
+    TpuConfig ws_config;
+    TpuConfig os_config;
+    os_config.dataflow = TpuDataflow::OutputStationary;
+    TpuSimulator ws(ws_config), os(os_config);
+    // A 1x1-conv layer has many output positions per weight: OS
+    // re-fetches the weights once per position tile.
+    const dnn::Layer layer = dnn::conv("pw", 256, 28, 256, 1, 1, 0);
+    const auto ws_run = ws.simulateLayer(layer, 4);
+    const auto os_run = os.simulateLayer(layer, 4);
+    EXPECT_GT(os_run.dramBytes, 4 * ws_run.dramBytes);
+}
+
+TEST(Tpu, WeightStationaryWinsOnPointwiseHeavyNets)
+{
+    TpuConfig ws_config;
+    TpuConfig os_config;
+    os_config.dataflow = TpuDataflow::OutputStationary;
+    TpuSimulator ws(ws_config), os(os_config);
+    const dnn::Network net = dnn::makeResNet50();
+    EXPECT_GT(ws.run(net, 20).effectiveMacPerSec(),
+              1.5 * os.run(net, 20).effectiveMacPerSec());
+}
+
+TEST(Tpu, SpilledBatchPaysDramTraffic)
+{
+    TpuConfig config;
+    TpuSimulator tpu(config);
+    const dnn::Layer big = dnn::conv("c", 64, 224, 64, 3);
+    const auto fits = tpu.simulateLayer(big, 1);
+    const auto spills = tpu.simulateLayer(big, 30);
+    // 30 batches of a 3.2 MB + 3.2 MB layer blow the 24 MB buffer.
+    EXPECT_GT(spills.dramBytes, 30ull * big.ifmapBytes());
+    EXPECT_EQ(fits.dramBytes, big.weightBytes());
+}
+
+} // namespace
+} // namespace scalesim
+} // namespace supernpu

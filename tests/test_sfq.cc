@@ -1,0 +1,411 @@
+/**
+ * @file
+ * Tests for the SFQ device config, cell library, and the Eq. (1)
+ * clocking/frequency model — including the paper's published anchor
+ * values and the Fig. 7(c) frequency targets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sfq/cells.hh"
+#include "sfq/clock_tree.hh"
+#include "sfq/clocking.hh"
+#include "sfq/ptl.hh"
+#include "sfq/device.hh"
+
+namespace supernpu {
+namespace sfq {
+namespace {
+
+// --- device ------------------------------------------------------------
+
+TEST(Device, RsfqStaticPowerPerJj)
+{
+    DeviceConfig dev; // RSFQ defaults
+    // 2.5 mV x 70 uA = 0.175 uW per junction (Section VI-C).
+    EXPECT_NEAR(dev.staticPowerPerJj(), 0.175e-6, 1e-12);
+    EXPECT_DOUBLE_EQ(dev.switchEnergyFactor(), 1.0);
+}
+
+TEST(Device, ErsfqEliminatesStaticDoublesDynamic)
+{
+    DeviceConfig dev;
+    dev.technology = Technology::ERSFQ;
+    EXPECT_DOUBLE_EQ(dev.staticPowerPerJj(), 0.0);
+    EXPECT_DOUBLE_EQ(dev.switchEnergyFactor(), 2.0);
+}
+
+TEST(Device, TimingScalesLinearlyUntilFloor)
+{
+    DeviceConfig dev;
+    dev.featureSizeUm = 0.5;
+    EXPECT_DOUBLE_EQ(dev.timingScale(), 0.5);
+    dev.featureSizeUm = 0.1; // below the 0.2 um scaling floor
+    EXPECT_DOUBLE_EQ(dev.timingScale(), 0.2);
+}
+
+TEST(Device, AreaScalesQuadratically)
+{
+    DeviceConfig dev;
+    dev.featureSizeUm = 0.5;
+    EXPECT_DOUBLE_EQ(dev.areaScale(), 0.25);
+}
+
+TEST(Device, EnergyPerSwitchIsIcPhi0)
+{
+    DeviceConfig dev;
+    EXPECT_NEAR(dev.energyPerJjSwitch(), 1e-4 * 2.067833848e-15, 1e-25);
+}
+
+TEST(Device, TechnologyNames)
+{
+    EXPECT_STREQ(technologyName(Technology::RSFQ), "RSFQ");
+    EXPECT_STREQ(technologyName(Technology::ERSFQ), "ERSFQ");
+}
+
+// --- cell library -------------------------------------------------------
+
+class RsfqLibrary : public ::testing::Test
+{
+  protected:
+    DeviceConfig dev;
+    CellLibrary lib{dev};
+};
+
+TEST_F(RsfqLibrary, PublishedAndAnchor)
+{
+    // The paper's Fig. 10 table: AND = 8.3 ps, 3.6 uW, 1.4 aJ.
+    EXPECT_DOUBLE_EQ(lib.gate(GateKind::AND).delay, 8.3);
+    EXPECT_NEAR(lib.staticPower(GateKind::AND), 3.6e-6, 0.05e-6);
+    EXPECT_NEAR(lib.accessEnergy(GateKind::AND), 1.4e-18, 1e-21);
+}
+
+TEST_F(RsfqLibrary, PublishedXorAnchor)
+{
+    // XOR = 6.5 ps, 3.0 uW, 1.4 aJ.
+    EXPECT_DOUBLE_EQ(lib.gate(GateKind::XOR).delay, 6.5);
+    EXPECT_NEAR(lib.staticPower(GateKind::XOR), 3.0e-6, 0.05e-6);
+    EXPECT_NEAR(lib.accessEnergy(GateKind::XOR), 1.4e-18, 1e-21);
+}
+
+TEST_F(RsfqLibrary, AsynchronousCellsHaveNoSetupHold)
+{
+    for (GateKind kind :
+         {GateKind::SPLITTER, GateKind::MERGER, GateKind::JTL}) {
+        EXPECT_DOUBLE_EQ(lib.gate(kind).setupTime, 0.0) << gateName(kind);
+        EXPECT_DOUBLE_EQ(lib.gate(kind).holdTime, 0.0) << gateName(kind);
+    }
+}
+
+TEST_F(RsfqLibrary, ClockedCellsHaveTiming)
+{
+    for (GateKind kind : {GateKind::DFF, GateKind::AND, GateKind::OR,
+                          GateKind::XOR, GateKind::NOT, GateKind::TFF,
+                          GateKind::NDRO, GateKind::DFF_BYPASS}) {
+        EXPECT_GT(lib.gate(kind).setupTime, 0.0) << gateName(kind);
+        EXPECT_GT(lib.gate(kind).holdTime, 0.0) << gateName(kind);
+        EXPECT_GT(lib.gate(kind).delay, 0.0) << gateName(kind);
+    }
+}
+
+TEST_F(RsfqLibrary, AreaProportionalToJjCount)
+{
+    const double per_jj = lib.areaPerJj();
+    EXPECT_GT(per_jj, 0.0);
+    EXPECT_NEAR(lib.area(GateKind::AND),
+                (double)lib.gate(GateKind::AND).jjCount * per_jj, 1e-15);
+    // Memory bit cells tile denser than random logic.
+    EXPECT_LT(lib.memoryAreaPerJj(), lib.areaPerJj());
+}
+
+TEST_F(RsfqLibrary, InterfaceCellsAreCostly)
+{
+    // The SFQ/DC output amplifier is the heavy interface cell:
+    // far more biasing than any logic gate (stacked drivers).
+    EXPECT_GT(lib.staticPower(GateKind::SFQDC),
+              10.0 * lib.staticPower(GateKind::AND));
+    // The input converter is cheap, DFF-class.
+    EXPECT_LT(lib.staticPower(GateKind::DCSFQ),
+              lib.staticPower(GateKind::AND));
+    // The clock generator free-runs: it has no setup/hold of its own.
+    EXPECT_DOUBLE_EQ(lib.gate(GateKind::CLKGEN).setupTime, 0.0);
+    EXPECT_GT(lib.gate(GateKind::CLKGEN).jjCount, 100u);
+}
+
+TEST(CellLibrary, ErsfqDoublesAccessEnergyKeepsTiming)
+{
+    DeviceConfig rsfq;
+    DeviceConfig ersfq;
+    ersfq.technology = Technology::ERSFQ;
+    CellLibrary lib_r(rsfq), lib_e(ersfq);
+    for (GateKind kind : {GateKind::DFF, GateKind::AND, GateKind::XOR}) {
+        EXPECT_DOUBLE_EQ(lib_e.gate(kind).delay, lib_r.gate(kind).delay);
+        EXPECT_DOUBLE_EQ(lib_e.accessEnergy(kind),
+                         2.0 * lib_r.accessEnergy(kind));
+        EXPECT_DOUBLE_EQ(lib_e.staticPower(kind), 0.0);
+    }
+}
+
+TEST(CellLibrary, FeatureScalingSpeedsUpGates)
+{
+    DeviceConfig coarse; // 1.0 um
+    DeviceConfig fine;
+    fine.featureSizeUm = 0.5;
+    CellLibrary lib_c(coarse), lib_f(fine);
+    EXPECT_NEAR(lib_f.gate(GateKind::AND).delay,
+                0.5 * lib_c.gate(GateKind::AND).delay, 1e-12);
+    EXPECT_NEAR(lib_f.areaPerJj(), 0.25 * lib_c.areaPerJj(), 1e-18);
+}
+
+// --- Eq. (1) clocking model ---------------------------------------------
+
+TEST(Clocking, HoldTimeBindsWhenDeltaTSmall)
+{
+    GatePair pair;
+    pair.driverDelay = 0.5;
+    pair.dataWireDelay = 0.0;
+    pair.clockPathDelay = 0.4; // concurrent: delta_t = 0.1 < hold
+    pair.setupTime = 2.0;
+    pair.holdTime = 1.0;
+    pair.scheme = ClockScheme::ConcurrentFlow;
+    EXPECT_NEAR(pairCct(pair), 3.0, 1e-12); // setup + hold
+}
+
+TEST(Clocking, DeltaTBindsWhenLarge)
+{
+    GatePair pair;
+    pair.driverDelay = 6.0;
+    pair.setupTime = 2.0;
+    pair.holdTime = 1.0;
+    pair.scheme = ClockScheme::ConcurrentFlow;
+    EXPECT_NEAR(pairCct(pair), 8.0, 1e-12); // setup + delta_t
+}
+
+TEST(Clocking, CounterFlowAddsClockSegment)
+{
+    GatePair pair;
+    pair.driverDelay = 5.0;
+    pair.dataWireDelay = 1.0;
+    pair.clockPathDelay = 4.0;
+    pair.setupTime = 2.0;
+    pair.holdTime = 1.0;
+
+    pair.scheme = ClockScheme::ConcurrentFlow;
+    const double concurrent = pairCct(pair); // 2 + (6 - 4) = 4
+    pair.scheme = ClockScheme::CounterFlow;
+    const double counter = pairCct(pair); // 2 + (6 + 4) = 12
+    EXPECT_NEAR(concurrent, 4.0, 1e-12);
+    EXPECT_NEAR(counter, 12.0, 1e-12);
+    EXPECT_GT(counter, concurrent);
+}
+
+TEST(Clocking, SkewCancelsConcurrentDelta)
+{
+    GatePair pair;
+    pair.driverDelay = 8.0;
+    pair.setupTime = 2.0;
+    pair.holdTime = 1.0;
+    pair.scheme = ClockScheme::ConcurrentFlow;
+
+    const GatePair half = withClockSkew(pair, 0.5);
+    EXPECT_NEAR(pairDeltaT(half), 4.0, 1e-12);
+    const GatePair full = withClockSkew(pair, 1.0);
+    EXPECT_NEAR(pairDeltaT(full), 0.0, 1e-12);
+    EXPECT_NEAR(pairCct(full), 3.0, 1e-12); // setup + hold floor
+}
+
+TEST(Clocking, SkewDoesNotHelpCounterFlow)
+{
+    GatePair pair;
+    pair.driverDelay = 8.0;
+    pair.clockPathDelay = 3.0;
+    pair.setupTime = 2.0;
+    pair.holdTime = 1.0;
+    pair.scheme = ClockScheme::CounterFlow;
+    const GatePair skewed = withClockSkew(pair, 1.0);
+    EXPECT_DOUBLE_EQ(pairCct(skewed), pairCct(pair));
+}
+
+TEST(Clocking, MinFrequencyPicksWorstPair)
+{
+    GatePair fast;
+    fast.name = "fast";
+    fast.driverDelay = 2.0;
+    fast.setupTime = 1.0;
+    GatePair slow;
+    slow.name = "slow";
+    slow.driverDelay = 10.0;
+    slow.setupTime = 1.0;
+    const std::vector<GatePair> pairs = {fast, slow};
+    EXPECT_DOUBLE_EQ(minFrequencyGhz(pairs), pairFrequencyGhz(slow));
+    EXPECT_EQ(criticalPair(pairs).name, "slow");
+}
+
+TEST(Clocking, MakePairRejectsClockedViaElements)
+{
+    DeviceConfig dev;
+    CellLibrary lib(dev);
+    EXPECT_DEATH((void)makePair(lib, "bad", GateKind::DFF, GateKind::DFF,
+                                {GateKind::AND}, 0.0,
+                                ClockScheme::ConcurrentFlow),
+                 "asynchronous");
+}
+
+// --- clock distribution tree ----------------------------------------------
+
+TEST(ClockTree, SingleSinkIsTrivial)
+{
+    DeviceConfig dev;
+    CellLibrary lib(dev);
+    ClockTreeModel tree(lib, 1);
+    EXPECT_EQ(tree.depth(), 0);
+    EXPECT_EQ(tree.splitterCount(), 0ull);
+    EXPECT_DOUBLE_EQ(tree.insertionDelayPs(), 0.0);
+}
+
+TEST(ClockTree, BinaryTreeArithmetic)
+{
+    DeviceConfig dev;
+    CellLibrary lib(dev);
+    ClockTreeModel tree(lib, 1024);
+    EXPECT_EQ(tree.depth(), 10);
+    EXPECT_EQ(tree.splitterCount(), 1023ull);
+    EXPECT_GT(tree.jjCount(), tree.splitterCount() * 3);
+}
+
+TEST(ClockTree, EnergyAndPowerScaleWithSinks)
+{
+    DeviceConfig dev;
+    CellLibrary lib(dev);
+    ClockTreeModel small(lib, 1000);
+    ClockTreeModel large(lib, 1000000);
+    EXPECT_NEAR(large.tickEnergy() / small.tickEnergy(), 1000.0, 10.0);
+    EXPECT_GT(large.dynamicPower(52.6), small.dynamicPower(52.6));
+}
+
+TEST(ClockTree, SkewGrowsSlowerThanDelay)
+{
+    // The random-walk skew grows with sqrt(depth); the insertion
+    // delay grows linearly — deep trees stay usable because only the
+    // *skew* eats into the Eq. (1) timing budget.
+    DeviceConfig dev;
+    CellLibrary lib(dev);
+    ClockTreeModel tree(lib, 1u << 20);
+    EXPECT_LT(tree.accumulatedSkewPs(), tree.insertionDelayPs() / 10.0);
+    // The NPU-scale tree's skew still fits the 52.6 GHz hold margin.
+    EXPECT_LT(tree.accumulatedSkewPs(),
+              lib.gate(GateKind::DFF).holdTime * 2.0);
+}
+
+TEST(ClockTree, NpuScaleClockPowerIsSignificant)
+{
+    // ~5e8 clocked gates at 52.6 GHz: the clock network alone burns
+    // watts of dynamic power on ERSFQ — the always-ticking tax the
+    // PE energy calibration folds in.
+    DeviceConfig dev;
+    dev.technology = Technology::ERSFQ;
+    CellLibrary lib(dev);
+    ClockTreeModel tree(lib, 500000000ull);
+    const double watts = tree.dynamicPower(52.6);
+    EXPECT_GT(watts, 10.0);
+    EXPECT_LT(watts, 1000.0);
+}
+
+// --- passive transmission lines -----------------------------------------
+
+TEST(Ptl, DelayScalesWithLength)
+{
+    DeviceConfig dev;
+    CellLibrary lib(dev);
+    PtlModel one(lib, 1.0), ten(lib, 10.0);
+    // 0.1 mm/ps ballistic velocity dominates past the endpoints.
+    EXPECT_NEAR(ten.delayPs() - one.delayPs(), 90.0, 1.0);
+}
+
+TEST(Ptl, SkewGrowsAsSquareRoot)
+{
+    DeviceConfig dev;
+    CellLibrary lib(dev);
+    PtlModel one(lib, 1.0), four(lib, 4.0);
+    EXPECT_NEAR(four.coRoutedSkewPs() / one.coRoutedSkewPs(), 2.0,
+                0.01);
+}
+
+TEST(Ptl, LatencyDoesNotBoundCoRoutedClock)
+{
+    // The architectural property: with a co-routed clock, the link
+    // clock stays near the cell-level limit regardless of length.
+    DeviceConfig dev;
+    CellLibrary lib(dev);
+    for (double mm : {1.0, 5.0, 20.0}) {
+        PtlModel ptl(lib, mm);
+        GatePair pair = makePair(lib, "link", GateKind::DFF,
+                                 GateKind::DFF, {}, 0.0,
+                                 ClockScheme::ConcurrentFlow);
+        pair.dataWireDelay = ptl.delayPs();
+        pair.clockPathDelay = ptl.delayPs() - ptl.coRoutedSkewPs();
+        EXPECT_GT(pairFrequencyGhz(pair), 100.0) << mm;
+        EXPECT_GT(ptl.pulsesInFlight(52.6), 0.0) << mm;
+    }
+}
+
+TEST(Ptl, RepeatersAddJunctionsAndEnergy)
+{
+    DeviceConfig dev;
+    CellLibrary lib(dev);
+    PtlModel short_link(lib, 1.0), long_link(lib, 20.0);
+    EXPECT_GT(long_link.jjCount(), short_link.jjCount());
+    EXPECT_GT(long_link.transferEnergy(),
+              short_link.transferEnergy());
+    EXPECT_GT(long_link.staticPower(), 0.0);
+}
+
+// --- Fig. 7(c) calibration targets ---------------------------------------
+
+/**
+ * Shift register: concurrent-flow (no feedback) ~133 GHz,
+ * counter-flow (feedback-safe) ~71 GHz.
+ */
+TEST(Fig7Targets, ShiftRegisterFrequencies)
+{
+    DeviceConfig dev;
+    CellLibrary lib(dev);
+
+    GatePair concurrent =
+        makePair(lib, "SR concurrent", GateKind::DFF, GateKind::DFF,
+                 {GateKind::JTL}, 0.0, ClockScheme::ConcurrentFlow);
+    EXPECT_NEAR(pairFrequencyGhz(concurrent), 133.0, 5.0);
+
+    GatePair counter =
+        makePair(lib, "SR counter", GateKind::DFF, GateKind::DFF,
+                 {GateKind::JTL}, 0.0, ClockScheme::CounterFlow);
+    counter.clockPathDelay = lib.gate(GateKind::DFF).delay +
+                             lib.gate(GateKind::JTL).delay +
+                             lib.gate(GateKind::SPLITTER).delay;
+    EXPECT_NEAR(pairFrequencyGhz(counter), 71.0, 3.0);
+}
+
+/** Full adder: ~66 GHz concurrent, ~30 GHz counter-flow. */
+TEST(Fig7Targets, FullAdderFrequencies)
+{
+    DeviceConfig dev;
+    CellLibrary lib(dev);
+
+    GatePair concurrent = makePair(
+        lib, "FA concurrent", GateKind::AND, GateKind::XOR,
+        {GateKind::SPLITTER, GateKind::MERGER, GateKind::JTL}, 0.0,
+        ClockScheme::ConcurrentFlow);
+    EXPECT_NEAR(pairFrequencyGhz(concurrent), 66.0, 3.0);
+
+    GatePair counter = concurrent;
+    counter.scheme = ClockScheme::CounterFlow;
+    // The clock segment retraces the loop: the data path plus the
+    // accumulator feedback return.
+    counter.clockPathDelay =
+        counter.driverDelay + counter.dataWireDelay + 5.5;
+    EXPECT_NEAR(pairFrequencyGhz(counter), 30.0, 2.0);
+}
+
+} // namespace
+} // namespace sfq
+} // namespace supernpu

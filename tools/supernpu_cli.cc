@@ -1,0 +1,426 @@
+/**
+ * @file
+ * supernpu — command-line front end over the library.
+ *
+ *   supernpu workloads
+ *       List the built-in CNN workloads.
+ *   supernpu estimate <config> [options]
+ *       Frequency / power / area of an architecture.
+ *   supernpu simulate <workload> <config> [options]
+ *       Cycle-level performance + power of a workload.
+ *   supernpu batch <workload> <config> [options]
+ *       The Table II maximum on-chip batch.
+ *   supernpu validate
+ *       The Fig. 13 model-validation table.
+ *
+ * Configs: baseline | bufferopt | resourceopt | supernpu, or start
+ * from one and override with options:
+ *   --tech rsfq|ersfq       bias technology (default rsfq)
+ *   --feature <um>          process feature size (default 1.0)
+ *   --width <n>             PE array width
+ *   --height <n>            PE array height
+ *   --regs <n>              weight registers per PE
+ *   --division <n>          output-buffer division degree
+ *   --ifmap-mb <n>          ifmap buffer capacity
+ *   --output-mb <n>         output buffer capacity
+ *   --bandwidth-gbps <n>    DRAM bandwidth
+ *   --batch <n>             force a batch size (simulate)
+ */
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+#include "dnn/networks.hh"
+#include "dnn/parser.hh"
+#include "estimator/design_rules.hh"
+#include "estimator/npu_estimator.hh"
+#include "estimator/validation.hh"
+#include "npusim/batch.hh"
+#include "npusim/explorer.hh"
+#include "npusim/sim.hh"
+#include "power/power.hh"
+
+using namespace supernpu;
+
+namespace {
+
+/** Parsed command-line state. */
+struct Options
+{
+    sfq::Technology technology = sfq::Technology::RSFQ;
+    double featureUm = 1.0;
+    int forcedBatch = 0;
+    estimator::NpuConfig config = estimator::NpuConfig::superNpu();
+    bool configChosen = false;
+    std::string netFile;   ///< --netfile path, when given
+    std::string traceFile; ///< --trace path for the mapping CSV
+};
+
+std::string
+lowered(const std::string &text)
+{
+    std::string out;
+    for (char c : text)
+        out += (char)std::tolower((unsigned char)c);
+    return out;
+}
+
+dnn::Network
+findWorkload(const std::string &name)
+{
+    const std::string want = lowered(name);
+    for (const auto &net : dnn::evaluationWorkloads()) {
+        if (lowered(net.name) == want)
+            return net;
+    }
+    if (want == "resnet18")
+        return dnn::makeResNet18();
+    if (want == "vgg19")
+        return dnn::makeVgg19();
+    fatal("unknown workload '", name, "'; run 'supernpu workloads'");
+}
+
+bool
+tryConfig(const std::string &name, estimator::NpuConfig &out)
+{
+    const std::string want = lowered(name);
+    if (want == "baseline") {
+        out = estimator::NpuConfig::baseline();
+    } else if (want == "bufferopt") {
+        out = estimator::NpuConfig::bufferOpt();
+    } else if (want == "resourceopt") {
+        out = estimator::NpuConfig::resourceOpt();
+    } else if (want == "supernpu") {
+        out = estimator::NpuConfig::superNpu();
+    } else {
+        return false;
+    }
+    return true;
+}
+
+/** Consume "--flag value" pairs; returns leftover positionals. */
+std::vector<std::string>
+parseOptions(int argc, char **argv, int first, Options &options)
+{
+    std::vector<std::string> positional;
+    for (int i = first; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("option '", arg, "' needs a value");
+            return argv[++i];
+        };
+        if (arg == "--tech") {
+            const std::string value = lowered(next());
+            if (value == "rsfq") {
+                options.technology = sfq::Technology::RSFQ;
+            } else if (value == "ersfq") {
+                options.technology = sfq::Technology::ERSFQ;
+            } else {
+                fatal("unknown technology '", value, "'");
+            }
+        } else if (arg == "--feature") {
+            options.featureUm = std::stod(next());
+        } else if (arg == "--width") {
+            options.config.peWidth = std::stoi(next());
+        } else if (arg == "--height") {
+            options.config.peHeight = std::stoi(next());
+        } else if (arg == "--regs") {
+            options.config.regsPerPe = std::stoi(next());
+        } else if (arg == "--division") {
+            options.config.outputDivision = std::stoi(next());
+        } else if (arg == "--ifmap-mb") {
+            options.config.ifmapBufferBytes =
+                (std::uint64_t)std::stoul(next()) * units::MiB;
+        } else if (arg == "--output-mb") {
+            options.config.integratedOutputBuffer = true;
+            options.config.outputBufferBytes =
+                (std::uint64_t)std::stoul(next()) * units::MiB;
+            options.config.psumBufferBytes = 0;
+            options.config.ofmapBufferBytes = 0;
+        } else if (arg == "--bandwidth-gbps") {
+            options.config.memoryBandwidth = std::stod(next()) * 1e9;
+        } else if (arg == "--batch") {
+            options.forcedBatch = std::stoi(next());
+        } else if (arg == "--netfile") {
+            options.netFile = next();
+        } else if (arg == "--trace") {
+            options.traceFile = next();
+        } else if (arg.rfind("--", 0) == 0) {
+            fatal("unknown option '", arg, "'");
+        } else if (!options.configChosen &&
+                   tryConfig(arg, options.config)) {
+            options.configChosen = true;
+        } else {
+            positional.push_back(arg);
+        }
+    }
+    return positional;
+}
+
+sfq::DeviceConfig
+deviceFor(const Options &options)
+{
+    sfq::DeviceConfig device;
+    device.technology = options.technology;
+    device.featureSizeUm = options.featureUm;
+    return device;
+}
+
+int
+cmdWorkloads()
+{
+    TextTable table("built-in workloads");
+    table.row().cell("name").cell("layers").cell("GMAC/inf").cell(
+        "weights (MiB)");
+    auto add = [&](const dnn::Network &net) {
+        table.row()
+            .cell(lowered(net.name))
+            .cell((long long)net.layers.size())
+            .cell((double)net.totalMacs() / 1e9, 2)
+            .cell((double)net.totalWeightBytes() / (double)units::MiB,
+                  1);
+    };
+    for (const auto &net : dnn::evaluationWorkloads())
+        add(net);
+    add(dnn::makeResNet18());
+    add(dnn::makeVgg19());
+    table.print();
+    return 0;
+}
+
+int
+cmdEstimate(const Options &options)
+{
+    const sfq::DeviceConfig device = deviceFor(options);
+    sfq::CellLibrary library(device);
+    estimator::NpuEstimator est(library);
+    const auto estimate = est.estimate(options.config);
+
+    std::printf("%s @ %s %.2f um\n", options.config.name.c_str(),
+                sfq::technologyName(device.technology),
+                device.featureSizeUm);
+    TextTable table;
+    table.row().cell("unit").cell("freq (GHz)").cell("static (W)").cell(
+        "area (mm2)").cell("MJJ");
+    for (const auto &unit : estimate.units) {
+        table.row()
+            .cell(unit.name)
+            .cell(unit.frequencyGhz, 1)
+            .cell(unit.staticPowerW, 2)
+            .cell(unit.areaMm2, 1)
+            .cell((double)unit.jjCount / 1e6, 1);
+    }
+    table.row()
+        .cell("TOTAL")
+        .cell(estimate.frequencyGhz, 1)
+        .cell(estimate.staticPowerW, 2)
+        .cell(estimate.areaMm2, 1)
+        .cell((double)estimate.jjCount / 1e6, 1);
+    table.print();
+    std::printf("\nlimited by %s; peak %.0f TMAC/s; %.0f mm2 at 28 nm"
+                " equivalent\n",
+                estimate.limitingUnit.c_str(),
+                estimate.peakMacPerSec / 1e12,
+                estimate.areaMm2At(28.0));
+
+    const auto findings =
+        estimator::checkDesignRules(options.config, estimate);
+    for (const auto &finding : findings) {
+        std::printf("%s [%s]: %s\n",
+                    finding.severity ==
+                            estimator::RuleSeverity::Error
+                        ? "ERROR"
+                        : "warning",
+                    finding.rule.c_str(), finding.message.c_str());
+    }
+    return estimator::designIsOperable(findings) ? 0 : 1;
+}
+
+int
+cmdSimulate(const Options &options, const dnn::Network &net)
+{
+    const sfq::DeviceConfig device = deviceFor(options);
+    sfq::CellLibrary library(device);
+    estimator::NpuEstimator est(library);
+    const auto estimate = est.estimate(options.config);
+    npusim::NpuSimulator sim(estimate);
+    npusim::TraceRecorder trace;
+    if (!options.traceFile.empty())
+        sim.setTrace(&trace);
+    const int batch =
+        options.forcedBatch > 0
+            ? options.forcedBatch
+            : npusim::maxBatch(options.config, estimate, net);
+    const auto run = sim.run(net, batch);
+    const auto report = power::analyze(estimate, run);
+
+    if (!options.traceFile.empty()) {
+        std::ofstream out(options.traceFile);
+        if (!out)
+            fatal("cannot write '", options.traceFile, "'");
+        out << trace.csv();
+        std::printf("wrote %zu mapping events to %s\n",
+                    trace.events().size(), options.traceFile.c_str());
+    }
+
+    std::printf("%s on %s (%s), batch %d\n", net.name.c_str(),
+                options.config.name.c_str(),
+                sfq::technologyName(device.technology), batch);
+    std::printf("  %.1f GHz, %llu cycles, %.2f us/batch\n",
+                run.frequencyGhz,
+                (unsigned long long)run.totalCycles,
+                run.seconds() * 1e6);
+    std::printf("  %.1f TMAC/s effective (%.1f%% of peak),"
+                " %.1f%% preparation\n",
+                run.effectiveMacPerSec() / 1e12,
+                100.0 * run.effectiveMacPerSec() /
+                    estimate.peakMacPerSec,
+                100.0 * run.preparationFraction());
+    std::printf("  power: %.2f W chip (%.2f static + %.2f dynamic),"
+                " %.0f W with 400x cooling\n",
+                report.chipW(), report.staticW, report.dynamicW,
+                report.totalWithCoolingW());
+    std::printf("  DRAM traffic: %.1f MiB\n",
+                (double)run.dramBytes / (double)units::MiB);
+    return 0;
+}
+
+int
+cmdBatch(const Options &options, const dnn::Network &net)
+{
+    const sfq::DeviceConfig device = deviceFor(options);
+    sfq::CellLibrary library(device);
+    estimator::NpuEstimator est(library);
+    const auto estimate = est.estimate(options.config);
+    std::printf("%s on %s: max on-chip batch %d\n", net.name.c_str(),
+                options.config.name.c_str(),
+                npusim::maxBatch(options.config, estimate, net));
+    return 0;
+}
+
+int
+cmdValidate(const Options &options)
+{
+    const sfq::DeviceConfig device = deviceFor(options);
+    sfq::CellLibrary library(device);
+    TextTable table("model validation (Fig. 13)");
+    table.row().cell("unit").cell("metric").cell("model").cell(
+        "reference").cell("error %");
+    for (const auto &e : estimator::validationReport(library)) {
+        table.row()
+            .cell(e.unit)
+            .cell(e.metric)
+            .cell(e.modelValue, 3)
+            .cell(e.referenceValue, 3)
+            .cell(e.errorPercent(), 1);
+    }
+    table.print();
+    return 0;
+}
+
+int
+cmdExplore(const Options &options)
+{
+    const sfq::DeviceConfig device = deviceFor(options);
+    sfq::CellLibrary library(device);
+    npusim::DesignSpaceExplorer explorer(
+        library, dnn::evaluationWorkloads());
+    const auto ranked = explorer.explore(
+        npusim::ExplorationSpace{}, npusim::Objective::Throughput);
+
+    TextTable table("design-space leaderboard (throughput)");
+    table.row()
+        .cell("rank")
+        .cell("config")
+        .cell("avg TMAC/s")
+        .cell("chip W")
+        .cell("area mm2");
+    int rank = 1;
+    for (const auto &cand : ranked) {
+        if (!cand.operable)
+            continue;
+        table.row()
+            .cell((long long)rank++)
+            .cell(cand.config.name)
+            .cell(cand.avgMacPerSec / 1e12, 1)
+            .cell(cand.chipPowerW, 1)
+            .cell(cand.areaMm2, 0);
+        if (rank > 8)
+            break;
+    }
+    table.print();
+    return 0;
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: supernpu <command> [...]\n"
+                 "  workloads                       list CNNs\n"
+                 "  estimate <config> [opts]        freq/power/area\n"
+                 "  simulate <workload> <config>    performance+power\n"
+                 "  batch <workload> <config>       Table II batch\n"
+                 "  validate                        Fig. 13 table\n"
+                 "  explore                         design-space sweep\n"
+                 "configs: baseline bufferopt resourceopt supernpu\n"
+                 "options: --tech --feature --width --height --regs\n"
+                 "         --division --ifmap-mb --output-mb\n"
+                 "         --bandwidth-gbps --batch --netfile <path>\n"
+                 "         --trace <csv path>\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string command = argv[1];
+
+    Options options;
+    const std::vector<std::string> positional =
+        parseOptions(argc, argv, 2, options);
+    options.config.check();
+
+    if (command == "workloads")
+        return cmdWorkloads();
+    if (command == "estimate")
+        return cmdEstimate(options);
+    if (command == "validate")
+        return cmdValidate(options);
+    if (command == "explore")
+        return cmdExplore(options);
+    if (command == "simulate" || command == "batch") {
+        dnn::Network net;
+        if (!options.netFile.empty()) {
+            std::ifstream file(options.netFile);
+            if (!file)
+                fatal("cannot open '", options.netFile, "'");
+            std::ostringstream text;
+            text << file.rdbuf();
+            net = dnn::parseNetwork(text.str());
+        } else {
+            if (positional.empty()) {
+                fatal("'", command,
+                      "' needs a workload name or --netfile");
+            }
+            net = findWorkload(positional.front());
+        }
+        return command == "simulate" ? cmdSimulate(options, net)
+                                     : cmdBatch(options, net);
+    }
+    return usage();
+}
