@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_clocking.dir/ablation_clocking.cc.o"
+  "CMakeFiles/ablation_clocking.dir/ablation_clocking.cc.o.d"
+  "ablation_clocking"
+  "ablation_clocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_clocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dau.dir/ablation_dau.cc.o"
+  "CMakeFiles/ablation_dau.dir/ablation_dau.cc.o.d"
+  "ablation_dau"
+  "ablation_dau.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_energy_breakdown.dir/ablation_energy_breakdown.cc.o"
+  "CMakeFiles/ablation_energy_breakdown.dir/ablation_energy_breakdown.cc.o.d"
+  "ablation_energy_breakdown"
+  "ablation_energy_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_energy_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_offchip_memory.dir/ablation_offchip_memory.cc.o"
+  "CMakeFiles/ablation_offchip_memory.dir/ablation_offchip_memory.cc.o.d"
+  "ablation_offchip_memory"
+  "ablation_offchip_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_offchip_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

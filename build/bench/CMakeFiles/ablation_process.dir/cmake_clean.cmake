@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_process.dir/ablation_process.cc.o"
+  "CMakeFiles/ablation_process.dir/ablation_process.cc.o.d"
+  "ablation_process"
+  "ablation_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tpu_dataflow.dir/ablation_tpu_dataflow.cc.o"
+  "CMakeFiles/ablation_tpu_dataflow.dir/ablation_tpu_dataflow.cc.o.d"
+  "ablation_tpu_dataflow"
+  "ablation_tpu_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tpu_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

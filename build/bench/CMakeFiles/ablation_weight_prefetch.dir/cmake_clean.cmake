@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_weight_prefetch.dir/ablation_weight_prefetch.cc.o"
+  "CMakeFiles/ablation_weight_prefetch.dir/ablation_weight_prefetch.cc.o.d"
+  "ablation_weight_prefetch"
+  "ablation_weight_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_weight_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_network.dir/fig05_network.cc.o"
+  "CMakeFiles/fig05_network.dir/fig05_network.cc.o.d"
+  "fig05_network"
+  "fig05_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_feedback.dir/fig07_feedback.cc.o"
+  "CMakeFiles/fig07_feedback.dir/fig07_feedback.cc.o.d"
+  "fig07_feedback"
+  "fig07_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

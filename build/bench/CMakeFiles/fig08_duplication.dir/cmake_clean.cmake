@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_duplication.dir/fig08_duplication.cc.o"
+  "CMakeFiles/fig08_duplication.dir/fig08_duplication.cc.o.d"
+  "fig08_duplication"
+  "fig08_duplication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_duplication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

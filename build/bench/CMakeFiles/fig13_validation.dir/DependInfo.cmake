@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig13_validation.cc" "bench/CMakeFiles/fig13_validation.dir/fig13_validation.cc.o" "gcc" "bench/CMakeFiles/fig13_validation.dir/fig13_validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/npusim/CMakeFiles/supernpu_explorer.dir/DependInfo.cmake"
+  "/root/repo/build/src/npusim/CMakeFiles/supernpu_npusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/scalesim/CMakeFiles/supernpu_scalesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/supernpu_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/functional/CMakeFiles/supernpu_functional.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimator/CMakeFiles/supernpu_estimator.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/supernpu_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfq/CMakeFiles/supernpu_sfq.dir/DependInfo.cmake"
+  "/root/repo/build/src/jsim/CMakeFiles/supernpu_jsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/supernpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_roofline.dir/fig17_roofline.cc.o"
+  "CMakeFiles/fig17_roofline.dir/fig17_roofline.cc.o.d"
+  "fig17_roofline"
+  "fig17_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_bufferopt.dir/fig20_bufferopt.cc.o"
+  "CMakeFiles/fig20_bufferopt.dir/fig20_bufferopt.cc.o.d"
+  "fig20_bufferopt"
+  "fig20_bufferopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_bufferopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

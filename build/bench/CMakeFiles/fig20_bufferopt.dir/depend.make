@@ -1,0 +1,2 @@
+# Empty dependencies file for fig20_bufferopt.
+# This may be replaced when dependencies are built.

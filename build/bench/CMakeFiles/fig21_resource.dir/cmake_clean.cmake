@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_resource.dir/fig21_resource.cc.o"
+  "CMakeFiles/fig21_resource.dir/fig21_resource.cc.o.d"
+  "fig21_resource"
+  "fig21_resource.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_resource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

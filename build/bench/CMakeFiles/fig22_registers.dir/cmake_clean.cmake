@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_registers.dir/fig22_registers.cc.o"
+  "CMakeFiles/fig22_registers.dir/fig22_registers.cc.o.d"
+  "fig22_registers"
+  "fig22_registers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_registers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23_performance.dir/fig23_performance.cc.o"
+  "CMakeFiles/fig23_performance.dir/fig23_performance.cc.o.d"
+  "fig23_performance"
+  "fig23_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

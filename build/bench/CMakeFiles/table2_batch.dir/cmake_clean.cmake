@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_batch.dir/table2_batch.cc.o"
+  "CMakeFiles/table2_batch.dir/table2_batch.cc.o.d"
+  "table2_batch"
+  "table2_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_power.dir/table3_power.cc.o"
+  "CMakeFiles/table3_power.dir/table3_power.cc.o.d"
+  "table3_power"
+  "table3_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

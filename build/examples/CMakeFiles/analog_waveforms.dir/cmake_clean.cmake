@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analog_waveforms.dir/analog_waveforms.cpp.o"
+  "CMakeFiles/analog_waveforms.dir/analog_waveforms.cpp.o.d"
+  "analog_waveforms"
+  "analog_waveforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analog_waveforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryogenic_power_study.dir/cryogenic_power_study.cpp.o"
+  "CMakeFiles/cryogenic_power_study.dir/cryogenic_power_study.cpp.o.d"
+  "cryogenic_power_study"
+  "cryogenic_power_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryogenic_power_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_throughput.dir/latency_throughput.cpp.o"
+  "CMakeFiles/latency_throughput.dir/latency_throughput.cpp.o.d"
+  "latency_throughput"
+  "latency_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layer_profiler.dir/layer_profiler.cpp.o"
+  "CMakeFiles/layer_profiler.dir/layer_profiler.cpp.o.d"
+  "layer_profiler"
+  "layer_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layer_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

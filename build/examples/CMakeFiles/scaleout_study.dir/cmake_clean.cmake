@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaleout_study.dir/scaleout_study.cpp.o"
+  "CMakeFiles/scaleout_study.dir/scaleout_study.cpp.o.d"
+  "scaleout_study"
+  "scaleout_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaleout_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

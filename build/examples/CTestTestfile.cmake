@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  PASS_REGULAR_EXPRESSION "efficiency" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_custom_accelerator "/root/repo/build/examples/custom_accelerator")
+set_tests_properties(example_custom_accelerator PROPERTIES  PASS_REGULAR_EXPRESSION "exact match vs golden conv" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_layer_profiler "/root/repo/build/examples/layer_profiler" "resnet50" "baseline")
+set_tests_properties(example_layer_profiler PROPERTIES  PASS_REGULAR_EXPRESSION "psum move" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;33;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_analog_waveforms "/root/repo/build/examples/analog_waveforms")
+set_tests_properties(example_analog_waveforms PROPERTIES  PASS_REGULAR_EXPRESSION "one flux quantum" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;37;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cryogenic_power_study "/root/repo/build/examples/cryogenic_power_study")
+set_tests_properties(example_cryogenic_power_study PROPERTIES  PASS_REGULAR_EXPRESSION "free cooling" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;40;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_functional_inference "/root/repo/build/examples/functional_inference")
+set_tests_properties(example_functional_inference PROPERTIES  PASS_REGULAR_EXPRESSION "EXACT MATCH" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;46;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_latency_throughput "/root/repo/build/examples/latency_throughput")
+set_tests_properties(example_latency_throughput PROPERTIES  PASS_REGULAR_EXPRESSION "throughput knee" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;49;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_scaleout_study "/root/repo/build/examples/scaleout_study")
+set_tests_properties(example_scaleout_study PROPERTIES  PASS_REGULAR_EXPRESSION "per die" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;53;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supernpu_common.dir/logging.cc.o"
+  "CMakeFiles/supernpu_common.dir/logging.cc.o.d"
+  "CMakeFiles/supernpu_common.dir/rng.cc.o"
+  "CMakeFiles/supernpu_common.dir/rng.cc.o.d"
+  "CMakeFiles/supernpu_common.dir/stats.cc.o"
+  "CMakeFiles/supernpu_common.dir/stats.cc.o.d"
+  "CMakeFiles/supernpu_common.dir/table.cc.o"
+  "CMakeFiles/supernpu_common.dir/table.cc.o.d"
+  "CMakeFiles/supernpu_common.dir/units.cc.o"
+  "CMakeFiles/supernpu_common.dir/units.cc.o.d"
+  "libsupernpu_common.a"
+  "libsupernpu_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supernpu_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnn/analysis.cc" "src/dnn/CMakeFiles/supernpu_dnn.dir/analysis.cc.o" "gcc" "src/dnn/CMakeFiles/supernpu_dnn.dir/analysis.cc.o.d"
+  "/root/repo/src/dnn/layer.cc" "src/dnn/CMakeFiles/supernpu_dnn.dir/layer.cc.o" "gcc" "src/dnn/CMakeFiles/supernpu_dnn.dir/layer.cc.o.d"
+  "/root/repo/src/dnn/networks.cc" "src/dnn/CMakeFiles/supernpu_dnn.dir/networks.cc.o" "gcc" "src/dnn/CMakeFiles/supernpu_dnn.dir/networks.cc.o.d"
+  "/root/repo/src/dnn/parser.cc" "src/dnn/CMakeFiles/supernpu_dnn.dir/parser.cc.o" "gcc" "src/dnn/CMakeFiles/supernpu_dnn.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/supernpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supernpu_dnn.dir/analysis.cc.o"
+  "CMakeFiles/supernpu_dnn.dir/analysis.cc.o.d"
+  "CMakeFiles/supernpu_dnn.dir/layer.cc.o"
+  "CMakeFiles/supernpu_dnn.dir/layer.cc.o.d"
+  "CMakeFiles/supernpu_dnn.dir/networks.cc.o"
+  "CMakeFiles/supernpu_dnn.dir/networks.cc.o.d"
+  "CMakeFiles/supernpu_dnn.dir/parser.cc.o"
+  "CMakeFiles/supernpu_dnn.dir/parser.cc.o.d"
+  "libsupernpu_dnn.a"
+  "libsupernpu_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supernpu_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/estimator/buffer_model.cc" "src/estimator/CMakeFiles/supernpu_estimator.dir/buffer_model.cc.o" "gcc" "src/estimator/CMakeFiles/supernpu_estimator.dir/buffer_model.cc.o.d"
+  "/root/repo/src/estimator/dau_model.cc" "src/estimator/CMakeFiles/supernpu_estimator.dir/dau_model.cc.o" "gcc" "src/estimator/CMakeFiles/supernpu_estimator.dir/dau_model.cc.o.d"
+  "/root/repo/src/estimator/design_rules.cc" "src/estimator/CMakeFiles/supernpu_estimator.dir/design_rules.cc.o" "gcc" "src/estimator/CMakeFiles/supernpu_estimator.dir/design_rules.cc.o.d"
+  "/root/repo/src/estimator/io_model.cc" "src/estimator/CMakeFiles/supernpu_estimator.dir/io_model.cc.o" "gcc" "src/estimator/CMakeFiles/supernpu_estimator.dir/io_model.cc.o.d"
+  "/root/repo/src/estimator/network_model.cc" "src/estimator/CMakeFiles/supernpu_estimator.dir/network_model.cc.o" "gcc" "src/estimator/CMakeFiles/supernpu_estimator.dir/network_model.cc.o.d"
+  "/root/repo/src/estimator/npu_config.cc" "src/estimator/CMakeFiles/supernpu_estimator.dir/npu_config.cc.o" "gcc" "src/estimator/CMakeFiles/supernpu_estimator.dir/npu_config.cc.o.d"
+  "/root/repo/src/estimator/npu_estimator.cc" "src/estimator/CMakeFiles/supernpu_estimator.dir/npu_estimator.cc.o" "gcc" "src/estimator/CMakeFiles/supernpu_estimator.dir/npu_estimator.cc.o.d"
+  "/root/repo/src/estimator/offchip_memory.cc" "src/estimator/CMakeFiles/supernpu_estimator.dir/offchip_memory.cc.o" "gcc" "src/estimator/CMakeFiles/supernpu_estimator.dir/offchip_memory.cc.o.d"
+  "/root/repo/src/estimator/pe_model.cc" "src/estimator/CMakeFiles/supernpu_estimator.dir/pe_model.cc.o" "gcc" "src/estimator/CMakeFiles/supernpu_estimator.dir/pe_model.cc.o.d"
+  "/root/repo/src/estimator/validation.cc" "src/estimator/CMakeFiles/supernpu_estimator.dir/validation.cc.o" "gcc" "src/estimator/CMakeFiles/supernpu_estimator.dir/validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sfq/CMakeFiles/supernpu_sfq.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/supernpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

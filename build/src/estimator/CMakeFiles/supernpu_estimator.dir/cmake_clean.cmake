@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supernpu_estimator.dir/buffer_model.cc.o"
+  "CMakeFiles/supernpu_estimator.dir/buffer_model.cc.o.d"
+  "CMakeFiles/supernpu_estimator.dir/dau_model.cc.o"
+  "CMakeFiles/supernpu_estimator.dir/dau_model.cc.o.d"
+  "CMakeFiles/supernpu_estimator.dir/design_rules.cc.o"
+  "CMakeFiles/supernpu_estimator.dir/design_rules.cc.o.d"
+  "CMakeFiles/supernpu_estimator.dir/io_model.cc.o"
+  "CMakeFiles/supernpu_estimator.dir/io_model.cc.o.d"
+  "CMakeFiles/supernpu_estimator.dir/network_model.cc.o"
+  "CMakeFiles/supernpu_estimator.dir/network_model.cc.o.d"
+  "CMakeFiles/supernpu_estimator.dir/npu_config.cc.o"
+  "CMakeFiles/supernpu_estimator.dir/npu_config.cc.o.d"
+  "CMakeFiles/supernpu_estimator.dir/npu_estimator.cc.o"
+  "CMakeFiles/supernpu_estimator.dir/npu_estimator.cc.o.d"
+  "CMakeFiles/supernpu_estimator.dir/offchip_memory.cc.o"
+  "CMakeFiles/supernpu_estimator.dir/offchip_memory.cc.o.d"
+  "CMakeFiles/supernpu_estimator.dir/pe_model.cc.o"
+  "CMakeFiles/supernpu_estimator.dir/pe_model.cc.o.d"
+  "CMakeFiles/supernpu_estimator.dir/validation.cc.o"
+  "CMakeFiles/supernpu_estimator.dir/validation.cc.o.d"
+  "libsupernpu_estimator.a"
+  "libsupernpu_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supernpu_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

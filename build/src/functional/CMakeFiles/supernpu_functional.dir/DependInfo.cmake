@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/functional/dau.cc" "src/functional/CMakeFiles/supernpu_functional.dir/dau.cc.o" "gcc" "src/functional/CMakeFiles/supernpu_functional.dir/dau.cc.o.d"
+  "/root/repo/src/functional/golden.cc" "src/functional/CMakeFiles/supernpu_functional.dir/golden.cc.o" "gcc" "src/functional/CMakeFiles/supernpu_functional.dir/golden.cc.o.d"
+  "/root/repo/src/functional/inference.cc" "src/functional/CMakeFiles/supernpu_functional.dir/inference.cc.o" "gcc" "src/functional/CMakeFiles/supernpu_functional.dir/inference.cc.o.d"
+  "/root/repo/src/functional/npu.cc" "src/functional/CMakeFiles/supernpu_functional.dir/npu.cc.o" "gcc" "src/functional/CMakeFiles/supernpu_functional.dir/npu.cc.o.d"
+  "/root/repo/src/functional/srbuffer.cc" "src/functional/CMakeFiles/supernpu_functional.dir/srbuffer.cc.o" "gcc" "src/functional/CMakeFiles/supernpu_functional.dir/srbuffer.cc.o.d"
+  "/root/repo/src/functional/systolic.cc" "src/functional/CMakeFiles/supernpu_functional.dir/systolic.cc.o" "gcc" "src/functional/CMakeFiles/supernpu_functional.dir/systolic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dnn/CMakeFiles/supernpu_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/supernpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supernpu_functional.dir/dau.cc.o"
+  "CMakeFiles/supernpu_functional.dir/dau.cc.o.d"
+  "CMakeFiles/supernpu_functional.dir/golden.cc.o"
+  "CMakeFiles/supernpu_functional.dir/golden.cc.o.d"
+  "CMakeFiles/supernpu_functional.dir/inference.cc.o"
+  "CMakeFiles/supernpu_functional.dir/inference.cc.o.d"
+  "CMakeFiles/supernpu_functional.dir/npu.cc.o"
+  "CMakeFiles/supernpu_functional.dir/npu.cc.o.d"
+  "CMakeFiles/supernpu_functional.dir/srbuffer.cc.o"
+  "CMakeFiles/supernpu_functional.dir/srbuffer.cc.o.d"
+  "CMakeFiles/supernpu_functional.dir/systolic.cc.o"
+  "CMakeFiles/supernpu_functional.dir/systolic.cc.o.d"
+  "libsupernpu_functional.a"
+  "libsupernpu_functional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supernpu_functional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jsim/cells.cc" "src/jsim/CMakeFiles/supernpu_jsim.dir/cells.cc.o" "gcc" "src/jsim/CMakeFiles/supernpu_jsim.dir/cells.cc.o.d"
+  "/root/repo/src/jsim/circuit.cc" "src/jsim/CMakeFiles/supernpu_jsim.dir/circuit.cc.o" "gcc" "src/jsim/CMakeFiles/supernpu_jsim.dir/circuit.cc.o.d"
+  "/root/repo/src/jsim/experiments.cc" "src/jsim/CMakeFiles/supernpu_jsim.dir/experiments.cc.o" "gcc" "src/jsim/CMakeFiles/supernpu_jsim.dir/experiments.cc.o.d"
+  "/root/repo/src/jsim/linalg.cc" "src/jsim/CMakeFiles/supernpu_jsim.dir/linalg.cc.o" "gcc" "src/jsim/CMakeFiles/supernpu_jsim.dir/linalg.cc.o.d"
+  "/root/repo/src/jsim/simulator.cc" "src/jsim/CMakeFiles/supernpu_jsim.dir/simulator.cc.o" "gcc" "src/jsim/CMakeFiles/supernpu_jsim.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/supernpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supernpu_jsim.dir/cells.cc.o"
+  "CMakeFiles/supernpu_jsim.dir/cells.cc.o.d"
+  "CMakeFiles/supernpu_jsim.dir/circuit.cc.o"
+  "CMakeFiles/supernpu_jsim.dir/circuit.cc.o.d"
+  "CMakeFiles/supernpu_jsim.dir/experiments.cc.o"
+  "CMakeFiles/supernpu_jsim.dir/experiments.cc.o.d"
+  "CMakeFiles/supernpu_jsim.dir/linalg.cc.o"
+  "CMakeFiles/supernpu_jsim.dir/linalg.cc.o.d"
+  "CMakeFiles/supernpu_jsim.dir/simulator.cc.o"
+  "CMakeFiles/supernpu_jsim.dir/simulator.cc.o.d"
+  "libsupernpu_jsim.a"
+  "libsupernpu_jsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supernpu_jsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

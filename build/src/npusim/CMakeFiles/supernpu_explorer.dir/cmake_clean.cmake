@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supernpu_explorer.dir/explorer.cc.o"
+  "CMakeFiles/supernpu_explorer.dir/explorer.cc.o.d"
+  "libsupernpu_explorer.a"
+  "libsupernpu_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supernpu_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

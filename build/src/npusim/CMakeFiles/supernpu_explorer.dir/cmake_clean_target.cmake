@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsupernpu_explorer.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/npusim/batch.cc" "src/npusim/CMakeFiles/supernpu_npusim.dir/batch.cc.o" "gcc" "src/npusim/CMakeFiles/supernpu_npusim.dir/batch.cc.o.d"
+  "/root/repo/src/npusim/mapping.cc" "src/npusim/CMakeFiles/supernpu_npusim.dir/mapping.cc.o" "gcc" "src/npusim/CMakeFiles/supernpu_npusim.dir/mapping.cc.o.d"
+  "/root/repo/src/npusim/result.cc" "src/npusim/CMakeFiles/supernpu_npusim.dir/result.cc.o" "gcc" "src/npusim/CMakeFiles/supernpu_npusim.dir/result.cc.o.d"
+  "/root/repo/src/npusim/sim.cc" "src/npusim/CMakeFiles/supernpu_npusim.dir/sim.cc.o" "gcc" "src/npusim/CMakeFiles/supernpu_npusim.dir/sim.cc.o.d"
+  "/root/repo/src/npusim/trace.cc" "src/npusim/CMakeFiles/supernpu_npusim.dir/trace.cc.o" "gcc" "src/npusim/CMakeFiles/supernpu_npusim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/estimator/CMakeFiles/supernpu_estimator.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/supernpu_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/supernpu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfq/CMakeFiles/supernpu_sfq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supernpu_npusim.dir/batch.cc.o"
+  "CMakeFiles/supernpu_npusim.dir/batch.cc.o.d"
+  "CMakeFiles/supernpu_npusim.dir/mapping.cc.o"
+  "CMakeFiles/supernpu_npusim.dir/mapping.cc.o.d"
+  "CMakeFiles/supernpu_npusim.dir/result.cc.o"
+  "CMakeFiles/supernpu_npusim.dir/result.cc.o.d"
+  "CMakeFiles/supernpu_npusim.dir/sim.cc.o"
+  "CMakeFiles/supernpu_npusim.dir/sim.cc.o.d"
+  "CMakeFiles/supernpu_npusim.dir/trace.cc.o"
+  "CMakeFiles/supernpu_npusim.dir/trace.cc.o.d"
+  "libsupernpu_npusim.a"
+  "libsupernpu_npusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supernpu_npusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supernpu_power.dir/power.cc.o"
+  "CMakeFiles/supernpu_power.dir/power.cc.o.d"
+  "libsupernpu_power.a"
+  "libsupernpu_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supernpu_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supernpu_scalesim.dir/tpu.cc.o"
+  "CMakeFiles/supernpu_scalesim.dir/tpu.cc.o.d"
+  "libsupernpu_scalesim.a"
+  "libsupernpu_scalesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supernpu_scalesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

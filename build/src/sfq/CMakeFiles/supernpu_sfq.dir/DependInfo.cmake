@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sfq/cells.cc" "src/sfq/CMakeFiles/supernpu_sfq.dir/cells.cc.o" "gcc" "src/sfq/CMakeFiles/supernpu_sfq.dir/cells.cc.o.d"
+  "/root/repo/src/sfq/clock_tree.cc" "src/sfq/CMakeFiles/supernpu_sfq.dir/clock_tree.cc.o" "gcc" "src/sfq/CMakeFiles/supernpu_sfq.dir/clock_tree.cc.o.d"
+  "/root/repo/src/sfq/clocking.cc" "src/sfq/CMakeFiles/supernpu_sfq.dir/clocking.cc.o" "gcc" "src/sfq/CMakeFiles/supernpu_sfq.dir/clocking.cc.o.d"
+  "/root/repo/src/sfq/device.cc" "src/sfq/CMakeFiles/supernpu_sfq.dir/device.cc.o" "gcc" "src/sfq/CMakeFiles/supernpu_sfq.dir/device.cc.o.d"
+  "/root/repo/src/sfq/ptl.cc" "src/sfq/CMakeFiles/supernpu_sfq.dir/ptl.cc.o" "gcc" "src/sfq/CMakeFiles/supernpu_sfq.dir/ptl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/supernpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

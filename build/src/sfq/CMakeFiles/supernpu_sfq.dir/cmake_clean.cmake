@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supernpu_sfq.dir/cells.cc.o"
+  "CMakeFiles/supernpu_sfq.dir/cells.cc.o.d"
+  "CMakeFiles/supernpu_sfq.dir/clock_tree.cc.o"
+  "CMakeFiles/supernpu_sfq.dir/clock_tree.cc.o.d"
+  "CMakeFiles/supernpu_sfq.dir/clocking.cc.o"
+  "CMakeFiles/supernpu_sfq.dir/clocking.cc.o.d"
+  "CMakeFiles/supernpu_sfq.dir/device.cc.o"
+  "CMakeFiles/supernpu_sfq.dir/device.cc.o.d"
+  "CMakeFiles/supernpu_sfq.dir/ptl.cc.o"
+  "CMakeFiles/supernpu_sfq.dir/ptl.cc.o.d"
+  "libsupernpu_sfq.a"
+  "libsupernpu_sfq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supernpu_sfq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/supernpu_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/supernpu_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_design_rules.cc" "tests/CMakeFiles/supernpu_tests.dir/test_design_rules.cc.o" "gcc" "tests/CMakeFiles/supernpu_tests.dir/test_design_rules.cc.o.d"
+  "/root/repo/tests/test_dnn.cc" "tests/CMakeFiles/supernpu_tests.dir/test_dnn.cc.o" "gcc" "tests/CMakeFiles/supernpu_tests.dir/test_dnn.cc.o.d"
+  "/root/repo/tests/test_estimator.cc" "tests/CMakeFiles/supernpu_tests.dir/test_estimator.cc.o" "gcc" "tests/CMakeFiles/supernpu_tests.dir/test_estimator.cc.o.d"
+  "/root/repo/tests/test_explorer.cc" "tests/CMakeFiles/supernpu_tests.dir/test_explorer.cc.o" "gcc" "tests/CMakeFiles/supernpu_tests.dir/test_explorer.cc.o.d"
+  "/root/repo/tests/test_functional.cc" "tests/CMakeFiles/supernpu_tests.dir/test_functional.cc.o" "gcc" "tests/CMakeFiles/supernpu_tests.dir/test_functional.cc.o.d"
+  "/root/repo/tests/test_inference.cc" "tests/CMakeFiles/supernpu_tests.dir/test_inference.cc.o" "gcc" "tests/CMakeFiles/supernpu_tests.dir/test_inference.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/supernpu_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/supernpu_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_jsim.cc" "tests/CMakeFiles/supernpu_tests.dir/test_jsim.cc.o" "gcc" "tests/CMakeFiles/supernpu_tests.dir/test_jsim.cc.o.d"
+  "/root/repo/tests/test_npusim.cc" "tests/CMakeFiles/supernpu_tests.dir/test_npusim.cc.o" "gcc" "tests/CMakeFiles/supernpu_tests.dir/test_npusim.cc.o.d"
+  "/root/repo/tests/test_parser.cc" "tests/CMakeFiles/supernpu_tests.dir/test_parser.cc.o" "gcc" "tests/CMakeFiles/supernpu_tests.dir/test_parser.cc.o.d"
+  "/root/repo/tests/test_power.cc" "tests/CMakeFiles/supernpu_tests.dir/test_power.cc.o" "gcc" "tests/CMakeFiles/supernpu_tests.dir/test_power.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/supernpu_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/supernpu_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_regression.cc" "tests/CMakeFiles/supernpu_tests.dir/test_regression.cc.o" "gcc" "tests/CMakeFiles/supernpu_tests.dir/test_regression.cc.o.d"
+  "/root/repo/tests/test_scalesim.cc" "tests/CMakeFiles/supernpu_tests.dir/test_scalesim.cc.o" "gcc" "tests/CMakeFiles/supernpu_tests.dir/test_scalesim.cc.o.d"
+  "/root/repo/tests/test_sfq.cc" "tests/CMakeFiles/supernpu_tests.dir/test_sfq.cc.o" "gcc" "tests/CMakeFiles/supernpu_tests.dir/test_sfq.cc.o.d"
+  "/root/repo/tests/test_srbuffer.cc" "tests/CMakeFiles/supernpu_tests.dir/test_srbuffer.cc.o" "gcc" "tests/CMakeFiles/supernpu_tests.dir/test_srbuffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/npusim/CMakeFiles/supernpu_explorer.dir/DependInfo.cmake"
+  "/root/repo/build/src/npusim/CMakeFiles/supernpu_npusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/scalesim/CMakeFiles/supernpu_scalesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/supernpu_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/functional/CMakeFiles/supernpu_functional.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimator/CMakeFiles/supernpu_estimator.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/supernpu_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfq/CMakeFiles/supernpu_sfq.dir/DependInfo.cmake"
+  "/root/repo/build/src/jsim/CMakeFiles/supernpu_jsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/supernpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supernpu_cli.dir/supernpu_cli.cc.o"
+  "CMakeFiles/supernpu_cli.dir/supernpu_cli.cc.o.d"
+  "supernpu"
+  "supernpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supernpu_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_workloads "/root/repo/build/tools/supernpu" "workloads")
+set_tests_properties(cli_workloads PROPERTIES  PASS_REGULAR_EXPRESSION "mobilenet" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_estimate "/root/repo/build/tools/supernpu" "estimate" "supernpu")
+set_tests_properties(cli_estimate PROPERTIES  PASS_REGULAR_EXPRESSION "limited by PE array" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_simulate "/root/repo/build/tools/supernpu" "simulate" "resnet50" "supernpu" "--tech" "ersfq")
+set_tests_properties(cli_simulate PROPERTIES  PASS_REGULAR_EXPRESSION "TMAC/s effective" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_batch "/root/repo/build/tools/supernpu" "batch" "vgg16" "supernpu")
+set_tests_properties(cli_batch PROPERTIES  PASS_REGULAR_EXPRESSION "max on-chip batch 7" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_validate "/root/repo/build/tools/supernpu" "validate")
+set_tests_properties(cli_validate PROPERTIES  PASS_REGULAR_EXPRESSION "SRmem" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;28;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_custom_config "/root/repo/build/tools/supernpu" "estimate" "baseline" "--width" "64" "--regs" "4")
+set_tests_properties(cli_custom_config PROPERTIES  PASS_REGULAR_EXPRESSION "peak 862 TMAC/s" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;31;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_netfile "/root/repo/build/tools/supernpu" "simulate" "supernpu" "--tech" "ersfq" "--netfile" "/root/repo/examples/networks/tinyconv.net")
+set_tests_properties(cli_netfile PROPERTIES  PASS_REGULAR_EXPRESSION "TinyConv on SuperNPU" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;35;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_design_rules "/root/repo/build/tools/supernpu" "estimate" "baseline")
+set_tests_properties(cli_design_rules PROPERTIES  PASS_REGULAR_EXPRESSION "psum-separation" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;40;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_trace "/root/repo/build/tools/supernpu" "simulate" "googlenet" "supernpu" "--trace" "cli_trace_out.csv")
+set_tests_properties(cli_trace PROPERTIES  PASS_REGULAR_EXPRESSION "mapping events" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;44;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_explore "/root/repo/build/tools/supernpu" "explore" "--tech" "ersfq")
+set_tests_properties(cli_explore PROPERTIES  PASS_REGULAR_EXPRESSION "w64/d" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;49;add_test;/root/repo/tools/CMakeLists.txt;0;")
