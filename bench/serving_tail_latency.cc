@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Serving tail latency vs offered load — the paper's Table II batch
+ * and Fig. 23 throughput numbers turned into the curve a serving
+ * operator actually reads: p50/p99/p99.9 latency as Poisson load
+ * approaches chip capacity, for one die and a four-die cryostat.
+ *
+ * The hockey stick lands where queueing theory says it must: near
+ * the full-batch capacity (maxBatch / batchSeconds(maxBatch)) the
+ * queue grows without bound and the tail explodes, while the
+ * dynamic-batching timeout keeps the low-load latency floor at
+ * (timeout + single-batch service) instead of waiting forever for a
+ * full batch.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "dnn/networks.hh"
+#include "estimator/npu_estimator.hh"
+#include "npusim/batch.hh"
+#include "serving/simulator.hh"
+
+using namespace supernpu;
+
+namespace {
+
+serving::ServingReport
+runPoint(const serving::BatchServiceModel &service, int chips,
+         int max_batch, double rps)
+{
+    serving::ServingConfig config;
+    config.arrival.kind = serving::ArrivalKind::OpenPoisson;
+    config.arrival.ratePerSec = rps;
+    config.batching.policy = serving::BatchPolicy::DynamicTimeout;
+    config.batching.maxBatch = max_batch;
+    config.batching.timeoutSec = 100e-6;
+    config.dispatch = serving::DispatchPolicy::JoinShortestQueue;
+    config.chips = chips;
+    config.requests = 30000;
+    serving::ServingSimulator sim(service, config);
+    return sim.run();
+}
+
+} // namespace
+
+int
+main()
+{
+    const dnn::Network net = dnn::makeResNet50();
+
+    sfq::DeviceConfig device;
+    device.technology = sfq::Technology::ERSFQ;
+    sfq::CellLibrary library(device);
+    estimator::NpuEstimator estimator(library);
+    const auto config = estimator::NpuConfig::superNpu();
+    const auto estimate = estimator.estimate(config);
+    const int max_batch = npusim::maxBatch(config, estimate, net);
+    serving::BatchServiceModel service(estimate, net);
+    const double capacity = service.peakRps(max_batch);
+
+    for (int chips : {1, 4}) {
+        TextTable table(
+            chips == 1
+                ? "ResNet-50 on one SuperNPU die (Poisson, dynamic"
+                  " batching, 100 us timeout)"
+                : "ResNet-50 on four SuperNPU dies (JSQ dispatch)");
+        table.row()
+            .cell("load (frac of capacity)")
+            .cell("offered req/s")
+            .cell("mean batch")
+            .cell("util %")
+            .cell("p50 ms")
+            .cell("p99 ms")
+            .cell("p99.9 ms");
+        for (double frac : {0.1, 0.3, 0.5, 0.7, 0.85, 0.95}) {
+            const double rps = frac * capacity * (double)chips;
+            const auto r = runPoint(service, chips, max_batch, rps);
+            table.row()
+                .cell(frac, 2)
+                .cell(rps, 0)
+                .cell(r.meanBatch, 1)
+                .cell(r.utilization * 100.0, 1)
+                .cell(r.latencyP50 * 1e3, 3)
+                .cell(r.latencyP99 * 1e3, 3)
+                .cell(r.latencyP999 * 1e3, 3);
+        }
+        table.print();
+        std::printf("\n");
+    }
+
+    std::printf("full-batch capacity: %.0f req/s per die (batch %d"
+                " at %.2f ms per batch)\n",
+                capacity, max_batch,
+                service.batchSeconds(max_batch) * 1e3);
+    std::printf("takeaway: one SFQ die rides sub-millisecond p99 to"
+                " ~85%% of its %.0fk req/s capacity; four dies behind"
+                " JSQ scale the knee linearly while the low-load"
+                " latency floor stays at timeout + single-inference"
+                " service.\n",
+                capacity / 1e3);
+    return 0;
+}

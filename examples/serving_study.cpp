@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Serving study: offered load vs p99 latency for the paper's
+ * Baseline SFQ NPU and the optimized SuperNPU, each swept against
+ * its own full-batch capacity.
+ *
+ * Two effects stack. First, absolute capacity: SuperNPU's Table II
+ * batch (30 for ResNet-50) amortizes preparation so well that its
+ * request ceiling is orders of magnitude above the Baseline, whose
+ * batch-1 runs are >90% preparation. Second, tail shape: both curves
+ * hockey-stick near their own saturation, so the win a serving
+ * operator sees is the horizontal gap between the curves — the same
+ * ~23x the paper reports for raw throughput, delivered at a bounded
+ * p99.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "dnn/networks.hh"
+#include "estimator/npu_estimator.hh"
+#include "npusim/batch.hh"
+#include "serving/simulator.hh"
+
+using namespace supernpu;
+
+int
+main()
+{
+    const dnn::Network net = dnn::makeResNet50();
+
+    sfq::DeviceConfig device;
+    device.technology = sfq::Technology::ERSFQ;
+    sfq::CellLibrary library(device);
+    estimator::NpuEstimator estimator(library);
+
+    struct Column
+    {
+        const char *label;
+        estimator::NpuConfig config;
+    };
+    const Column columns[] = {
+        {"baseline", estimator::NpuConfig::baseline()},
+        {"supernpu", estimator::NpuConfig::superNpu()},
+    };
+
+    double capacities[2] = {0, 0};
+    TextTable table("ResNet-50 p99 latency (ms) vs offered load"
+                    " (Poisson, dynamic batching, 1 die)");
+    table.row()
+        .cell("load (frac of capacity)")
+        .cell("baseline req/s")
+        .cell("baseline p99 ms")
+        .cell("supernpu req/s")
+        .cell("supernpu p99 ms");
+
+    const double fractions[] = {0.2, 0.5, 0.8, 0.95};
+
+    // Sweep each architecture against its own capacity so both
+    // saturate inside the same table.
+    serving::ServingReport reports[2][4];
+    int at = 0;
+    for (const Column &column : columns) {
+        const auto estimate = estimator.estimate(column.config);
+        const int max_batch =
+            npusim::maxBatch(column.config, estimate, net);
+        serving::BatchServiceModel service(estimate, net);
+        capacities[at] = service.peakRps(max_batch);
+        int row = 0;
+        for (double frac : fractions) {
+            serving::ServingConfig config;
+            config.arrival.ratePerSec = frac * capacities[at];
+            config.batching.maxBatch = max_batch;
+            config.batching.timeoutSec = 200e-6;
+            config.requests = 8000;
+            serving::ServingSimulator sim(service, config);
+            reports[at][row++] = sim.run();
+        }
+        ++at;
+    }
+
+    for (int row = 0; row < 4; ++row) {
+        table.row()
+            .cell(fractions[row], 2)
+            .cell(reports[0][row].offeredRps, 0)
+            .cell(reports[0][row].latencyP99 * 1e3, 3)
+            .cell(reports[1][row].offeredRps, 0)
+            .cell(reports[1][row].latencyP99 * 1e3, 3);
+    }
+    table.print();
+
+    std::printf("\ncapacities: baseline %.0f req/s, supernpu %.0f"
+                " req/s (%.0fx)\n",
+                capacities[0], capacities[1],
+                capacities[1] / capacities[0]);
+    std::printf("takeaway: at equal fractions of their own capacity"
+                " both architectures hold a bounded p99, but the"
+                " SuperNPU serves %.0fx the absolute load — the"
+                " paper's batch amortization is what turns an SFQ"
+                " die into a serving-class part.\n",
+                capacities[1] / capacities[0]);
+    return 0;
+}

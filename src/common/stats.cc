@@ -8,6 +8,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "logging.hh"
+
 namespace supernpu {
 
 void
@@ -56,6 +58,83 @@ geomean(const std::vector<double> &samples)
     for (double s : samples)
         stats.add(s);
     return stats.geomean();
+}
+
+double
+percentile(std::vector<double> samples, double p)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    p = std::min(std::max(p, 0.0), 100.0);
+    const double rank = p / 100.0 * (double)(samples.size() - 1);
+    const std::size_t below = (std::size_t)rank;
+    if (below + 1 >= samples.size())
+        return samples.back();
+    const double frac = rank - (double)below;
+    return samples[below] * (1.0 - frac) + samples[below + 1] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, int bins_per_decade)
+    : _lo(lo), _hi(hi), _logLo(std::log10(lo)),
+      _binsPerDecade((double)bins_per_decade)
+{
+    SUPERNPU_ASSERT(lo > 0.0 && hi > lo && bins_per_decade > 0,
+                    "bad histogram shape");
+    const std::size_t regular = (std::size_t)std::ceil(
+        (std::log10(hi) - _logLo) * _binsPerDecade);
+    _bins.assign(regular + 2, 0); // + underflow and overflow
+}
+
+void
+Histogram::add(double sample)
+{
+    _stats.add(sample);
+    std::size_t index;
+    if (!(sample >= _lo)) { // includes non-positive samples
+        index = 0;
+    } else if (sample >= _hi) {
+        index = _bins.size() - 1;
+    } else {
+        index = 1 + (std::size_t)((std::log10(sample) - _logLo) *
+                                  _binsPerDecade);
+        index = std::min(index, _bins.size() - 2);
+    }
+    ++_bins[index];
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (count() == 0)
+        return 0.0;
+    p = std::min(std::max(p, 0.0), 100.0);
+    // Nearest-rank over the bin counts.
+    const std::uint64_t target = std::max<std::uint64_t>(
+        1, (std::uint64_t)std::ceil(p / 100.0 * (double)count()));
+    std::uint64_t seen = 0;
+    std::size_t index = _bins.size() - 1;
+    for (std::size_t i = 0; i < _bins.size(); ++i) {
+        seen += _bins[i];
+        if (seen >= target) {
+            index = i;
+            break;
+        }
+    }
+    double value;
+    if (index == 0) {
+        value = min();
+    } else if (index == _bins.size() - 1) {
+        value = max();
+    } else {
+        // Geometric midpoint of the bin's edges.
+        const double lo_edge = std::pow(
+            10.0, _logLo + (double)(index - 1) / _binsPerDecade);
+        const double hi_edge = std::pow(
+            10.0, _logLo + (double)index / _binsPerDecade);
+        value = std::sqrt(lo_edge * hi_edge);
+    }
+    return std::min(std::max(value, min()), max());
 }
 
 } // namespace supernpu

@@ -7,6 +7,7 @@
 #define SUPERNPU_COMMON_STATS_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace supernpu {
@@ -49,6 +50,67 @@ double mean(const std::vector<double> &samples);
 
 /** Geometric mean of the positive entries of a vector; 0 when none. */
 double geomean(const std::vector<double> &samples);
+
+/**
+ * Exact percentile of a sample set (linear interpolation between
+ * closest ranks); 0 when empty. `p` is in [0, 100]. Takes a copy
+ * because it must sort.
+ */
+double percentile(std::vector<double> samples, double p);
+
+/**
+ * Streaming percentile estimator over logarithmically spaced bins
+ * (an HdrHistogram-style sketch): O(1) insert, O(bins) quantile
+ * query, fixed memory. Relative error per quantile is bounded by the
+ * bin ratio, 10^(1/binsPerDecade) (~1.9% at the default 53 bins per
+ * decade). Samples below `lo` or at/above `hi` land in saturating
+ * under/overflow bins whose quantiles report the exact observed
+ * min/max. Non-positive samples count toward `count()` and the
+ * moment statistics but live in the underflow bin.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo  lower edge of the first regular bin (> 0)
+     * @param hi  upper edge of the last regular bin (> lo)
+     * @param bins_per_decade  log-resolution of the sketch
+     */
+    explicit Histogram(double lo = 1e-9, double hi = 1e4,
+                       int bins_per_decade = 53);
+
+    /** Add one sample. */
+    void add(double sample);
+
+    /** Number of samples added. */
+    std::size_t count() const { return _stats.count(); }
+    /** Smallest sample; 0 when empty. */
+    double min() const { return _stats.min(); }
+    /** Largest sample; 0 when empty. */
+    double max() const { return _stats.max(); }
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const { return _stats.mean(); }
+    /** Sum of all samples. */
+    double sum() const { return _stats.sum(); }
+
+    /**
+     * Estimated value at percentile `p` in [0, 100]; 0 when empty.
+     * Returns the geometric midpoint of the bin holding the rank,
+     * clamped to the exact observed [min, max].
+     */
+    double percentile(double p) const;
+
+    /** The exact moment statistics of everything added. */
+    const RunningStats &stats() const { return _stats; }
+
+  private:
+    double _lo;
+    double _hi;
+    double _logLo;
+    double _binsPerDecade;
+    std::vector<std::uint64_t> _bins; ///< [underflow, ..., overflow]
+    RunningStats _stats;
+};
 
 } // namespace supernpu
 

@@ -42,9 +42,12 @@ DesignSpaceExplorer::makeConfig(int width, int division, int regs,
                                 int buffer_mb)
 {
     estimator::NpuConfig config;
-    config.name = "w" + std::to_string(width) + "/d" +
-                  std::to_string(division) + "/r" +
-                  std::to_string(regs);
+    config.name = "w";
+    config.name += std::to_string(width);
+    config.name += "/d";
+    config.name += std::to_string(division);
+    config.name += "/r";
+    config.name += std::to_string(regs);
     config.peWidth = width;
     config.peHeight = 256;
     config.integratedOutputBuffer = true;

@@ -29,6 +29,20 @@ SimResult::seconds() const
 }
 
 double
+SimResult::secondsPerInference() const
+{
+    SUPERNPU_ASSERT(batch > 0, "result has no batch");
+    return seconds() / (double)batch;
+}
+
+double
+SimResult::inferencesPerSec() const
+{
+    const double per_inference = secondsPerInference();
+    return per_inference > 0 ? 1.0 / per_inference : 0.0;
+}
+
+double
 SimResult::effectiveMacPerSec() const
 {
     const double s = seconds();

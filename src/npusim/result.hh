@@ -92,6 +92,15 @@ struct SimResult
 
     /** Wall-clock seconds for the whole batch. */
     double seconds() const;
+    /**
+     * Wall-clock seconds per single inference at this batch size —
+     * the per-batch service time divided across the batch. This is
+     * the quantity the serving simulator's batch service model is
+     * built from.
+     */
+    double secondsPerInference() const;
+    /** Steady-state inferences per second at this batch size. */
+    double inferencesPerSec() const;
     /** Effective throughput, MAC/s. */
     double effectiveMacPerSec() const;
     /** Effective MACs per cycle divided by the PE count. */

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Batch queue implementation.
+ */
+
+#include "batcher.hh"
+
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace supernpu {
+namespace serving {
+
+const char *
+batchPolicyName(BatchPolicy policy)
+{
+    switch (policy) {
+      case BatchPolicy::DynamicTimeout:
+        return "dynamic";
+      case BatchPolicy::FixedBatch:
+        return "fixed";
+    }
+    panic("bad batch policy");
+}
+
+void
+BatchingConfig::check() const
+{
+    if (maxBatch < 1)
+        fatal("maxBatch must be at least 1");
+    if (policy == BatchPolicy::DynamicTimeout && timeoutSec < 0.0)
+        fatal("batch timeout cannot be negative");
+}
+
+BatchQueue::BatchQueue(const BatchingConfig &config) : _cfg(config)
+{
+    _cfg.check();
+}
+
+void
+BatchQueue::push(const Request &request)
+{
+    SUPERNPU_ASSERT(_queue.empty() ||
+                        request.arrivalSec >= _queue.back().arrivalSec,
+                    "requests must arrive in time order");
+    _queue.push_back(request);
+}
+
+bool
+BatchQueue::launchable(double now_sec) const
+{
+    if (_queue.size() >= (std::size_t)_cfg.maxBatch)
+        return true;
+    if (_cfg.policy != BatchPolicy::DynamicTimeout || _queue.empty())
+        return false;
+    return now_sec >= nextDeadlineSec();
+}
+
+double
+BatchQueue::nextDeadlineSec() const
+{
+    if (_cfg.policy != BatchPolicy::DynamicTimeout || _queue.empty())
+        return std::numeric_limits<double>::infinity();
+    return _queue.front().arrivalSec + _cfg.timeoutSec;
+}
+
+std::vector<Request>
+BatchQueue::pop()
+{
+    const std::size_t take =
+        std::min(_queue.size(), (std::size_t)_cfg.maxBatch);
+    std::vector<Request> batch(_queue.begin(), _queue.begin() + take);
+    _queue.erase(_queue.begin(), _queue.begin() + take);
+    return batch;
+}
+
+} // namespace serving
+} // namespace supernpu

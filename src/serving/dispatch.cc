@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Dispatcher implementation.
+ */
+
+#include "dispatch.hh"
+
+#include "common/logging.hh"
+
+namespace supernpu {
+namespace serving {
+
+const char *
+dispatchPolicyName(DispatchPolicy policy)
+{
+    switch (policy) {
+      case DispatchPolicy::RoundRobin:
+        return "rr";
+      case DispatchPolicy::JoinShortestQueue:
+        return "jsq";
+    }
+    panic("bad dispatch policy");
+}
+
+Dispatcher::Dispatcher(DispatchPolicy policy, int chips)
+    : _policy(policy), _chips(chips)
+{
+    if (chips < 1)
+        fatal("dispatcher needs at least one chip");
+}
+
+int
+Dispatcher::pick(const std::vector<int> &outstanding)
+{
+    SUPERNPU_ASSERT((int)outstanding.size() == _chips,
+                    "outstanding counts do not match chip count");
+    if (_policy == DispatchPolicy::RoundRobin) {
+        const int chip = _next;
+        _next = (_next + 1) % _chips;
+        return chip;
+    }
+    int best = 0;
+    for (int chip = 1; chip < _chips; ++chip) {
+        if (outstanding[chip] < outstanding[best])
+            best = chip;
+    }
+    return best;
+}
+
+} // namespace serving
+} // namespace supernpu

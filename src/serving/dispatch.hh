@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Multi-NPU request dispatcher for scale-out serving: several SFQ
+ * NPU dies share one cryostat (see examples/scaleout_study.cpp), and
+ * a front end spreads incoming requests across them.
+ *
+ *  - round-robin: stateless rotation, oblivious to queue state;
+ *  - join-shortest-queue: send each request to the chip with the
+ *    fewest outstanding requests (queued + in flight), the classic
+ *    latency-optimal heuristic when service times are uniform
+ *    across chips.
+ */
+
+#ifndef SUPERNPU_SERVING_DISPATCH_HH
+#define SUPERNPU_SERVING_DISPATCH_HH
+
+#include <vector>
+
+namespace supernpu {
+namespace serving {
+
+/** Request-to-chip placement discipline. */
+enum class DispatchPolicy
+{
+    RoundRobin,
+    JoinShortestQueue,
+};
+
+/** Stable lowercase name of a dispatch policy. */
+const char *dispatchPolicyName(DispatchPolicy policy);
+
+/** Picks a target chip for each incoming request. */
+class Dispatcher
+{
+  public:
+    Dispatcher(DispatchPolicy policy, int chips);
+
+    /**
+     * Choose a chip for the next request.
+     *
+     * @param outstanding Per-chip outstanding request counts
+     *        (queued + in service); must have one entry per chip.
+     *        Ignored by round-robin. Ties break to the lowest index.
+     */
+    int pick(const std::vector<int> &outstanding);
+
+    DispatchPolicy policy() const { return _policy; }
+
+  private:
+    DispatchPolicy _policy;
+    int _chips;
+    int _next = 0; ///< round-robin cursor
+};
+
+} // namespace serving
+} // namespace supernpu
+
+#endif // SUPERNPU_SERVING_DISPATCH_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Serving metrics implementation.
+ */
+
+#include "metrics.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace supernpu {
+namespace serving {
+
+namespace {
+
+/** Milliseconds with enough digits for microsecond-scale tails. */
+std::string
+msCell(double seconds)
+{
+    char text[48];
+    std::snprintf(text, sizeof(text), "%.4f", seconds * 1e3);
+    return text;
+}
+
+} // namespace
+
+void
+ServingReport::print() const
+{
+    std::printf("%s on %s x%d: arrival %s, batching %s (max %d),"
+                " dispatch %s\n",
+                network.c_str(), configName.c_str(), chips,
+                arrival.c_str(), policy.c_str(), maxBatch,
+                dispatch.c_str());
+    TextTable table;
+    table.row().cell("metric").cell("value");
+    table.row().cell("requests completed").cell((long long)completed);
+    table.row().cell("makespan (s)").cell(makespanSec, 4);
+    table.row().cell("offered load (req/s)").cell(offeredRps, 1);
+    table.row().cell("throughput (req/s)").cell(throughputRps, 1);
+    table.row().cell("chip utilization (%)").cell(utilization * 100.0, 1);
+    table.row().cell("mean queue depth").cell(meanQueueDepth, 2);
+    table.row().cell("mean batch").cell(meanBatch, 2);
+    table.row().cell("largest batch").cell((long long)maxBatchLaunched);
+    table.row().cell("latency mean (ms)").cell(msCell(latencyMean));
+    table.row().cell("latency p50 (ms)").cell(msCell(latencyP50));
+    table.row().cell("latency p95 (ms)").cell(msCell(latencyP95));
+    table.row().cell("latency p99 (ms)").cell(msCell(latencyP99));
+    table.row().cell("latency p99.9 (ms)").cell(msCell(latencyP999));
+    table.row().cell("latency max (ms)").cell(msCell(latencyMax));
+    table.print();
+}
+
+MetricsCollector::MetricsCollector(int chips) : _busySec(chips, 0.0)
+{
+    SUPERNPU_ASSERT(chips >= 1, "need at least one chip");
+}
+
+void
+MetricsCollector::advanceTo(double now_sec,
+                            std::size_t total_queue_depth)
+{
+    SUPERNPU_ASSERT(now_sec + 1e-12 >= _clockSec,
+                    "simulation clock ran backwards");
+    if (now_sec > _clockSec) {
+        _depthIntegral +=
+            (double)total_queue_depth * (now_sec - _clockSec);
+        _clockSec = now_sec;
+    }
+}
+
+void
+MetricsCollector::recordLatency(double seconds)
+{
+    _latency.add(seconds);
+}
+
+void
+MetricsCollector::recordBatch(int chip, int size, double service_sec)
+{
+    SUPERNPU_ASSERT(chip >= 0 && chip < (int)_busySec.size(),
+                    "bad chip index");
+    _batchSizes.add((double)size);
+    _busySec[chip] += service_sec;
+}
+
+ServingReport
+MetricsCollector::finish(double makespan_sec) const
+{
+    ServingReport report;
+    report.makespanSec = makespan_sec;
+    report.completed = _latency.count();
+    if (makespan_sec > 0.0) {
+        report.throughputRps =
+            (double)_latency.count() / makespan_sec;
+        double busy = 0.0;
+        for (double b : _busySec)
+            busy += b;
+        report.utilization =
+            busy / (makespan_sec * (double)_busySec.size());
+        report.meanQueueDepth = _depthIntegral / makespan_sec;
+    }
+    report.batchesLaunched = _batchSizes.count();
+    report.meanBatch = _batchSizes.mean();
+    report.maxBatchLaunched = (int)_batchSizes.max();
+    report.latencyMean = _latency.mean();
+    report.latencyP50 = _latency.percentile(50.0);
+    report.latencyP95 = _latency.percentile(95.0);
+    report.latencyP99 = _latency.percentile(99.0);
+    report.latencyP999 = _latency.percentile(99.9);
+    report.latencyMax = _latency.max();
+    return report;
+}
+
+} // namespace serving
+} // namespace supernpu

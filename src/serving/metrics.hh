@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Serving metrics: what a load-test harness would report about an
+ * inference service — throughput, chip utilization, queue depth, and
+ * the latency tail (p50/p95/p99/p99.9) — collected streamingly so
+ * million-request runs stay O(1) in memory.
+ *
+ * Latency percentiles ride the log-binned common/stats Histogram;
+ * queue depth is a time-weighted average (integrated between events,
+ * not sampled at them, so long quiet gaps weigh correctly).
+ */
+
+#ifndef SUPERNPU_SERVING_METRICS_HH
+#define SUPERNPU_SERVING_METRICS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace supernpu {
+namespace serving {
+
+/** Everything a serving run reports. */
+struct ServingReport
+{
+    // --- run identity -----------------------------------------------
+    std::string network;
+    std::string configName;
+    int chips = 1;
+    std::string arrival;  ///< arrival kind name
+    std::string policy;   ///< batching policy name
+    std::string dispatch; ///< dispatch policy name
+    int maxBatch = 1;
+
+    // --- volume -----------------------------------------------------
+    std::uint64_t generated = 0; ///< requests injected
+    std::uint64_t completed = 0; ///< requests answered
+    double makespanSec = 0.0;    ///< first arrival to last completion
+
+    // --- rates ------------------------------------------------------
+    double offeredRps = 0.0;    ///< configured (open) / achieved (closed)
+    double throughputRps = 0.0; ///< completed / makespan
+    double utilization = 0.0;   ///< mean busy fraction across chips
+    double meanQueueDepth = 0.0;
+
+    // --- batching ---------------------------------------------------
+    std::uint64_t batchesLaunched = 0;
+    double meanBatch = 0.0;
+    int maxBatchLaunched = 0;
+
+    // --- latency (seconds) ------------------------------------------
+    double latencyMean = 0.0;
+    double latencyP50 = 0.0;
+    double latencyP95 = 0.0;
+    double latencyP99 = 0.0;
+    double latencyP999 = 0.0;
+    double latencyMax = 0.0;
+
+    /** Render as a two-column table on stdout. */
+    void print() const;
+};
+
+/** Streaming accumulator the event loop feeds. */
+class MetricsCollector
+{
+  public:
+    explicit MetricsCollector(int chips);
+
+    /**
+     * Advance the simulation clock to `now`, integrating the current
+     * total queue depth over the elapsed interval. Call before
+     * mutating any queue at an event.
+     */
+    void advanceTo(double now_sec, std::size_t total_queue_depth);
+
+    /** One request completed with the given sojourn time. */
+    void recordLatency(double seconds);
+
+    /** One batch launched on `chip`, busying it for `service` s. */
+    void recordBatch(int chip, int size, double service_sec);
+
+    /** Snapshot the report (volume fields are filled by the caller). */
+    ServingReport finish(double makespan_sec) const;
+
+  private:
+    Histogram _latency{1e-8, 1e3, 53};
+    RunningStats _batchSizes;
+    std::vector<double> _busySec; ///< per-chip busy time
+    double _depthIntegral = 0.0;  ///< ∫ depth dt
+    double _clockSec = 0.0;       ///< last advanceTo time
+};
+
+} // namespace serving
+} // namespace supernpu
+
+#endif // SUPERNPU_SERVING_METRICS_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Batch service-time model implementation.
+ */
+
+#include "service_model.hh"
+
+#include "common/logging.hh"
+
+namespace supernpu {
+namespace serving {
+
+BatchServiceModel::BatchServiceModel(
+    const estimator::NpuEstimate &estimate, dnn::Network network)
+    : _sim(estimate), _net(std::move(network))
+{
+    _net.check();
+}
+
+double
+BatchServiceModel::batchSeconds(int batch) const
+{
+    SUPERNPU_ASSERT(batch >= 1, "bad batch");
+    const auto hit = _cache.find(batch);
+    if (hit != _cache.end())
+        return hit->second;
+    const double seconds = _sim.run(_net, batch).seconds();
+    SUPERNPU_ASSERT(seconds > 0.0, "service time must be positive");
+    _cache.emplace(batch, seconds);
+    return seconds;
+}
+
+} // namespace serving
+} // namespace supernpu

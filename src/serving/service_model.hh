@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Batch service-time model: the bridge from the cycle-level NPU
+ * simulator to the discrete-event serving simulator.
+ *
+ * Serving a batch of b requests means running the whole network once
+ * at batch b, so the service time of a batch is exactly
+ * NpuSimulator::run(network, b).seconds(). The cycle simulation is
+ * deterministic per (network, batch), so results are memoized: a
+ * million-request serving run performs at most `maxBatch` cycle
+ * simulations, and every repeated batch size is an O(1) lookup.
+ */
+
+#ifndef SUPERNPU_SERVING_SERVICE_MODEL_HH
+#define SUPERNPU_SERVING_SERVICE_MODEL_HH
+
+#include <unordered_map>
+
+#include "dnn/layer.hh"
+#include "npusim/sim.hh"
+
+namespace supernpu {
+namespace serving {
+
+/** Memoized per-batch service times of one network on one NPU. */
+class BatchServiceModel
+{
+  public:
+    BatchServiceModel(const estimator::NpuEstimate &estimate,
+                      dnn::Network network);
+
+    /** Wall-clock seconds to serve one batch of the given size. */
+    double batchSeconds(int batch) const;
+
+    /**
+     * Steady-state ceiling on request throughput at the given batch
+     * size, requests/s — what a chip sustains launching back-to-back
+     * full batches. The serving simulator's saturation point.
+     */
+    double peakRps(int batch) const
+    {
+        return (double)batch / batchSeconds(batch);
+    }
+
+    const dnn::Network &network() const { return _net; }
+    const estimator::NpuEstimate &estimate() const
+    {
+        return _sim.estimate();
+    }
+
+    /** Distinct batch sizes simulated so far. */
+    std::size_t cachedBatches() const { return _cache.size(); }
+
+  private:
+    npusim::NpuSimulator _sim;
+    dnn::Network _net;
+    mutable std::unordered_map<int, double> _cache;
+};
+
+} // namespace serving
+} // namespace supernpu
+
+#endif // SUPERNPU_SERVING_SERVICE_MODEL_HH

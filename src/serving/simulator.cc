@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Discrete-event serving loop implementation.
+ *
+ * Event ordering: the heap orders by (time, sequence). The sequence
+ * tiebreak makes simultaneous events process in creation order, which
+ * keeps runs deterministic across standard-library heap
+ * implementations.
+ *
+ * Timeout events are advisory: a fired timeout only launches a batch
+ * if the chip is idle and the queue's own `launchable` test agrees.
+ * Stale timeouts (the queue already launched, or grew to a full
+ * batch) are no-ops, so the loop never needs to cancel events.
+ */
+
+#include "simulator.hh"
+
+#include <limits>
+#include <queue>
+
+#include "common/logging.hh"
+
+namespace supernpu {
+namespace serving {
+
+void
+ServingConfig::check() const
+{
+    arrival.check();
+    batching.check();
+    if (chips < 1)
+        fatal("serving needs at least one chip");
+    if (requests < 1)
+        fatal("serving needs at least one request");
+}
+
+namespace {
+
+/** Event kinds of the calendar queue. */
+enum class EventKind
+{
+    Arrival, ///< one request enters the system
+    Timeout, ///< a chip's batch-timeout deadline passed
+    Done,    ///< a chip finished its in-flight batch
+};
+
+/** One scheduled event. */
+struct Event
+{
+    double timeSec;
+    std::uint64_t seq; ///< creation order, the determinism tiebreak
+    EventKind kind;
+    int chip; ///< Timeout/Done target; unused for arrivals
+};
+
+/** Min-heap ordering on (time, seq). */
+struct EventAfter
+{
+    bool operator()(const Event &a, const Event &b) const
+    {
+        if (a.timeSec != b.timeSec)
+            return a.timeSec > b.timeSec;
+        return a.seq > b.seq;
+    }
+};
+
+/** One simulated NPU die: its batch queue and in-flight batch. */
+struct Chip
+{
+    explicit Chip(const BatchingConfig &batching) : queue(batching) {}
+
+    BatchQueue queue;
+    bool busy = false;
+    std::vector<Request> inFlight;
+
+    int outstanding() const
+    {
+        return (int)queue.depth() + (int)inFlight.size();
+    }
+};
+
+} // namespace
+
+ServingSimulator::ServingSimulator(const BatchServiceModel &service,
+                                   const ServingConfig &config)
+    : _service(service), _cfg(config)
+{
+    _cfg.check();
+}
+
+ServingReport
+ServingSimulator::run()
+{
+    std::priority_queue<Event, std::vector<Event>, EventAfter> events;
+    std::uint64_t next_seq = 0;
+    const auto schedule = [&](double time, EventKind kind, int chip) {
+        events.push(Event{time, next_seq++, kind, chip});
+    };
+
+    ArrivalProcess arrivals(_cfg.arrival, _cfg.seed);
+    Dispatcher dispatcher(_cfg.dispatch, _cfg.chips);
+    MetricsCollector metrics(_cfg.chips);
+
+    std::vector<Chip> chips(_cfg.chips, Chip(_cfg.batching));
+    std::uint64_t injected = 0;  ///< arrival events created
+    std::uint64_t arrived = 0;   ///< requests that entered a queue
+    std::uint64_t completed = 0;
+    double clock = 0.0;
+
+    // Launch a batch on an idle chip when its queue allows; otherwise
+    // arm the queue's next timeout deadline.
+    const auto try_launch = [&](int index) {
+        Chip &chip = chips[index];
+        if (chip.busy || !chip.queue.launchable(clock)) {
+            const double deadline = chip.queue.nextDeadlineSec();
+            if (!chip.busy && deadline > clock &&
+                deadline < std::numeric_limits<double>::infinity()) {
+                schedule(deadline, EventKind::Timeout, index);
+            }
+            return;
+        }
+        chip.inFlight = chip.queue.pop();
+        chip.busy = true;
+        const double service =
+            _service.batchSeconds((int)chip.inFlight.size());
+        metrics.recordBatch(index, (int)chip.inFlight.size(), service);
+        schedule(clock + service, EventKind::Done, index);
+    };
+
+    const auto total_depth = [&]() {
+        std::size_t depth = 0;
+        for (const Chip &chip : chips)
+            depth += chip.queue.depth();
+        return depth;
+    };
+
+    // Seed the calendar: open-loop sources self-schedule; closed-loop
+    // clients all fire their first request at t = 0.
+    if (arrivals.openLoop()) {
+        schedule(arrivals.nextGapSec(), EventKind::Arrival, -1);
+        ++injected;
+    } else {
+        const std::uint64_t first = std::min<std::uint64_t>(
+            (std::uint64_t)_cfg.arrival.clients, _cfg.requests);
+        for (std::uint64_t i = 0; i < first; ++i)
+            schedule(0.0, EventKind::Arrival, -1);
+        injected = first;
+    }
+
+    while (completed < _cfg.requests) {
+        if (events.empty()) {
+            // Only reachable when the fixed-batch policy stranded
+            // partial batches after the last injection: flush them.
+            bool flushed = false;
+            for (int i = 0; i < _cfg.chips; ++i) {
+                if (!chips[i].busy && !chips[i].queue.empty()) {
+                    chips[i].inFlight = chips[i].queue.flush();
+                    chips[i].busy = true;
+                    const double service = _service.batchSeconds(
+                        (int)chips[i].inFlight.size());
+                    metrics.recordBatch(
+                        i, (int)chips[i].inFlight.size(), service);
+                    schedule(clock + service, EventKind::Done, i);
+                    flushed = true;
+                }
+            }
+            SUPERNPU_ASSERT(flushed,
+                            "serving deadlock: no events, no work");
+            continue;
+        }
+
+        const Event event = events.top();
+        events.pop();
+        metrics.advanceTo(event.timeSec, total_depth());
+        clock = event.timeSec;
+
+        switch (event.kind) {
+          case EventKind::Arrival: {
+            std::vector<int> outstanding(_cfg.chips);
+            for (int i = 0; i < _cfg.chips; ++i)
+                outstanding[i] = chips[i].outstanding();
+            const int target = dispatcher.pick(outstanding);
+            chips[target].queue.push(Request{arrived++, clock});
+            try_launch(target);
+            if (arrivals.openLoop() && injected < _cfg.requests) {
+                schedule(clock + arrivals.nextGapSec(),
+                         EventKind::Arrival, -1);
+                ++injected;
+            }
+            break;
+          }
+          case EventKind::Timeout:
+            try_launch(event.chip);
+            break;
+          case EventKind::Done: {
+            Chip &chip = chips[event.chip];
+            SUPERNPU_ASSERT(chip.busy, "completion on an idle chip");
+            for (const Request &request : chip.inFlight) {
+                metrics.recordLatency(clock - request.arrivalSec);
+                ++completed;
+                // Closed loop: the client thinks, then asks again.
+                if (!arrivals.openLoop() && injected < _cfg.requests) {
+                    schedule(clock + arrivals.thinkGapSec(),
+                             EventKind::Arrival, -1);
+                    ++injected;
+                }
+            }
+            chip.inFlight.clear();
+            chip.busy = false;
+            try_launch(event.chip);
+            break;
+          }
+        }
+    }
+
+    SUPERNPU_ASSERT(arrived == _cfg.requests &&
+                        completed == _cfg.requests,
+                    "serving run lost requests");
+
+    ServingReport report = metrics.finish(clock);
+    report.network = _service.network().name;
+    report.configName = _service.estimate().config.name;
+    report.chips = _cfg.chips;
+    report.arrival = arrivalKindName(_cfg.arrival.kind);
+    report.policy = batchPolicyName(_cfg.batching.policy);
+    report.dispatch = dispatchPolicyName(_cfg.dispatch);
+    report.maxBatch = _cfg.batching.maxBatch;
+    report.generated = arrived;
+    report.offeredRps = arrivals.openLoop()
+                            ? _cfg.arrival.ratePerSec
+                            : report.throughputRps;
+    return report;
+}
+
+} // namespace serving
+} // namespace supernpu

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The discrete-event inference-serving simulator: requests arrive
+ * (arrival.hh), a dispatcher places them on chips (dispatch.hh),
+ * per-chip batch queues form batches (batcher.hh), and each launched
+ * batch occupies its chip for the cycle-level service time
+ * (service_model.hh). Completion latencies and system occupancy feed
+ * the metrics collector (metrics.hh).
+ *
+ * The event loop is a classic calendar queue over three event kinds:
+ * request arrival, batch-timeout expiry, and chip completion. All
+ * stochastic choices flow through one seeded common/rng generator,
+ * so a (config, seed) pair replays bit-identically.
+ *
+ * Drain semantics: once the configured request count has been
+ * injected, remaining queued requests flush even if the fixed-batch
+ * policy would strand a partial batch — so `completed == generated`
+ * always holds at the end of run().
+ */
+
+#ifndef SUPERNPU_SERVING_SIMULATOR_HH
+#define SUPERNPU_SERVING_SIMULATOR_HH
+
+#include <cstdint>
+
+#include "arrival.hh"
+#include "batcher.hh"
+#include "dispatch.hh"
+#include "metrics.hh"
+#include "service_model.hh"
+
+namespace supernpu {
+namespace serving {
+
+/** Full description of one serving experiment. */
+struct ServingConfig
+{
+    ArrivalConfig arrival;
+    BatchingConfig batching;
+    DispatchPolicy dispatch = DispatchPolicy::JoinShortestQueue;
+
+    int chips = 1;                  ///< identical NPU dies
+    std::uint64_t requests = 20000; ///< total requests to inject
+    std::uint64_t seed = 0x5e971ce5eedull; ///< RNG seed
+
+    /** Panics when malformed. */
+    void check() const;
+};
+
+/** Runs one serving experiment over a batch service model. */
+class ServingSimulator
+{
+  public:
+    ServingSimulator(const BatchServiceModel &service,
+                     const ServingConfig &config);
+
+    /** Simulate until every injected request completes. */
+    ServingReport run();
+
+  private:
+    const BatchServiceModel &_service;
+    ServingConfig _cfg;
+};
+
+} // namespace serving
+} // namespace supernpu
+
+#endif // SUPERNPU_SERVING_SIMULATOR_HH

@@ -143,6 +143,89 @@ TEST(Stats, GeomeanOrderInvariant)
     EXPECT_NEAR(geomean(a), geomean(b), 1e-12);
 }
 
+TEST(Stats, ExactPercentileInterpolates)
+{
+    EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 0.0), 7.0);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 100.0), 7.0);
+    const std::vector<double> v = {4.0, 1.0, 3.0, 2.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 75.0), 3.25);
+}
+
+TEST(Histogram, EmptyAndSingleSample)
+{
+    Histogram hist;
+    EXPECT_EQ(hist.count(), 0u);
+    EXPECT_DOUBLE_EQ(hist.percentile(99.0), 0.0);
+    hist.add(3.5e-3);
+    EXPECT_EQ(hist.count(), 1u);
+    // A single sample pins every percentile to itself via the
+    // min/max clamp.
+    EXPECT_DOUBLE_EQ(hist.percentile(0.0), 3.5e-3);
+    EXPECT_DOUBLE_EQ(hist.percentile(50.0), 3.5e-3);
+    EXPECT_DOUBLE_EQ(hist.percentile(100.0), 3.5e-3);
+}
+
+TEST(Histogram, TracksExactMomentsAndClampsRange)
+{
+    Histogram hist(1e-6, 1e2, 10);
+    // Underflow (including zero) and overflow land in the clamp bins.
+    hist.add(0.0);
+    hist.add(1e-9);
+    hist.add(5.0);
+    hist.add(1e6);
+    EXPECT_EQ(hist.count(), 4u);
+    EXPECT_DOUBLE_EQ(hist.min(), 0.0);
+    EXPECT_DOUBLE_EQ(hist.max(), 1e6);
+    EXPECT_DOUBLE_EQ(hist.sum(), 1e6 + 5.0 + 1e-9);
+    EXPECT_DOUBLE_EQ(hist.percentile(100.0), 1e6);
+    EXPECT_DOUBLE_EQ(hist.percentile(0.0), 0.0);
+}
+
+/**
+ * Sketch percentiles track exact percentiles within the documented
+ * bin ratio (10^(1/binsPerDecade)) on a deterministic log-uniform
+ * sample set.
+ */
+TEST(Histogram, PercentilesMatchExactWithinBinResolution)
+{
+    Rng rng(99);
+    Histogram hist(1e-6, 1e1, 53);
+    std::vector<double> samples;
+    for (int i = 0; i < 20000; ++i) {
+        // Log-uniform latencies from 10 us to 1 s.
+        const double value =
+            std::pow(10.0, rng.uniform(-5.0, 0.0));
+        samples.push_back(value);
+        hist.add(value);
+    }
+    const double ratio = std::pow(10.0, 1.0 / 53.0);
+    for (double p : {10.0, 50.0, 90.0, 95.0, 99.0, 99.9}) {
+        const double exact = percentile(samples, p);
+        const double sketch = hist.percentile(p);
+        EXPECT_LT(sketch / exact, ratio * 1.01) << "p" << p;
+        EXPECT_GT(sketch / exact, 1.0 / (ratio * 1.01)) << "p" << p;
+    }
+}
+
+/** Percentiles are monotone in p by construction. */
+TEST(Histogram, PercentileMonotoneInP)
+{
+    Rng rng(7);
+    Histogram hist;
+    for (int i = 0; i < 5000; ++i)
+        hist.add(1e-4 * (1.0 + rng.uniform()));
+    double previous = 0.0;
+    for (double p : {0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+        const double value = hist.percentile(p);
+        EXPECT_GE(value, previous) << "p" << p;
+        previous = value;
+    }
+}
+
 // --- table -----------------------------------------------------------
 
 TEST(Table, AlignsColumnsAndSeparatesHeader)

@@ -10,6 +10,9 @@
  *       Cycle-level performance + power of a workload.
  *   supernpu batch <workload> <config> [options]
  *       The Table II maximum on-chip batch.
+ *   supernpu serve <workload> <config> [options]
+ *       Discrete-event serving simulation: request load, dynamic
+ *       batching, multi-chip dispatch, tail latency.
  *   supernpu validate
  *       The Fig. 13 model-validation table.
  *
@@ -24,7 +27,18 @@
  *   --ifmap-mb <n>          ifmap buffer capacity
  *   --output-mb <n>         output buffer capacity
  *   --bandwidth-gbps <n>    DRAM bandwidth
- *   --batch <n>             force a batch size (simulate)
+ *   --batch <n>             force a batch size (simulate, serve)
+ *
+ * Serving options (serve):
+ *   --rps <n>               offered load, requests/s (default 1000)
+ *   --chips <n>             NPU dies behind the dispatcher
+ *   --policy dynamic|fixed  batching policy
+ *   --dispatch rr|jsq       request placement across chips
+ *   --arrival poisson|bursty|closed   traffic shape
+ *   --timeout-us <n>        dynamic-batching timeout
+ *   --requests <n>          requests to simulate
+ *   --clients <n>           closed-loop client population
+ *   --seed <n>              RNG seed
  */
 
 #include <cctype>
@@ -48,6 +62,7 @@
 #include "npusim/explorer.hh"
 #include "npusim/sim.hh"
 #include "power/power.hh"
+#include "serving/simulator.hh"
 
 using namespace supernpu;
 
@@ -63,6 +78,7 @@ struct Options
     bool configChosen = false;
     std::string netFile;   ///< --netfile path, when given
     std::string traceFile; ///< --trace path for the mapping CSV
+    serving::ServingConfig serve; ///< serve-subcommand state
 };
 
 std::string
@@ -155,6 +171,56 @@ parseOptions(int argc, char **argv, int first, Options &options)
             options.netFile = next();
         } else if (arg == "--trace") {
             options.traceFile = next();
+        } else if (arg == "--rps") {
+            options.serve.arrival.ratePerSec = std::stod(next());
+        } else if (arg == "--chips") {
+            options.serve.chips = std::stoi(next());
+        } else if (arg == "--policy") {
+            const std::string value = lowered(next());
+            if (value == "dynamic") {
+                options.serve.batching.policy =
+                    serving::BatchPolicy::DynamicTimeout;
+            } else if (value == "fixed") {
+                options.serve.batching.policy =
+                    serving::BatchPolicy::FixedBatch;
+            } else {
+                fatal("unknown batching policy '", value, "'");
+            }
+        } else if (arg == "--dispatch") {
+            const std::string value = lowered(next());
+            if (value == "rr") {
+                options.serve.dispatch =
+                    serving::DispatchPolicy::RoundRobin;
+            } else if (value == "jsq") {
+                options.serve.dispatch =
+                    serving::DispatchPolicy::JoinShortestQueue;
+            } else {
+                fatal("unknown dispatch policy '", value, "'");
+            }
+        } else if (arg == "--arrival") {
+            const std::string value = lowered(next());
+            if (value == "poisson") {
+                options.serve.arrival.kind =
+                    serving::ArrivalKind::OpenPoisson;
+            } else if (value == "bursty") {
+                options.serve.arrival.kind =
+                    serving::ArrivalKind::Bursty;
+            } else if (value == "closed") {
+                options.serve.arrival.kind =
+                    serving::ArrivalKind::ClosedLoop;
+            } else {
+                fatal("unknown arrival kind '", value, "'");
+            }
+        } else if (arg == "--timeout-us") {
+            options.serve.batching.timeoutSec =
+                std::stod(next()) * 1e-6;
+        } else if (arg == "--requests") {
+            options.serve.requests =
+                (std::uint64_t)std::stoull(next());
+        } else if (arg == "--clients") {
+            options.serve.arrival.clients = std::stoi(next());
+        } else if (arg == "--seed") {
+            options.serve.seed = (std::uint64_t)std::stoull(next());
         } else if (arg.rfind("--", 0) == 0) {
             fatal("unknown option '", arg, "'");
         } else if (!options.configChosen &&
@@ -309,6 +375,33 @@ cmdBatch(const Options &options, const dnn::Network &net)
 }
 
 int
+cmdServe(const Options &options, const dnn::Network &net)
+{
+    const sfq::DeviceConfig device = deviceFor(options);
+    sfq::CellLibrary library(device);
+    estimator::NpuEstimator est(library);
+    const auto estimate = est.estimate(options.config);
+
+    serving::ServingConfig serve = options.serve;
+    serve.batching.maxBatch =
+        options.forcedBatch > 0
+            ? options.forcedBatch
+            : npusim::maxBatch(options.config, estimate, net);
+
+    serving::BatchServiceModel service(estimate, net);
+    serving::ServingSimulator sim(service, serve);
+    const auto report = sim.run();
+    report.print();
+    std::printf("\nchip capacity at full batch: %.0f req/s x %d chips"
+                " = %.0f req/s; served %.0f req/s at p99 %.4f ms\n",
+                service.peakRps(serve.batching.maxBatch), serve.chips,
+                service.peakRps(serve.batching.maxBatch) *
+                    (double)serve.chips,
+                report.throughputRps, report.latencyP99 * 1e3);
+    return 0;
+}
+
+int
 cmdValidate(const Options &options)
 {
     const sfq::DeviceConfig device = deviceFor(options);
@@ -371,13 +464,18 @@ usage()
                  "  estimate <config> [opts]        freq/power/area\n"
                  "  simulate <workload> <config>    performance+power\n"
                  "  batch <workload> <config>       Table II batch\n"
+                 "  serve <workload> <config>       serving simulation\n"
                  "  validate                        Fig. 13 table\n"
                  "  explore                         design-space sweep\n"
                  "configs: baseline bufferopt resourceopt supernpu\n"
                  "options: --tech --feature --width --height --regs\n"
                  "         --division --ifmap-mb --output-mb\n"
                  "         --bandwidth-gbps --batch --netfile <path>\n"
-                 "         --trace <csv path>\n");
+                 "         --trace <csv path>\n"
+                 "serve:   --rps --chips --policy dynamic|fixed\n"
+                 "         --dispatch rr|jsq\n"
+                 "         --arrival poisson|bursty|closed\n"
+                 "         --timeout-us --requests --clients --seed\n");
     return 2;
 }
 
@@ -403,7 +501,8 @@ main(int argc, char **argv)
         return cmdValidate(options);
     if (command == "explore")
         return cmdExplore(options);
-    if (command == "simulate" || command == "batch") {
+    if (command == "simulate" || command == "batch" ||
+        command == "serve") {
         dnn::Network net;
         if (!options.netFile.empty()) {
             std::ifstream file(options.netFile);
@@ -419,8 +518,11 @@ main(int argc, char **argv)
             }
             net = findWorkload(positional.front());
         }
-        return command == "simulate" ? cmdSimulate(options, net)
-                                     : cmdBatch(options, net);
+        if (command == "simulate")
+            return cmdSimulate(options, net);
+        if (command == "serve")
+            return cmdServe(options, net);
+        return cmdBatch(options, net);
     }
     return usage();
 }
