@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "bench_common.hh"
+#include "common/parallel.hh"
 
 using namespace supernpu;
 using estimator::NpuConfig;
@@ -32,26 +33,32 @@ main()
 
     const std::vector<double> sweep = {75.0,  150.0,  300.0,
                                        600.0, 1200.0, 2400.0};
-    std::vector<double> base_perf, super_perf;
-    for (double gbps : sweep) {
-        double perf[2] = {0.0, 0.0};
-        int index = 0;
-        for (NpuConfig config :
-             {NpuConfig::baseline(), NpuConfig::superNpu()}) {
-            config.memoryBandwidth = gbps * 1e9;
+
+    // Each (bandwidth, design) point is an independent simulation;
+    // fan the 12 points across the machine. parallelMap returns in
+    // submission order, so the table is identical at any job count.
+    ThreadPool pool;
+    const auto perf = pool.parallelMap(
+        sweep.size() * 2, [&](std::size_t i) {
+            NpuConfig config = (i % 2 == 0) ? NpuConfig::baseline()
+                                            : NpuConfig::superNpu();
+            config.memoryBandwidth = sweep[i / 2] * 1e9;
             const auto estimate = pipe.estimator.estimate(config);
             npusim::NpuSimulator sim(estimate);
+            double tmacs = 0.0;
             for (const auto &net : pipe.workloads) {
                 const int batch =
                     npusim::maxBatch(config, estimate, net);
-                perf[index] +=
+                tmacs +=
                     sim.run(net, batch).effectiveMacPerSec() / 1e12 /
                     (double)pipe.workloads.size();
             }
-            ++index;
-        }
-        base_perf.push_back(perf[0]);
-        super_perf.push_back(perf[1]);
+            return tmacs;
+        });
+    std::vector<double> base_perf, super_perf;
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        base_perf.push_back(perf[2 * i]);
+        super_perf.push_back(perf[2 * i + 1]);
     }
 
     const double super_at_300 = super_perf[2];

@@ -13,9 +13,25 @@
 #include <cstdio>
 
 #include "bench_common.hh"
+#include "common/parallel.hh"
 #include "power/power.hh"
 
 using namespace supernpu;
+
+namespace {
+
+/** One table row of the feature-size sweep. */
+struct Row
+{
+    double feature = 0.0;
+    double clockGhz = 0.0;
+    double peakTmacs = 0.0;
+    double effTmacs = 0.0;
+    double staticW = 0.0;
+    double areaMm2 = 0.0;
+};
+
+} // namespace
 
 int
 main()
@@ -32,29 +48,42 @@ main()
         .cell("RSFQ static (W)")
         .cell("area mm2 (native)");
 
-    for (double feature : {1.0, 0.8, 0.5, 0.35, 0.2, 0.1}) {
-        sfq::DeviceConfig device;
-        device.featureSizeUm = feature;
-        sfq::CellLibrary library(device);
-        estimator::NpuEstimator npu_estimator(library);
-        const auto estimate = npu_estimator.estimate(config);
-        npusim::NpuSimulator sim(estimate);
+    // Each node rebuilds the whole pipeline (library -> estimator ->
+    // simulator), so the sweep parallelizes over feature sizes and
+    // the rows come back in submission order.
+    const std::vector<double> features = {1.0, 0.8, 0.5,
+                                          0.35, 0.2, 0.1};
+    ThreadPool pool;
+    const auto rows = pool.parallelMap(
+        features.size(), [&](std::size_t i) {
+            sfq::DeviceConfig device;
+            device.featureSizeUm = features[i];
+            sfq::CellLibrary library(device);
+            estimator::NpuEstimator npu_estimator(library);
+            const auto estimate = npu_estimator.estimate(config);
+            npusim::NpuSimulator sim(estimate);
 
-        double perf = 0.0;
-        for (const auto &net : workloads) {
-            const int batch =
-                npusim::maxBatch(config, estimate, net);
-            perf += sim.run(net, batch).effectiveMacPerSec() /
-                    (double)workloads.size();
-        }
+            double perf = 0.0;
+            for (const auto &net : workloads) {
+                const int batch =
+                    npusim::maxBatch(config, estimate, net);
+                perf += sim.run(net, batch).effectiveMacPerSec() /
+                        (double)workloads.size();
+            }
+            return Row{features[i],          estimate.frequencyGhz,
+                       estimate.peakMacPerSec / 1e12,
+                       perf / 1e12,          estimate.staticPowerW,
+                       estimate.areaMm2};
+        });
 
+    for (const Row &row : rows) {
         table.row()
-            .cell(feature, 2)
-            .cell(estimate.frequencyGhz, 1)
-            .cell(estimate.peakMacPerSec / 1e12, 0)
-            .cell(perf / 1e12, 1)
-            .cell(estimate.staticPowerW, 0)
-            .cell(estimate.areaMm2, 0);
+            .cell(row.feature, 2)
+            .cell(row.clockGhz, 1)
+            .cell(row.peakTmacs, 0)
+            .cell(row.effTmacs, 1)
+            .cell(row.staticW, 0)
+            .cell(row.areaMm2, 0);
     }
     table.print();
     std::printf("\ntakeaway: frequency scales ~1/feature until the"

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Scaling study for the parallel sweep engine: run the default
+ * Section V design-space sweep at 1/2/4/8 jobs with a cold sim cache
+ * each time, report wall-clock speedup over the serial sweep, and
+ * verify the ranked output is identical at every job count. A final
+ * warm-cache pass shows what memoization alone is worth.
+ *
+ * Speedups track the machine's real core count: on an N-core box the
+ * sweep saturates near min(jobs, N)x, and oversubscribed job counts
+ * cost nothing because candidates are independent.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "bench_common.hh"
+#include "common/parallel.hh"
+#include "npusim/explorer.hh"
+#include "npusim/sim_cache.hh"
+
+using namespace supernpu;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+/** Full-precision fingerprint of a ranked candidate list. */
+std::string
+fingerprint(const std::vector<npusim::Candidate> &ranked)
+{
+    std::ostringstream out;
+    out.precision(17);
+    for (const auto &cand : ranked) {
+        out << cand.config.name << ' ' << cand.score << ' '
+            << cand.avgMacPerSec << ' ' << cand.chipPowerW << ' '
+            << cand.areaMm2 << ' ' << cand.operable << '\n';
+    }
+    return out.str();
+}
+
+} // namespace
+
+int
+main()
+{
+    sfq::DeviceConfig device;
+    sfq::CellLibrary library(device);
+    npusim::DesignSpaceExplorer explorer(library,
+                                         dnn::evaluationWorkloads());
+    const npusim::ExplorationSpace space;
+
+    TextTable table("parallel sweep scaling (default Section V space)");
+    table.row()
+        .cell("jobs")
+        .cell("wall (s)")
+        .cell("speedup")
+        .cell("identical output");
+
+    double serial_sec = 0.0;
+    std::string serial_print;
+    for (int jobs : {1, 2, 4, 8}) {
+        npusim::SimCache cold_cache;
+        explorer.setCache(&cold_cache);
+        const auto start = Clock::now();
+        const auto ranked = explorer.explore(
+            space, npusim::Objective::Throughput, jobs);
+        const double sec =
+            std::chrono::duration<double>(Clock::now() - start)
+                .count();
+        const std::string print = fingerprint(ranked);
+        if (jobs == 1) {
+            serial_sec = sec;
+            serial_print = print;
+        }
+        table.row()
+            .cell((long long)jobs)
+            .cell(sec, 2)
+            .cell(serial_sec / sec, 2)
+            .cell(print == serial_print ? "yes" : "NO");
+    }
+
+    // Warm pass: the whole sweep out of the cache.
+    {
+        npusim::SimCache warm_cache;
+        explorer.setCache(&warm_cache);
+        explorer.explore(space, npusim::Objective::Throughput, 1);
+        const auto cold = warm_cache.stats();
+        const auto start = Clock::now();
+        explorer.explore(space, npusim::Objective::PerfPerWatt, 1);
+        const double sec =
+            std::chrono::duration<double>(Clock::now() - start)
+                .count();
+        const auto warm = warm_cache.stats();
+        table.row()
+            .cell("warm")
+            .cell(sec, 2)
+            .cell(serial_sec / sec, 1)
+            .cell("yes (re-ranked)");
+        table.print();
+        std::printf("\nwarm pass: %llu cache hits, %llu misses —"
+                    " re-ranking a swept space costs no simulation.\n",
+                    (unsigned long long)(warm.hits - cold.hits),
+                    (unsigned long long)(warm.misses - cold.misses));
+    }
+
+    std::printf("%d hardware threads on this machine\n",
+                ThreadPool::hardwareConcurrency());
+    std::printf("\ntakeaway: candidates are independent, so the sweep"
+                " scales with cores at identical (bit-for-bit) ranked"
+                " output; the memoized sim cache then makes repeated"
+                " sweeps — other objectives, serving warm-up — nearly"
+                " free.\n");
+    return 0;
+}

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Thread-pool implementation.
+ *
+ * A parallelFor posts one Loop record (on the caller's stack) as the
+ * pool's current loop; every worker plus the caller pulls indices
+ * from its atomic cursor until none remain. The caller returns only
+ * when all indices are accounted for AND no worker still holds a
+ * reference to the record, so the record's lifetime is safe without
+ * any allocation.
+ */
+
+#include "parallel.hh"
+
+namespace supernpu {
+
+namespace {
+
+/** SplitMix64 finalizer: the same mix Rng's seeder is built on. */
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Set while this thread is executing inside a pool loop. */
+thread_local bool inside_pool_task = false;
+
+} // namespace
+
+std::uint64_t
+streamSeed(std::uint64_t base_seed, std::uint64_t stream)
+{
+    // Two mix rounds decorrelate streams even for adjacent indices
+    // and a pathological base seed (0, all-ones, ...).
+    return splitmix64(splitmix64(base_seed) ^ splitmix64(~stream));
+}
+
+int
+ThreadPool::hardwareConcurrency()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : (int)n;
+}
+
+ThreadPool::ThreadPool(int jobs)
+{
+    if (jobs <= 0)
+        jobs = hardwareConcurrency();
+    if (jobs > 1)
+        _workers.reserve((std::size_t)jobs - 1);
+    for (int i = 1; i < jobs; ++i)
+        _workers.emplace_back([this] { workerMain(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _stopping = true;
+    }
+    _wake.notify_all();
+    for (auto &worker : _workers)
+        worker.join();
+}
+
+void
+ThreadPool::drain(Loop &loop)
+{
+    std::size_t ran = 0;
+    std::exception_ptr error;
+    for (;;) {
+        const std::size_t i =
+            loop.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= loop.count)
+            break;
+        try {
+            (*loop.body)(i);
+        } catch (...) {
+            if (!error)
+                error = std::current_exception();
+            // Keep draining: every index must have run before the
+            // loop is reported finished.
+        }
+        ++ran;
+    }
+    if (ran > 0 || error) {
+        std::lock_guard<std::mutex> lock(_mutex);
+        loop.finished += ran;
+        if (error && !loop.error)
+            loop.error = error;
+        if (loop.finished == loop.count)
+            _done.notify_all();
+    }
+}
+
+void
+ThreadPool::workerMain()
+{
+    inside_pool_task = true;
+    std::unique_lock<std::mutex> lock(_mutex);
+    for (;;) {
+        _wake.wait(lock, [this] {
+            return _stopping ||
+                   (_current != nullptr &&
+                    _current->next.load(std::memory_order_relaxed) <
+                        _current->count);
+        });
+        if (_stopping)
+            return;
+        Loop *loop = _current;
+        ++loop->helpers;
+        lock.unlock();
+        drain(*loop);
+        lock.lock();
+        --loop->helpers;
+        if (loop->helpers == 0)
+            _done.notify_all();
+        // `loop` must not be touched past this point: once the
+        // caller observes finished == count and helpers == 0 it
+        // destroys the record.
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+
+    // Inline cases: serial pool, or a nested call from inside a pool
+    // loop (blocking a worker on its own pool would deadlock).
+    if (_workers.empty() || inside_pool_task) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    std::lock_guard<std::mutex> serialize(_loopMutex);
+    Loop loop;
+    loop.body = &body;
+    loop.count = n;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _current = &loop;
+    }
+    _wake.notify_all();
+
+    // The caller works too; its frames count as pool frames so a
+    // nested parallelFor inside `body` runs inline here as well.
+    inside_pool_task = true;
+    drain(loop);
+    inside_pool_task = false;
+
+    std::unique_lock<std::mutex> lock(_mutex);
+    _done.wait(lock, [&] {
+        return loop.finished == loop.count && loop.helpers == 0;
+    });
+    _current = nullptr;
+    const std::exception_ptr error = loop.error;
+    lock.unlock();
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace supernpu

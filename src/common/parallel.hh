@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Fixed-size thread pool with deterministic-order parallel loops.
+ *
+ * Every sweep driver in this repository (the design-space explorer,
+ * the ablation benches, the serving service-model warm-up) is
+ * embarrassingly parallel over independent simulation points, but
+ * must stay bit-reproducible: the ranked output of a parallel sweep
+ * has to be byte-identical to the serial sweep. The pool guarantees
+ * that by construction:
+ *
+ *  - parallelFor(n, body) invokes body(i) exactly once for every
+ *    i in [0, n); each index is an independent unit of work and no
+ *    index reads another index's results.
+ *  - parallelMap(n, fn) stores fn(i) into slot i of the returned
+ *    vector, so results come back in submission order regardless of
+ *    completion order.
+ *  - Stochastic tasks derive an independent common/rng stream from
+ *    streamSeed(base_seed, i), so the random sequence a task sees
+ *    depends only on its index, never on thread scheduling.
+ *
+ * With those rules, `jobs` is a pure wall-clock knob: a pool of any
+ * size produces exactly the bytes of ThreadPool(1).
+ *
+ * The calling thread participates in the loop (a pool of `jobs` runs
+ * jobs-1 workers), so ThreadPool(1) spawns no threads and runs the
+ * loop inline. A parallelFor issued from inside a pool task runs
+ * inline on the issuing worker — nested submission cannot deadlock.
+ * The first exception thrown by any task is captured and rethrown on
+ * the calling thread after the loop drains.
+ */
+
+#ifndef SUPERNPU_COMMON_PARALLEL_HH
+#define SUPERNPU_COMMON_PARALLEL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace supernpu {
+
+/**
+ * Seed for the `stream`-th independent RNG stream of a parallel
+ * region. SplitMix64-mixes the base seed with the stream index, so
+ * streams are statistically independent but fully determined by
+ * (base_seed, stream) — never by which thread runs the task.
+ */
+std::uint64_t streamSeed(std::uint64_t base_seed, std::uint64_t stream);
+
+/** A fixed-size pool of worker threads for deterministic sweeps. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param jobs Total parallelism including the calling thread;
+     *        jobs <= 1 runs everything inline, 0 means
+     *        hardwareConcurrency().
+     */
+    explicit ThreadPool(int jobs = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total parallelism (worker threads + the calling thread). */
+    int jobs() const { return (int)_workers.size() + 1; }
+
+    /** std::thread::hardware_concurrency with a floor of 1. */
+    static int hardwareConcurrency();
+
+    /**
+     * Run body(i) for every i in [0, n), spread across the pool.
+     * Returns after every index has run; rethrows the first task
+     * exception. Serializes with concurrent parallelFor calls on the
+     * same pool; a nested call from inside a task runs inline.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+    /**
+     * Map fn over [0, n); result slot i always holds fn(i), so the
+     * output is identical to the serial loop no matter how the work
+     * interleaves. fn must be invocable as fn(std::size_t).
+     */
+    template <typename Fn>
+    auto parallelMap(std::size_t n, Fn &&fn)
+        -> std::vector<std::invoke_result_t<Fn &, std::size_t>>
+    {
+        using Result = std::invoke_result_t<Fn &, std::size_t>;
+        std::vector<Result> out(n);
+        parallelFor(n, [&](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+  private:
+    /** One parallelFor invocation, shared by every worker. */
+    struct Loop
+    {
+        const std::function<void(std::size_t)> *body = nullptr;
+        std::size_t count = 0;
+        std::atomic<std::size_t> next{0};
+        std::size_t finished = 0; ///< indices accounted; under _mutex
+        int helpers = 0;          ///< workers inside drain; under _mutex
+        std::exception_ptr error; ///< first task failure; under _mutex
+    };
+
+    void workerMain();
+    /** Pull and run indices of `loop` until none remain. */
+    void drain(Loop &loop);
+
+    std::mutex _mutex;
+    std::condition_variable _wake; ///< workers: a loop was posted
+    std::condition_variable _done; ///< caller: loop fully finished
+    Loop *_current = nullptr;      ///< guarded by _mutex
+    bool _stopping = false;        ///< guarded by _mutex
+    std::mutex _loopMutex;         ///< serializes parallelFor callers
+    std::vector<std::thread> _workers;
+};
+
+} // namespace supernpu
+
+#endif // SUPERNPU_COMMON_PARALLEL_HH

@@ -9,6 +9,7 @@
 
 #include "batch.hh"
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/units.hh"
 #include "estimator/design_rules.hh"
 #include "sim.hh"
@@ -64,72 +65,89 @@ DesignSpaceExplorer::makeConfig(int width, int division, int regs,
     return config;
 }
 
+Candidate
+DesignSpaceExplorer::evaluate(
+    const estimator::NpuEstimator &npu_estimator,
+    const estimator::NpuConfig &config, Objective objective) const
+{
+    Candidate cand;
+    cand.config = config;
+    const auto est = npu_estimator.estimate(cand.config);
+    cand.areaMm2 = est.areaMm2;
+
+    const auto findings =
+        estimator::checkDesignRules(cand.config, est);
+    if (!estimator::designIsOperable(findings)) {
+        cand.operable = false;
+        for (const auto &finding : findings) {
+            if (finding.severity == estimator::RuleSeverity::Error) {
+                cand.note = finding.message;
+                break;
+            }
+        }
+        return cand;
+    }
+
+    NpuSimulator sim(est);
+    double dynamic = 0.0;
+    for (const auto &net : _workloads) {
+        const int batch = maxBatch(cand.config, est, net);
+        std::shared_ptr<const SimResult> run;
+        if (_cache) {
+            run = _cache->getOrRun(sim, net, batch);
+        } else {
+            run = std::make_shared<const SimResult>(
+                sim.run(net, batch));
+        }
+        cand.avgMacPerSec +=
+            run->effectiveMacPerSec() / (double)_workloads.size();
+        dynamic += power::analyze(est, *run).dynamicW /
+                   (double)_workloads.size();
+    }
+    cand.chipPowerW = est.staticPowerW + dynamic;
+
+    switch (objective) {
+      case Objective::Throughput:
+        cand.score = cand.avgMacPerSec;
+        break;
+      case Objective::PerfPerWatt:
+        cand.score = cand.avgMacPerSec / cand.chipPowerW;
+        break;
+      case Objective::PerfPerArea:
+        cand.score = cand.avgMacPerSec / cand.areaMm2;
+        break;
+    }
+    return cand;
+}
+
 std::vector<Candidate>
 DesignSpaceExplorer::explore(const ExplorationSpace &space,
-                             Objective objective) const
+                             Objective objective, int jobs) const
 {
     SUPERNPU_ASSERT(space.widths.size() ==
                         space.bufferMbForWidth.size(),
                     "bufferMbForWidth must parallel widths");
 
-    estimator::NpuEstimator npu_estimator(_lib);
-    std::vector<Candidate> candidates;
-
+    // Flatten the knob nest in the canonical (width, division, regs)
+    // order; parallelMap fills result slots in this same order, so
+    // the pre-sort candidate sequence is independent of `jobs`.
+    std::vector<estimator::NpuConfig> points;
     for (std::size_t w = 0; w < space.widths.size(); ++w) {
         for (int division : space.divisions) {
             for (int regs : space.regsPerPe) {
-                Candidate cand;
-                cand.config =
-                    makeConfig(space.widths[w], division, regs,
-                               space.bufferMbForWidth[w]);
-                const auto est =
-                    npu_estimator.estimate(cand.config);
-                cand.areaMm2 = est.areaMm2;
-
-                const auto findings = estimator::checkDesignRules(
-                    cand.config, est);
-                if (!estimator::designIsOperable(findings)) {
-                    cand.operable = false;
-                    for (const auto &finding : findings) {
-                        if (finding.severity ==
-                            estimator::RuleSeverity::Error) {
-                            cand.note = finding.message;
-                            break;
-                        }
-                    }
-                    candidates.push_back(std::move(cand));
-                    continue;
-                }
-
-                NpuSimulator sim(est);
-                double dynamic = 0.0;
-                for (const auto &net : _workloads) {
-                    const int batch =
-                        maxBatch(cand.config, est, net);
-                    const auto run = sim.run(net, batch);
-                    cand.avgMacPerSec +=
-                        run.effectiveMacPerSec() /
-                        (double)_workloads.size();
-                    dynamic += power::analyze(est, run).dynamicW /
-                               (double)_workloads.size();
-                }
-                cand.chipPowerW = est.staticPowerW + dynamic;
-
-                switch (objective) {
-                  case Objective::Throughput:
-                    cand.score = cand.avgMacPerSec;
-                    break;
-                  case Objective::PerfPerWatt:
-                    cand.score = cand.avgMacPerSec / cand.chipPowerW;
-                    break;
-                  case Objective::PerfPerArea:
-                    cand.score = cand.avgMacPerSec / cand.areaMm2;
-                    break;
-                }
-                candidates.push_back(std::move(cand));
+                points.push_back(makeConfig(space.widths[w], division,
+                                            regs,
+                                            space.bufferMbForWidth[w]));
             }
         }
     }
+
+    estimator::NpuEstimator npu_estimator(_lib);
+    ThreadPool pool(jobs);
+    std::vector<Candidate> candidates =
+        pool.parallelMap(points.size(), [&](std::size_t i) {
+            return evaluate(npu_estimator, points[i], objective);
+        });
 
     std::stable_sort(candidates.begin(), candidates.end(),
                      [](const Candidate &a, const Candidate &b) {

@@ -5,6 +5,15 @@
  * PE), score each candidate over a workload set at its solved batch,
  * and rank by a chosen objective. Inoperable candidates (design-rule
  * errors) are skipped with a note.
+ *
+ * Candidates are independent, so the sweep fans out over a
+ * common/parallel ThreadPool (the `jobs` argument) and memoizes every
+ * cycle simulation in a npusim::SimCache. The parallel sweep is
+ * bit-identical to the serial one: candidates are evaluated into
+ * submission-order slots and ranked by the same stable sort, and the
+ * per-candidate workload loop never changes order, so
+ * explore(space, obj, 8) returns byte-for-byte the vector of
+ * explore(space, obj, 1).
  */
 
 #ifndef SUPERNPU_NPUSIM_EXPLORER_HH
@@ -16,6 +25,7 @@
 #include "dnn/layer.hh"
 #include "estimator/npu_estimator.hh"
 #include "power/power.hh"
+#include "sim_cache.hh"
 
 namespace supernpu {
 namespace npusim {
@@ -71,17 +81,36 @@ class DesignSpaceExplorer
     /**
      * Evaluate every candidate in the space and return them ranked
      * best-first by the objective (inoperable candidates last).
+     *
+     * @param jobs Worker parallelism: 1 = serial (the reference
+     *        path), 0 = hardware concurrency. Any value returns the
+     *        identical ranked vector.
      */
     std::vector<Candidate> explore(const ExplorationSpace &space,
-                                   Objective objective) const;
+                                   Objective objective,
+                                   int jobs = 1) const;
+
+    /**
+     * Memoization cache for the candidates' cycle simulations;
+     * defaults to SimCache::global() so repeated sweeps (and the
+     * serving service model) share results. Pass nullptr to simulate
+     * every point afresh — the honest mode for scaling benchmarks.
+     */
+    void setCache(SimCache *cache) { _cache = cache; }
 
     /** Build the candidate config for one knob setting. */
     static estimator::NpuConfig makeConfig(int width, int division,
                                            int regs, int buffer_mb);
 
   private:
+    /** Score one knob point (the parallel unit of work). */
+    Candidate evaluate(const estimator::NpuEstimator &npu_estimator,
+                       const estimator::NpuConfig &config,
+                       Objective objective) const;
+
     const sfq::CellLibrary &_lib;
     std::vector<dnn::Network> _workloads;
+    SimCache *_cache = &SimCache::global();
 };
 
 } // namespace npusim

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Simulation-result cache implementation.
+ */
+
+#include "sim_cache.hh"
+
+#include "common/logging.hh"
+
+namespace supernpu {
+namespace npusim {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/** FNV-1a over one 64-bit word. */
+void
+mix(std::uint64_t &hash, std::uint64_t word)
+{
+    for (int i = 0; i < 8; ++i) {
+        hash ^= (word >> (8 * i)) & 0xff;
+        hash *= kFnvPrime;
+    }
+}
+
+/** FNV-1a over a string's bytes (length-delimited). */
+void
+mix(std::uint64_t &hash, const std::string &text)
+{
+    mix(hash, (std::uint64_t)text.size());
+    for (char c : text) {
+        hash ^= (unsigned char)c;
+        hash *= kFnvPrime;
+    }
+}
+
+/** Doubles participate bit-exactly. */
+void
+mixDouble(std::uint64_t &hash, double value)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    __builtin_memcpy(&bits, &value, sizeof(bits));
+    mix(hash, bits);
+}
+
+} // namespace
+
+std::uint64_t
+hashNetwork(const dnn::Network &network)
+{
+    std::uint64_t hash = kFnvOffset;
+    mix(hash, network.name);
+    mix(hash, (std::uint64_t)network.layers.size());
+    for (const auto &layer : network.layers) {
+        mix(hash, layer.name);
+        mix(hash, (std::uint64_t)layer.kind);
+        mix(hash, (std::uint64_t)layer.inChannels);
+        mix(hash, (std::uint64_t)layer.inHeight);
+        mix(hash, (std::uint64_t)layer.inWidth);
+        mix(hash, (std::uint64_t)layer.outChannels);
+        mix(hash, (std::uint64_t)layer.kernelH);
+        mix(hash, (std::uint64_t)layer.kernelW);
+        mix(hash, (std::uint64_t)layer.stride);
+        mix(hash, (std::uint64_t)layer.padding);
+    }
+    return hash;
+}
+
+std::uint64_t
+hashConfig(const estimator::NpuConfig &config)
+{
+    std::uint64_t hash = kFnvOffset;
+    mix(hash, config.name);
+    mix(hash, (std::uint64_t)config.peWidth);
+    mix(hash, (std::uint64_t)config.peHeight);
+    mix(hash, (std::uint64_t)config.bitWidth);
+    mix(hash, (std::uint64_t)config.regsPerPe);
+    mix(hash, config.ifmapBufferBytes);
+    mix(hash, (std::uint64_t)config.integratedOutputBuffer);
+    mix(hash, config.outputBufferBytes);
+    mix(hash, config.psumBufferBytes);
+    mix(hash, config.ofmapBufferBytes);
+    mix(hash, config.weightBufferBytes);
+    mix(hash, (std::uint64_t)config.ifmapDivision);
+    mix(hash, (std::uint64_t)config.outputDivision);
+    mixDouble(hash, config.memoryBandwidth);
+    mix(hash, (std::uint64_t)config.weightDoubleBuffering);
+    return hash;
+}
+
+std::uint64_t
+hashEstimate(const estimator::NpuEstimate &estimate)
+{
+    std::uint64_t hash = hashConfig(estimate.config);
+    mixDouble(hash, estimate.frequencyGhz);
+    mixDouble(hash, estimate.peakMacPerSec);
+    mix(hash, estimate.ifmapRowLength);
+    mix(hash, estimate.ifmapChunkLength);
+    mix(hash, estimate.outputRowLength);
+    mix(hash, estimate.outputChunkLength);
+    return hash;
+}
+
+std::size_t
+SimCache::KeyHash::operator()(const SimKey &key) const
+{
+    std::uint64_t hash = kFnvOffset;
+    mix(hash, key.networkHash);
+    mix(hash, key.configHash);
+    mix(hash, (std::uint64_t)key.batch);
+    return (std::size_t)hash;
+}
+
+SimCache::SimCache(std::size_t max_entries) : _maxEntries(max_entries)
+{
+}
+
+SimCache &
+SimCache::global()
+{
+    static SimCache cache;
+    return cache;
+}
+
+std::shared_ptr<const SimResult>
+SimCache::lookupLocked(const SimKey &key)
+{
+    const auto it = _index.find(key);
+    if (it == _index.end()) {
+        ++_stats.misses;
+        return nullptr;
+    }
+    ++_stats.hits;
+    _lru.splice(_lru.begin(), _lru, it->second);
+    return it->second->result;
+}
+
+std::shared_ptr<const SimResult>
+SimCache::insertLocked(const SimKey &key,
+                       std::shared_ptr<const SimResult> result)
+{
+    const auto it = _index.find(key);
+    if (it != _index.end()) {
+        // Another thread simulated the same key first; keep its
+        // entry (the results are identical by determinism).
+        return it->second->result;
+    }
+    _lru.push_front(Entry{key, std::move(result)});
+    _index.emplace(key, _lru.begin());
+    while (_maxEntries != 0 && _lru.size() > _maxEntries) {
+        _index.erase(_lru.back().key);
+        _lru.pop_back();
+        ++_stats.evictions;
+    }
+    return _lru.front().result;
+}
+
+std::shared_ptr<const SimResult>
+SimCache::find(const SimKey &key)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return lookupLocked(key);
+}
+
+std::shared_ptr<const SimResult>
+SimCache::getOrRun(const SimKey &key, const NpuSimulator &sim,
+                   const dnn::Network &network)
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (auto result = lookupLocked(key))
+            return result;
+    }
+    // Simulate outside the lock so concurrent misses on *different*
+    // keys run in parallel.
+    auto result =
+        std::make_shared<const SimResult>(sim.run(network, key.batch));
+    std::lock_guard<std::mutex> lock(_mutex);
+    return insertLocked(key, std::move(result));
+}
+
+std::shared_ptr<const SimResult>
+SimCache::getOrRun(const NpuSimulator &sim, const dnn::Network &network,
+                   int batch)
+{
+    SUPERNPU_ASSERT(batch >= 1, "bad batch ", batch);
+    const SimKey key{hashNetwork(network),
+                     hashEstimate(sim.estimate()), batch};
+    return getOrRun(key, sim, network);
+}
+
+std::size_t
+SimCache::size() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _lru.size();
+}
+
+SimCacheStats
+SimCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _stats;
+}
+
+void
+SimCache::clear()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _lru.clear();
+    _index.clear();
+    _stats = SimCacheStats{};
+}
+
+} // namespace npusim
+} // namespace supernpu

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Thread-safe memoized cache of cycle-level simulation results.
+ *
+ * The cycle simulator is pure: NpuSimulator::run(network, batch) is
+ * fully determined by (network shapes, NpuConfig, batch). Sweeps
+ * revisit the same points constantly — the explorer scores every
+ * workload at every candidate, the ablation benches re-run the Table
+ * I configs, and the serving simulator's service model needs one
+ * simulation per distinct batch size — so results are memoized here
+ * under a key of (workload hash, config hash, batch).
+ *
+ * The cache is safe for concurrent use from a ThreadPool sweep: a
+ * lookup/insert holds one mutex, and a miss releases it while the
+ * simulation runs so other keys proceed in parallel. Two threads
+ * missing on the same key may both simulate; the simulator is
+ * deterministic, so both produce identical SimResults and the first
+ * insert wins — wasted work, never wrong answers.
+ *
+ * Entries are evicted least-recently-used past `maxEntries`. Handing
+ * out shared_ptr<const SimResult> keeps a result valid even if it is
+ * evicted while a caller still reads it.
+ */
+
+#ifndef SUPERNPU_NPUSIM_SIM_CACHE_HH
+#define SUPERNPU_NPUSIM_SIM_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "dnn/layer.hh"
+#include "estimator/npu_config.hh"
+#include "result.hh"
+#include "sim.hh"
+
+namespace supernpu {
+namespace npusim {
+
+/**
+ * FNV-1a-style structural hash of a network: name and every layer
+ * shape field participate, so any change that can alter simulation
+ * results changes the hash.
+ */
+std::uint64_t hashNetwork(const dnn::Network &network);
+
+/** Structural hash of an NPU configuration (every field). */
+std::uint64_t hashConfig(const estimator::NpuConfig &config);
+
+/**
+ * Hash of the full estimated design point: the config hash mixed
+ * with every estimate field the cycle simulator reads (frequency,
+ * buffer geometry, bandwidth-derived stalls). Two identical
+ * NpuConfigs estimated under different cell libraries (RSFQ vs
+ * ERSFQ, different feature sizes) hash differently — this, not
+ * hashConfig, is what cache keys must be built from.
+ */
+std::uint64_t hashEstimate(const estimator::NpuEstimate &estimate);
+
+/** Cache key: which simulation a result belongs to. */
+struct SimKey
+{
+    std::uint64_t networkHash = 0;
+    std::uint64_t configHash = 0; ///< hashEstimate of the design point
+    int batch = 0;
+
+    bool operator==(const SimKey &other) const
+    {
+        return networkHash == other.networkHash &&
+               configHash == other.configHash && batch == other.batch;
+    }
+};
+
+/** Monotonically-counted cache statistics. */
+struct SimCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+};
+
+/** Thread-safe LRU-memoized store of SimResults. */
+class SimCache
+{
+  public:
+    /** @param max_entries LRU capacity; 0 means unbounded. */
+    explicit SimCache(std::size_t max_entries = kDefaultMaxEntries);
+
+    /**
+     * The memoizing entry point: return the cached result for
+     * (network, sim's config, batch), running the simulation on this
+     * thread if it is not cached yet.
+     */
+    std::shared_ptr<const SimResult>
+    getOrRun(const NpuSimulator &sim, const dnn::Network &network,
+             int batch);
+
+    /**
+     * Same, with the hashes precomputed by the caller — the serving
+     * service model hashes its fixed (network, config) once and
+     * avoids rehashing on every lookup.
+     */
+    std::shared_ptr<const SimResult>
+    getOrRun(const SimKey &key, const NpuSimulator &sim,
+             const dnn::Network &network);
+
+    /** Lookup without simulating; null when absent. Counts a hit. */
+    std::shared_ptr<const SimResult> find(const SimKey &key);
+
+    /** Entries currently resident. */
+    std::size_t size() const;
+
+    /** Hit/miss/eviction counters since construction or clear(). */
+    SimCacheStats stats() const;
+
+    /** Drop every entry and reset the counters. */
+    void clear();
+
+    /**
+     * The process-wide cache every sweep shares by default, so e.g.
+     * an explore sweep warms the serving service model's entries.
+     */
+    static SimCache &global();
+
+    static constexpr std::size_t kDefaultMaxEntries = 4096;
+
+  private:
+    struct Entry
+    {
+        SimKey key;
+        std::shared_ptr<const SimResult> result;
+    };
+    struct KeyHash
+    {
+        std::size_t operator()(const SimKey &key) const;
+    };
+
+    /** Lookup under the lock; promotes to most-recently-used. */
+    std::shared_ptr<const SimResult> lookupLocked(const SimKey &key);
+    /** Insert under the lock; evicts LRU entries past capacity. */
+    std::shared_ptr<const SimResult>
+    insertLocked(const SimKey &key,
+                 std::shared_ptr<const SimResult> result);
+
+    mutable std::mutex _mutex;
+    std::list<Entry> _lru; ///< front = most recently used
+    std::unordered_map<SimKey, std::list<Entry>::iterator, KeyHash>
+        _index;
+    std::size_t _maxEntries;
+    SimCacheStats _stats;
+};
+
+} // namespace npusim
+} // namespace supernpu
+
+#endif // SUPERNPU_NPUSIM_SIM_CACHE_HH

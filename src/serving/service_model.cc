@@ -11,23 +11,36 @@ namespace supernpu {
 namespace serving {
 
 BatchServiceModel::BatchServiceModel(
-    const estimator::NpuEstimate &estimate, dnn::Network network)
-    : _sim(estimate), _net(std::move(network))
+    const estimator::NpuEstimate &estimate, dnn::Network network,
+    npusim::SimCache *cache)
+    : _sim(estimate), _net(std::move(network)),
+      _cache(cache != nullptr ? cache : &npusim::SimCache::global())
 {
     _net.check();
+    _netHash = npusim::hashNetwork(_net);
+    _configHash = npusim::hashEstimate(estimate);
 }
 
 double
 BatchServiceModel::batchSeconds(int batch) const
 {
     SUPERNPU_ASSERT(batch >= 1, "bad batch");
-    const auto hit = _cache.find(batch);
-    if (hit != _cache.end())
-        return hit->second;
-    const double seconds = _sim.run(_net, batch).seconds();
+    const npusim::SimKey key{_netHash, _configHash, batch};
+    const auto run = _cache->getOrRun(key, _sim, _net);
+    const double seconds = run->seconds();
     SUPERNPU_ASSERT(seconds > 0.0, "service time must be positive");
-    _cache.emplace(batch, seconds);
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _batches.insert(batch);
+    }
     return seconds;
+}
+
+std::size_t
+BatchServiceModel::cachedBatches() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _batches.size();
 }
 
 } // namespace serving

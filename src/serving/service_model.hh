@@ -6,18 +6,28 @@
  * Serving a batch of b requests means running the whole network once
  * at batch b, so the service time of a batch is exactly
  * NpuSimulator::run(network, b).seconds(). The cycle simulation is
- * deterministic per (network, batch), so results are memoized: a
- * million-request serving run performs at most `maxBatch` cycle
- * simulations, and every repeated batch size is an O(1) lookup.
+ * deterministic per (network, config, batch), so results are
+ * memoized in a shared npusim::SimCache: a million-request serving
+ * run performs at most `maxBatch` cycle simulations, every repeated
+ * batch size is an O(1) lookup, and a design-space sweep that
+ * already simulated this (network, config) point warms the serving
+ * model for free.
+ *
+ * The model is safe to query from several threads at once (the
+ * cache is internally locked), and concurrent queries with the same
+ * key return the same deterministic value — so a parallel warm-up
+ * changes nothing about a subsequent serving run.
  */
 
 #ifndef SUPERNPU_SERVING_SERVICE_MODEL_HH
 #define SUPERNPU_SERVING_SERVICE_MODEL_HH
 
-#include <unordered_map>
+#include <mutex>
+#include <set>
 
 #include "dnn/layer.hh"
 #include "npusim/sim.hh"
+#include "npusim/sim_cache.hh"
 
 namespace supernpu {
 namespace serving {
@@ -26,8 +36,13 @@ namespace serving {
 class BatchServiceModel
 {
   public:
+    /**
+     * @param cache Simulation memo store; defaults to the process-
+     *        wide npusim::SimCache::global().
+     */
     BatchServiceModel(const estimator::NpuEstimate &estimate,
-                      dnn::Network network);
+                      dnn::Network network,
+                      npusim::SimCache *cache = nullptr);
 
     /** Wall-clock seconds to serve one batch of the given size. */
     double batchSeconds(int batch) const;
@@ -48,13 +63,18 @@ class BatchServiceModel
         return _sim.estimate();
     }
 
-    /** Distinct batch sizes simulated so far. */
-    std::size_t cachedBatches() const { return _cache.size(); }
+    /** Distinct batch sizes this model has resolved so far. */
+    std::size_t cachedBatches() const;
 
   private:
     npusim::NpuSimulator _sim;
     dnn::Network _net;
-    mutable std::unordered_map<int, double> _cache;
+    npusim::SimCache *_cache;
+    std::uint64_t _netHash = 0;    ///< hashed once at construction
+    std::uint64_t _configHash = 0;
+
+    mutable std::mutex _mutex;
+    mutable std::set<int> _batches; ///< distinct sizes resolved
 };
 
 } // namespace serving

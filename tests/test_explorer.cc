@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "dnn/networks.hh"
 #include "npusim/explorer.hh"
+#include "npusim/sim_cache.hh"
 
 namespace supernpu {
 namespace npusim {
@@ -91,6 +94,70 @@ TEST_F(ExplorerFixture, InoperableCandidatesAreFlaggedNotDropped)
     ASSERT_EQ(ranked.size(), 1u);
     EXPECT_FALSE(ranked.front().operable);
     EXPECT_FALSE(ranked.front().note.empty());
+}
+
+namespace {
+
+/** Every candidate field at full precision, one line per candidate. */
+std::string
+rankedBytes(const std::vector<Candidate> &ranked)
+{
+    std::ostringstream out;
+    out.precision(17);
+    for (const auto &cand : ranked) {
+        out << cand.config.name << '|' << cand.score << '|'
+            << cand.avgMacPerSec << '|' << cand.chipPowerW << '|'
+            << cand.areaMm2 << '|' << cand.operable << '|'
+            << cand.note << '\n';
+    }
+    return out.str();
+}
+
+} // namespace
+
+TEST_F(ExplorerFixture, ParallelExploreIsByteIdenticalToSerial)
+{
+    DesignSpaceExplorer explorer(lib, nets);
+
+    // Cold caches on both sides: the parallel sweep must reproduce
+    // the serial bytes by construction, not by reading its results.
+    SimCache serial_cache, parallel_cache;
+    explorer.setCache(&serial_cache);
+    const auto serial =
+        explorer.explore(ExplorationSpace{}, Objective::Throughput, 1);
+    explorer.setCache(&parallel_cache);
+    const auto parallel =
+        explorer.explore(ExplorationSpace{}, Objective::Throughput, 8);
+
+    EXPECT_EQ(rankedBytes(serial), rankedBytes(parallel));
+    EXPECT_EQ(serial_cache.stats().misses,
+              parallel_cache.stats().misses);
+}
+
+TEST_F(ExplorerFixture, UncachedExploreMatchesCachedExplore)
+{
+    DesignSpaceExplorer explorer(lib, nets);
+    explorer.setCache(nullptr); // simulate every point afresh
+    const auto uncached =
+        explorer.explore(ExplorationSpace{}, Objective::PerfPerWatt, 2);
+    SimCache cache;
+    explorer.setCache(&cache);
+    const auto cached =
+        explorer.explore(ExplorationSpace{}, Objective::PerfPerWatt, 2);
+    EXPECT_EQ(rankedBytes(uncached), rankedBytes(cached));
+    EXPECT_GT(cache.stats().misses, 0u);
+}
+
+TEST_F(ExplorerFixture, RerankingAWarmCacheSimulatesNothing)
+{
+    DesignSpaceExplorer explorer(lib, nets);
+    SimCache cache;
+    explorer.setCache(&cache);
+    explorer.explore(ExplorationSpace{}, Objective::Throughput, 4);
+    const auto warm = cache.stats();
+    explorer.explore(ExplorationSpace{}, Objective::PerfPerArea, 4);
+    EXPECT_EQ(cache.stats().misses, warm.misses);
+    EXPECT_GT(cache.stats().hits, warm.hits);
 }
 
 TEST(ExplorerStatics, MakeConfigIsValid)

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the common/parallel thread pool: deterministic ordering,
+ * exception propagation, nested submission, and stress.
+ */
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.hh"
+#include "common/rng.hh"
+
+namespace supernpu {
+namespace {
+
+TEST(ThreadPool, HardwareConcurrencyIsAtLeastOne)
+{
+    EXPECT_GE(ThreadPool::hardwareConcurrency(), 1);
+}
+
+TEST(ThreadPool, JobsCountIncludesTheCaller)
+{
+    ThreadPool serial(1);
+    EXPECT_EQ(serial.jobs(), 1);
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.jobs(), 4);
+    ThreadPool defaulted(0);
+    EXPECT_EQ(defaulted.jobs(), ThreadPool::hardwareConcurrency());
+}
+
+TEST(ThreadPool, MapReturnsResultsInSubmissionOrder)
+{
+    ThreadPool pool(8);
+    const auto out = pool.parallelMap(
+        1000, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 1000u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, ParallelMatchesSerialBitForBit)
+{
+    auto work = [](std::size_t i) {
+        // Non-associative float chain: result depends on order of
+        // operations inside one task, never across tasks.
+        double x = 1.0;
+        for (std::size_t k = 0; k <= i % 97; ++k)
+            x = x / 3.0 + (double)k * 0.1;
+        return x;
+    };
+    ThreadPool serial(1);
+    ThreadPool pool(8);
+    const auto a = serial.parallelMap(500, work);
+    const auto b = pool.parallelMap(500, work);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]) << i; // exact, not near
+}
+
+TEST(ThreadPool, ForRunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(8);
+    std::vector<std::atomic<int>> hits(2000);
+    pool.parallelFor(hits.size(),
+                     [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, EmptyLoopIsANoop)
+{
+    ThreadPool pool(4);
+    bool ran = false;
+    pool.parallelFor(0, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ExceptionsPropagateToTheCaller)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(100,
+                         [](std::size_t i) {
+                             if (i == 37)
+                                 throw std::runtime_error("task 37");
+                         }),
+        std::runtime_error);
+}
+
+TEST(ThreadPool, EveryIndexStillRunsWhenOneThrows)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    try {
+        pool.parallelFor(200, [&](std::size_t i) {
+            ++ran;
+            if (i % 50 == 10)
+                throw std::runtime_error("boom");
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &) {
+    }
+    EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ThreadPool, PoolIsReusableAfterAnException)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(10,
+                                  [](std::size_t) {
+                                      throw std::runtime_error("x");
+                                  }),
+                 std::runtime_error);
+    const auto out =
+        pool.parallelMap(10, [](std::size_t i) { return i + 1; });
+    EXPECT_EQ(out[9], 10u);
+}
+
+TEST(ThreadPool, NestedSubmitRunsInlineWithoutDeadlock)
+{
+    ThreadPool pool(4);
+    std::atomic<std::size_t> total{0};
+    pool.parallelFor(16, [&](std::size_t) {
+        // A nested loop on the same pool must not block on workers
+        // that are all busy with the outer loop.
+        pool.parallelFor(8, [&](std::size_t) { ++total; });
+    });
+    EXPECT_EQ(total.load(), 16u * 8u);
+}
+
+TEST(ThreadPool, BackToBackLoopsStress)
+{
+    ThreadPool pool(8);
+    for (int round = 0; round < 50; ++round) {
+        std::atomic<std::uint64_t> sum{0};
+        pool.parallelFor(317, [&](std::size_t i) { sum += i; });
+        EXPECT_EQ(sum.load(), 317ull * 316ull / 2ull) << round;
+    }
+}
+
+TEST(StreamSeed, DeterministicPerIndexAndDecorrelated)
+{
+    // Same (seed, stream) -> same stream; different stream or base
+    // seed -> different sequences.
+    EXPECT_EQ(streamSeed(42, 7), streamSeed(42, 7));
+    EXPECT_NE(streamSeed(42, 7), streamSeed(42, 8));
+    EXPECT_NE(streamSeed(42, 7), streamSeed(43, 7));
+    EXPECT_NE(streamSeed(0, 0), streamSeed(0, 1));
+
+    Rng a(streamSeed(42, 0));
+    Rng b(streamSeed(42, 1));
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_EQ(same, 0);
+}
+
+TEST(StreamSeed, ParallelRngDrawsMatchSerialDraws)
+{
+    const std::uint64_t base = 0xfeedbeefull;
+    auto draw = [&](std::size_t i) {
+        Rng rng(streamSeed(base, i));
+        return rng.uniform();
+    };
+    ThreadPool serial(1);
+    ThreadPool pool(8);
+    const auto a = serial.parallelMap(256, draw);
+    const auto b = pool.parallelMap(256, draw);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]) << i;
+}
+
+} // namespace
+} // namespace supernpu

@@ -10,10 +10,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
+#include "common/parallel.hh"
 #include "dnn/parser.hh"
 #include "estimator/npu_estimator.hh"
 #include "npusim/batch.hh"
+#include "npusim/sim_cache.hh"
 #include "serving/simulator.hh"
 
 namespace supernpu {
@@ -338,6 +341,59 @@ TEST_F(ServingFixture, BurstyTrafficHasFatterTailThanPoisson)
     EXPECT_EQ(bursty.completed, poisson.completed);
     // Same average load, but on-phase rate is 5x: the tail suffers.
     EXPECT_GT(bursty.latencyP99, poisson.latencyP99);
+}
+
+TEST_F(ServingFixture, ColdAndParallelWarmedCachesServeIdentically)
+{
+    // The service model memoizes in a SimCache; whether that cache
+    // is cold or was warmed concurrently by 8 threads (a parallel
+    // sweep sharing the process-wide cache) must not change a single
+    // reported number for the same seed.
+    const double capacity = service.peakRps(solver_max);
+    npusim::SimCache cold_cache, warm_cache;
+    BatchServiceModel cold(estimate, net, &cold_cache);
+    BatchServiceModel warm(estimate, net, &warm_cache);
+    ThreadPool pool(8);
+    pool.parallelFor((std::size_t)solver_max, [&](std::size_t i) {
+        warm.batchSeconds((int)i + 1);
+    });
+    EXPECT_EQ(warm.cachedBatches(), (std::size_t)solver_max);
+
+    const auto a =
+        ServingSimulator(cold, baseConfig(0.7 * capacity)).run();
+    const auto b =
+        ServingSimulator(warm, baseConfig(0.7 * capacity)).run();
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.batchesLaunched, b.batchesLaunched);
+    EXPECT_DOUBLE_EQ(a.throughputRps, b.throughputRps);
+    EXPECT_DOUBLE_EQ(a.latencyMean, b.latencyMean);
+    EXPECT_DOUBLE_EQ(a.latencyP50, b.latencyP50);
+    EXPECT_DOUBLE_EQ(a.latencyP95, b.latencyP95);
+    EXPECT_DOUBLE_EQ(a.latencyP99, b.latencyP99);
+    EXPECT_DOUBLE_EQ(a.latencyP999, b.latencyP999);
+    EXPECT_DOUBLE_EQ(a.latencyMax, b.latencyMax);
+}
+
+TEST_F(ServingFixture, ConcurrentBatchSecondsQueriesAgree)
+{
+    // Thread-safety of the service model itself: many threads asking
+    // for overlapping batch sizes all see the deterministic value.
+    std::vector<double> reference;
+    for (int b = 1; b <= solver_max; ++b)
+        reference.push_back(service.batchSeconds(b));
+    ThreadPool pool(8);
+    const auto parallel =
+        pool.parallelMap((std::size_t)solver_max * 4,
+                         [&](std::size_t i) {
+                             const int b =
+                                 (int)(i % (std::size_t)solver_max);
+                             return service.batchSeconds(b + 1);
+                         });
+    for (std::size_t i = 0; i < parallel.size(); ++i) {
+        EXPECT_DOUBLE_EQ(
+            parallel[i],
+            reference[i % (std::size_t)solver_max]);
+    }
 }
 
 } // namespace

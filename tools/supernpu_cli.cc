@@ -15,6 +15,9 @@
  *       batching, multi-chip dispatch, tail latency.
  *   supernpu validate
  *       The Fig. 13 model-validation table.
+ *   supernpu explore [options]
+ *       Parallel design-space sweep (--jobs N workers, default all
+ *       hardware threads; any N prints the identical leaderboard).
  *
  * Configs: baseline | bufferopt | resourceopt | supernpu, or start
  * from one and override with options:
@@ -28,6 +31,8 @@
  *   --output-mb <n>         output buffer capacity
  *   --bandwidth-gbps <n>    DRAM bandwidth
  *   --batch <n>             force a batch size (simulate, serve)
+ *   --jobs <n>              sweep parallelism (explore; default 0 =
+ *                           hardware concurrency)
  *
  * Serving options (serve):
  *   --rps <n>               offered load, requests/s (default 1000)
@@ -51,6 +56,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/table.hh"
 #include "common/units.hh"
 #include "dnn/networks.hh"
@@ -74,6 +80,7 @@ struct Options
     sfq::Technology technology = sfq::Technology::RSFQ;
     double featureUm = 1.0;
     int forcedBatch = 0;
+    int jobs = 0; ///< explore parallelism; 0 = hardware concurrency
     estimator::NpuConfig config = estimator::NpuConfig::superNpu();
     bool configChosen = false;
     std::string netFile;   ///< --netfile path, when given
@@ -167,6 +174,8 @@ parseOptions(int argc, char **argv, int first, Options &options)
             options.config.memoryBandwidth = std::stod(next()) * 1e9;
         } else if (arg == "--batch") {
             options.forcedBatch = std::stoi(next());
+        } else if (arg == "--jobs") {
+            options.jobs = std::stoi(next());
         } else if (arg == "--netfile") {
             options.netFile = next();
         } else if (arg == "--trace") {
@@ -428,8 +437,9 @@ cmdExplore(const Options &options)
     sfq::CellLibrary library(device);
     npusim::DesignSpaceExplorer explorer(
         library, dnn::evaluationWorkloads());
-    const auto ranked = explorer.explore(
-        npusim::ExplorationSpace{}, npusim::Objective::Throughput);
+    const auto ranked = explorer.explore(npusim::ExplorationSpace{},
+                                         npusim::Objective::Throughput,
+                                         options.jobs);
 
     TextTable table("design-space leaderboard (throughput)");
     table.row()
@@ -452,6 +462,16 @@ cmdExplore(const Options &options)
             break;
     }
     table.print();
+    // Diagnostics go to stderr: stdout must be byte-identical at
+    // every --jobs value.
+    const auto stats = npusim::SimCache::global().stats();
+    std::fprintf(stderr,
+                 "%d jobs; sim cache: %llu misses (simulated), %llu"
+                 " hits\n",
+                 options.jobs > 0 ? options.jobs
+                                  : ThreadPool::hardwareConcurrency(),
+                 (unsigned long long)stats.misses,
+                 (unsigned long long)stats.hits);
     return 0;
 }
 
@@ -471,7 +491,7 @@ usage()
                  "options: --tech --feature --width --height --regs\n"
                  "         --division --ifmap-mb --output-mb\n"
                  "         --bandwidth-gbps --batch --netfile <path>\n"
-                 "         --trace <csv path>\n"
+                 "         --trace <csv path> --jobs <n>\n"
                  "serve:   --rps --chips --policy dynamic|fixed\n"
                  "         --dispatch rr|jsq\n"
                  "         --arrival poisson|bursty|closed\n"
