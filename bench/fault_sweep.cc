@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Availability / goodput sweep across fault rates and recovery
+ * policies: the reliability counterpart of the serving tail-latency
+ * bench. One seeded fault schedule is generated per fault-rate row
+ * and shared by every policy in that row, so the policies face the
+ * exact same fault sequence and the comparison isolates the policy.
+ *
+ * The grid is embarrassingly parallel and runs on the common
+ * ThreadPool; each cell is a deterministic discrete-event run, so
+ * the printed table is byte-identical at any --jobs count and across
+ * reruns — verified at the bottom of the output, the same discipline
+ * as sweep_scaling.
+ *
+ * --smoke shrinks the grid and request count for CI.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "common/parallel.hh"
+#include "reliability/fault_model.hh"
+#include "serving/simulator.hh"
+
+using namespace supernpu;
+
+namespace {
+
+/** One recovery policy column of the sweep. */
+struct PolicyCase
+{
+    const char *label;
+    serving::RecoveryPolicy recovery;
+    bool checkpoint;
+};
+
+/** Full-precision fingerprint of one cell's report. */
+void
+fingerprintCell(std::ostringstream &out,
+                const serving::ServingReport &report)
+{
+    out.precision(17);
+    out << report.availability << ' ' << report.goodputRps << ' '
+        << report.throughputRps << ' ' << report.latencyP99 << ' '
+        << report.failedRequests << ' ' << report.retriesTotal << ' '
+        << report.batchesKilled << ' ' << report.restarts << ' '
+        << report.redispatches << '\n';
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+    }
+
+    // A small two-conv workload keeps every cycle simulation cheap;
+    // the serving dynamics, not the network, are under study.
+    dnn::Network net;
+    net.name = "FaultNet";
+    net.layers = {dnn::conv("c1", 3, 16, 16, 3),
+                  dnn::conv("c2", 16, 16, 16, 3)};
+    net.check();
+
+    bench::Pipeline pipeline;
+    const estimator::NpuConfig config =
+        estimator::NpuConfig::superNpu();
+    const estimator::NpuEstimate estimate =
+        pipeline.estimator.estimate(config);
+    const int max_batch = npusim::maxBatch(config, estimate, net);
+    serving::BatchServiceModel service(estimate, net);
+
+    // Offered load sits at 60% of aggregate capacity so chips are
+    // busy often enough for transient faults to land on in-flight
+    // batches, and fault rates are expressed per run makespan so the
+    // expected event counts do not depend on how fast the tiny
+    // network happens to simulate.
+    const int chips = 4;
+    const std::uint64_t requests = smoke ? 4000 : 20000;
+    const double batch_sec = service.batchSeconds(max_batch);
+    const double rps = 0.6 * chips * (double)max_batch / batch_sec;
+    const double makespan = (double)requests / rps;
+    const std::vector<double> rate_scales =
+        smoke ? std::vector<double>{0.0, 4.0}
+              : std::vector<double>{0.0, 1.0, 4.0, 16.0};
+    const std::vector<PolicyCase> policies = {
+        {"none", serving::RecoveryPolicy::None, false},
+        {"retry", serving::RecoveryPolicy::RetryBackoff, false},
+        {"retry+ckpt", serving::RecoveryPolicy::RetryBackoff, true},
+        {"degraded", serving::RecoveryPolicy::DegradedDispatch, false},
+    };
+
+    // One schedule per fault-rate row, shared by every policy: the
+    // seed depends only on the row, never on the policy or the job
+    // count.
+    std::vector<reliability::FaultSchedule> schedules;
+    for (std::size_t row = 0; row < rate_scales.size(); ++row) {
+        reliability::FaultScheduleConfig fault_cfg;
+        fault_cfg.chips = chips;
+        fault_cfg.seed = streamSeed(0xfa017c0de, (std::uint64_t)row);
+        fault_cfg.horizonSec = makespan;
+        // Per-chip expected counts over one makespan at scale 1:
+        // ~40 pulse drops, ~0.25 flux traps (one trap somewhere in
+        // the 4-chip fleet), ~8 skew windows, ~20 link glitches.
+        const double scale = rate_scales[row] / makespan;
+        fault_cfg.pulseDropRatePerSec = 40.0 * scale;
+        fault_cfg.fluxTrapRatePerSec = 0.25 * scale;
+        fault_cfg.clockSkewRatePerSec = 8.0 * scale;
+        fault_cfg.linkGlitchRatePerSec = 20.0 * scale;
+        // Durations likewise scale with the workload: a skew window
+        // covers a handful of batches, a glitch stalls half a batch.
+        fault_cfg.clockSkewDurationSec = 4.0 * batch_sec;
+        fault_cfg.linkGlitchDelaySec = 0.5 * batch_sec;
+        schedules.push_back(
+            reliability::FaultSchedule::generate(fault_cfg));
+    }
+
+    const auto run_cell = [&](std::size_t row, std::size_t col) {
+        serving::ServingConfig serve;
+        serve.arrival.ratePerSec = rps;
+        serve.chips = chips;
+        serve.requests = requests;
+        serve.batching.maxBatch = max_batch;
+        serve.faults = schedules[row];
+        serve.resilience.recovery = policies[col].recovery;
+        serve.resilience.checkpointRestart = policies[col].checkpoint;
+        // Resilience timescales track the batch service time:
+        // detection beats batch completion, backoff is one batch,
+        // checkpoints quarter a batch.
+        serve.resilience.detectLatencySec = 0.25 * batch_sec;
+        serve.resilience.backoffBaseSec = batch_sec;
+        serve.resilience.checkpointIntervalSec = 0.25 * batch_sec;
+        return serving::ServingSimulator(service, serve).run();
+    };
+
+    const std::size_t cells = rate_scales.size() * policies.size();
+    const auto run_grid = [&](int jobs) {
+        ThreadPool pool(jobs);
+        return pool.parallelMap(cells, [&](std::size_t i) {
+            return run_cell(i / policies.size(), i % policies.size());
+        });
+    };
+
+    const auto grid = run_grid(1);
+
+    TextTable table("availability and goodput vs fault rate");
+    table.row()
+        .cell("rate x")
+        .cell("policy")
+        .cell("faults")
+        .cell("killed")
+        .cell("retries")
+        .cell("failed")
+        .cell("avail %")
+        .cell("goodput r/s")
+        .cell("p99 ms");
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const auto &report = grid[i];
+        table.row()
+            .cell(rate_scales[i / policies.size()], 0)
+            .cell(policies[i % policies.size()].label)
+            .cell(report.faultsInjected)
+            .cell(report.batchesKilled)
+            .cell(report.retriesTotal)
+            .cell(report.failedRequests)
+            .cell(report.availability * 100.0, 2)
+            .cell(report.goodputRps, 0)
+            .cell(report.latencyP99 * 1e3, 4);
+    }
+    table.print();
+
+    // Determinism: the same grid at full parallelism and on a rerun
+    // must reproduce every cell bit for bit.
+    const auto print_of = [&](const auto &reports) {
+        std::ostringstream out;
+        for (const auto &report : reports)
+            fingerprintCell(out, report);
+        return out.str();
+    };
+    const std::string serial = print_of(grid);
+    const bool parallel_same =
+        print_of(run_grid(ThreadPool::hardwareConcurrency())) == serial;
+    const bool rerun_same = print_of(run_grid(1)) == serial;
+    std::printf("\nidentical across jobs: %s; across reruns: %s\n",
+                parallel_same ? "yes" : "NO",
+                rerun_same ? "yes" : "NO");
+
+    std::printf("\ntakeaway: with no recovery every corrupted batch"
+                " ships garbage, so failed requests scale with the"
+                " fault rate; retry+backoff wins most of the goodput"
+                " back at a latency-tail cost, checkpointing does the"
+                " same with no re-queue storm, and degraded dispatch"
+                " writes off quarantined chips (lower availability)"
+                " to stop feeding work to trapped hardware.\n");
+    return (parallel_same && rerun_same) ? 0 : 1;
+}

@@ -140,6 +140,18 @@ systolicConv(const Tensor3 &in, const InferenceLayer &layer,
 
 } // namespace
 
+Tensor3
+flattenActivations(const Tensor3 &in)
+{
+    return flatten(in);
+}
+
+Tensor3
+goldenLayerConv(const Tensor3 &in, const InferenceLayer &layer)
+{
+    return goldenConv(in, layer);
+}
+
 void
 InferencePipeline::check() const
 {

@@ -67,6 +67,18 @@ InferencePipeline buildPipeline(const dnn::Network &network, Rng &rng);
 /** Apply a layer's post-ops (shift, clamp, ReLU, pool) in place. */
 Tensor3 applyPostOps(const Tensor3 &conv_out, const InferenceLayer &layer);
 
+/** Flatten (C,H,W) -> (C*H*W,1,1), channel-major (FC entry). */
+Tensor3 flattenActivations(const Tensor3 &in);
+
+/**
+ * One layer's raw conv output (before post-ops) from the golden
+ * direct-convolution oracle, depthwise-aware. The fault-injection
+ * hook of the functional path: src/reliability corrupts this
+ * intermediate (an SFQ pulse drop in a MAC/psum) and then applies
+ * the layer's post-ops to study error propagation.
+ */
+Tensor3 goldenLayerConv(const Tensor3 &in, const InferenceLayer &layer);
+
 /** Run the pipeline with the golden direct convolution. */
 Tensor3 runGolden(const InferencePipeline &pipeline,
                   const Tensor3 &input);

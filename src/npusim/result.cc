@@ -29,6 +29,14 @@ SimResult::seconds() const
 }
 
 double
+SimResult::secondsWithRecompute() const
+{
+    SUPERNPU_ASSERT(frequencyGhz > 0, "result has no frequency");
+    return (double)(totalCycles + faultRecomputeCycles) /
+           (frequencyGhz * 1e9);
+}
+
+double
 SimResult::secondsPerInference() const
 {
     SUPERNPU_ASSERT(batch > 0, "result has no batch");

@@ -90,8 +90,23 @@ struct SimResult
     std::uint64_t dauWordsForwarded = 0;
     std::uint64_t nwHops = 0;
 
+    // --- fault-injection accounting (src/reliability) ---------------
+    // Filled only by the reliability injector; a clean simulation
+    // leaves both at zero and every other field untouched, so fault
+    // support costs nothing when injection is off.
+    /** Transient SFQ fault events charged against this run. */
+    std::uint64_t faultEventsInjected = 0;
+    /**
+     * Cycles re-spent redoing weight mappings whose results a
+     * transient fault corrupted. Not part of totalCycles: the clean
+     * run's cycle counts stay comparable across fault rates.
+     */
+    std::uint64_t faultRecomputeCycles = 0;
+
     /** Wall-clock seconds for the whole batch. */
     double seconds() const;
+    /** Seconds including fault-recompute redo work. */
+    double secondsWithRecompute() const;
     /**
      * Wall-clock seconds per single inference at this batch size —
      * the per-batch service time divided across the batch. This is

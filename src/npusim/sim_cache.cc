@@ -111,6 +111,7 @@ SimCache::KeyHash::operator()(const SimKey &key) const
     mix(hash, key.networkHash);
     mix(hash, key.configHash);
     mix(hash, (std::uint64_t)key.batch);
+    mix(hash, key.faultHash);
     return (std::size_t)hash;
 }
 
@@ -166,20 +167,27 @@ SimCache::find(const SimKey &key)
 }
 
 std::shared_ptr<const SimResult>
-SimCache::getOrRun(const SimKey &key, const NpuSimulator &sim,
-                   const dnn::Network &network)
+SimCache::getOrCompute(const SimKey &key,
+                       const std::function<SimResult()> &compute)
 {
     {
         std::lock_guard<std::mutex> lock(_mutex);
         if (auto result = lookupLocked(key))
             return result;
     }
-    // Simulate outside the lock so concurrent misses on *different*
+    // Compute outside the lock so concurrent misses on *different*
     // keys run in parallel.
-    auto result =
-        std::make_shared<const SimResult>(sim.run(network, key.batch));
+    auto result = std::make_shared<const SimResult>(compute());
     std::lock_guard<std::mutex> lock(_mutex);
     return insertLocked(key, std::move(result));
+}
+
+std::shared_ptr<const SimResult>
+SimCache::getOrRun(const SimKey &key, const NpuSimulator &sim,
+                   const dnn::Network &network)
+{
+    return getOrCompute(
+        key, [&] { return sim.run(network, key.batch); });
 }
 
 std::shared_ptr<const SimResult>

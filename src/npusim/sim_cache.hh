@@ -26,6 +26,7 @@
 #define SUPERNPU_NPUSIM_SIM_CACHE_HH
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -65,11 +66,20 @@ struct SimKey
     std::uint64_t networkHash = 0;
     std::uint64_t configHash = 0; ///< hashEstimate of the design point
     int batch = 0;
+    /**
+     * Hash of the fault schedule injected into the run
+     * (reliability::FaultSchedule::hash()); 0 for a clean run. Keeps
+     * faulted and clean simulations of the same design point from
+     * ever colliding, even when the injected faults happen not to
+     * change the degraded estimate.
+     */
+    std::uint64_t faultHash = 0;
 
     bool operator==(const SimKey &other) const
     {
         return networkHash == other.networkHash &&
-               configHash == other.configHash && batch == other.batch;
+               configHash == other.configHash &&
+               batch == other.batch && faultHash == other.faultHash;
     }
 };
 
@@ -105,6 +115,17 @@ class SimCache
     std::shared_ptr<const SimResult>
     getOrRun(const SimKey &key, const NpuSimulator &sim,
              const dnn::Network &network);
+
+    /**
+     * Generic memoizing entry point: return the cached result for
+     * `key`, invoking `compute` on this thread when absent. The
+     * reliability injector uses this to cache fault-augmented
+     * results under fault-schedule-qualified keys; getOrRun is sugar
+     * over it. `compute` must be deterministic for the key.
+     */
+    std::shared_ptr<const SimResult>
+    getOrCompute(const SimKey &key,
+                 const std::function<SimResult()> &compute);
 
     /** Lookup without simulating; null when absent. Counts a hit. */
     std::shared_ptr<const SimResult> find(const SimKey &key);

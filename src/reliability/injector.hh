@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Fault injection into the cycle-level performance simulator.
+ *
+ * Permanent flux traps disable PE columns or buffer chunks; the
+ * weight-stationary mapper then remaps every layer onto the smaller
+ * array, which is exactly what rebuilding the NpuEstimate with the
+ * degraded geometry and re-running NpuSimulator computes — folds
+ * grow, preparation cycles grow, and the batch that used to fit may
+ * spill. Transient pulse drops corrupt the weight mapping in flight;
+ * the injector charges the mean per-mapping redo cost for each as
+ * SimResult::faultRecomputeCycles.
+ *
+ * Results are memoized in a SimCache under keys that carry the
+ * fault-schedule hash (SimKey::faultHash), so faulted and clean runs
+ * of the same design point never collide — even for schedules whose
+ * faults happen not to change the degraded geometry (pure pulse-drop
+ * schedules, for example).
+ */
+
+#ifndef SUPERNPU_RELIABILITY_INJECTOR_HH
+#define SUPERNPU_RELIABILITY_INJECTOR_HH
+
+#include <memory>
+
+#include "estimator/npu_estimator.hh"
+#include "fault_model.hh"
+#include "npusim/sim_cache.hh"
+
+namespace supernpu {
+namespace reliability {
+
+/** Accumulated permanent damage to one chip's geometry. */
+struct DegradedGeometry
+{
+    int disabledColumns = 0;   ///< PE columns remapped out
+    int disabledChunks = 0;    ///< buffer chunks lost
+    double frequencyDerate = 0.0; ///< fraction of clock lost [0, 1)
+
+    /** No damage at all: degradation must be a strict no-op. */
+    bool pristine() const
+    {
+        return disabledColumns == 0 && disabledChunks == 0 &&
+               frequencyDerate == 0.0;
+    }
+};
+
+/**
+ * The end-state geometry a fault schedule implies for one chip:
+ * every flux trap disables its target (PE column or buffer chunk).
+ * Transient faults leave geometry untouched.
+ */
+DegradedGeometry geometryAfter(const FaultSchedule &schedule, int chip);
+
+/**
+ * Re-derive an estimate for the degraded chip: the PE array narrows
+ * by the disabled columns (the mapper remaps around them), buffers
+ * shrink by the lost chunks' share, and the clock derates. A
+ * pristine geometry returns the estimate unchanged (bit-identical).
+ */
+estimator::NpuEstimate degradeEstimate(
+    const estimator::NpuEstimate &estimate,
+    const DegradedGeometry &geometry);
+
+/** Injects a fault schedule into cycle-level simulations. */
+class FaultInjector
+{
+  public:
+    /**
+     * @param cache Memo store for (design point, fault schedule)
+     *        runs; defaults to npusim::SimCache::global().
+     */
+    explicit FaultInjector(const estimator::NpuEstimate &estimate,
+                           npusim::SimCache *cache = nullptr);
+
+    /**
+     * Simulate `network` at `batch` on `chip` under the schedule:
+     * the degraded-geometry run plus transient recompute accounting.
+     * An empty schedule returns the clean cached result, bit
+     * identical to NpuSimulator::run.
+     */
+    std::shared_ptr<const npusim::SimResult>
+    run(const dnn::Network &network, int batch,
+        const FaultSchedule &schedule, int chip = 0) const;
+
+    /**
+     * Service-time multiplier the schedule costs this chip:
+     * faulted secondsWithRecompute / clean seconds (>= 1 up to
+     * rounding). The serving simulator's flux-trap derate is derived
+     * from this, tying the queueing model to the remapped cycle
+     * counts instead of a guessed constant.
+     */
+    double serviceDerate(const dnn::Network &network, int batch,
+                         const FaultSchedule &schedule,
+                         int chip = 0) const;
+
+    const estimator::NpuEstimate &estimate() const { return _est; }
+
+  private:
+    estimator::NpuEstimate _est;
+    npusim::SimCache *_cache;
+};
+
+} // namespace reliability
+} // namespace supernpu
+
+#endif // SUPERNPU_RELIABILITY_INJECTOR_HH

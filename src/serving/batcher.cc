@@ -42,8 +42,8 @@ void
 BatchQueue::push(const Request &request)
 {
     SUPERNPU_ASSERT(_queue.empty() ||
-                        request.arrivalSec >= _queue.back().arrivalSec,
-                    "requests must arrive in time order");
+                        request.enqueueSec >= _queue.back().enqueueSec,
+                    "requests must enqueue in time order");
     _queue.push_back(request);
 }
 
@@ -62,7 +62,7 @@ BatchQueue::nextDeadlineSec() const
 {
     if (_cfg.policy != BatchPolicy::DynamicTimeout || _queue.empty())
         return std::numeric_limits<double>::infinity();
-    return _queue.front().arrivalSec + _cfg.timeoutSec;
+    return _queue.front().enqueueSec + _cfg.timeoutSec;
 }
 
 std::vector<Request>

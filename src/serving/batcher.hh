@@ -34,6 +34,19 @@ struct Request
 {
     std::uint64_t id = 0;
     double arrivalSec = 0.0; ///< when it entered the system
+    /**
+     * When it entered its current batch queue. Fresh arrivals have
+     * enqueueSec == arrivalSec; a retry or a quarantine redispatch
+     * re-enqueues later. Queue ordering and the batching timeout run
+     * on enqueueSec; latency is always measured from arrivalSec.
+     */
+    double enqueueSec = 0.0;
+    /**
+     * Times this request has been re-enqueued after a fault killed
+     * its batch (resilience.hh); latency is always measured from the
+     * original arrivalSec, so retries lengthen the recorded tail.
+     */
+    int retries = 0;
 };
 
 /** Batch-formation discipline. */

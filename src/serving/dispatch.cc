@@ -47,5 +47,39 @@ Dispatcher::pick(const std::vector<int> &outstanding)
     return best;
 }
 
+int
+Dispatcher::pick(const std::vector<int> &outstanding,
+                 const std::vector<char> &healthy)
+{
+    SUPERNPU_ASSERT((int)healthy.size() == _chips,
+                    "health mask does not match chip count");
+    bool any_healthy = false;
+    for (char h : healthy)
+        any_healthy = any_healthy || h != 0;
+    if (!any_healthy)
+        return pick(outstanding);
+
+    if (_policy == DispatchPolicy::RoundRobin) {
+        for (int step = 0; step < _chips; ++step) {
+            const int chip = (_next + step) % _chips;
+            if (healthy[chip]) {
+                _next = (chip + 1) % _chips;
+                return chip;
+            }
+        }
+        panic("unreachable: no healthy chip after mask check");
+    }
+    SUPERNPU_ASSERT((int)outstanding.size() == _chips,
+                    "outstanding counts do not match chip count");
+    int best = -1;
+    for (int chip = 0; chip < _chips; ++chip) {
+        if (!healthy[chip])
+            continue;
+        if (best < 0 || outstanding[chip] < outstanding[best])
+            best = chip;
+    }
+    return best;
+}
+
 } // namespace serving
 } // namespace supernpu

@@ -44,6 +44,16 @@ class Dispatcher
      */
     int pick(const std::vector<int> &outstanding);
 
+    /**
+     * Same, restricted to chips whose `healthy` entry is nonzero —
+     * degraded-mode dispatch skips quarantined chips. Round-robin
+     * rotates to the next healthy chip; JSQ minimizes over healthy
+     * chips only. If no chip is healthy the mask is ignored (work
+     * must land somewhere), matching the unmasked pick.
+     */
+    int pick(const std::vector<int> &outstanding,
+             const std::vector<char> &healthy);
+
     DispatchPolicy policy() const { return _policy; }
 
   private:

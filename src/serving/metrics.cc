@@ -5,6 +5,7 @@
 
 #include "metrics.hh"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/logging.hh"
@@ -50,10 +51,26 @@ ServingReport::print() const
     table.row().cell("latency p99 (ms)").cell(msCell(latencyP99));
     table.row().cell("latency p99.9 (ms)").cell(msCell(latencyP999));
     table.row().cell("latency max (ms)").cell(msCell(latencyMax));
+    if (resilienceActive) {
+        table.row().cell("recovery policy").cell(recovery);
+        table.row().cell("faults injected").cell(faultsInjected);
+        table.row().cell("batches killed").cell(batchesKilled);
+        table.row().cell("retries").cell(retriesTotal);
+        table.row().cell("checkpoint restarts").cell(restarts);
+        table.row().cell("re-dispatches").cell(redispatches);
+        table.row().cell("link glitches absorbed").cell(glitchesAbsorbed);
+        table.row().cell("failed requests").cell(failedRequests);
+        table.row().cell("availability (%)").cell(availability * 100.0,
+                                                  2);
+        table.row().cell("goodput (req/s)").cell(goodputRps, 1);
+    }
     table.print();
 }
 
-MetricsCollector::MetricsCollector(int chips) : _busySec(chips, 0.0)
+MetricsCollector::MetricsCollector(int chips)
+    : _busySec(chips, 0.0), _chipBatches(chips, 0),
+      _transientLossSec(chips, 0.0), _permFraction(chips, 0.0),
+      _permSinceSec(chips, 0.0), _permAccruedSec(chips, 0.0)
 {
     SUPERNPU_ASSERT(chips >= 1, "need at least one chip");
 }
@@ -84,6 +101,42 @@ MetricsCollector::recordBatch(int chip, int size, double service_sec)
                     "bad chip index");
     _batchSizes.add((double)size);
     _busySec[chip] += service_sec;
+    ++_chipBatches[chip];
+}
+
+void
+MetricsCollector::extendBusy(int chip, double delta_sec)
+{
+    SUPERNPU_ASSERT(chip >= 0 && chip < (int)_busySec.size(),
+                    "bad chip index");
+    _busySec[chip] += delta_sec;
+    SUPERNPU_ASSERT(_busySec[chip] >= -1e-12,
+                    "chip busy time went negative");
+}
+
+void
+MetricsCollector::addTransientLoss(int chip, double seconds)
+{
+    SUPERNPU_ASSERT(chip >= 0 && chip < (int)_busySec.size(),
+                    "bad chip index");
+    SUPERNPU_ASSERT(seconds >= 0, "negative transient loss");
+    _transientLossSec[chip] += seconds;
+}
+
+void
+MetricsCollector::setPermanentLoss(int chip, double since_sec,
+                                   double fraction)
+{
+    SUPERNPU_ASSERT(chip >= 0 && chip < (int)_busySec.size(),
+                    "bad chip index");
+    SUPERNPU_ASSERT(fraction >= 0.0 && fraction <= 1.0,
+                    "permanent loss fraction outside [0, 1]");
+    if (_permFraction[chip] > 0.0 && since_sec > _permSinceSec[chip]) {
+        _permAccruedSec[chip] +=
+            _permFraction[chip] * (since_sec - _permSinceSec[chip]);
+    }
+    _permFraction[chip] = fraction;
+    _permSinceSec[chip] = since_sec;
 }
 
 ServingReport
@@ -111,6 +164,23 @@ MetricsCollector::finish(double makespan_sec) const
     report.latencyP99 = _latency.percentile(99.0);
     report.latencyP999 = _latency.percentile(99.9);
     report.latencyMax = _latency.max();
+
+    report.perChipBatches = _chipBatches;
+    if (makespan_sec > 0.0) {
+        double lost = 0.0;
+        for (std::size_t chip = 0; chip < _busySec.size(); ++chip) {
+            lost += _transientLossSec[chip] + _permAccruedSec[chip];
+            if (_permFraction[chip] > 0.0 &&
+                makespan_sec > _permSinceSec[chip]) {
+                lost += _permFraction[chip] *
+                        (makespan_sec - _permSinceSec[chip]);
+            }
+        }
+        const double capacity =
+            makespan_sec * (double)_busySec.size();
+        report.availability =
+            std::max(0.0, std::min(1.0, 1.0 - lost / capacity));
+    }
     return report;
 }
 

@@ -58,6 +58,25 @@ struct ServingReport
     double latencyP999 = 0.0;
     double latencyMax = 0.0;
 
+    // --- resilience (src/serving/resilience.hh) ---------------------
+    // Filled, and printed, only when the run carried a fault
+    // schedule; a clean run's report and output are unchanged.
+    bool resilienceActive = false;
+    std::string recovery;  ///< recovery policy name
+    std::uint64_t faultsInjected = 0; ///< fault events within the run
+    std::uint64_t batchesKilled = 0;  ///< corrupted batches aborted
+    std::uint64_t retriesTotal = 0;   ///< re-enqueues after kills
+    std::uint64_t restarts = 0;       ///< checkpoint restarts
+    std::uint64_t redispatches = 0;   ///< requests moved off quarantine
+    std::uint64_t glitchesAbsorbed = 0; ///< link stalls ridden out
+    std::uint64_t failedRequests = 0; ///< corrupted or given up
+    /** Fraction of chip-seconds not lost to faults. */
+    double availability = 1.0;
+    /** Successfully-answered (non-failed) requests per second. */
+    double goodputRps = 0.0;
+    /** Batches launched per chip (quarantine verification). */
+    std::vector<std::uint64_t> perChipBatches;
+
     /** Render as a two-column table on stdout. */
     void print() const;
 };
@@ -81,6 +100,27 @@ class MetricsCollector
     /** One batch launched on `chip`, busying it for `service` s. */
     void recordBatch(int chip, int size, double service_sec);
 
+    /**
+     * Adjust a chip's recorded busy time after the fact: positive
+     * when a link glitch stretches an in-flight batch, negative when
+     * a detected fault kills one before its scheduled completion.
+     */
+    void extendBusy(int chip, double delta_sec);
+
+    /**
+     * Charge `seconds` of one chip's capacity to a transient fault
+     * (a clock-skew derate window or an absorbed link stall).
+     */
+    void addTransientLoss(int chip, double seconds);
+
+    /**
+     * From `since_sec` on, `fraction` of the chip's capacity is
+     * permanently lost (flux-trap derate, or 1.0 on quarantine).
+     * Later calls supersede: the old fraction accrues up to the new
+     * call's time first, so a worsening chip integrates correctly.
+     */
+    void setPermanentLoss(int chip, double since_sec, double fraction);
+
     /** Snapshot the report (volume fields are filled by the caller). */
     ServingReport finish(double makespan_sec) const;
 
@@ -88,8 +128,15 @@ class MetricsCollector
     Histogram _latency{1e-8, 1e3, 53};
     RunningStats _batchSizes;
     std::vector<double> _busySec; ///< per-chip busy time
+    std::vector<std::uint64_t> _chipBatches; ///< per-chip launches
     double _depthIntegral = 0.0;  ///< ∫ depth dt
     double _clockSec = 0.0;       ///< last advanceTo time
+
+    // --- fault-capacity accounting ----------------------------------
+    std::vector<double> _transientLossSec;
+    std::vector<double> _permFraction;  ///< current permanent loss
+    std::vector<double> _permSinceSec;  ///< when it took effect
+    std::vector<double> _permAccruedSec;///< loss under superseded rates
 };
 
 } // namespace serving

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Resilience-policy configuration checks.
+ */
+
+#include "resilience.hh"
+
+#include "common/logging.hh"
+
+namespace supernpu {
+namespace serving {
+
+const char *
+recoveryPolicyName(RecoveryPolicy policy)
+{
+    switch (policy) {
+      case RecoveryPolicy::None:
+        return "none";
+      case RecoveryPolicy::RetryBackoff:
+        return "retry-backoff";
+      case RecoveryPolicy::DegradedDispatch:
+        return "degraded-dispatch";
+    }
+    panic("bad recovery policy");
+}
+
+void
+ResilienceConfig::check() const
+{
+    if (detectLatencySec < 0)
+        fatal("fault detection latency must be non-negative");
+    if (maxRetries < 0)
+        fatal("max retries must be non-negative");
+    if (backoffBaseSec < 0)
+        fatal("retry backoff base must be non-negative");
+    if (backoffMultiplier < 1.0)
+        fatal("retry backoff multiplier must be >= 1");
+    if (retryDeadlineSec < 0)
+        fatal("retry deadline must be non-negative (0 disables)");
+    if (checkpointRestart && checkpointIntervalSec <= 0)
+        fatal("checkpoint restart needs a positive interval");
+}
+
+} // namespace serving
+} // namespace supernpu

@@ -11,10 +11,22 @@
  * if the chip is idle and the queue's own `launchable` test agrees.
  * Stale timeouts (the queue already launched, or grew to a full
  * batch) are no-ops, so the loop never needs to cancel events.
+ *
+ * Fault events reuse the same discipline: Detect carries the launch
+ * generation it was armed for and is a no-op if the batch completed
+ * or restarted in the meantime; Done carries its own schedule
+ * sequence and is a no-op unless it is the chip's pending completion
+ * (a killed or glitch-stretched batch leaves a stale Done behind
+ * rather than requiring heap surgery). With an empty fault schedule
+ * no fault event is created, no service time is scaled, and the
+ * event sequence — hence every metric — is byte-identical to the
+ * pre-fault simulator.
  */
 
 #include "simulator.hh"
 
+#include <algorithm>
+#include <cmath>
 #include <limits>
 #include <queue>
 
@@ -32,6 +44,10 @@ ServingConfig::check() const
         fatal("serving needs at least one chip");
     if (requests < 1)
         fatal("serving needs at least one request");
+    resilience.check();
+    if (!faults.empty() && faults.config().chips != chips)
+        fatal("fault schedule covers ", faults.config().chips,
+              " chips but the serving config has ", chips);
 }
 
 namespace {
@@ -39,9 +55,13 @@ namespace {
 /** Event kinds of the calendar queue. */
 enum class EventKind
 {
-    Arrival, ///< one request enters the system
-    Timeout, ///< a chip's batch-timeout deadline passed
-    Done,    ///< a chip finished its in-flight batch
+    Arrival,   ///< one request enters the system
+    Timeout,   ///< a chip's batch-timeout deadline passed
+    Done,      ///< a chip finished its in-flight batch
+    Fault,     ///< a scheduled hardware fault strikes
+    Detect,    ///< corruption detection latency elapsed
+    Quarantine,///< a permanently-faulted chip is taken out
+    Retry,     ///< a killed request's backoff expired
 };
 
 /** One scheduled event. */
@@ -50,7 +70,14 @@ struct Event
     double timeSec;
     std::uint64_t seq; ///< creation order, the determinism tiebreak
     EventKind kind;
-    int chip; ///< Timeout/Done target; unused for arrivals
+    int chip; ///< Timeout/Done/Fault/... target; unused for arrivals
+    /**
+     * Fault: index into the fault schedule. Detect: the launch
+     * generation it was armed for. Unused otherwise.
+     */
+    std::uint64_t tag = 0;
+    /** The re-enqueued request of a Retry event. */
+    Request retryRequest{};
 };
 
 /** Min-heap ordering on (time, seq). */
@@ -64,6 +91,10 @@ struct EventAfter
     }
 };
 
+/** Sentinel: no completion pending. */
+constexpr std::uint64_t kNoSeq =
+    std::numeric_limits<std::uint64_t>::max();
+
 /** One simulated NPU die: its batch queue and in-flight batch. */
 struct Chip
 {
@@ -72,6 +103,19 @@ struct Chip
     BatchQueue queue;
     bool busy = false;
     std::vector<Request> inFlight;
+
+    // --- fault state (inert without a fault schedule) ---------------
+    std::uint64_t launchGen = 0;  ///< increments per (re)launch
+    std::uint64_t pendingDoneSeq = kNoSeq; ///< valid Done event
+    double launchSec = 0.0;  ///< current batch launch time
+    double serviceSec = 0.0; ///< current batch service time
+    double doneSec = 0.0;    ///< current batch completion time
+    bool corrupted = false;  ///< in-flight results are garbage
+    double corruptedAtSec = 0.0;
+    double permDerate = 1.0; ///< flux-trap service multiplier
+    bool quarantined = false;
+    double skewUntilSec = 0.0; ///< clock-skew window end
+    double skewFactor = 1.0;   ///< service multiplier in the window
 
     int outstanding() const
     {
@@ -95,17 +139,92 @@ ServingSimulator::run()
     std::uint64_t next_seq = 0;
     const auto schedule = [&](double time, EventKind kind, int chip) {
         events.push(Event{time, next_seq++, kind, chip});
+        return next_seq - 1;
+    };
+    const auto schedule_tagged = [&](double time, EventKind kind,
+                                     int chip, std::uint64_t tag) {
+        events.push(Event{time, next_seq++, kind, chip, tag});
+    };
+    const auto schedule_retry = [&](double time,
+                                    const Request &request) {
+        events.push(
+            Event{time, next_seq++, EventKind::Retry, -1, 0, request});
     };
 
     ArrivalProcess arrivals(_cfg.arrival, _cfg.seed);
     Dispatcher dispatcher(_cfg.dispatch, _cfg.chips);
     MetricsCollector metrics(_cfg.chips);
+    const ResilienceConfig &res = _cfg.resilience;
 
     std::vector<Chip> chips(_cfg.chips, Chip(_cfg.batching));
     std::uint64_t injected = 0;  ///< arrival events created
     std::uint64_t arrived = 0;   ///< requests that entered a queue
     std::uint64_t completed = 0;
     double clock = 0.0;
+
+    int quarantined_count = 0;
+    std::uint64_t faults_seen = 0;
+    std::uint64_t batches_killed = 0;
+    std::uint64_t retries_total = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t redispatches = 0;
+    std::uint64_t glitches_absorbed = 0;
+    std::uint64_t failed_requests = 0;
+
+    // A request leaves the system: record it, count it, and let a
+    // closed-loop client think and re-ask.
+    const auto complete_request = [&](const Request &request,
+                                      bool failed) {
+        metrics.recordLatency(clock - request.arrivalSec);
+        ++completed;
+        if (failed)
+            ++failed_requests;
+        if (!arrivals.openLoop() && injected < _cfg.requests) {
+            schedule(clock + arrivals.thinkGapSec(), EventKind::Arrival,
+                     -1);
+            ++injected;
+        }
+    };
+
+    // Dispatch target for a new or re-enqueued request. Only when a
+    // chip is actually quarantined does the health mask exist, so a
+    // fault-free run drives the dispatcher exactly as before.
+    const auto pick_target = [&]() {
+        std::vector<int> outstanding(_cfg.chips);
+        for (int i = 0; i < _cfg.chips; ++i)
+            outstanding[i] = chips[i].outstanding();
+        if (quarantined_count > 0) {
+            std::vector<char> healthy((std::size_t)_cfg.chips);
+            for (int i = 0; i < _cfg.chips; ++i)
+                healthy[(std::size_t)i] =
+                    chips[i].quarantined ? 0 : 1;
+            return dispatcher.pick(outstanding, healthy);
+        }
+        return dispatcher.pick(outstanding);
+    };
+
+    // Put a batch in service. Fault-free, the service-time guards
+    // never fire and this is the original launch path bit for bit.
+    const auto launch_batch = [&](int index,
+                                  std::vector<Request> batch) {
+        Chip &chip = chips[index];
+        chip.inFlight = std::move(batch);
+        chip.busy = true;
+        chip.corrupted = false;
+        ++chip.launchGen;
+        double service =
+            _service.batchSeconds((int)chip.inFlight.size());
+        if (chip.permDerate != 1.0)
+            service *= chip.permDerate;
+        if (clock < chip.skewUntilSec)
+            service *= chip.skewFactor;
+        chip.launchSec = clock;
+        chip.serviceSec = service;
+        chip.doneSec = clock + service;
+        metrics.recordBatch(index, (int)chip.inFlight.size(), service);
+        chip.pendingDoneSeq =
+            schedule(chip.doneSec, EventKind::Done, index);
+    };
 
     // Launch a batch on an idle chip when its queue allows; otherwise
     // arm the queue's next timeout deadline.
@@ -119,12 +238,7 @@ ServingSimulator::run()
             }
             return;
         }
-        chip.inFlight = chip.queue.pop();
-        chip.busy = true;
-        const double service =
-            _service.batchSeconds((int)chip.inFlight.size());
-        metrics.recordBatch(index, (int)chip.inFlight.size(), service);
-        schedule(clock + service, EventKind::Done, index);
+        launch_batch(index, chip.queue.pop());
     };
 
     const auto total_depth = [&]() {
@@ -147,6 +261,14 @@ ServingSimulator::run()
         injected = first;
     }
 
+    // Materialized fault schedule onto the calendar. Empty schedule:
+    // nothing pushed, sequence numbering untouched.
+    for (std::size_t i = 0; i < _cfg.faults.events().size(); ++i) {
+        const reliability::FaultEvent &fault = _cfg.faults.events()[i];
+        schedule_tagged(fault.timeSec, EventKind::Fault, fault.chip,
+                        (std::uint64_t)i);
+    }
+
     while (completed < _cfg.requests) {
         if (events.empty()) {
             // Only reachable when the fixed-batch policy stranded
@@ -154,13 +276,7 @@ ServingSimulator::run()
             bool flushed = false;
             for (int i = 0; i < _cfg.chips; ++i) {
                 if (!chips[i].busy && !chips[i].queue.empty()) {
-                    chips[i].inFlight = chips[i].queue.flush();
-                    chips[i].busy = true;
-                    const double service = _service.batchSeconds(
-                        (int)chips[i].inFlight.size());
-                    metrics.recordBatch(
-                        i, (int)chips[i].inFlight.size(), service);
-                    schedule(clock + service, EventKind::Done, i);
+                    launch_batch(i, chips[i].queue.flush());
                     flushed = true;
                 }
             }
@@ -176,11 +292,8 @@ ServingSimulator::run()
 
         switch (event.kind) {
           case EventKind::Arrival: {
-            std::vector<int> outstanding(_cfg.chips);
-            for (int i = 0; i < _cfg.chips; ++i)
-                outstanding[i] = chips[i].outstanding();
-            const int target = dispatcher.pick(outstanding);
-            chips[target].queue.push(Request{arrived++, clock});
+            const int target = pick_target();
+            chips[target].queue.push(Request{arrived++, clock, clock});
             try_launch(target);
             if (arrivals.openLoop() && injected < _cfg.requests) {
                 schedule(clock + arrivals.nextGapSec(),
@@ -194,20 +307,171 @@ ServingSimulator::run()
             break;
           case EventKind::Done: {
             Chip &chip = chips[event.chip];
+            if (event.seq != chip.pendingDoneSeq)
+                break; // stale: batch was killed or stretched
             SUPERNPU_ASSERT(chip.busy, "completion on an idle chip");
-            for (const Request &request : chip.inFlight) {
-                metrics.recordLatency(clock - request.arrivalSec);
-                ++completed;
-                // Closed loop: the client thinks, then asks again.
-                if (!arrivals.openLoop() && injected < _cfg.requests) {
-                    schedule(clock + arrivals.thinkGapSec(),
-                             EventKind::Arrival, -1);
-                    ++injected;
-                }
-            }
+            // Corruption that outran its detection (or was never
+            // detected under the no-recovery policy) ships garbage:
+            // the requests complete, and count as failed.
+            const bool failed = chip.corrupted;
+            for (const Request &request : chip.inFlight)
+                complete_request(request, failed);
             chip.inFlight.clear();
             chip.busy = false;
+            chip.corrupted = false;
+            chip.pendingDoneSeq = kNoSeq;
             try_launch(event.chip);
+            break;
+          }
+          case EventKind::Fault: {
+            const reliability::FaultEvent &fault =
+                _cfg.faults.events()[(std::size_t)event.tag];
+            Chip &chip = chips[event.chip];
+            ++faults_seen;
+            const bool detects =
+                res.recovery != RecoveryPolicy::None;
+            switch (fault.kind) {
+              case reliability::FaultKind::PulseDrop:
+                if (chip.busy && !chip.corrupted) {
+                    chip.corrupted = true;
+                    chip.corruptedAtSec = clock;
+                    if (detects) {
+                        schedule_tagged(clock + res.detectLatencySec,
+                                        EventKind::Detect, event.chip,
+                                        chip.launchGen);
+                    }
+                }
+                break;
+              case reliability::FaultKind::FluxTrap:
+                // The trap corrupts in-flight work like a drop...
+                if (chip.busy && !chip.corrupted) {
+                    chip.corrupted = true;
+                    chip.corruptedAtSec = clock;
+                    if (detects) {
+                        schedule_tagged(clock + res.detectLatencySec,
+                                        EventKind::Detect, event.chip,
+                                        chip.launchGen);
+                    }
+                }
+                // ...and permanently derates the remapped array.
+                chip.permDerate *= fault.magnitude;
+                if (!chip.quarantined) {
+                    metrics.setPermanentLoss(
+                        event.chip, clock,
+                        1.0 - 1.0 / chip.permDerate);
+                }
+                if (res.recovery == RecoveryPolicy::DegradedDispatch &&
+                    !chip.quarantined) {
+                    schedule_tagged(clock + res.detectLatencySec,
+                                    EventKind::Quarantine, event.chip,
+                                    0);
+                }
+                break;
+              case reliability::FaultKind::ClockSkew:
+                chip.skewUntilSec = clock + fault.durationSec;
+                chip.skewFactor = fault.magnitude;
+                metrics.addTransientLoss(
+                    event.chip,
+                    fault.durationSec * (1.0 - 1.0 / fault.magnitude));
+                break;
+              case reliability::FaultKind::LinkGlitch:
+                if (chip.busy) {
+                    chip.doneSec += fault.magnitude;
+                    chip.serviceSec += fault.magnitude;
+                    chip.pendingDoneSeq = schedule(
+                        chip.doneSec, EventKind::Done, event.chip);
+                    metrics.extendBusy(event.chip, fault.magnitude);
+                    metrics.addTransientLoss(event.chip,
+                                             fault.magnitude);
+                    ++glitches_absorbed;
+                }
+                break;
+            }
+            break;
+          }
+          case EventKind::Detect: {
+            Chip &chip = chips[event.chip];
+            if (!chip.busy || chip.launchGen != event.tag ||
+                !chip.corrupted) {
+                break; // stale: completed or restarted meanwhile
+            }
+            ++batches_killed;
+            // The chip stops now; give back the unspent busy tail.
+            metrics.extendBusy(event.chip, -(chip.doneSec - clock));
+            if (res.checkpointRestart) {
+                // Resume from the last checkpoint before corruption,
+                // on the same chip.
+                const double interval = res.checkpointIntervalSec;
+                const double progress = std::max(
+                    0.0, chip.corruptedAtSec - chip.launchSec);
+                const double preserved =
+                    std::floor(progress / interval) * interval;
+                const double remaining = chip.serviceSec - preserved;
+                chip.corrupted = false;
+                ++chip.launchGen;
+                ++restarts;
+                chip.launchSec = clock - preserved;
+                chip.doneSec = clock + remaining;
+                metrics.extendBusy(event.chip, remaining);
+                chip.pendingDoneSeq =
+                    schedule(chip.doneSec, EventKind::Done, event.chip);
+            } else {
+                // Kill the batch; requests back off and re-enter,
+                // or give up past their retry/deadline budget.
+                for (Request request : chip.inFlight) {
+                    ++request.retries;
+                    const bool over_retries =
+                        request.retries > res.maxRetries;
+                    const bool over_deadline =
+                        res.retryDeadlineSec > 0 &&
+                        clock - request.arrivalSec >=
+                            res.retryDeadlineSec;
+                    if (over_retries || over_deadline) {
+                        complete_request(request, true);
+                        continue;
+                    }
+                    double backoff = res.backoffBaseSec;
+                    for (int i = 1; i < request.retries; ++i)
+                        backoff *= res.backoffMultiplier;
+                    ++retries_total;
+                    schedule_retry(clock + backoff, request);
+                }
+                chip.inFlight.clear();
+                chip.busy = false;
+                chip.corrupted = false;
+                chip.pendingDoneSeq = kNoSeq;
+                try_launch(event.chip);
+            }
+            break;
+          }
+          case EventKind::Quarantine: {
+            Chip &chip = chips[event.chip];
+            if (chip.quarantined)
+                break;
+            chip.quarantined = true;
+            ++quarantined_count;
+            metrics.setPermanentLoss(event.chip, clock, 1.0);
+            // Its queued work moves to healthy chips.
+            std::vector<Request> moved;
+            while (!chip.queue.empty()) {
+                std::vector<Request> chunk = chip.queue.flush();
+                moved.insert(moved.end(), chunk.begin(), chunk.end());
+            }
+            for (Request request : moved) {
+                request.enqueueSec = clock;
+                const int target = pick_target();
+                chips[target].queue.push(request);
+                ++redispatches;
+                try_launch(target);
+            }
+            break;
+          }
+          case EventKind::Retry: {
+            Request request = event.retryRequest;
+            request.enqueueSec = clock;
+            const int target = pick_target();
+            chips[target].queue.push(request);
+            try_launch(target);
             break;
           }
         }
@@ -229,6 +493,20 @@ ServingSimulator::run()
     report.offeredRps = arrivals.openLoop()
                             ? _cfg.arrival.ratePerSec
                             : report.throughputRps;
+
+    report.resilienceActive = !_cfg.faults.empty();
+    report.recovery = recoveryPolicyName(res.recovery);
+    report.faultsInjected = faults_seen;
+    report.batchesKilled = batches_killed;
+    report.retriesTotal = retries_total;
+    report.restarts = restarts;
+    report.redispatches = redispatches;
+    report.glitchesAbsorbed = glitches_absorbed;
+    report.failedRequests = failed_requests;
+    if (report.makespanSec > 0.0) {
+        report.goodputRps =
+            (double)(completed - failed_requests) / report.makespanSec;
+    }
     return report;
 }
 

@@ -16,6 +16,15 @@
  * injected, remaining queued requests flush even if the fixed-batch
  * policy would strand a partial batch — so `completed == generated`
  * always holds at the end of run().
+ *
+ * Fault injection: attaching a reliability::FaultSchedule adds fault
+ * events to the calendar — pulse drops corrupt in-flight batches,
+ * flux traps permanently derate (and, under degraded dispatch,
+ * quarantine) chips, clock-skew windows derate launches, and link
+ * glitches stretch in-flight batches. The attached ResilienceConfig
+ * decides what happens after detection (resilience.hh). With an
+ * empty schedule no fault event is ever created and the run is
+ * byte-identical to a fault-free build.
  */
 
 #ifndef SUPERNPU_SERVING_SIMULATOR_HH
@@ -27,6 +36,8 @@
 #include "batcher.hh"
 #include "dispatch.hh"
 #include "metrics.hh"
+#include "reliability/fault_model.hh"
+#include "resilience.hh"
 #include "service_model.hh"
 
 namespace supernpu {
@@ -42,6 +53,15 @@ struct ServingConfig
     int chips = 1;                  ///< identical NPU dies
     std::uint64_t requests = 20000; ///< total requests to inject
     std::uint64_t seed = 0x5e971ce5eedull; ///< RNG seed
+
+    /**
+     * Hardware faults to inject; empty (the default) runs fault-free
+     * and leaves every output byte-identical to a no-faults build.
+     * A non-empty schedule must cover exactly `chips` chips.
+     */
+    reliability::FaultSchedule faults;
+    /** What the serving layer does about detected faults. */
+    ResilienceConfig resilience;
 
     /** Panics when malformed. */
     void check() const;

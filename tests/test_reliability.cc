@@ -1,0 +1,335 @@
+/**
+ * @file
+ * Reliability-subsystem tests: deterministic fault-schedule
+ * generation, degraded-geometry re-estimation, cycle-level fault
+ * injection (including the SimCache fault-hash keying regression),
+ * and functional error propagation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/networks.hh"
+#include "dnn/parser.hh"
+#include "estimator/npu_estimator.hh"
+#include "npusim/sim_cache.hh"
+#include "reliability/error_propagation.hh"
+#include "reliability/fault_model.hh"
+#include "reliability/injector.hh"
+
+using namespace supernpu;
+using namespace supernpu::reliability;
+
+namespace {
+
+FaultScheduleConfig
+allKindsConfig()
+{
+    FaultScheduleConfig config;
+    config.horizonSec = 0.5;
+    config.chips = 2;
+    config.pulseDropRatePerSec = 200.0;
+    config.fluxTrapRatePerSec = 4.0;
+    config.clockSkewRatePerSec = 50.0;
+    config.linkGlitchRatePerSec = 80.0;
+    return config;
+}
+
+bool
+eventsEqual(const FaultEvent &a, const FaultEvent &b)
+{
+    return a.timeSec == b.timeSec && a.kind == b.kind &&
+           a.chip == b.chip && a.magnitude == b.magnitude &&
+           a.durationSec == b.durationSec &&
+           a.trapTarget == b.trapTarget;
+}
+
+} // namespace
+
+// --- schedule generation ---------------------------------------------
+
+TEST(FaultSchedule, SameSeedIsByteIdentical)
+{
+    const FaultScheduleConfig config = allKindsConfig();
+    const FaultSchedule a = FaultSchedule::generate(config);
+    const FaultSchedule b = FaultSchedule::generate(config);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_GT(a.size(), 0u);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_TRUE(eventsEqual(a.events()[i], b.events()[i]));
+    EXPECT_EQ(a.hash(), b.hash());
+
+    FaultScheduleConfig reseeded = config;
+    reseeded.seed += 1;
+    EXPECT_NE(FaultSchedule::generate(reseeded).hash(), a.hash());
+}
+
+TEST(FaultSchedule, EventsSortedAndInsideHorizon)
+{
+    const FaultSchedule schedule =
+        FaultSchedule::generate(allKindsConfig());
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+        const FaultEvent &event = schedule.events()[i];
+        EXPECT_GE(event.timeSec, 0.0);
+        EXPECT_LT(event.timeSec, 0.5);
+        if (i > 0) {
+            EXPECT_GE(event.timeSec,
+                      schedule.events()[i - 1].timeSec);
+        }
+    }
+}
+
+TEST(FaultSchedule, RateScalesEventCount)
+{
+    FaultScheduleConfig low;
+    low.horizonSec = 2.0;
+    low.pulseDropRatePerSec = 100.0;
+    FaultScheduleConfig high = low;
+    high.pulseDropRatePerSec = 400.0;
+    const std::size_t low_count =
+        FaultSchedule::generate(low).size();
+    const std::size_t high_count =
+        FaultSchedule::generate(high).size();
+    // ~200 vs ~800 expected events: 4x the rate must show clearly.
+    EXPECT_GT(low_count, 100u);
+    EXPECT_GT(high_count, 2 * low_count);
+}
+
+TEST(FaultSchedule, ChipStreamsAreIndependentOfFleetSize)
+{
+    // Adding a chip must not disturb the schedules of the chips that
+    // were already there: every (chip, kind) pair has its own stream.
+    FaultScheduleConfig two = allKindsConfig();
+    FaultScheduleConfig three = allKindsConfig();
+    three.chips = 3;
+    const FaultSchedule small = FaultSchedule::generate(two);
+    const FaultSchedule large = FaultSchedule::generate(three);
+
+    for (int chip = 0; chip < 2; ++chip) {
+        std::vector<FaultEvent> from_small, from_large;
+        for (const FaultEvent &event : small.events())
+            if (event.chip == chip)
+                from_small.push_back(event);
+        for (const FaultEvent &event : large.events())
+            if (event.chip == chip)
+                from_large.push_back(event);
+        ASSERT_EQ(from_small.size(), from_large.size());
+        for (std::size_t i = 0; i < from_small.size(); ++i)
+            EXPECT_TRUE(eventsEqual(from_small[i], from_large[i]));
+    }
+    EXPECT_GT(large.count(FaultKind::PulseDrop, 2), 0u);
+}
+
+TEST(FaultSchedule, BurstArrivalKeepsLongRunRate)
+{
+    FaultScheduleConfig poisson;
+    poisson.horizonSec = 4.0;
+    poisson.pulseDropRatePerSec = 200.0;
+    FaultScheduleConfig burst = poisson;
+    burst.arrival = FaultArrival::Burst;
+    const double p = (double)FaultSchedule::generate(poisson).size();
+    const double b = (double)FaultSchedule::generate(burst).size();
+    // Same long-run rate within 30%, but a different event pattern.
+    EXPECT_NEAR(b / p, 1.0, 0.3);
+    EXPECT_NE(FaultSchedule::generate(burst).hash(),
+              FaultSchedule::generate(poisson).hash());
+}
+
+TEST(FaultSchedule, EmptyHashesToZeroAndEventsPerturbIt)
+{
+    EXPECT_EQ(FaultSchedule().hash(), 0u);
+    EXPECT_EQ(FaultSchedule::fromEvents(FaultScheduleConfig{}, {})
+                  .hash(),
+              0u);
+
+    FaultEvent event;
+    event.timeSec = 0.25;
+    event.kind = FaultKind::ClockSkew;
+    event.magnitude = 1.5;
+    event.durationSec = 1e-3;
+    const std::uint64_t base =
+        FaultSchedule::fromEvents(FaultScheduleConfig{}, {event})
+            .hash();
+    EXPECT_NE(base, 0u);
+    FaultEvent moved = event;
+    moved.timeSec = 0.2500001;
+    EXPECT_NE(FaultSchedule::fromEvents(FaultScheduleConfig{}, {moved})
+                  .hash(),
+              base);
+}
+
+// --- degraded geometry -----------------------------------------------
+
+class InjectorFixture : public ::testing::Test
+{
+  protected:
+    InjectorFixture()
+        : net(dnn::parseNetwork("network FaultTest\n"
+                                "conv c1  3 16 16 3 1 1\n"
+                                "conv c2 16 16 16 3 1 1\n")),
+          config(estimator::NpuConfig::superNpu()),
+          estimate(estimator::NpuEstimator(lib).estimate(config))
+    {
+    }
+
+    static FaultSchedule
+    singleTrap(FluxTrapTarget target)
+    {
+        FaultScheduleConfig config;
+        FaultEvent event;
+        event.kind = FaultKind::FluxTrap;
+        event.trapTarget = target;
+        event.magnitude = config.fluxTrapDerate;
+        return FaultSchedule::fromEvents(config, {event});
+    }
+
+    static FaultSchedule
+    pulseDrops(int count)
+    {
+        FaultScheduleConfig config;
+        std::vector<FaultEvent> events;
+        for (int i = 0; i < count; ++i) {
+            FaultEvent event;
+            event.timeSec = 1e-9 * i;
+            events.push_back(event);
+        }
+        return FaultSchedule::fromEvents(config, events);
+    }
+
+    sfq::DeviceConfig dev;
+    sfq::CellLibrary lib{dev};
+    dnn::Network net;
+    estimator::NpuConfig config;
+    estimator::NpuEstimate estimate;
+};
+
+TEST_F(InjectorFixture, PristineGeometryIsAStrictNoOp)
+{
+    EXPECT_TRUE(geometryAfter(FaultSchedule(), 0).pristine());
+    const auto same = degradeEstimate(estimate, DegradedGeometry{});
+    EXPECT_EQ(npusim::hashEstimate(same),
+              npusim::hashEstimate(estimate));
+}
+
+TEST_F(InjectorFixture, TrapsAccumulateIntoGeometry)
+{
+    const auto geometry =
+        geometryAfter(singleTrap(FluxTrapTarget::PeColumn), 0);
+    EXPECT_EQ(geometry.disabledColumns, 1);
+    EXPECT_EQ(geometry.disabledChunks, 0);
+    // The trap hit chip 0; chip 5 is untouched.
+    EXPECT_TRUE(
+        geometryAfter(singleTrap(FluxTrapTarget::PeColumn), 5)
+            .pristine());
+}
+
+TEST_F(InjectorFixture, ColumnLossNarrowsTheArray)
+{
+    DegradedGeometry geometry;
+    geometry.disabledColumns = 2;
+    const auto degraded = degradeEstimate(estimate, geometry);
+    EXPECT_EQ(degraded.config.peWidth, estimate.config.peWidth - 2);
+    EXPECT_LT(degraded.peakMacPerSec, estimate.peakMacPerSec);
+    EXPECT_NE(npusim::hashEstimate(degraded),
+              npusim::hashEstimate(estimate));
+}
+
+// --- cycle-level injection -------------------------------------------
+
+TEST_F(InjectorFixture, EmptyScheduleIsBitIdenticalToCleanRun)
+{
+    npusim::SimCache cache;
+    FaultInjector injector(estimate, &cache);
+    const auto injected = injector.run(net, 2, FaultSchedule());
+    const auto direct = npusim::NpuSimulator(estimate).run(net, 2);
+    EXPECT_EQ(injected->totalCycles, direct.totalCycles);
+    EXPECT_DOUBLE_EQ(injected->seconds(), direct.seconds());
+    EXPECT_EQ(injected->faultEventsInjected, 0u);
+    EXPECT_EQ(injected->faultRecomputeCycles, 0u);
+    EXPECT_DOUBLE_EQ(injected->secondsWithRecompute(),
+                     injected->seconds());
+}
+
+TEST_F(InjectorFixture, CacheKeysCarryTheFaultHash)
+{
+    // Regression: a pure pulse-drop schedule leaves the degraded
+    // geometry (and so the degraded estimate) identical to the clean
+    // one. Before SimKey::faultHash the two runs collided in the
+    // cache and a clean lookup could return fault-charged results.
+    npusim::SimCache cache;
+    FaultInjector injector(estimate, &cache);
+    const auto faulted = injector.run(net, 2, pulseDrops(4));
+    const auto clean = injector.run(net, 2, FaultSchedule());
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(clean->faultRecomputeCycles, 0u);
+    EXPECT_GT(faulted->faultRecomputeCycles, 0u);
+    // Same clean cycle counts — only the recompute surcharge differs.
+    EXPECT_EQ(faulted->totalCycles, clean->totalCycles);
+
+    // Distinct schedules must also key distinctly.
+    const auto more = injector.run(net, 2, pulseDrops(8));
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_GT(more->faultRecomputeCycles,
+              faulted->faultRecomputeCycles);
+}
+
+TEST_F(InjectorFixture, TrapRemapCostsMeasuredCycles)
+{
+    npusim::SimCache cache;
+    FaultInjector injector(estimate, &cache);
+    const auto schedule = singleTrap(FluxTrapTarget::PeColumn);
+    const auto clean = injector.run(net, 2, FaultSchedule());
+    const auto trapped = injector.run(net, 2, schedule);
+    EXPECT_GT(trapped->totalCycles, clean->totalCycles);
+    const double derate = injector.serviceDerate(net, 2, schedule);
+    EXPECT_GE(derate, 1.0);
+    EXPECT_DOUBLE_EQ(derate, trapped->secondsWithRecompute() /
+                                 clean->seconds());
+}
+
+// --- functional error propagation ------------------------------------
+
+TEST(ErrorPropagation, SequentialChainsOnly)
+{
+    const dnn::Network plain =
+        dnn::parseNetwork("network Seq\n"
+                          "conv c1  3 16 16 3 1 1\n"
+                          "conv c2 16 16 16 3 1 1\n");
+    EXPECT_TRUE(canPropagate(plain));
+    // Residual projections branch the shape graph.
+    EXPECT_FALSE(canPropagate(dnn::makeResNet50()));
+}
+
+TEST(ErrorPropagation, ZeroRateMeansZeroError)
+{
+    const dnn::Network net =
+        dnn::parseNetwork("network Seq\n"
+                          "conv c1  3 16 16 3 1 1\n"
+                          "conv c2 16 16 16 3 1 1\n");
+    const auto report = propagateErrors(net, 0.0);
+    EXPECT_EQ(report.totalFlips(), 0u);
+    for (const auto &layer : report.layers) {
+        EXPECT_EQ(layer.wrongOutputs, 0u);
+        EXPECT_EQ(layer.maxAbsError, 0);
+    }
+}
+
+TEST(ErrorPropagation, FlipsCorruptDeterministically)
+{
+    const dnn::Network net =
+        dnn::parseNetwork("network Seq\n"
+                          "conv c1  3 16 16 3 1 1\n"
+                          "conv c2 16 16 16 3 1 1\n");
+    const auto a = propagateErrors(net, 400.0);
+    const auto b = propagateErrors(net, 400.0);
+    EXPECT_GT(a.totalFlips(), 0u);
+    EXPECT_GT(a.final().wrongOutputs, 0u);
+    ASSERT_EQ(a.layers.size(), b.layers.size());
+    for (std::size_t i = 0; i < a.layers.size(); ++i) {
+        EXPECT_EQ(a.layers[i].wrongOutputs, b.layers[i].wrongOutputs);
+        EXPECT_DOUBLE_EQ(a.layers[i].meanAbsError,
+                         b.layers[i].meanAbsError);
+    }
+    // A different seed draws different flip sites.
+    const auto c = propagateErrors(net, 400.0, 12345);
+    EXPECT_NE(c.final().meanAbsError, a.final().meanAbsError);
+}

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Serving-resilience tests: the zero-cost guarantee (an empty fault
+ * schedule leaves serving byte-identical), deterministic retry
+ * sequencing, degraded dispatch never routing to quarantined chips,
+ * checkpoint/restart conservation, retry give-up, and the
+ * availability/goodput accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dnn/parser.hh"
+#include "estimator/npu_estimator.hh"
+#include "npusim/batch.hh"
+#include "reliability/fault_model.hh"
+#include "serving/simulator.hh"
+
+namespace supernpu {
+namespace serving {
+namespace {
+
+class ResilienceFixture : public ::testing::Test
+{
+  protected:
+    ResilienceFixture()
+        : net(dnn::parseNetwork("network ResilTest\n"
+                                "conv c1  3 16 16 3 1 1\n"
+                                "conv c2 16 16 16 3 1 1\n")),
+          config(estimator::NpuConfig::superNpu()),
+          estimate(estimator::NpuEstimator(lib).estimate(config)),
+          solver_max(npusim::maxBatch(config, estimate, net)),
+          service(estimate, net)
+    {
+    }
+
+    /** A 2-chip config at 60% of aggregate capacity. */
+    ServingConfig
+    baseConfig() const
+    {
+        ServingConfig serving;
+        serving.chips = 2;
+        serving.arrival.ratePerSec =
+            0.6 * 2.0 * service.peakRps(solver_max);
+        serving.batching.maxBatch = solver_max;
+        serving.requests = 3000;
+        // Resilience timescales follow the tiny network's service
+        // time, as a deployment would tune them to the workload.
+        serving.resilience.detectLatencySec =
+            0.25 * service.batchSeconds(solver_max);
+        serving.resilience.backoffBaseSec =
+            service.batchSeconds(solver_max);
+        serving.resilience.checkpointIntervalSec =
+            0.25 * service.batchSeconds(solver_max);
+        return serving;
+    }
+
+    /** Makespan of the base config, for rate scaling. */
+    double
+    baseMakespan() const
+    {
+        const ServingConfig serving = baseConfig();
+        return (double)serving.requests /
+               serving.arrival.ratePerSec;
+    }
+
+    /** Pulse drops across both chips, paced to the run. */
+    reliability::FaultSchedule
+    dropSchedule(double per_chip_count) const
+    {
+        reliability::FaultScheduleConfig faults;
+        faults.chips = 2;
+        faults.horizonSec = baseMakespan();
+        faults.pulseDropRatePerSec =
+            per_chip_count / faults.horizonSec;
+        return reliability::FaultSchedule::generate(faults);
+    }
+
+    /** One permanent flux trap on chip 0 at t = 0. */
+    reliability::FaultSchedule
+    trapChipZero() const
+    {
+        reliability::FaultScheduleConfig faults;
+        faults.chips = 2;
+        reliability::FaultEvent event;
+        event.kind = reliability::FaultKind::FluxTrap;
+        event.magnitude = faults.fluxTrapDerate;
+        return reliability::FaultSchedule::fromEvents(faults, {event});
+    }
+
+    sfq::DeviceConfig dev;
+    sfq::CellLibrary lib{dev};
+    dnn::Network net;
+    estimator::NpuConfig config;
+    estimator::NpuEstimate estimate;
+    int solver_max;
+    BatchServiceModel service;
+};
+
+TEST_F(ResilienceFixture, EmptyScheduleIsByteIdenticalToBaseline)
+{
+    // The zero-cost guarantee: arming a recovery policy without any
+    // faults must not perturb a single event — same seq numbering,
+    // same batches, bit-identical metrics.
+    ServingConfig plain = baseConfig();
+    const auto baseline = ServingSimulator(service, plain).run();
+
+    ServingConfig armed = baseConfig();
+    armed.resilience.recovery = RecoveryPolicy::RetryBackoff;
+    armed.resilience.checkpointRestart = true;
+    const auto report = ServingSimulator(service, armed).run();
+
+    EXPECT_FALSE(report.resilienceActive);
+    EXPECT_DOUBLE_EQ(report.makespanSec, baseline.makespanSec);
+    EXPECT_DOUBLE_EQ(report.latencyP99, baseline.latencyP99);
+    EXPECT_DOUBLE_EQ(report.latencyMax, baseline.latencyMax);
+    EXPECT_DOUBLE_EQ(report.throughputRps, baseline.throughputRps);
+    EXPECT_EQ(report.batchesLaunched, baseline.batchesLaunched);
+    EXPECT_EQ(report.faultsInjected, 0u);
+    EXPECT_EQ(report.failedRequests, 0u);
+    EXPECT_DOUBLE_EQ(report.availability, 1.0);
+}
+
+TEST_F(ResilienceFixture, RetrySequencingIsDeterministic)
+{
+    ServingConfig serving = baseConfig();
+    serving.faults = dropSchedule(40.0);
+    serving.resilience.recovery = RecoveryPolicy::RetryBackoff;
+    const auto a = ServingSimulator(service, serving).run();
+    const auto b = ServingSimulator(service, serving).run();
+    EXPECT_TRUE(a.resilienceActive);
+    EXPECT_GT(a.batchesKilled, 0u);
+    EXPECT_GT(a.retriesTotal, 0u);
+    EXPECT_EQ(a.batchesKilled, b.batchesKilled);
+    EXPECT_EQ(a.retriesTotal, b.retriesTotal);
+    EXPECT_EQ(a.failedRequests, b.failedRequests);
+    EXPECT_DOUBLE_EQ(a.makespanSec, b.makespanSec);
+    EXPECT_DOUBLE_EQ(a.latencyP99, b.latencyP99);
+}
+
+TEST_F(ResilienceFixture, DegradedDispatchShunsQuarantinedChips)
+{
+    ServingConfig serving = baseConfig();
+    serving.faults = trapChipZero();
+    serving.resilience.recovery = RecoveryPolicy::DegradedDispatch;
+    // Quarantine lands before the first request can arrive.
+    serving.resilience.detectLatencySec = 1e-12;
+    const auto report = ServingSimulator(service, serving).run();
+    ASSERT_EQ(report.perChipBatches.size(), 2u);
+    EXPECT_EQ(report.perChipBatches[0], 0u);
+    EXPECT_GT(report.perChipBatches[1], 0u);
+    EXPECT_EQ(report.completed, serving.requests);
+    EXPECT_EQ(report.failedRequests, 0u);
+    // Writing off half the fleet halves availability.
+    EXPECT_LT(report.availability, 0.55);
+}
+
+TEST_F(ResilienceFixture, CheckpointRestartConservesRequests)
+{
+    ServingConfig serving = baseConfig();
+    serving.faults = dropSchedule(40.0);
+    serving.resilience.recovery = RecoveryPolicy::RetryBackoff;
+    serving.resilience.checkpointRestart = true;
+    const auto report = ServingSimulator(service, serving).run();
+    EXPECT_EQ(report.completed, serving.requests);
+    EXPECT_EQ(report.generated, serving.requests);
+    EXPECT_GT(report.restarts, 0u);
+    // Restarted batches never re-enter the queue.
+    EXPECT_EQ(report.retriesTotal, 0u);
+    // A corrupted-then-restarted batch stretches the tail past the
+    // clean run's.
+    const auto clean =
+        ServingSimulator(service, baseConfig()).run();
+    EXPECT_GT(report.latencyMax, clean.latencyMax);
+}
+
+TEST_F(ResilienceFixture, RequestsGiveUpPastTheRetryBudget)
+{
+    ServingConfig serving = baseConfig();
+    serving.faults = dropSchedule(40.0);
+    serving.resilience.recovery = RecoveryPolicy::RetryBackoff;
+    serving.resilience.maxRetries = 0;
+    const auto report = ServingSimulator(service, serving).run();
+    EXPECT_GT(report.batchesKilled, 0u);
+    // Zero budget: every killed batch's requests fail immediately.
+    EXPECT_EQ(report.retriesTotal, 0u);
+    EXPECT_GT(report.failedRequests, 0u);
+    EXPECT_EQ(report.completed, serving.requests);
+    EXPECT_LT(report.goodputRps, report.throughputRps);
+}
+
+TEST_F(ResilienceFixture, NoRecoveryShipsCorruptedBatches)
+{
+    ServingConfig serving = baseConfig();
+    serving.faults = dropSchedule(40.0);
+    const auto report = ServingSimulator(service, serving).run();
+    EXPECT_EQ(report.recovery, "none");
+    EXPECT_EQ(report.batchesKilled, 0u);
+    EXPECT_GT(report.failedRequests, 0u);
+    EXPECT_EQ(report.completed, serving.requests);
+}
+
+TEST_F(ResilienceFixture, PermanentTrapDegradesAvailability)
+{
+    ServingConfig serving = baseConfig();
+    serving.faults = trapChipZero();
+    serving.resilience.recovery = RecoveryPolicy::RetryBackoff;
+    const auto report = ServingSimulator(service, serving).run();
+    // Chip 0 runs on at the trap derate: available but slower, so
+    // availability lands strictly between "half the fleet gone" and
+    // "untouched".
+    EXPECT_GT(report.availability, 0.5);
+    EXPECT_LT(report.availability, 1.0);
+    EXPECT_EQ(report.completed, serving.requests);
+}
+
+} // namespace
+} // namespace serving
+} // namespace supernpu

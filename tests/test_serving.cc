@@ -92,7 +92,7 @@ TEST(BatchQueue, FullBatchLaunchesImmediately)
     BatchQueue queue(config);
     for (int i = 0; i < 4; ++i) {
         EXPECT_FALSE(queue.launchable(1e-5 * i));
-        queue.push(Request{(std::uint64_t)i, 1e-5 * i});
+        queue.push(Request{(std::uint64_t)i, 1e-5 * i, 1e-5 * i});
     }
     EXPECT_TRUE(queue.launchable(4e-5));
     EXPECT_EQ(queue.pop().size(), 4u);
@@ -105,8 +105,8 @@ TEST(BatchQueue, PartialBatchWaitsForTimeout)
     config.maxBatch = 8;
     config.timeoutSec = 1e-3;
     BatchQueue queue(config);
-    queue.push(Request{0, 0.5});
-    queue.push(Request{1, 0.5004});
+    queue.push(Request{0, 0.5, 0.5});
+    queue.push(Request{1, 0.5004, 0.5004});
     // The deadline tracks the oldest request, not the newest.
     EXPECT_DOUBLE_EQ(queue.nextDeadlineSec(), 0.5 + 1e-3);
     EXPECT_FALSE(queue.launchable(0.5009));
@@ -120,7 +120,7 @@ TEST(BatchQueue, PopNeverExceedsMax)
     config.maxBatch = 3;
     BatchQueue queue(config);
     for (int i = 0; i < 8; ++i)
-        queue.push(Request{(std::uint64_t)i, (double)i});
+        queue.push(Request{(std::uint64_t)i, (double)i, (double)i});
     EXPECT_EQ(queue.pop().size(), 3u);
     EXPECT_EQ(queue.pop().size(), 3u);
     const auto last = queue.pop();
@@ -136,12 +136,12 @@ TEST(BatchQueue, FixedPolicyNeverTimesOut)
     config.policy = BatchPolicy::FixedBatch;
     config.maxBatch = 4;
     BatchQueue queue(config);
-    queue.push(Request{0, 0.0});
+    queue.push(Request{0, 0.0, 0.0});
     EXPECT_FALSE(queue.launchable(1e9));
     EXPECT_TRUE(std::isinf(queue.nextDeadlineSec()));
-    queue.push(Request{1, 1.0});
-    queue.push(Request{2, 2.0});
-    queue.push(Request{3, 3.0});
+    queue.push(Request{1, 1.0, 1.0});
+    queue.push(Request{2, 2.0, 2.0});
+    queue.push(Request{3, 3.0, 3.0});
     EXPECT_TRUE(queue.launchable(3.0));
 }
 

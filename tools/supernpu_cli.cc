@@ -13,6 +13,10 @@
  *   supernpu serve <workload> <config> [options]
  *       Discrete-event serving simulation: request load, dynamic
  *       batching, multi-chip dispatch, tail latency.
+ *   supernpu faults <workload> <config> [options]
+ *       Fault-injection study: degraded-geometry cycle costs,
+ *       functional error propagation, and a serving run under a
+ *       seeded SFQ fault schedule with a recovery policy.
  *   supernpu validate
  *       The Fig. 13 model-validation table.
  *   supernpu explore [options]
@@ -44,6 +48,20 @@
  *   --requests <n>          requests to simulate
  *   --clients <n>           closed-loop client population
  *   --seed <n>              RNG seed
+ *
+ * Fault options (faults):
+ *   --drop-rate <n>         pulse drops per chip-second
+ *   --trap-rate <n>         flux traps per chip-second
+ *   --skew-rate <n>         clock-skew windows per chip-second
+ *   --glitch-rate <n>       link glitches per chip-second
+ *   --fault-burst           bursty (on/off) transient arrivals
+ *   --fault-seed <n>        fault-schedule seed
+ *   --recovery none|retry|degraded   recovery policy
+ *   --detect-us <n>         fault detection latency
+ *   --max-retries <n>       retry budget per request
+ *   --backoff-us <n>        first retry backoff
+ *   --checkpoint            checkpoint/restart killed batches
+ *   --ber <n>               bit flips per million MACs (error study)
  */
 
 #include <cctype>
@@ -68,6 +86,9 @@
 #include "npusim/explorer.hh"
 #include "npusim/sim.hh"
 #include "power/power.hh"
+#include "reliability/error_propagation.hh"
+#include "reliability/fault_model.hh"
+#include "reliability/injector.hh"
 #include "serving/simulator.hh"
 
 using namespace supernpu;
@@ -85,7 +106,10 @@ struct Options
     bool configChosen = false;
     std::string netFile;   ///< --netfile path, when given
     std::string traceFile; ///< --trace path for the mapping CSV
-    serving::ServingConfig serve; ///< serve-subcommand state
+    serving::ServingConfig serve; ///< serve/faults-subcommand state
+    reliability::FaultScheduleConfig faults; ///< fault rates + seed
+    bool faultRateGiven = false; ///< any --*-rate flag seen
+    double berFlipsPerMillion = 25.0; ///< --ber error-study rate
 };
 
 std::string
@@ -230,6 +254,48 @@ parseOptions(int argc, char **argv, int first, Options &options)
             options.serve.arrival.clients = std::stoi(next());
         } else if (arg == "--seed") {
             options.serve.seed = (std::uint64_t)std::stoull(next());
+        } else if (arg == "--drop-rate") {
+            options.faults.pulseDropRatePerSec = std::stod(next());
+            options.faultRateGiven = true;
+        } else if (arg == "--trap-rate") {
+            options.faults.fluxTrapRatePerSec = std::stod(next());
+            options.faultRateGiven = true;
+        } else if (arg == "--skew-rate") {
+            options.faults.clockSkewRatePerSec = std::stod(next());
+            options.faultRateGiven = true;
+        } else if (arg == "--glitch-rate") {
+            options.faults.linkGlitchRatePerSec = std::stod(next());
+            options.faultRateGiven = true;
+        } else if (arg == "--fault-burst") {
+            options.faults.arrival = reliability::FaultArrival::Burst;
+        } else if (arg == "--fault-seed") {
+            options.faults.seed = (std::uint64_t)std::stoull(next());
+        } else if (arg == "--recovery") {
+            const std::string value = lowered(next());
+            if (value == "none") {
+                options.serve.resilience.recovery =
+                    serving::RecoveryPolicy::None;
+            } else if (value == "retry") {
+                options.serve.resilience.recovery =
+                    serving::RecoveryPolicy::RetryBackoff;
+            } else if (value == "degraded") {
+                options.serve.resilience.recovery =
+                    serving::RecoveryPolicy::DegradedDispatch;
+            } else {
+                fatal("unknown recovery policy '", value, "'");
+            }
+        } else if (arg == "--detect-us") {
+            options.serve.resilience.detectLatencySec =
+                std::stod(next()) * 1e-6;
+        } else if (arg == "--max-retries") {
+            options.serve.resilience.maxRetries = std::stoi(next());
+        } else if (arg == "--backoff-us") {
+            options.serve.resilience.backoffBaseSec =
+                std::stod(next()) * 1e-6;
+        } else if (arg == "--checkpoint") {
+            options.serve.resilience.checkpointRestart = true;
+        } else if (arg == "--ber") {
+            options.berFlipsPerMillion = std::stod(next());
         } else if (arg.rfind("--", 0) == 0) {
             fatal("unknown option '", arg, "'");
         } else if (!options.configChosen &&
@@ -411,6 +477,127 @@ cmdServe(const Options &options, const dnn::Network &net)
 }
 
 int
+cmdFaults(const Options &options, const dnn::Network &net)
+{
+    const sfq::DeviceConfig device = deviceFor(options);
+    sfq::CellLibrary library(device);
+    estimator::NpuEstimator est(library);
+    const auto estimate = est.estimate(options.config);
+
+    serving::ServingConfig serve = options.serve;
+    serve.batching.maxBatch =
+        options.forcedBatch > 0
+            ? options.forcedBatch
+            : npusim::maxBatch(options.config, estimate, net);
+    const int batch = serve.batching.maxBatch;
+
+    // --- what one flux trap costs in cycles -------------------------
+    reliability::FaultInjector injector(estimate);
+    const auto one_trap = [&](reliability::FluxTrapTarget target) {
+        reliability::FaultScheduleConfig cfg;
+        reliability::FaultEvent event;
+        event.kind = reliability::FaultKind::FluxTrap;
+        event.trapTarget = target;
+        event.magnitude = cfg.fluxTrapDerate;
+        return reliability::FaultSchedule::fromEvents(cfg, {event});
+    };
+    const auto clean = injector.run(net, batch, {}, 0);
+    const auto lost_col =
+        injector.run(net, batch,
+                     one_trap(reliability::FluxTrapTarget::PeColumn), 0);
+    const auto lost_chunk = injector.run(
+        net, batch, one_trap(reliability::FluxTrapTarget::BufferChunk),
+        0);
+
+    std::printf("%s on %s, batch %d: flux-trap degradation\n",
+                net.name.c_str(), options.config.name.c_str(), batch);
+    TextTable degraded;
+    degraded.row().cell("geometry").cell("cycles").cell("us/batch").cell(
+        "service x");
+    const auto degraded_row = [&](const char *label, const auto &run) {
+        degraded.row()
+            .cell(label)
+            .cell((unsigned long long)run->totalCycles)
+            .cell(run->seconds() * 1e6, 2)
+            .cell(run->seconds() / clean->seconds(), 3);
+    };
+    degraded_row("pristine", clean);
+    degraded_row("-1 PE column", lost_col);
+    degraded_row("-1 buffer chunk", lost_chunk);
+    degraded.print();
+
+    // The serving trap derate comes from the remapped cycle counts,
+    // not a guessed constant.
+    const double trap_derate = injector.serviceDerate(
+        net, batch, one_trap(reliability::FluxTrapTarget::PeColumn), 0);
+
+    // --- functional error propagation -------------------------------
+    // The functional path walks sequential chains only; branching
+    // networks (residual projections) study bit-error propagation on
+    // a small sequential probe instead.
+    dnn::Network ber_net = net;
+    if (!reliability::canPropagate(ber_net)) {
+        ber_net = dnn::Network{};
+        ber_net.name = "BerProbe";
+        ber_net.layers = {dnn::conv("probe1", 3, 32, 16, 3),
+                          dnn::conv("probe2", 16, 32, 32, 3),
+                          dnn::conv("probe3", 32, 16, 32, 3)};
+        ber_net.check();
+        std::printf("\n%s branches; propagating bit errors through"
+                    " the sequential probe network instead\n",
+                    net.name.c_str());
+    }
+    const auto errors = reliability::propagateErrors(
+        ber_net, options.berFlipsPerMillion, options.faults.seed);
+    std::printf("\nerror propagation at %.2f flips per MMAC"
+                " (%llu flips total)\n",
+                options.berFlipsPerMillion,
+                (unsigned long long)errors.totalFlips());
+    TextTable prop;
+    prop.row().cell("layer").cell("flips").cell("wrong %").cell(
+        "mean |err|").cell("max |err|");
+    for (const auto &layer : errors.layers) {
+        prop.row()
+            .cell(layer.layer)
+            .cell((unsigned long long)layer.flips)
+            .cell(layer.fracWrong * 100.0, 3)
+            .cell(layer.meanAbsError, 4)
+            .cell((long long)layer.maxAbsError);
+    }
+    prop.print();
+
+    // --- serving under the fault schedule ---------------------------
+    reliability::FaultScheduleConfig fault_cfg = options.faults;
+    if (!options.faultRateGiven) {
+        // Demonstrative defaults when no rate was given.
+        fault_cfg.pulseDropRatePerSec = 20.0;
+        fault_cfg.fluxTrapRatePerSec = 0.05;
+        fault_cfg.clockSkewRatePerSec = 5.0;
+        fault_cfg.linkGlitchRatePerSec = 10.0;
+    }
+    fault_cfg.chips = serve.chips;
+    fault_cfg.fluxTrapDerate = std::max(1.0, trap_derate);
+    fault_cfg.horizonSec = std::max(
+        1.0, 2.0 * (double)serve.requests /
+                 std::max(serve.arrival.ratePerSec, 1.0));
+    serve.faults = reliability::FaultSchedule::generate(fault_cfg);
+    std::printf("\nfault schedule: %zu events over %.1f s x %d chips"
+                " (seed %llu)\n",
+                serve.faults.size(), fault_cfg.horizonSec, serve.chips,
+                (unsigned long long)fault_cfg.seed);
+
+    serving::BatchServiceModel service(estimate, net);
+    serving::ServingSimulator sim(service, serve);
+    const auto report = sim.run();
+    report.print();
+    std::printf("\navailability %.2f%%, goodput %.0f of %.0f req/s"
+                " under policy %s\n",
+                report.availability * 100.0, report.goodputRps,
+                report.throughputRps, report.recovery.c_str());
+    return 0;
+}
+
+int
 cmdValidate(const Options &options)
 {
     const sfq::DeviceConfig device = deviceFor(options);
@@ -485,6 +672,7 @@ usage()
                  "  simulate <workload> <config>    performance+power\n"
                  "  batch <workload> <config>       Table II batch\n"
                  "  serve <workload> <config>       serving simulation\n"
+                 "  faults <workload> <config>      fault-injection study\n"
                  "  validate                        Fig. 13 table\n"
                  "  explore                         design-space sweep\n"
                  "configs: baseline bufferopt resourceopt supernpu\n"
@@ -495,7 +683,12 @@ usage()
                  "serve:   --rps --chips --policy dynamic|fixed\n"
                  "         --dispatch rr|jsq\n"
                  "         --arrival poisson|bursty|closed\n"
-                 "         --timeout-us --requests --clients --seed\n");
+                 "         --timeout-us --requests --clients --seed\n"
+                 "faults:  --drop-rate --trap-rate --skew-rate\n"
+                 "         --glitch-rate --fault-burst --fault-seed\n"
+                 "         --recovery none|retry|degraded --detect-us\n"
+                 "         --max-retries --backoff-us --checkpoint\n"
+                 "         --ber\n");
     return 2;
 }
 
@@ -522,7 +715,7 @@ main(int argc, char **argv)
     if (command == "explore")
         return cmdExplore(options);
     if (command == "simulate" || command == "batch" ||
-        command == "serve") {
+        command == "serve" || command == "faults") {
         dnn::Network net;
         if (!options.netFile.empty()) {
             std::ifstream file(options.netFile);
@@ -542,6 +735,8 @@ main(int argc, char **argv)
             return cmdSimulate(options, net);
         if (command == "serve")
             return cmdServe(options, net);
+        if (command == "faults")
+            return cmdFaults(options, net);
         return cmdBatch(options, net);
     }
     return usage();
