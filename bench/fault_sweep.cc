@@ -22,7 +22,10 @@
 #include <vector>
 
 #include "bench_common.hh"
+#include "common/logging.hh"
 #include "common/parallel.hh"
+#include "obs/audit.hh"
+#include "obs/ledger.hh"
 #include "reliability/fault_model.hh"
 #include "serving/simulator.hh"
 
@@ -57,9 +60,12 @@ int
 main(int argc, char **argv)
 {
     bool smoke = false;
+    std::string ledger_file;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0)
             smoke = true;
+        else if (std::strcmp(argv[i], "--ledger") == 0 && i + 1 < argc)
+            ledger_file = argv[i + 1];
     }
 
     // A small two-conv workload keeps every cycle simulation cheap;
@@ -162,8 +168,33 @@ main(int argc, char **argv)
         .cell("avail %")
         .cell("goodput r/s")
         .cell("p99 ms");
+    obs::RunLedger ledger;
+    ledger.table("grid",
+                 {"rateScale", "policy", "faultsScheduled",
+                  "faultsInjected", "batchesKilled", "requestsKilled",
+                  "retries", "retryGiveUps", "restarts",
+                  "redispatches", "failedRequests", "availability",
+                  "goodputRps", "p99Sec"});
     for (std::size_t i = 0; i < grid.size(); ++i) {
         const auto &report = grid[i];
+        // Every cell must satisfy the conservation invariants.
+        obs::enforce(obs::auditServing(report), "fault_sweep");
+        ledger.addRow(
+            "grid",
+            {obs::Value::real(rate_scales[i / policies.size()]),
+             obs::Value::text(policies[i % policies.size()].label),
+             obs::Value::integer(report.faultsScheduled),
+             obs::Value::integer(report.faultsInjected),
+             obs::Value::integer(report.batchesKilled),
+             obs::Value::integer(report.requestsKilled),
+             obs::Value::integer(report.retriesTotal),
+             obs::Value::integer(report.retryGiveUps),
+             obs::Value::integer(report.restarts),
+             obs::Value::integer(report.redispatches),
+             obs::Value::integer(report.failedRequests),
+             obs::Value::real(report.availability),
+             obs::Value::real(report.goodputRps),
+             obs::Value::real(report.latencyP99)});
         table.row()
             .cell(rate_scales[i / policies.size()], 0)
             .cell(policies[i % policies.size()].label)
@@ -200,5 +231,15 @@ main(int argc, char **argv)
                 " same with no re-queue storm, and degraded dispatch"
                 " writes off quarantined chips (lower availability)"
                 " to stop feeding work to trapped hardware.\n");
+
+    if (!ledger_file.empty()) {
+        ledger.setText("bench", "name", "fault_sweep");
+        ledger.setInt("bench", "chips", (std::uint64_t)chips);
+        ledger.setInt("bench", "requests", requests);
+        ledger.setInt("bench", "smoke", smoke ? 1 : 0);
+        if (!ledger.write(ledger_file))
+            fatal("cannot write ledger '", ledger_file, "'");
+        std::printf("wrote ledger to %s\n", ledger_file.c_str());
+    }
     return (parallel_same && rerun_same) ? 0 : 1;
 }

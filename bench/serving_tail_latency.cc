@@ -14,12 +14,17 @@
  */
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench_common.hh"
+#include "common/logging.hh"
 #include "common/table.hh"
 #include "dnn/networks.hh"
 #include "estimator/npu_estimator.hh"
 #include "npusim/batch.hh"
+#include "obs/audit.hh"
+#include "obs/ledger.hh"
 #include "serving/simulator.hh"
 
 using namespace supernpu;
@@ -46,8 +51,14 @@ runPoint(const serving::BatchServiceModel &service, int chips,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string ledger_file;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--ledger") == 0)
+            ledger_file = argv[i + 1];
+    }
+
     const dnn::Network net = dnn::makeResNet50();
 
     sfq::DeviceConfig device;
@@ -59,6 +70,12 @@ main()
     const int max_batch = npusim::maxBatch(config, estimate, net);
     serving::BatchServiceModel service(estimate, net);
     const double capacity = service.peakRps(max_batch);
+
+    obs::RunLedger ledger;
+    ledger.table("points", {"chips", "loadFrac", "offeredRps",
+                            "throughputRps", "utilization",
+                            "meanBatch", "p50Sec", "p99Sec",
+                            "p999Sec"});
 
     for (int chips : {1, 4}) {
         TextTable table(
@@ -77,6 +94,18 @@ main()
         for (double frac : {0.1, 0.3, 0.5, 0.7, 0.85, 0.95}) {
             const double rps = frac * capacity * (double)chips;
             const auto r = runPoint(service, chips, max_batch, rps);
+            // Benches run under ctest: conservation always holds.
+            obs::enforce(obs::auditServing(r), "serving_tail_latency");
+            ledger.addRow("points",
+                          {obs::Value::integer((std::uint64_t)chips),
+                           obs::Value::real(frac),
+                           obs::Value::real(rps),
+                           obs::Value::real(r.throughputRps),
+                           obs::Value::real(r.utilization),
+                           obs::Value::real(r.meanBatch),
+                           obs::Value::real(r.latencyP50),
+                           obs::Value::real(r.latencyP99),
+                           obs::Value::real(r.latencyP999)});
             table.row()
                 .cell(frac, 2)
                 .cell(rps, 0)
@@ -100,5 +129,14 @@ main()
                 " latency floor stays at timeout + single-inference"
                 " service.\n",
                 capacity / 1e3);
+
+    if (!ledger_file.empty()) {
+        ledger.setText("bench", "name", "serving_tail_latency");
+        ledger.setReal("bench", "capacityRpsPerDie", capacity);
+        ledger.setInt("bench", "maxBatch", (std::uint64_t)max_batch);
+        if (!ledger.write(ledger_file))
+            fatal("cannot write ledger '", ledger_file, "'");
+        std::printf("wrote ledger to %s\n", ledger_file.c_str());
+    }
     return 0;
 }

@@ -13,12 +13,16 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <sstream>
+#include <string>
 
 #include "bench_common.hh"
+#include "common/logging.hh"
 #include "common/parallel.hh"
 #include "npusim/explorer.hh"
 #include "npusim/sim_cache.hh"
+#include "obs/ledger.hh"
 
 using namespace supernpu;
 using Clock = std::chrono::steady_clock;
@@ -42,8 +46,14 @@ fingerprint(const std::vector<npusim::Candidate> &ranked)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string ledger_file;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--ledger") == 0)
+            ledger_file = argv[i + 1];
+    }
+
     sfq::DeviceConfig device;
     sfq::CellLibrary library(device);
     npusim::DesignSpaceExplorer explorer(library,
@@ -57,14 +67,19 @@ main()
         .cell("speedup")
         .cell("identical output");
 
+    obs::RunLedger ledger;
+    ledger.table("scaling", {"jobs", "wallSec", "speedup",
+                             "identical", "poolLoops", "poolTasks"});
+
     double serial_sec = 0.0;
     std::string serial_print;
     for (int jobs : {1, 2, 4, 8}) {
         npusim::SimCache cold_cache;
         explorer.setCache(&cold_cache);
+        ThreadPool pool(jobs);
         const auto start = Clock::now();
         const auto ranked = explorer.explore(
-            space, npusim::Objective::Throughput, jobs);
+            space, npusim::Objective::Throughput, pool);
         const double sec =
             std::chrono::duration<double>(Clock::now() - start)
                 .count();
@@ -73,6 +88,15 @@ main()
             serial_sec = sec;
             serial_print = print;
         }
+        const auto pool_stats = pool.stats();
+        ledger.addRow(
+            "scaling",
+            {obs::Value::integer((std::uint64_t)jobs),
+             obs::Value::real(sec),
+             obs::Value::real(serial_sec / sec),
+             obs::Value::integer(print == serial_print ? 1 : 0),
+             obs::Value::integer(pool_stats.loops),
+             obs::Value::integer(pool_stats.tasks)});
         table.row()
             .cell((long long)jobs)
             .cell(sec, 2)
@@ -92,6 +116,7 @@ main()
             std::chrono::duration<double>(Clock::now() - start)
                 .count();
         const auto warm = warm_cache.stats();
+        obs::addSimCacheStats(ledger, warm);
         table.row()
             .cell("warm")
             .cell(sec, 2)
@@ -111,5 +136,14 @@ main()
                 " output; the memoized sim cache then makes repeated"
                 " sweeps — other objectives, serving warm-up — nearly"
                 " free.\n");
+
+    if (!ledger_file.empty()) {
+        ledger.setText("bench", "name", "sweep_scaling");
+        ledger.setInt("bench", "hardwareThreads",
+                      (std::uint64_t)ThreadPool::hardwareConcurrency());
+        if (!ledger.write(ledger_file))
+            fatal("cannot write ledger '", ledger_file, "'");
+        std::printf("wrote ledger to %s\n", ledger_file.c_str());
+    }
     return 0;
 }

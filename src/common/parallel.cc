@@ -125,12 +125,31 @@ ThreadPool::workerMain()
     }
 }
 
+ThreadPool::Stats
+ThreadPool::stats() const
+{
+    Stats out;
+    out.jobs = jobs();
+    out.loops = _loops.load(std::memory_order_relaxed);
+    out.tasks = _tasks.load(std::memory_order_relaxed);
+    out.maxLoopTasks = _maxLoopTasks.load(std::memory_order_relaxed);
+    return out;
+}
+
 void
 ThreadPool::parallelFor(std::size_t n,
                         const std::function<void(std::size_t)> &body)
 {
     if (n == 0)
         return;
+
+    _loops.fetch_add(1, std::memory_order_relaxed);
+    _tasks.fetch_add(n, std::memory_order_relaxed);
+    std::uint64_t top = _maxLoopTasks.load(std::memory_order_relaxed);
+    while (n > top &&
+           !_maxLoopTasks.compare_exchange_weak(
+               top, n, std::memory_order_relaxed))
+        ;
 
     // Inline cases: serial pool, or a nested call from inside a pool
     // loop (blocking a worker on its own pool would deadlock).

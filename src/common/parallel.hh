@@ -71,6 +71,23 @@ class ThreadPool
     /** Total parallelism (worker threads + the calling thread). */
     int jobs() const { return (int)_workers.size() + 1; }
 
+    /**
+     * Lifetime work counters, snapshotted into sweep ledgers so runs
+     * report how much parallelism they actually exercised. Counting
+     * uses relaxed atomics: it never orders the work itself, and the
+     * deterministic-output guarantee is unaffected.
+     */
+    struct Stats
+    {
+        int jobs = 1;                  ///< pool parallelism
+        std::uint64_t loops = 0;       ///< parallelFor invocations
+        std::uint64_t tasks = 0;       ///< loop indices executed
+        std::uint64_t maxLoopTasks = 0;///< largest single loop
+    };
+
+    /** Snapshot the pool's lifetime counters. */
+    Stats stats() const;
+
     /** std::thread::hardware_concurrency with a floor of 1. */
     static int hardwareConcurrency();
 
@@ -121,6 +138,11 @@ class ThreadPool
     bool _stopping = false;        ///< guarded by _mutex
     std::mutex _loopMutex;         ///< serializes parallelFor callers
     std::vector<std::thread> _workers;
+
+    // Lifetime counters behind stats(); relaxed — counts only.
+    std::atomic<std::uint64_t> _loops{0};
+    std::atomic<std::uint64_t> _tasks{0};
+    std::atomic<std::uint64_t> _maxLoopTasks{0};
 };
 
 } // namespace supernpu

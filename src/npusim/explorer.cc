@@ -124,6 +124,15 @@ std::vector<Candidate>
 DesignSpaceExplorer::explore(const ExplorationSpace &space,
                              Objective objective, int jobs) const
 {
+    ThreadPool pool(jobs);
+    return explore(space, objective, pool);
+}
+
+std::vector<Candidate>
+DesignSpaceExplorer::explore(const ExplorationSpace &space,
+                             Objective objective,
+                             ThreadPool &pool) const
+{
     SUPERNPU_ASSERT(space.widths.size() ==
                         space.bufferMbForWidth.size(),
                     "bufferMbForWidth must parallel widths");
@@ -143,7 +152,6 @@ DesignSpaceExplorer::explore(const ExplorationSpace &space,
     }
 
     estimator::NpuEstimator npu_estimator(_lib);
-    ThreadPool pool(jobs);
     std::vector<Candidate> candidates =
         pool.parallelMap(points.size(), [&](std::size_t i) {
             return evaluate(npu_estimator, points[i], objective);

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.hh"
 #include "dnn/layer.hh"
 #include "estimator/npu_estimator.hh"
 #include "power/power.hh"
@@ -89,6 +90,14 @@ class DesignSpaceExplorer
     std::vector<Candidate> explore(const ExplorationSpace &space,
                                    Objective objective,
                                    int jobs = 1) const;
+
+    /**
+     * Same sweep on a caller-owned pool, so the caller can fold the
+     * pool's work counters (ThreadPool::stats()) into a run ledger.
+     */
+    std::vector<Candidate> explore(const ExplorationSpace &space,
+                                   Objective objective,
+                                   ThreadPool &pool) const;
 
     /**
      * Memoization cache for the candidates' cycle simulations;

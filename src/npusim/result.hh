@@ -51,8 +51,19 @@ struct LayerResult
     std::uint64_t macOps = 0;        ///< MACs executed (batch included)
     std::uint64_t weightMappings = 0;///< mappings this layer needed
     std::uint64_t dramBytes = 0;     ///< off-chip traffic
+    // DRAM traffic split by stream; the three always sum to
+    // dramBytes (audited by obs/audit.hh).
+    std::uint64_t dramWeightBytes = 0;
+    std::uint64_t dramIfmapBytes = 0;
+    std::uint64_t dramOutputBytes = 0;
     /** The layer's outputs stayed on chip for the next layer. */
     bool outputOnChip = false;
+    /**
+     * Compute cycles of the layer's last weight mapping — the window
+     * the *next* layer's first weight fetch can hide behind when
+     * double buffering is on.
+     */
+    std::uint64_t lastMappingComputeCycles = 0;
 
     // Activity counters for the power model.
     std::uint64_t ifmapShiftChunkCycles = 0; ///< chunk-shift events
@@ -84,6 +95,10 @@ struct SimResult
     PrepBreakdown prep;
     std::uint64_t macOps = 0;
     std::uint64_t dramBytes = 0;
+    // Per-stream DRAM totals; sum to dramBytes (see LayerResult).
+    std::uint64_t dramWeightBytes = 0;
+    std::uint64_t dramIfmapBytes = 0;
+    std::uint64_t dramOutputBytes = 0;
 
     std::uint64_t ifmapShiftChunkCycles = 0;
     std::uint64_t outputShiftChunkCycles = 0;

@@ -39,7 +39,8 @@ NpuSimulator::dramCycles(double bytes) const
 
 LayerResult
 NpuSimulator::simulateLayer(const dnn::Layer &layer, int batch,
-                            bool ifmap_on_chip) const
+                            bool ifmap_on_chip,
+                            std::uint64_t prev_compute_cycles) const
 {
     SUPERNPU_ASSERT(batch >= 1, "bad batch");
     layer.check();
@@ -81,6 +82,11 @@ NpuSimulator::simulateLayer(const dnn::Layer &layer, int batch,
         (double)layer.ifmapBytes() * (double)batch_u /
         (double)row_folds / (depthwise ? (double)layer.inChannels : 1.0);
 
+    // Compute cycles of the mapping simulated immediately before the
+    // current one — what a double-buffered weight fetch hides behind.
+    // Seeded by the caller with the previous layer's last mapping.
+    std::uint64_t prev_compute = prev_compute_cycles;
+
     for (const WeightMapping &mapping : plan.mappings) {
         const PrepBreakdown prep_before = res.prep;
         const std::uint64_t compute_before = res.computeCycles;
@@ -100,20 +106,20 @@ NpuSimulator::simulateLayer(const dnn::Layer &layer, int batch,
             const double weight_shift = (double)(array_h + array_w);
             double weight_dram = dramCycles((double)weight_bytes);
             if (cfg.weightDoubleBuffering) {
-                // The fetch overlapped the previous mapping's
+                // The fetch overlapped the *previous* mapping's
                 // computation; only the uncovered remainder is
                 // exposed (the buffer-to-array shift never hides).
-                const double prev_compute = (double)(
-                    positions * batch_u *
-                    (depthwise ? 1 : regs_used));
-                weight_dram = std::max(0.0,
-                                       weight_dram - prev_compute);
+                // With nothing simulated before — the first mapping
+                // of the first layer — nothing hides.
+                weight_dram = std::max(
+                    0.0, weight_dram - (double)prev_compute);
             }
             const std::uint64_t weight_cycles = (std::uint64_t)std::max(
                 weight_shift, weight_dram);
             res.prepCycles += weight_cycles;
             res.prep.weightLoad += weight_cycles;
             res.dramBytes += weight_bytes;
+            res.dramWeightBytes += weight_bytes;
 
             // --- ifmap preparation --------------------------------
             const bool first_use = mapping.firstColFold();
@@ -129,6 +135,8 @@ NpuSimulator::simulateLayer(const dnn::Layer &layer, int batch,
                     res.ifmapShiftChunkCycles += (std::uint64_t)(
                         slice_bytes_per_fold / ifmap_fill_rate);
                     res.dramBytes +=
+                        (std::uint64_t)slice_bytes_per_fold;
+                    res.dramIfmapBytes +=
                         (std::uint64_t)slice_bytes_per_fold;
                 } else if (first_use) {
                     // Handed off on chip by the previous layer; the
@@ -146,6 +154,8 @@ NpuSimulator::simulateLayer(const dnn::Layer &layer, int batch,
                 // Streamed from DRAM every mapping; bandwidth
                 // shortfall shows up as stall after compute overlap.
                 res.dramBytes += (std::uint64_t)slice_bytes_per_fold;
+                res.dramIfmapBytes +=
+                    (std::uint64_t)slice_bytes_per_fold;
             }
 
             // --- partial-sum movement between row folds ----------
@@ -168,6 +178,7 @@ NpuSimulator::simulateLayer(const dnn::Layer &layer, int batch,
                 positions * batch_u * regs_used +
                 (std::uint64_t)(array_h + array_w + pe_stages);
             res.computeCycles += compute;
+            prev_compute = compute;
             res.macOps +=
                 positions * batch_u * active_rows * active_filters;
             res.dauWordsForwarded += positions * batch_u * active_rows;
@@ -219,8 +230,10 @@ NpuSimulator::simulateLayer(const dnn::Layer &layer, int batch,
             res.outputShiftChunkCycles += (std::uint64_t)(
                 (double)fold_out_bytes / output_drain_rate);
             res.dramBytes += fold_out_bytes;
+            res.dramOutputBytes += fold_out_bytes;
         }
     }
+    res.lastMappingComputeCycles = prev_compute;
 
     // --- layer output hand-off ------------------------------------
     // Outputs that stayed on chip shift over to the ifmap buffer for
@@ -252,15 +265,21 @@ NpuSimulator::run(const dnn::Network &network, int batch) const
     result.frequencyGhz = _est.frequencyGhz;
 
     bool ifmap_on_chip = false; // the first layer's input is in DRAM
+    std::uint64_t prev_compute = 0; // nothing precedes the first fetch
     for (const auto &layer : network.layers) {
-        LayerResult lr = simulateLayer(layer, batch, ifmap_on_chip);
+        LayerResult lr =
+            simulateLayer(layer, batch, ifmap_on_chip, prev_compute);
         ifmap_on_chip = lr.outputOnChip;
+        prev_compute = lr.lastMappingComputeCycles;
         result.computeCycles += lr.computeCycles;
         result.prepCycles += lr.prepCycles;
         result.prep.add(lr.prep);
         result.memoryStallCycles += lr.memoryStallCycles;
         result.macOps += lr.macOps;
         result.dramBytes += lr.dramBytes;
+        result.dramWeightBytes += lr.dramWeightBytes;
+        result.dramIfmapBytes += lr.dramIfmapBytes;
+        result.dramOutputBytes += lr.dramOutputBytes;
         result.ifmapShiftChunkCycles += lr.ifmapShiftChunkCycles;
         result.outputShiftChunkCycles += lr.outputShiftChunkCycles;
         result.dauWordsForwarded += lr.dauWordsForwarded;

@@ -47,9 +47,16 @@ class NpuSimulator
      * @param ifmap_on_chip The layer's input already sits in the
      *        ifmap buffer (handed off by the previous layer), so no
      *        DRAM fill is needed when it fits.
+     * @param prev_compute_cycles Compute cycles of the previously
+     *        simulated weight mapping (the previous layer's last),
+     *        which the first weight fetch of this layer can overlap
+     *        when double buffering is on. 0 — no overlap — for the
+     *        first layer of a network.
      */
-    LayerResult simulateLayer(const dnn::Layer &layer, int batch,
-                              bool ifmap_on_chip = false) const;
+    LayerResult simulateLayer(
+        const dnn::Layer &layer, int batch,
+        bool ifmap_on_chip = false,
+        std::uint64_t prev_compute_cycles = 0) const;
 
     /** Simulate a whole network at the given batch size. */
     SimResult run(const dnn::Network &network, int batch) const;

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Conservation-invariant implementations.
+ */
+
+#include "audit.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "json_writer.hh"
+
+#ifndef SUPERNPU_AUDIT_DEFAULT
+#define SUPERNPU_AUDIT_DEFAULT 0
+#endif
+
+namespace supernpu {
+namespace obs {
+
+std::string
+Violation::str() const
+{
+    return source + ":" + metric + " expected " + expected + " got " +
+           got;
+}
+
+std::string
+AuditReport::summary() const
+{
+    std::string out;
+    for (const Violation &violation : violations) {
+        if (!out.empty())
+            out += '\n';
+        out += violation.str();
+    }
+    return out;
+}
+
+void
+AuditReport::merge(const AuditReport &other)
+{
+    violations.insert(violations.end(), other.violations.begin(),
+                      other.violations.end());
+}
+
+namespace {
+
+/** Relative slack for comparisons between derived doubles. */
+bool
+nearlyLe(double a, double b)
+{
+    const double slack =
+        1e-9 * std::max({1.0, std::fabs(a), std::fabs(b)});
+    return a <= b + slack;
+}
+
+void
+expectEq(AuditReport &report, const std::string &source,
+         const std::string &metric, std::uint64_t expected,
+         std::uint64_t got)
+{
+    if (expected != got) {
+        report.violations.push_back(
+            Violation{source, metric, std::to_string(expected),
+                      std::to_string(got)});
+    }
+}
+
+void
+expectLe(AuditReport &report, const std::string &source,
+         const std::string &metric, double value, double bound)
+{
+    if (!nearlyLe(value, bound)) {
+        report.violations.push_back(
+            Violation{source, metric, "<= " + jsonNumber(bound),
+                      jsonNumber(value)});
+    }
+}
+
+void
+expectRange(AuditReport &report, const std::string &source,
+            const std::string &metric, double value, double lo,
+            double hi)
+{
+    if (!nearlyLe(lo, value) || !nearlyLe(value, hi)) {
+        report.violations.push_back(Violation{
+            source, metric,
+            "in [" + jsonNumber(lo) + ", " + jsonNumber(hi) + "]",
+            jsonNumber(value)});
+    }
+}
+
+void
+auditLayer(AuditReport &report, const npusim::LayerResult &layer)
+{
+    const std::string source = "sim/" + layer.layerName;
+    expectEq(report, source, "prepCycles", layer.prep.total(),
+             layer.prepCycles);
+    expectEq(report, source, "dramBytes",
+             layer.dramWeightBytes + layer.dramIfmapBytes +
+                 layer.dramOutputBytes,
+             layer.dramBytes);
+}
+
+} // namespace
+
+AuditReport
+auditSim(const npusim::SimResult &result)
+{
+    AuditReport report;
+
+    std::uint64_t compute = 0, prep = 0, stall = 0, macs = 0;
+    std::uint64_t dram = 0, dram_weight = 0, dram_ifmap = 0;
+    std::uint64_t dram_output = 0;
+    npusim::PrepBreakdown buckets;
+    for (const npusim::LayerResult &layer : result.layers) {
+        auditLayer(report, layer);
+        compute += layer.computeCycles;
+        prep += layer.prepCycles;
+        stall += layer.memoryStallCycles;
+        macs += layer.macOps;
+        dram += layer.dramBytes;
+        dram_weight += layer.dramWeightBytes;
+        dram_ifmap += layer.dramIfmapBytes;
+        dram_output += layer.dramOutputBytes;
+        buckets.add(layer.prep);
+    }
+
+    // Cycle roll-ups: layers -> network totals -> totalCycles.
+    expectEq(report, "sim", "computeCycles", compute,
+             result.computeCycles);
+    expectEq(report, "sim", "prepCycles", prep, result.prepCycles);
+    expectEq(report, "sim", "memoryStallCycles", stall,
+             result.memoryStallCycles);
+    expectEq(report, "sim", "totalCycles",
+             result.computeCycles + result.prepCycles +
+                 result.memoryStallCycles,
+             result.totalCycles);
+    expectEq(report, "sim", "prepBucketTotal", result.prep.total(),
+             result.prepCycles);
+    expectEq(report, "sim", "prepBucketSum", buckets.total(),
+             result.prep.total());
+    expectEq(report, "sim", "prepWeightLoad", buckets.weightLoad,
+             result.prep.weightLoad);
+    expectEq(report, "sim", "macOps", macs, result.macOps);
+
+    // DRAM traffic decomposes exactly into its three streams.
+    expectEq(report, "sim", "dramBytes", dram, result.dramBytes);
+    expectEq(report, "sim", "dramStreamBytes",
+             dram_weight + dram_ifmap + dram_output, result.dramBytes);
+
+    return report;
+}
+
+AuditReport
+auditServing(const serving::ServingReport &report)
+{
+    AuditReport audit;
+
+    // Request conservation: the event loop drains every arrival.
+    expectEq(audit, "serving", "completed", report.generated,
+             report.completed);
+
+    // Busy time is bounded by total chip-time.
+    double busy = 0.0;
+    for (double chip_busy : report.perChipBusySec) {
+        expectLe(audit, "serving", "chipBusySec", -chip_busy, 0.0);
+        busy += chip_busy;
+    }
+    expectLe(audit, "serving", "sumBusySec", busy,
+             (double)report.chips * report.makespanSec);
+    expectRange(audit, "serving", "utilization", report.utilization,
+                0.0, 1.0);
+
+    // Rates and ranges.
+    expectLe(audit, "serving", "goodputRps", report.goodputRps,
+             report.throughputRps);
+    expectRange(audit, "serving", "availability", report.availability,
+                0.0, 1.0);
+    expectLe(audit, "serving", "meanQueueDepth",
+             -report.meanQueueDepth, 0.0);
+
+    // The latency tail is monotone and bounded by the max.
+    expectLe(audit, "serving", "latencyP50", report.latencyP50,
+             report.latencyP95);
+    expectLe(audit, "serving", "latencyP95", report.latencyP95,
+             report.latencyP99);
+    expectLe(audit, "serving", "latencyP99", report.latencyP99,
+             report.latencyP999);
+    expectLe(audit, "serving", "latencyP999", report.latencyP999,
+             report.latencyMax);
+    expectLe(audit, "serving", "latencyMean", report.latencyMean,
+             report.latencyMax);
+    if (report.completed == 0) {
+        // Empty runs must report zeros, not garbage (the
+        // RunningStats/Histogram empty-semantics contract).
+        expectLe(audit, "serving", "emptyLatencyMax",
+                 report.latencyMax, 0.0);
+        expectEq(audit, "serving", "emptyMaxBatchLaunched", 0,
+                 (std::uint64_t)report.maxBatchLaunched);
+    }
+
+    // Batch accounting.
+    expectLe(audit, "serving", "meanBatch", report.meanBatch,
+             (double)report.maxBatchLaunched);
+    expectLe(audit, "serving", "maxBatchLaunched",
+             (double)report.maxBatchLaunched, (double)report.maxBatch);
+    std::uint64_t chip_batches = 0;
+    for (std::uint64_t batches : report.perChipBatches)
+        chip_batches += batches;
+    if (!report.perChipBatches.empty()) {
+        expectEq(audit, "serving", "perChipBatches", chip_batches,
+                 report.batchesLaunched);
+    }
+
+    // Fault-path conservation.
+    if (report.resilienceActive) {
+        expectLe(audit, "serving", "restarts",
+                 (double)report.restarts, (double)report.batchesKilled);
+        expectEq(audit, "serving", "requestsKilled",
+                 report.retriesTotal + report.retryGiveUps,
+                 report.requestsKilled);
+        expectLe(audit, "serving", "faultsInjected",
+                 (double)report.faultsInjected,
+                 (double)report.faultsScheduled);
+        expectLe(audit, "serving", "failedRequests",
+                 (double)report.failedRequests,
+                 (double)report.completed);
+    }
+
+    return audit;
+}
+
+bool
+auditEnabled()
+{
+    const char *env = std::getenv("SUPERNPU_AUDIT");
+    if (env && env[0] != '\0')
+        return env[0] != '0';
+    return SUPERNPU_AUDIT_DEFAULT != 0;
+}
+
+void
+enforce(const AuditReport &report, const std::string &context)
+{
+    if (report.ok())
+        return;
+    for (const Violation &violation : report.violations)
+        warn("audit: ", violation.str());
+    fatal("audit failed for ", context, ": ",
+          report.violations.size(), " invariant violation(s)");
+}
+
+} // namespace obs
+} // namespace supernpu

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Conservation audits over simulation results.
+ *
+ * The paper validates its architecture model against gate-level JSIM
+ * runs (Fig. 13); this repository's equivalent is cheaper and runs
+ * on every result: a set of conservation invariants that any correct
+ * accounting must satisfy, evaluated after each run. Cycle buckets
+ * must roll up (`totalCycles == compute + prep + stall`, per layer
+ * and summed), DRAM traffic must decompose exactly into its weight /
+ * ifmap / output streams, serving busy-time cannot exceed
+ * chips x makespan, goodput cannot exceed throughput, percentiles
+ * must be ordered, and the fault path's kill / retry / give-up
+ * counters must balance. A violation means a bookkeeping bug, never
+ * a modeling choice — which is why audits can be fatal.
+ *
+ * Audits are always on in the test suites. For release runs they are
+ * gated: the SUPERNPU_AUDIT environment variable ("1"/"0") wins,
+ * falling back to the SUPERNPU_AUDIT CMake option's compiled-in
+ * default.
+ */
+
+#ifndef SUPERNPU_OBS_AUDIT_HH
+#define SUPERNPU_OBS_AUDIT_HH
+
+#include <string>
+#include <vector>
+
+#include "npusim/result.hh"
+#include "serving/metrics.hh"
+
+namespace supernpu {
+namespace obs {
+
+/** One failed invariant, formatted as `source:metric expected-vs-got`. */
+struct Violation
+{
+    std::string source; ///< which accounting layer ("sim", "serving", a layer)
+    std::string metric; ///< which invariant
+    std::string expected;
+    std::string got;
+
+    /** `source:metric expected <x> got <y>` — the diagnostic line. */
+    std::string str() const;
+};
+
+/** The outcome of one audit pass. */
+struct AuditReport
+{
+    std::vector<Violation> violations;
+
+    bool ok() const { return violations.empty(); }
+    /** All violation lines joined with newlines; "" when ok. */
+    std::string summary() const;
+    /** Merge another report's violations into this one. */
+    void merge(const AuditReport &other);
+};
+
+/**
+ * Audit a cycle-level simulation result: per-layer and summed cycle
+ * roll-ups, prep-bucket totals, and the DRAM byte decomposition.
+ */
+AuditReport auditSim(const npusim::SimResult &result);
+
+/**
+ * Audit a serving run: request conservation, busy-time versus
+ * makespan, rate ordering (goodput <= throughput), availability and
+ * utilization ranges, percentile ordering, batch accounting, and the
+ * fault-path kill/retry/give-up balance.
+ */
+AuditReport auditServing(const serving::ServingReport &report);
+
+/**
+ * Whether audits should run: the SUPERNPU_AUDIT environment variable
+ * ("1" on, "0" off) when set, else the compiled-in default from the
+ * SUPERNPU_AUDIT CMake option.
+ */
+bool auditEnabled();
+
+/**
+ * Print every violation via warn() and fatal() when the report is
+ * not ok. No-op on a clean report.
+ */
+void enforce(const AuditReport &report, const std::string &context);
+
+} // namespace obs
+} // namespace supernpu
+
+#endif // SUPERNPU_OBS_AUDIT_HH

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * JSON emitter implementation.
+ */
+
+#include "json_writer.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace supernpu {
+namespace obs {
+
+std::string
+jsonEscaped(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (unsigned char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += (char)c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+void
+JsonWriter::separate()
+{
+    if (_afterKey) {
+        _afterKey = false;
+        return;
+    }
+    if (!_firstInScope.empty()) {
+        if (!_firstInScope.back())
+            _out << ',';
+        _firstInScope.back() = false;
+        _out << '\n';
+        for (int i = 0; i < _depth; ++i)
+            _out << "  ";
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separate();
+    _out << '{';
+    _firstInScope.push_back(true);
+    ++_depth;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    SUPERNPU_ASSERT(!_firstInScope.empty() && !_afterKey,
+                    "endObject outside an object");
+    const bool empty = _firstInScope.back();
+    _firstInScope.pop_back();
+    --_depth;
+    if (!empty) {
+        _out << '\n';
+        for (int i = 0; i < _depth; ++i)
+            _out << "  ";
+    }
+    _out << '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separate();
+    _out << '[';
+    _firstInScope.push_back(true);
+    ++_depth;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    SUPERNPU_ASSERT(!_firstInScope.empty() && !_afterKey,
+                    "endArray outside an array");
+    const bool empty = _firstInScope.back();
+    _firstInScope.pop_back();
+    --_depth;
+    if (!empty) {
+        _out << '\n';
+        for (int i = 0; i < _depth; ++i)
+            _out << "  ";
+    }
+    _out << ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    SUPERNPU_ASSERT(!_afterKey, "two keys in a row");
+    separate();
+    _out << '"' << jsonEscaped(name) << "\": ";
+    _afterKey = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &text)
+{
+    separate();
+    _out << '"' << jsonEscaped(text) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *text)
+{
+    return value(std::string(text));
+}
+
+JsonWriter &
+JsonWriter::value(double number)
+{
+    separate();
+    _out << jsonNumber(number);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t number)
+{
+    separate();
+    _out << number;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool flag)
+{
+    separate();
+    _out << (flag ? "true" : "false");
+    return *this;
+}
+
+} // namespace obs
+} // namespace supernpu

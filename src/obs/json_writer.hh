@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Minimal deterministic JSON emitter for run ledgers.
+ *
+ * The ledger's byte-for-byte reproducibility guarantee (two runs of
+ * the same deterministic simulation must produce identical ledger
+ * files) rules out any formatting that depends on locale, pointer
+ * order, or platform float printing quirks. This writer therefore
+ * owns all formatting: keys and values are emitted strictly in the
+ * order the caller supplies them, doubles print through one fixed
+ * "%.17g" format (round-trip exact), and strings are escaped per
+ * RFC 8259.
+ */
+
+#ifndef SUPERNPU_OBS_JSON_WRITER_HH
+#define SUPERNPU_OBS_JSON_WRITER_HH
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace supernpu {
+namespace obs {
+
+/** RFC 8259 string escaping (quotes not included). */
+std::string jsonEscaped(const std::string &text);
+
+/** Round-trip-exact, locale-independent rendering of a double. */
+std::string jsonNumber(double value);
+
+/**
+ * Streaming JSON document builder. The caller is responsible for
+ * well-formedness (every beginObject is ended, values only where
+ * values belong); the writer panics on the mismatches it can detect
+ * cheaply. Output is pretty-printed with two-space indentation so
+ * ledgers diff readably.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; the next call must supply its value. */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &text);
+    JsonWriter &value(const char *text);
+    JsonWriter &value(double number);
+    JsonWriter &value(std::uint64_t number);
+    JsonWriter &value(bool flag);
+
+    /** The document built so far. */
+    std::string str() const { return _out.str(); }
+
+  private:
+    /** Emit separators/indentation before a key or value. */
+    void separate();
+
+    std::ostringstream _out;
+    std::vector<bool> _firstInScope; ///< per open scope
+    bool _afterKey = false;
+    int _depth = 0;
+};
+
+} // namespace obs
+} // namespace supernpu
+
+#endif // SUPERNPU_OBS_JSON_WRITER_HH

@@ -55,7 +55,9 @@ ServingReport::print() const
         table.row().cell("recovery policy").cell(recovery);
         table.row().cell("faults injected").cell(faultsInjected);
         table.row().cell("batches killed").cell(batchesKilled);
+        table.row().cell("requests killed").cell(requestsKilled);
         table.row().cell("retries").cell(retriesTotal);
+        table.row().cell("retry give-ups").cell(retryGiveUps);
         table.row().cell("checkpoint restarts").cell(restarts);
         table.row().cell("re-dispatches").cell(redispatches);
         table.row().cell("link glitches absorbed").cell(glitchesAbsorbed);
@@ -166,6 +168,7 @@ MetricsCollector::finish(double makespan_sec) const
     report.latencyMax = _latency.max();
 
     report.perChipBatches = _chipBatches;
+    report.perChipBusySec = _busySec;
     if (makespan_sec > 0.0) {
         double lost = 0.0;
         for (std::size_t chip = 0; chip < _busySec.size(); ++chip) {

@@ -63,9 +63,13 @@ struct ServingReport
     // schedule; a clean run's report and output are unchanged.
     bool resilienceActive = false;
     std::string recovery;  ///< recovery policy name
+    std::uint64_t faultsScheduled = 0; ///< events in the schedule
     std::uint64_t faultsInjected = 0; ///< fault events within the run
     std::uint64_t batchesKilled = 0;  ///< corrupted batches aborted
+    /** Requests riding killed batches (== retries + give-ups). */
+    std::uint64_t requestsKilled = 0;
     std::uint64_t retriesTotal = 0;   ///< re-enqueues after kills
+    std::uint64_t retryGiveUps = 0;   ///< killed past the retry budget
     std::uint64_t restarts = 0;       ///< checkpoint restarts
     std::uint64_t redispatches = 0;   ///< requests moved off quarantine
     std::uint64_t glitchesAbsorbed = 0; ///< link stalls ridden out
@@ -76,6 +80,8 @@ struct ServingReport
     double goodputRps = 0.0;
     /** Batches launched per chip (quarantine verification). */
     std::vector<std::uint64_t> perChipBatches;
+    /** Busy seconds per chip; the sum is bounded by chips x makespan. */
+    std::vector<double> perChipBusySec;
 
     /** Render as a two-column table on stdout. */
     void print() const;

@@ -108,10 +108,18 @@ struct Chip
     std::uint64_t launchGen = 0;  ///< increments per (re)launch
     std::uint64_t pendingDoneSeq = kNoSeq; ///< valid Done event
     double launchSec = 0.0;  ///< current batch launch time
-    double serviceSec = 0.0; ///< current batch service time
+    double serviceSec = 0.0; ///< current batch service time (work)
     double doneSec = 0.0;    ///< current batch completion time
+    /**
+     * Link-glitch stall accumulated by the current batch. Stalls
+     * stretch doneSec but are NOT service work: checkpoints cover
+     * computed progress only, so the restart math must never treat
+     * glitch delay as checkpointable.
+     */
+    double glitchSec = 0.0;
     bool corrupted = false;  ///< in-flight results are garbage
     double corruptedAtSec = 0.0;
+    double glitchAtCorruptSec = 0.0; ///< glitchSec when corrupted
     double permDerate = 1.0; ///< flux-trap service multiplier
     bool quarantined = false;
     double skewUntilSec = 0.0; ///< clock-skew window end
@@ -165,7 +173,9 @@ ServingSimulator::run()
     int quarantined_count = 0;
     std::uint64_t faults_seen = 0;
     std::uint64_t batches_killed = 0;
+    std::uint64_t requests_killed = 0;
     std::uint64_t retries_total = 0;
+    std::uint64_t retry_give_ups = 0;
     std::uint64_t restarts = 0;
     std::uint64_t redispatches = 0;
     std::uint64_t glitches_absorbed = 0;
@@ -194,6 +204,14 @@ ServingSimulator::run()
         for (int i = 0; i < _cfg.chips; ++i)
             outstanding[i] = chips[i].outstanding();
         if (quarantined_count > 0) {
+            // With no healthy chip left, Dispatcher::pick would fall
+            // back to dispatching onto a quarantined chip and the
+            // run would silently "serve" from known-bad hardware.
+            if (quarantined_count >= _cfg.chips) {
+                fatal("all ", _cfg.chips, " chip(s) quarantined: no "
+                      "healthy dispatch target remains (permanent "
+                      "faults exceeded the cluster's redundancy)");
+            }
             std::vector<char> healthy((std::size_t)_cfg.chips);
             for (int i = 0; i < _cfg.chips; ++i)
                 healthy[(std::size_t)i] =
@@ -211,6 +229,8 @@ ServingSimulator::run()
         chip.inFlight = std::move(batch);
         chip.busy = true;
         chip.corrupted = false;
+        chip.glitchSec = 0.0;
+        chip.glitchAtCorruptSec = 0.0;
         ++chip.launchGen;
         double service =
             _service.batchSeconds((int)chip.inFlight.size());
@@ -335,6 +355,7 @@ ServingSimulator::run()
                 if (chip.busy && !chip.corrupted) {
                     chip.corrupted = true;
                     chip.corruptedAtSec = clock;
+                    chip.glitchAtCorruptSec = chip.glitchSec;
                     if (detects) {
                         schedule_tagged(clock + res.detectLatencySec,
                                         EventKind::Detect, event.chip,
@@ -347,6 +368,7 @@ ServingSimulator::run()
                 if (chip.busy && !chip.corrupted) {
                     chip.corrupted = true;
                     chip.corruptedAtSec = clock;
+                    chip.glitchAtCorruptSec = chip.glitchSec;
                     if (detects) {
                         schedule_tagged(clock + res.detectLatencySec,
                                         EventKind::Detect, event.chip,
@@ -376,8 +398,12 @@ ServingSimulator::run()
                 break;
               case reliability::FaultKind::LinkGlitch:
                 if (chip.busy) {
+                    // The stall delays completion and occupies the
+                    // chip, but it is not computed work: serviceSec
+                    // stays pure so checkpoint-restart math never
+                    // counts glitch delay as checkpointable.
                     chip.doneSec += fault.magnitude;
-                    chip.serviceSec += fault.magnitude;
+                    chip.glitchSec += fault.magnitude;
                     chip.pendingDoneSeq = schedule(
                         chip.doneSec, EventKind::Done, event.chip);
                     metrics.extendBusy(event.chip, fault.magnitude);
@@ -400,14 +426,20 @@ ServingSimulator::run()
             metrics.extendBusy(event.chip, -(chip.doneSec - clock));
             if (res.checkpointRestart) {
                 // Resume from the last checkpoint before corruption,
-                // on the same chip.
+                // on the same chip. Progress counts computed work
+                // only: any glitch stall that elapsed before the
+                // corruption stretched the wall clock without
+                // producing checkpointable results.
                 const double interval = res.checkpointIntervalSec;
                 const double progress = std::max(
-                    0.0, chip.corruptedAtSec - chip.launchSec);
+                    0.0, chip.corruptedAtSec - chip.launchSec -
+                             chip.glitchAtCorruptSec);
                 const double preserved =
                     std::floor(progress / interval) * interval;
                 const double remaining = chip.serviceSec - preserved;
                 chip.corrupted = false;
+                chip.glitchSec = 0.0;
+                chip.glitchAtCorruptSec = 0.0;
                 ++chip.launchGen;
                 ++restarts;
                 chip.launchSec = clock - preserved;
@@ -419,6 +451,7 @@ ServingSimulator::run()
                 // Kill the batch; requests back off and re-enter,
                 // or give up past their retry/deadline budget.
                 for (Request request : chip.inFlight) {
+                    ++requests_killed;
                     ++request.retries;
                     const bool over_retries =
                         request.retries > res.maxRetries;
@@ -427,6 +460,7 @@ ServingSimulator::run()
                         clock - request.arrivalSec >=
                             res.retryDeadlineSec;
                     if (over_retries || over_deadline) {
+                        ++retry_give_ups;
                         complete_request(request, true);
                         continue;
                     }
@@ -496,9 +530,12 @@ ServingSimulator::run()
 
     report.resilienceActive = !_cfg.faults.empty();
     report.recovery = recoveryPolicyName(res.recovery);
+    report.faultsScheduled = (std::uint64_t)_cfg.faults.size();
     report.faultsInjected = faults_seen;
     report.batchesKilled = batches_killed;
+    report.requestsKilled = requests_killed;
     report.retriesTotal = retries_total;
+    report.retryGiveUps = retry_give_ups;
     report.restarts = restarts;
     report.redispatches = redispatches;
     report.glitchesAbsorbed = glitches_absorbed;

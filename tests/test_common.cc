@@ -102,6 +102,30 @@ TEST(Stats, EmptyAccumulator)
     EXPECT_DOUBLE_EQ(stats.max(), 0.0);
 }
 
+TEST(Stats, EmptyExtremaStayZeroAndRecover)
+{
+    // The empty contract is load-bearing: serving reports built from
+    // zero-completion runs must publish 0.0 extrema, and the audit
+    // layer pins them to 0. A first negative sample must still
+    // displace the 0.0 placeholder in both directions.
+    RunningStats stats;
+    EXPECT_DOUBLE_EQ(stats.sum(), 0.0);
+    stats.add(-4.0);
+    EXPECT_DOUBLE_EQ(stats.min(), -4.0);
+    EXPECT_DOUBLE_EQ(stats.max(), -4.0);
+}
+
+TEST(Histogram, EmptyMomentsAreZero)
+{
+    const Histogram hist;
+    EXPECT_DOUBLE_EQ(hist.min(), 0.0);
+    EXPECT_DOUBLE_EQ(hist.max(), 0.0);
+    EXPECT_DOUBLE_EQ(hist.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(hist.sum(), 0.0);
+    EXPECT_DOUBLE_EQ(hist.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(hist.percentile(100.0), 0.0);
+}
+
 TEST(Stats, BasicMoments)
 {
     RunningStats stats;

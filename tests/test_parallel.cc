@@ -142,6 +142,21 @@ TEST(ThreadPool, BackToBackLoopsStress)
     }
 }
 
+TEST(ThreadPool, StatsCountLoopsAndTasks)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.stats().loops, 0ull);
+    EXPECT_EQ(pool.stats().tasks, 0ull);
+    pool.parallelFor(100, [](std::size_t) {});
+    pool.parallelMap(40, [](std::size_t i) { return i; });
+    pool.parallelFor(0, [](std::size_t) {}); // no-op, not a loop
+    const ThreadPool::Stats stats = pool.stats();
+    EXPECT_EQ(stats.jobs, 4);
+    EXPECT_EQ(stats.loops, 2ull);
+    EXPECT_EQ(stats.tasks, 140ull);
+    EXPECT_EQ(stats.maxLoopTasks, 100ull);
+}
+
 TEST(StreamSeed, DeterministicPerIndexAndDecorrelated)
 {
     // Same (seed, stream) -> same stream; different stream or base

@@ -201,6 +201,108 @@ TEST_F(ResilienceFixture, NoRecoveryShipsCorruptedBatches)
     EXPECT_EQ(report.completed, serving.requests);
 }
 
+TEST_F(ResilienceFixture, GlitchStallIsNotCheckpointableProgress)
+{
+    // Regression: a link-glitch stall stretches the wall clock but
+    // computes nothing, so a later checkpoint-restart must not count
+    // the stall as preserved progress. One chip, one request, hand
+    // placed faults — the completion time is exact.
+    ServingConfig serving;
+    serving.chips = 1;
+    serving.requests = 1;
+    serving.arrival.kind = ArrivalKind::ClosedLoop;
+    serving.arrival.clients = 1;
+    serving.batching.maxBatch = 1;
+    serving.resilience.recovery = RecoveryPolicy::RetryBackoff;
+    serving.resilience.checkpointRestart = true;
+
+    const double s = service.batchSeconds(1);
+    serving.resilience.detectLatencySec = 0.05 * s;
+    serving.resilience.checkpointIntervalSec = 0.25 * s;
+
+    reliability::FaultScheduleConfig faults;
+    faults.chips = 1;
+    reliability::FaultEvent glitch;
+    glitch.kind = reliability::FaultKind::LinkGlitch;
+    glitch.timeSec = 0.2 * s;
+    glitch.magnitude = 0.2 * s;
+    reliability::FaultEvent drop;
+    drop.kind = reliability::FaultKind::PulseDrop;
+    drop.timeSec = 0.5 * s;
+    serving.faults =
+        reliability::FaultSchedule::fromEvents(faults, {glitch, drop});
+
+    const auto report = ServingSimulator(service, serving).run();
+
+    // Launch at 0; the glitch pushes completion to 1.2s; corruption
+    // at 0.5s has computed only 0.5s - 0.2s = 0.3s of real work, so
+    // the restart resumes from the 0.25s checkpoint (not 0.5s) and
+    // finishes at detect (0.55s) + remaining (0.75s) = 1.3s.
+    EXPECT_EQ(report.completed, 1u);
+    EXPECT_EQ(report.restarts, 1u);
+    EXPECT_EQ(report.batchesKilled, 1u);
+    EXPECT_EQ(report.glitchesAbsorbed, 1u);
+    EXPECT_NEAR(report.latencyMax, 1.3 * s, 1e-9 * s);
+}
+
+TEST_F(ResilienceFixture, GlitchAfterCorruptionStillCounts)
+{
+    // Only stall that elapsed *before* the corruption is excluded
+    // from progress; the restart wipes any later glitch state. Here
+    // the glitch lands after the drop, so the full 0.5s of wall
+    // clock is computed progress and the 0.25s-interval checkpoint
+    // preserves 0.5s: completion at detect (0.55s) + 0.5s = 1.05s.
+    ServingConfig serving;
+    serving.chips = 1;
+    serving.requests = 1;
+    serving.arrival.kind = ArrivalKind::ClosedLoop;
+    serving.arrival.clients = 1;
+    serving.batching.maxBatch = 1;
+    serving.resilience.recovery = RecoveryPolicy::RetryBackoff;
+    serving.resilience.checkpointRestart = true;
+
+    const double s = service.batchSeconds(1);
+    serving.resilience.detectLatencySec = 0.05 * s;
+    serving.resilience.checkpointIntervalSec = 0.25 * s;
+
+    reliability::FaultScheduleConfig faults;
+    faults.chips = 1;
+    reliability::FaultEvent drop;
+    drop.kind = reliability::FaultKind::PulseDrop;
+    drop.timeSec = 0.5 * s;
+    reliability::FaultEvent glitch;
+    glitch.kind = reliability::FaultKind::LinkGlitch;
+    glitch.timeSec = 0.52 * s;
+    glitch.magnitude = 0.2 * s;
+    serving.faults =
+        reliability::FaultSchedule::fromEvents(faults, {drop, glitch});
+
+    const auto report = ServingSimulator(service, serving).run();
+    EXPECT_EQ(report.restarts, 1u);
+    EXPECT_NEAR(report.latencyMax, 1.05 * s, 1e-9 * s);
+}
+
+TEST_F(ResilienceFixture, AllChipsQuarantinedIsFatal)
+{
+    // A 1-chip fleet under DegradedDispatch loses its only chip to a
+    // flux trap: dispatch has nowhere healthy to go and must say so
+    // loudly instead of silently serving from known-bad hardware.
+    ServingConfig serving = baseConfig();
+    serving.chips = 1;
+    serving.faults = [&] {
+        reliability::FaultScheduleConfig faults;
+        faults.chips = 1;
+        reliability::FaultEvent event;
+        event.kind = reliability::FaultKind::FluxTrap;
+        event.magnitude = faults.fluxTrapDerate;
+        return reliability::FaultSchedule::fromEvents(faults, {event});
+    }();
+    serving.resilience.recovery = RecoveryPolicy::DegradedDispatch;
+    serving.resilience.detectLatencySec = 1e-12;
+    EXPECT_EXIT((void)ServingSimulator(service, serving).run(),
+                ::testing::ExitedWithCode(1), "quarantined");
+}
+
 TEST_F(ResilienceFixture, PermanentTrapDegradesAvailability)
 {
     ServingConfig serving = baseConfig();

@@ -17,6 +17,7 @@
 #include "estimator/npu_estimator.hh"
 #include "npusim/batch.hh"
 #include "npusim/sim_cache.hh"
+#include "obs/audit.hh"
 #include "serving/simulator.hh"
 
 namespace supernpu {
@@ -228,6 +229,30 @@ TEST_F(ServingFixture, ConservesRequestsAndBoundsBatches)
     EXPECT_LE(report.utilization, 1.0);
     EXPECT_GE(report.latencyP99, report.latencyP50);
     EXPECT_GE(report.latencyMax, report.latencyP999);
+    // The full conservation-audit battery holds on a clean run.
+    const obs::AuditReport audit = obs::auditServing(report);
+    EXPECT_TRUE(audit.ok()) << audit.summary();
+}
+
+TEST_F(ServingFixture, BusyTimeIsBoundedByChipTime)
+{
+    const double capacity = service.peakRps(solver_max);
+    ServingConfig serving = baseConfig(0.8 * 2.0 * capacity);
+    serving.chips = 2;
+    const auto report = ServingSimulator(service, serving).run();
+    ASSERT_EQ(report.perChipBusySec.size(), 2u);
+    double busy = 0.0;
+    for (double chip_busy : report.perChipBusySec) {
+        EXPECT_GE(chip_busy, 0.0);
+        EXPECT_LE(chip_busy, report.makespanSec * (1.0 + 1e-9));
+        busy += chip_busy;
+    }
+    EXPECT_LE(busy, 2.0 * report.makespanSec * (1.0 + 1e-9));
+    // utilization is exactly the busy fraction of total chip-time.
+    EXPECT_NEAR(report.utilization,
+                busy / (2.0 * report.makespanSec), 1e-9);
+    const obs::AuditReport audit = obs::auditServing(report);
+    EXPECT_TRUE(audit.ok()) << audit.summary();
 }
 
 TEST_F(ServingFixture, TimeoutFlushesPartialBatches)

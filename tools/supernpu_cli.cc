@@ -17,6 +17,10 @@
  *       Fault-injection study: degraded-geometry cycle costs,
  *       functional error propagation, and a serving run under a
  *       seeded SFQ fault schedule with a recovery policy.
+ *   supernpu report <workload> <config> [options]
+ *       Audited run ledger as JSON on stdout: the cycle-level run's
+ *       counters with conservation invariants enforced (exit 1 on
+ *       any violation).
  *   supernpu validate
  *       The Fig. 13 model-validation table.
  *   supernpu explore [options]
@@ -85,6 +89,8 @@
 #include "npusim/batch.hh"
 #include "npusim/explorer.hh"
 #include "npusim/sim.hh"
+#include "obs/audit.hh"
+#include "obs/ledger.hh"
 #include "power/power.hh"
 #include "reliability/error_propagation.hh"
 #include "reliability/fault_model.hh"
@@ -106,6 +112,8 @@ struct Options
     bool configChosen = false;
     std::string netFile;   ///< --netfile path, when given
     std::string traceFile; ///< --trace path for the mapping CSV
+    std::string ledgerFile; ///< --ledger path (.json or .csv)
+    bool jsonOut = false;  ///< --json: machine output on stdout
     serving::ServingConfig serve; ///< serve/faults-subcommand state
     reliability::FaultScheduleConfig faults; ///< fault rates + seed
     bool faultRateGiven = false; ///< any --*-rate flag seen
@@ -204,6 +212,10 @@ parseOptions(int argc, char **argv, int first, Options &options)
             options.netFile = next();
         } else if (arg == "--trace") {
             options.traceFile = next();
+        } else if (arg == "--ledger") {
+            options.ledgerFile = next();
+        } else if (arg == "--json") {
+            options.jsonOut = true;
         } else if (arg == "--rps") {
             options.serve.arrival.ratePerSec = std::stod(next());
         } else if (arg == "--chips") {
@@ -315,6 +327,25 @@ deviceFor(const Options &options)
     device.technology = options.technology;
     device.featureSizeUm = options.featureUm;
     return device;
+}
+
+/** Write the run ledger when --ledger was given; fatal on failure. */
+void
+emitLedger(const Options &options, const obs::RunLedger &ledger)
+{
+    if (options.ledgerFile.empty())
+        return;
+    if (!ledger.write(options.ledgerFile))
+        fatal("cannot write ledger '", options.ledgerFile, "'");
+    std::printf("wrote ledger to %s\n", options.ledgerFile.c_str());
+}
+
+/** Enforce an audit when SUPERNPU_AUDIT (env or build) enables it. */
+void
+maybeAudit(const obs::AuditReport &audit, const std::string &context)
+{
+    if (obs::auditEnabled())
+        obs::enforce(audit, context);
 }
 
 int
@@ -433,6 +464,46 @@ cmdSimulate(const Options &options, const dnn::Network &net)
                 report.totalWithCoolingW());
     std::printf("  DRAM traffic: %.1f MiB\n",
                 (double)run.dramBytes / (double)units::MiB);
+
+    maybeAudit(obs::auditSim(run), net.name);
+    if (!options.ledgerFile.empty()) {
+        obs::RunLedger ledger;
+        obs::addSimResult(ledger, run);
+        emitLedger(options, ledger);
+    }
+    return 0;
+}
+
+int
+cmdReport(const Options &options, const dnn::Network &net)
+{
+    const sfq::DeviceConfig device = deviceFor(options);
+    sfq::CellLibrary library(device);
+    estimator::NpuEstimator est(library);
+    const auto estimate = est.estimate(options.config);
+    npusim::NpuSimulator sim(estimate);
+    const int batch =
+        options.forcedBatch > 0
+            ? options.forcedBatch
+            : npusim::maxBatch(options.config, estimate, net);
+    const auto run = sim.run(net, batch);
+
+    // `report` is the audited machine interface: invariants always
+    // run here, regardless of the SUPERNPU_AUDIT toggle, and any
+    // violation is a non-zero exit.
+    obs::enforce(obs::auditSim(run), "report " + net.name);
+
+    obs::RunLedger ledger;
+    obs::addSimResult(ledger, run);
+    obs::addSimCacheStats(ledger, npusim::SimCache::global().stats());
+    if (!options.ledgerFile.empty()) {
+        if (!ledger.write(options.ledgerFile))
+            fatal("cannot write ledger '", options.ledgerFile, "'");
+    }
+    // JSON is the default (and only) stdout format; --json accepted
+    // for symmetry with scripts that pass it explicitly.
+    (void)options.jsonOut;
+    std::fputs(ledger.json().c_str(), stdout);
     return 0;
 }
 
@@ -473,6 +544,13 @@ cmdServe(const Options &options, const dnn::Network &net)
                 service.peakRps(serve.batching.maxBatch) *
                     (double)serve.chips,
                 report.throughputRps, report.latencyP99 * 1e3);
+
+    maybeAudit(obs::auditServing(report), "serve " + net.name);
+    if (!options.ledgerFile.empty()) {
+        obs::RunLedger ledger;
+        obs::addServingReport(ledger, report);
+        emitLedger(options, ledger);
+    }
     return 0;
 }
 
@@ -594,6 +672,18 @@ cmdFaults(const Options &options, const dnn::Network &net)
                 " under policy %s\n",
                 report.availability * 100.0, report.goodputRps,
                 report.throughputRps, report.recovery.c_str());
+
+    obs::AuditReport audit = obs::auditSim(*clean);
+    audit.merge(obs::auditServing(report));
+    maybeAudit(audit, "faults " + net.name);
+    if (!options.ledgerFile.empty()) {
+        obs::RunLedger ledger;
+        obs::addServingReport(ledger, report);
+        obs::addFaultSchedule(ledger, serve.faults);
+        obs::addSimCacheStats(ledger,
+                              npusim::SimCache::global().stats());
+        emitLedger(options, ledger);
+    }
     return 0;
 }
 
@@ -624,9 +714,10 @@ cmdExplore(const Options &options)
     sfq::CellLibrary library(device);
     npusim::DesignSpaceExplorer explorer(
         library, dnn::evaluationWorkloads());
+    ThreadPool pool(options.jobs);
     const auto ranked = explorer.explore(npusim::ExplorationSpace{},
                                          npusim::Objective::Throughput,
-                                         options.jobs);
+                                         pool);
 
     TextTable table("design-space leaderboard (throughput)");
     table.row()
@@ -659,6 +750,23 @@ cmdExplore(const Options &options)
                                   : ThreadPool::hardwareConcurrency(),
                  (unsigned long long)stats.misses,
                  (unsigned long long)stats.hits);
+
+    if (!options.ledgerFile.empty()) {
+        obs::RunLedger ledger;
+        std::uint64_t operable = 0;
+        for (const auto &cand : ranked)
+            operable += cand.operable ? 1 : 0;
+        ledger.setInt("explore", "candidates", ranked.size());
+        ledger.setInt("explore", "operable", operable);
+        if (!ranked.empty() && ranked.front().operable) {
+            ledger.setText("explore", "best", ranked.front().config.name);
+            ledger.setReal("explore", "bestMacPerSec",
+                           ranked.front().avgMacPerSec);
+        }
+        obs::addSimCacheStats(ledger, stats);
+        obs::addPoolStats(ledger, pool.stats());
+        emitLedger(options, ledger);
+    }
     return 0;
 }
 
@@ -673,6 +781,7 @@ usage()
                  "  batch <workload> <config>       Table II batch\n"
                  "  serve <workload> <config>       serving simulation\n"
                  "  faults <workload> <config>      fault-injection study\n"
+                 "  report <workload> <config>      audited JSON run ledger\n"
                  "  validate                        Fig. 13 table\n"
                  "  explore                         design-space sweep\n"
                  "configs: baseline bufferopt resourceopt supernpu\n"
@@ -680,6 +789,7 @@ usage()
                  "         --division --ifmap-mb --output-mb\n"
                  "         --bandwidth-gbps --batch --netfile <path>\n"
                  "         --trace <csv path> --jobs <n>\n"
+                 "         --ledger <json|csv path> --json\n"
                  "serve:   --rps --chips --policy dynamic|fixed\n"
                  "         --dispatch rr|jsq\n"
                  "         --arrival poisson|bursty|closed\n"
@@ -715,7 +825,8 @@ main(int argc, char **argv)
     if (command == "explore")
         return cmdExplore(options);
     if (command == "simulate" || command == "batch" ||
-        command == "serve" || command == "faults") {
+        command == "serve" || command == "faults" ||
+        command == "report") {
         dnn::Network net;
         if (!options.netFile.empty()) {
             std::ifstream file(options.netFile);
@@ -737,6 +848,8 @@ main(int argc, char **argv)
             return cmdServe(options, net);
         if (command == "faults")
             return cmdFaults(options, net);
+        if (command == "report")
+            return cmdReport(options, net);
         return cmdBatch(options, net);
     }
     return usage();
