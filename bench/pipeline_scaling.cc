@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Pipeline-parallel scaling of ResNet50 across multi-chip groups:
+ * steady-state inference throughput, fill latency, and link overhead
+ * as the same network is split over K = 1, 2, 4, 8 chips by the
+ * bottleneck-minimizing partitioner (src/partition).
+ *
+ * Each K row partitions at the single-chip Table II batch and
+ * streams a batch train through the analytic pipeline composition;
+ * every row's conservation invariants are enforced through
+ * obs::auditPipeline, and the headline acceptance property — steady
+ * throughput is monotonically non-decreasing from K=1 to K=4 — is a
+ * hard failure, checked before the takeaway prints. The sweep runs
+ * twice on fresh simulation caches and must reproduce every row bit
+ * for bit, the same determinism discipline as sweep_scaling.
+ *
+ * --smoke shrinks the K list and stream length for CI.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "common/logging.hh"
+#include "obs/audit.hh"
+#include "obs/ledger.hh"
+#include "partition/pipeline_sim.hh"
+
+using namespace supernpu;
+
+namespace {
+
+/** Full-precision fingerprint of one K row. */
+void
+fingerprintRow(std::ostringstream &out,
+               const partition::PipelineResult &run)
+{
+    out.precision(17);
+    out << run.plan.stageCount() << ' ' << run.plan.bottleneckStage
+        << ' ' << run.plan.bottleneckCycles << ' '
+        << run.plan.fillCycles << ' ' << run.makespanCycles << ' '
+        << run.totalLinkCycles << ' ' << run.steadyInferencesPerSec()
+        << '\n';
+    for (const auto &stage : run.plan.stages) {
+        out << stage.firstLayer << '-' << stage.lastLayer << ':'
+            << stage.stageCycles << ':' << stage.linkBytes << ' ';
+    }
+    out << '\n';
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::string ledger_file;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else if (std::strcmp(argv[i], "--ledger") == 0 && i + 1 < argc)
+            ledger_file = argv[i + 1];
+    }
+
+    bench::Pipeline pipeline;
+    const estimator::NpuConfig config =
+        estimator::NpuConfig::superNpu();
+    const estimator::NpuEstimate estimate =
+        pipeline.estimator.estimate(config);
+    const dnn::Network net = dnn::makeResNet50();
+    const int batch = npusim::maxBatch(config, estimate, net);
+    const int batches = smoke ? 16 : 64;
+    const std::vector<int> stage_counts =
+        smoke ? std::vector<int>{1, 2, 4}
+              : std::vector<int>{1, 2, 4, 8};
+
+    // Each sweep pass partitions on its own fresh cache — the honest
+    // mode for a scaling study, and what makes the rerun comparison
+    // meaningful rather than a cache replay.
+    const auto run_sweep = [&]() {
+        std::vector<partition::PipelineResult> rows;
+        npusim::SimCache cache(256);
+        partition::PipelineSimulator sim(estimate, {}, &cache);
+        for (int stages : stage_counts)
+            rows.push_back(sim.run(net, stages, batch, batches));
+        return rows;
+    };
+
+    const auto rows = run_sweep();
+
+    std::printf("%s on %s, batch %d, %d-batch stream, link"
+                " %.0f GB/s\n\n",
+                net.name.c_str(), config.name.c_str(), batch, batches,
+                partition::LinkConfig{}.bandwidthGBps);
+    TextTable table("pipeline scaling");
+    table.row()
+        .cell("K")
+        .cell("inf/s")
+        .cell("speedup")
+        .cell("fill us")
+        .cell("link cyc/batch")
+        .cell("bottleneck stage");
+    obs::RunLedger ledger;
+    ledger.table("scaling",
+                 {"stages", "steadyInfPerSec", "speedup",
+                  "fillLatencySec", "bottleneckStage",
+                  "bottleneckCycles", "totalLinkCycles",
+                  "makespanCycles"});
+    const double solo = rows.front().steadyInferencesPerSec();
+    for (const auto &run : rows) {
+        // Every row must satisfy the pipeline conservation laws.
+        obs::enforce(obs::auditPipeline(run), "pipeline_scaling");
+        table.row()
+            .cell((long long)run.plan.stageCount())
+            .cell(run.steadyInferencesPerSec(), 0)
+            .cell(run.steadyInferencesPerSec() / solo, 2)
+            .cell(run.plan.fillLatencySec() * 1e6, 2)
+            .cell((unsigned long long)run.totalLinkCycles)
+            .cell((long long)run.plan.bottleneckStage);
+        ledger.addRow(
+            "scaling",
+            {obs::Value::integer((std::uint64_t)run.plan.stageCount()),
+             obs::Value::real(run.steadyInferencesPerSec()),
+             obs::Value::real(run.steadyInferencesPerSec() / solo),
+             obs::Value::real(run.plan.fillLatencySec()),
+             obs::Value::integer((std::uint64_t)run.plan.bottleneckStage),
+             obs::Value::integer(run.plan.bottleneckCycles),
+             obs::Value::integer(run.totalLinkCycles),
+             obs::Value::integer(run.makespanCycles)});
+    }
+    table.print();
+
+    // Acceptance property: splitting ResNet50 over more chips never
+    // loses steady throughput from K=1 up through K=4. A violation
+    // is a hard failure, not a footnote.
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+        if (rows[i].plan.stageCount() > 4)
+            break;
+        if (rows[i].steadyInferencesPerSec() <
+            rows[i - 1].steadyInferencesPerSec()) {
+            fatal("throughput regressed from K=",
+                  rows[i - 1].plan.stageCount(), " to K=",
+                  rows[i].plan.stageCount());
+        }
+    }
+
+    // Determinism: a rerun on a fresh cache must reproduce every row
+    // bit for bit.
+    const auto print_of = [&](const auto &results) {
+        std::ostringstream out;
+        for (const auto &run : results)
+            fingerprintRow(out, run);
+        return out.str();
+    };
+    const bool rerun_same = print_of(run_sweep()) == print_of(rows);
+    std::printf("\nidentical across reruns: %s\n",
+                rerun_same ? "yes" : "NO");
+
+    std::printf("\ntakeaway: the min-max partitioner keeps the"
+                " bottleneck stage near 1/K of the network, so steady"
+                " throughput grows monotonically with pipeline depth;"
+                " the 300 GB/s inter-chip link costs a few percent"
+                " per cut, and what scaling gives up instead is fill"
+                " latency, which grows with every extra stage the"
+                " first batch must traverse.\n");
+
+    if (!ledger_file.empty()) {
+        ledger.setText("bench", "name", "pipeline_scaling");
+        ledger.setText("bench", "network", net.name);
+        ledger.setInt("bench", "batch", (std::uint64_t)batch);
+        ledger.setInt("bench", "batches", (std::uint64_t)batches);
+        ledger.setInt("bench", "smoke", smoke ? 1 : 0);
+        if (!ledger.write(ledger_file))
+            fatal("cannot write ledger '", ledger_file, "'");
+        std::printf("wrote ledger to %s\n", ledger_file.c_str());
+    }
+    return rerun_same ? 0 : 1;
+}

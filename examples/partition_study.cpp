@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Multi-chip partitioning walkthrough: split ResNet50 across a
+ * pipeline of SuperNPU chips and see where the cuts land, what the
+ * inter-chip link costs, and how steady-state throughput scales.
+ *
+ * The partitioner (src/partition) minimizes the bottleneck stage —
+ * the slowest stage sets the pipeline's initiation interval, so
+ * min-max is the right objective — using real simulated cycles per
+ * layer, then re-simulates each chosen stage as a standalone
+ * sub-network. The study closes with a link-bandwidth sensitivity
+ * check: the paper's 300 GB/s off-chip comparator against a 10x
+ * slower link, showing when activation shipping starts to eat the
+ * pipeline speedup.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "dnn/networks.hh"
+#include "estimator/npu_estimator.hh"
+#include "npusim/batch.hh"
+#include "obs/audit.hh"
+#include "partition/pipeline_sim.hh"
+
+using namespace supernpu;
+
+int
+main()
+{
+    sfq::DeviceConfig device;
+    sfq::CellLibrary library(device);
+    estimator::NpuEstimator estimator(library);
+    const estimator::NpuConfig config =
+        estimator::NpuConfig::superNpu();
+    const estimator::NpuEstimate estimate =
+        estimator.estimate(config);
+
+    const dnn::Network net = dnn::makeResNet50();
+    const int batch = npusim::maxBatch(config, estimate, net);
+    std::printf("partitioning %s (%zu layers) on %s, batch %d\n\n",
+                net.name.c_str(), net.layers.size(),
+                config.name.c_str(), batch);
+
+    // --- where do the cuts land? --------------------------------
+    partition::PipelineSimulator pipeline(estimate);
+    const auto four = pipeline.run(net, 4, batch, 64);
+    obs::enforce(obs::auditPipeline(four), "partition_study");
+
+    std::printf("the 4-chip plan (bottleneck stage %d):\n",
+                four.plan.bottleneckStage);
+    TextTable stages;
+    stages.row()
+        .cell("stage")
+        .cell("layers")
+        .cell("first layer")
+        .cell("Mcycles")
+        .cell("ship MiB")
+        .cell("util");
+    for (int s = 0; s < four.plan.stageCount(); ++s) {
+        const auto &stage = four.plan.stages[s];
+        stages.row()
+            .cell((long long)s)
+            .cell((long long)stage.layerCount())
+            .cell(net.layers[(std::size_t)stage.firstLayer].name)
+            .cell((double)stage.stageCycles / 1e6, 2)
+            .cell((double)stage.linkBytes / (1024.0 * 1024.0), 2)
+            .cell(four.plan.stageUtilization(s), 3);
+    }
+    stages.print();
+    std::printf("\nthe cuts are cycle-balanced, not layer-balanced:"
+                " early stages take fewer\nlayers because early"
+                " ResNet50 layers have big feature maps and more\n"
+                "cycles each; every stage ships its output"
+                " activations forward, so the\nlast stage ships"
+                " nothing.\n\n");
+
+    // --- how does throughput scale with chips? ------------------
+    const auto solo = pipeline.run(net, 1, batch, 64);
+    TextTable scale("throughput vs pipeline depth");
+    scale.row()
+        .cell("chips")
+        .cell("inf/s")
+        .cell("speedup")
+        .cell("fill latency us");
+    for (int k : {1, 2, 3, 4}) {
+        const auto run = pipeline.run(net, k, batch, 64);
+        obs::enforce(obs::auditPipeline(run), "partition_study");
+        scale.row()
+            .cell((long long)k)
+            .cell(run.steadyInferencesPerSec(), 0)
+            .cell(run.steadyInferencesPerSec() /
+                      solo.steadyInferencesPerSec(),
+                  2)
+            .cell(run.plan.fillLatencySec() * 1e6, 1);
+    }
+    scale.print();
+    std::printf("\nspeedup trails K because the network is not"
+                " perfectly divisible and\nevery cut adds link"
+                " occupancy to some stage; the first batch also"
+                " pays\nthe whole fill latency before the pipeline"
+                " reaches steady state.\n\n");
+
+    // --- what if the link is 10x slower? ------------------------
+    partition::LinkConfig slow;
+    slow.bandwidthGBps = 30.0;
+    partition::PipelineSimulator slow_pipeline(estimate, slow);
+    const auto slow_four = slow_pipeline.run(net, 4, batch, 64);
+    std::printf("link sensitivity at 4 chips:\n"
+                "  300 GB/s (paper's off-chip rate): %.0f inf/s\n"
+                "   30 GB/s (10x slower)           : %.0f inf/s"
+                " (%.0f%% of the fast link)\n",
+                four.steadyInferencesPerSec(),
+                slow_four.steadyInferencesPerSec(),
+                100.0 * slow_four.steadyInferencesPerSec() /
+                    four.steadyInferencesPerSec());
+    std::printf("\nactivation shipping sits on the critical path of"
+                " whichever stage ships\nthe most, so a slow link"
+                " first moves the bottleneck to an early stage\nwith"
+                " big feature maps, then flattens the scaling curve"
+                " entirely.\n");
+    return 0;
+}

@@ -12,6 +12,7 @@
 #include "common/parallel.hh"
 #include "common/units.hh"
 #include "estimator/design_rules.hh"
+#include "partition/pipeline_sim.hh"
 #include "sim.hh"
 
 namespace supernpu {
@@ -68,12 +69,14 @@ DesignSpaceExplorer::makeConfig(int width, int division, int regs,
 Candidate
 DesignSpaceExplorer::evaluate(
     const estimator::NpuEstimator &npu_estimator,
-    const estimator::NpuConfig &config, Objective objective) const
+    const estimator::NpuConfig &config, int pipeline_stages,
+    const partition::LinkConfig &link, Objective objective) const
 {
     Candidate cand;
     cand.config = config;
+    cand.pipelineStages = pipeline_stages;
     const auto est = npu_estimator.estimate(cand.config);
-    cand.areaMm2 = est.areaMm2;
+    cand.areaMm2 = est.areaMm2 * (double)pipeline_stages;
 
     const auto findings =
         estimator::checkDesignRules(cand.config, est);
@@ -90,21 +93,50 @@ DesignSpaceExplorer::evaluate(
 
     NpuSimulator sim(est);
     double dynamic = 0.0;
-    for (const auto &net : _workloads) {
-        const int batch = maxBatch(cand.config, est, net);
-        std::shared_ptr<const SimResult> run;
-        if (_cache) {
-            run = _cache->getOrRun(sim, net, batch);
-        } else {
-            run = std::make_shared<const SimResult>(
-                sim.run(net, batch));
+    if (pipeline_stages > 1) {
+        // A K-chip pipeline candidate: score the steady-state
+        // group throughput from the partitioned pipeline, and
+        // charge K chips of static power plus each stage's dynamic
+        // power weighted by its steady-state duty cycle.
+        SimCache fresh;
+        SimCache *cache = _cache ? _cache : &fresh;
+        partition::PipelineSimulator pipeline(est, link, cache);
+        for (const auto &net : _workloads) {
+            const int batch = maxBatch(cand.config, est, net);
+            const partition::PipelineResult run =
+                pipeline.run(net, pipeline_stages, batch);
+            cand.avgMacPerSec +=
+                run.effectiveMacPerSec() / (double)_workloads.size();
+            double group_dynamic = 0.0;
+            for (const auto &stage : run.plan.stages) {
+                group_dynamic +=
+                    power::analyze(est, *stage.sim).dynamicW *
+                    ((double)stage.sim->totalCycles /
+                     (double)run.plan.bottleneckCycles);
+            }
+            dynamic += group_dynamic / (double)_workloads.size();
         }
-        cand.avgMacPerSec +=
-            run->effectiveMacPerSec() / (double)_workloads.size();
-        dynamic += power::analyze(est, *run).dynamicW /
-                   (double)_workloads.size();
+        cand.chipPowerW =
+            (double)pipeline_stages * est.staticPowerW + dynamic;
+        cand.config.name += "/k";
+        cand.config.name += std::to_string(pipeline_stages);
+    } else {
+        for (const auto &net : _workloads) {
+            const int batch = maxBatch(cand.config, est, net);
+            std::shared_ptr<const SimResult> run;
+            if (_cache) {
+                run = _cache->getOrRun(sim, net, batch);
+            } else {
+                run = std::make_shared<const SimResult>(
+                    sim.run(net, batch));
+            }
+            cand.avgMacPerSec +=
+                run->effectiveMacPerSec() / (double)_workloads.size();
+            dynamic += power::analyze(est, *run).dynamicW /
+                       (double)_workloads.size();
+        }
+        cand.chipPowerW = est.staticPowerW + dynamic;
     }
-    cand.chipPowerW = est.staticPowerW + dynamic;
 
     switch (objective) {
       case Objective::Throughput:
@@ -137,16 +169,24 @@ DesignSpaceExplorer::explore(const ExplorationSpace &space,
                         space.bufferMbForWidth.size(),
                     "bufferMbForWidth must parallel widths");
 
-    // Flatten the knob nest in the canonical (width, division, regs)
-    // order; parallelMap fills result slots in this same order, so
-    // the pre-sort candidate sequence is independent of `jobs`.
-    std::vector<estimator::NpuConfig> points;
+    SUPERNPU_ASSERT(!space.pipelineStages.empty(),
+                    "pipelineStages must not be empty");
+
+    // Flatten the knob nest in the canonical (width, division, regs,
+    // stages) order; parallelMap fills result slots in this same
+    // order, so the pre-sort candidate sequence is independent of
+    // `jobs`. The default pipelineStages = {1} enumerates exactly
+    // the pre-partition point list.
+    std::vector<std::pair<estimator::NpuConfig, int>> points;
     for (std::size_t w = 0; w < space.widths.size(); ++w) {
         for (int division : space.divisions) {
             for (int regs : space.regsPerPe) {
-                points.push_back(makeConfig(space.widths[w], division,
-                                            regs,
-                                            space.bufferMbForWidth[w]));
+                for (int stages : space.pipelineStages) {
+                    points.emplace_back(
+                        makeConfig(space.widths[w], division, regs,
+                                   space.bufferMbForWidth[w]),
+                        stages);
+                }
             }
         }
     }
@@ -154,7 +194,8 @@ DesignSpaceExplorer::explore(const ExplorationSpace &space,
     estimator::NpuEstimator npu_estimator(_lib);
     std::vector<Candidate> candidates =
         pool.parallelMap(points.size(), [&](std::size_t i) {
-            return evaluate(npu_estimator, points[i], objective);
+            return evaluate(npu_estimator, points[i].first,
+                            points[i].second, space.link, objective);
         });
 
     std::stable_sort(candidates.begin(), candidates.end(),

@@ -25,6 +25,7 @@
 #include "common/parallel.hh"
 #include "dnn/layer.hh"
 #include "estimator/npu_estimator.hh"
+#include "partition/link_model.hh"
 #include "power/power.hh"
 #include "sim_cache.hh"
 
@@ -54,14 +55,31 @@ struct ExplorationSpace
      * resource-balancing points); must parallel `widths`.
      */
     std::vector<int> bufferMbForWidth = {24, 38, 46, 50};
+
+    /**
+     * Pipeline-group sizes to co-explore (src/partition): each knob
+     * point is also scored as a K-chip layer-wise pipeline for every
+     * K here. The default {1} reproduces the single-chip sweep byte
+     * for byte; K > 1 candidates are named with a "/k<K>" suffix,
+     * score steady-state pipeline throughput, and charge K chips of
+     * power.
+     */
+    std::vector<int> pipelineStages = {1};
+
+    /** Inter-chip link of the K > 1 pipeline candidates. */
+    partition::LinkConfig link;
 };
 
 /** One evaluated candidate. */
 struct Candidate
 {
     estimator::NpuConfig config;
+    /** Chips in the candidate's pipeline group; 1 = single chip. */
+    int pipelineStages = 1;
     double avgMacPerSec = 0.0;
+    /** Power of the whole candidate (all K chips for a pipeline). */
     double chipPowerW = 0.0;
+    /** Area of the whole candidate (all K chips for a pipeline). */
     double areaMm2 = 0.0;
     double score = 0.0;
     bool operable = true;
@@ -115,6 +133,8 @@ class DesignSpaceExplorer
     /** Score one knob point (the parallel unit of work). */
     Candidate evaluate(const estimator::NpuEstimator &npu_estimator,
                        const estimator::NpuConfig &config,
+                       int pipeline_stages,
+                       const partition::LinkConfig &link,
                        Objective objective) const;
 
     const sfq::CellLibrary &_lib;

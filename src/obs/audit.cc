@@ -233,6 +233,90 @@ auditServing(const serving::ServingReport &report)
     return audit;
 }
 
+AuditReport
+auditPipeline(const partition::PipelineResult &result)
+{
+    AuditReport audit;
+    const partition::PartitionPlan &plan = result.plan;
+    const int k = plan.stageCount();
+    if (k < 1) {
+        audit.violations.push_back(Violation{
+            "pipeline", "stages", ">= 1", std::to_string(k)});
+        return audit;
+    }
+
+    std::uint64_t fill = 0, stage_cycles = 0, link_cycles = 0;
+    std::uint64_t macs = 0, bottleneck = 0;
+    int bottleneck_stage = 0;
+    int next_first = 0;
+    for (int s = 0; s < k; ++s) {
+        const partition::PipelineStage &stage = plan.stages[s];
+        const std::string source =
+            "pipeline/stage" + std::to_string(s);
+        // Each stage's own cycle accounting must hold, and the
+        // stage totals must be the simulation's, not a cached copy
+        // that drifted.
+        audit.merge(auditSim(*stage.sim));
+        expectEq(audit, source, "stageCycles",
+                 stage.sim->totalCycles, stage.stageCycles);
+        expectEq(audit, source, "firstLayer",
+                 (std::uint64_t)next_first,
+                 (std::uint64_t)stage.firstLayer);
+        expectLe(audit, source, "layerCount", 1.0,
+                 (double)stage.layerCount());
+        expectEq(audit, source, "simBatch", (std::uint64_t)plan.batch,
+                 (std::uint64_t)stage.sim->batch);
+        next_first = stage.lastLayer + 1;
+
+        const std::uint64_t occ = stage.occupancyCycles();
+        fill += occ;
+        stage_cycles += stage.stageCycles;
+        link_cycles += stage.linkCycles;
+        macs += stage.sim->macOps;
+        if (occ > bottleneck) {
+            bottleneck = occ;
+            bottleneck_stage = s;
+        }
+        expectRange(audit, source, "utilization",
+                    plan.stageUtilization(s), 0.0, 1.0);
+    }
+    expectEq(audit, "pipeline", "lastStageLinkCycles", 0,
+             plan.stages[k - 1].linkCycles);
+    expectEq(audit, "pipeline", "lastStageLinkBytes", 0,
+             plan.stages[k - 1].linkBytes);
+
+    expectEq(audit, "pipeline", "bottleneckCycles", bottleneck,
+             plan.bottleneckCycles);
+    expectEq(audit, "pipeline", "bottleneckStage",
+             (std::uint64_t)bottleneck_stage,
+             (std::uint64_t)plan.bottleneckStage);
+    expectEq(audit, "pipeline", "bottleneckUtilization", 1,
+             (std::uint64_t)plan.stageUtilization(
+                 plan.bottleneckStage));
+    // Σ stage + link cycles is exactly the fill latency, and the
+    // bottleneck bounds it on both sides: one stage cannot exceed
+    // the sum, and no stage exceeds the bottleneck.
+    expectEq(audit, "pipeline", "fillCycles",
+             stage_cycles + link_cycles, plan.fillCycles);
+    expectEq(audit, "pipeline", "fillCycles", fill, plan.fillCycles);
+    expectLe(audit, "pipeline", "bottleneckLeFill",
+             (double)plan.bottleneckCycles, (double)plan.fillCycles);
+    expectLe(audit, "pipeline", "fillLeStagesTimesBottleneck",
+             (double)plan.fillCycles,
+             (double)k * (double)plan.bottleneckCycles);
+    expectEq(audit, "pipeline", "totalStageCycles", stage_cycles,
+             result.totalStageCycles);
+    expectEq(audit, "pipeline", "totalLinkCycles", link_cycles,
+             result.totalLinkCycles);
+    expectEq(audit, "pipeline", "macOpsPerBatch", macs,
+             result.macOpsPerBatch);
+    expectEq(audit, "pipeline", "makespanCycles",
+             plan.fillCycles + (std::uint64_t)(result.batches - 1) *
+                                   plan.bottleneckCycles,
+             result.makespanCycles);
+    return audit;
+}
+
 bool
 auditEnabled()
 {

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "npusim/result.hh"
+#include "partition/pipeline_sim.hh"
 #include "serving/metrics.hh"
 
 namespace supernpu {
@@ -69,6 +70,16 @@ AuditReport auditSim(const npusim::SimResult &result);
  * fault-path kill/retry/give-up balance.
  */
 AuditReport auditServing(const serving::ServingReport &report);
+
+/**
+ * Audit a pipeline-parallel run: every stage's SimResult, stage
+ * range contiguity, occupancy roll-ups (Σ stage + link cycles ==
+ * fill), the bottleneck being the max-occupancy stage with
+ * bottleneck <= fill <= stages x bottleneck, stage utilizations in
+ * (0, 1] with exactly 1 at the bottleneck, a link-free final stage,
+ * and the stream makespan identity fill + (M-1)·bottleneck.
+ */
+AuditReport auditPipeline(const partition::PipelineResult &result);
 
 /**
  * Whether audits should run: the SUPERNPU_AUDIT environment variable

@@ -358,6 +358,12 @@ addServingReport(RunLedger &ledger,
     ledger.setText("serving", "dispatch", report.dispatch);
     ledger.setInt("serving", "maxBatch",
                   (std::uint64_t)report.maxBatch);
+    if (report.pipelineStages > 1) {
+        ledger.setInt("serving", "pipelineStages",
+                      (std::uint64_t)report.pipelineStages);
+        ledger.setInt("serving", "pipelineGroups",
+                      (std::uint64_t)report.pipelineGroups);
+    }
     ledger.setInt("serving", "generated", report.generated);
     ledger.setInt("serving", "completed", report.completed);
     ledger.setReal("serving", "makespanSec", report.makespanSec);
@@ -410,6 +416,64 @@ addServingReport(RunLedger &ledger,
                       {Value::integer((std::uint64_t)chip),
                        Value::integer(report.perChipBatches[chip]),
                        Value::real(busy)});
+    }
+}
+
+void
+addPipelineResult(RunLedger &ledger,
+                  const partition::PipelineResult &result)
+{
+    const partition::PartitionPlan &plan = result.plan;
+    ledger.setText("pipeline", "network", plan.networkName);
+    ledger.setText("pipeline", "config", plan.configName);
+    ledger.setInt("pipeline", "stages",
+                  (std::uint64_t)plan.stageCount());
+    ledger.setInt("pipeline", "batch", (std::uint64_t)plan.batch);
+    ledger.setInt("pipeline", "batches",
+                  (std::uint64_t)result.batches);
+    ledger.setReal("pipeline", "frequencyGhz", plan.frequencyGhz);
+    ledger.setReal("pipeline", "linkBandwidthGBps",
+                   plan.link.bandwidthGBps);
+    ledger.setInt("pipeline", "linkLatencyCycles",
+                  plan.link.latencyCycles);
+    ledger.setInt("pipeline", "bottleneckStage",
+                  (std::uint64_t)plan.bottleneckStage);
+    ledger.setInt("pipeline", "bottleneckCycles",
+                  plan.bottleneckCycles);
+    ledger.setInt("pipeline", "fillCycles", plan.fillCycles);
+    ledger.setInt("pipeline", "makespanCycles",
+                  result.makespanCycles);
+    ledger.setInt("pipeline", "totalStageCycles",
+                  result.totalStageCycles);
+    ledger.setInt("pipeline", "totalLinkCycles",
+                  result.totalLinkCycles);
+    ledger.setInt("pipeline", "macOpsPerBatch",
+                  result.macOpsPerBatch);
+    ledger.setReal("pipeline", "fillLatencySec",
+                   plan.fillLatencySec());
+    ledger.setReal("pipeline", "intervalSec", plan.intervalSec());
+    ledger.setReal("pipeline", "makespanSec", result.makespanSec());
+    ledger.setReal("pipeline", "steadyInferencesPerSec",
+                   result.steadyInferencesPerSec());
+
+    (void)ledger.table(
+        "stages",
+        {"stage", "firstLayer", "lastLayer", "layers", "stageCycles",
+         "linkBytes", "linkCycles", "occupancyCycles",
+         "utilization"});
+    for (int s = 0; s < plan.stageCount(); ++s) {
+        const partition::PipelineStage &stage = plan.stages[s];
+        ledger.addRow(
+            "stages",
+            {Value::integer((std::uint64_t)s),
+             Value::integer((std::uint64_t)stage.firstLayer),
+             Value::integer((std::uint64_t)stage.lastLayer),
+             Value::integer((std::uint64_t)stage.layerCount()),
+             Value::integer(stage.stageCycles),
+             Value::integer(stage.linkBytes),
+             Value::integer(stage.linkCycles),
+             Value::integer(stage.occupancyCycles()),
+             Value::real(plan.stageUtilization(s))});
     }
 }
 

@@ -37,6 +37,7 @@
 #include "common/parallel.hh"
 #include "npusim/result.hh"
 #include "npusim/sim_cache.hh"
+#include "partition/pipeline_sim.hh"
 #include "reliability/fault_model.hh"
 #include "serving/metrics.hh"
 
@@ -165,6 +166,17 @@ void addSimResult(RunLedger &ledger, const npusim::SimResult &result);
  */
 void addServingReport(RunLedger &ledger,
                       const serving::ServingReport &report);
+
+/**
+ * Record a pipeline-parallel run: a "pipeline" section (stage
+ * count, bottleneck, fill/steady-state timing, link parameters) and
+ * a "stages" table with one row per pipeline stage. A K=1 plan's
+ * stage simulation is the single-chip SimResult itself, so pairing
+ * this with addSimResult(stage.sim) reproduces the single-chip
+ * ledger byte for byte.
+ */
+void addPipelineResult(RunLedger &ledger,
+                       const partition::PipelineResult &result);
 
 /** Record a fault schedule summary under a "faults" section. */
 void addFaultSchedule(RunLedger &ledger,

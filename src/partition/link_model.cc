@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Inter-chip link model implementation.
+ */
+
+#include "link_model.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace supernpu {
+namespace partition {
+
+namespace {
+
+constexpr std::uint64_t kSaturated =
+    std::numeric_limits<std::uint64_t>::max();
+
+} // namespace
+
+void
+LinkConfig::check() const
+{
+    if (bandwidthGBps <= 0.0)
+        fatal("link bandwidth must be positive, got %g GB/s",
+              bandwidthGBps);
+}
+
+std::uint64_t
+activationBytes(const dnn::Layer &boundary, int batch)
+{
+    SUPERNPU_ASSERT(batch >= 1, "batch must be positive");
+    // Compute the true product in floating point first: the layer
+    // fields are ints the parser does not bound, so the uint64
+    // ofmapBytes() accessor itself can wrap on absurd shapes.
+    double true_bytes = (double)boundary.outChannels *
+                        (double)boundary.outHeight() *
+                        (double)boundary.outWidth() * (double)batch;
+    if (true_bytes >= (double)kSaturated) {
+        warn("layer '%s' activation transfer (%g bytes at batch %d) "
+             "exceeds the 64-bit transfer size type; saturating",
+             boundary.name.c_str(), true_bytes, batch);
+        return kSaturated;
+    }
+    return boundary.ofmapBytes() * (std::uint64_t)batch;
+}
+
+std::uint64_t
+transferCycles(const LinkConfig &link, std::uint64_t bytes,
+               double frequency_ghz)
+{
+    link.check();
+    SUPERNPU_ASSERT(frequency_ghz > 0.0, "clock must be positive");
+    // cycles = bytes / (bytes/s) * (cycles/s); both in 1e9 units so
+    // the 1e9 factors cancel. Values below 2^53 are exact in double;
+    // anything larger saturates anyway.
+    double wire = std::ceil((double)bytes * frequency_ghz /
+                            link.bandwidthGBps);
+    double total = (double)link.latencyCycles + wire;
+    if (total >= (double)std::numeric_limits<std::uint64_t>::max()) {
+        warn("link transfer of %llu bytes saturates the 64-bit cycle "
+             "count", (unsigned long long)bytes);
+        return std::numeric_limits<std::uint64_t>::max();
+    }
+    return (std::uint64_t)total;
+}
+
+} // namespace partition
+} // namespace supernpu

@@ -35,6 +35,10 @@ ServingReport::print() const
                 network.c_str(), configName.c_str(), chips,
                 arrival.c_str(), policy.c_str(), maxBatch,
                 dispatch.c_str());
+    if (pipelineStages > 1) {
+        std::printf("pipelined: %d stages x %d group(s)\n",
+                    pipelineStages, pipelineGroups);
+    }
     TextTable table;
     table.row().cell("metric").cell("value");
     table.row().cell("requests completed").cell((long long)completed);
@@ -107,6 +111,24 @@ MetricsCollector::recordBatch(int chip, int size, double service_sec)
 }
 
 void
+MetricsCollector::recordPipelinedBatch(
+    int first_chip, int size, const std::vector<double> &stage_busy)
+{
+    SUPERNPU_ASSERT(first_chip >= 0 &&
+                        first_chip + (int)stage_busy.size() <=
+                            (int)_busySec.size(),
+                    "pipeline group outside the chip range");
+    _batchSizes.add((double)size);
+    // The launch counts once, attributed to the group's stage-0
+    // chip, so Σ perChipBatches == batchesLaunched still holds
+    // (obs/audit.hh checks it); the busy time lands on each stage's
+    // physical chip.
+    ++_chipBatches[first_chip];
+    for (std::size_t stage = 0; stage < stage_busy.size(); ++stage)
+        _busySec[first_chip + (int)stage] += stage_busy[stage];
+}
+
+void
 MetricsCollector::extendBusy(int chip, double delta_sec)
 {
     SUPERNPU_ASSERT(chip >= 0 && chip < (int)_busySec.size(),
@@ -156,6 +178,16 @@ MetricsCollector::finish(double makespan_sec) const
         report.utilization =
             busy / (makespan_sec * (double)_busySec.size());
         report.meanQueueDepth = _depthIntegral / makespan_sec;
+    } else {
+        // A zero-length run (no requests, or everything at t = 0)
+        // has no meaningful rates; every time-normalized metric is
+        // pinned to 0 rather than dividing by zero.
+        warn("serving makespan is zero; reporting zero rates, "
+             "utilization, and availability");
+        report.throughputRps = 0.0;
+        report.utilization = 0.0;
+        report.meanQueueDepth = 0.0;
+        report.availability = 0.0;
     }
     report.batchesLaunched = _batchSizes.count();
     report.meanBatch = _batchSizes.mean();

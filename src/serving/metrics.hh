@@ -33,6 +33,10 @@ struct ServingReport
     std::string policy;   ///< batching policy name
     std::string dispatch; ///< dispatch policy name
     int maxBatch = 1;
+    /** Stages per pipeline group; 1 = whole-request placement. */
+    int pipelineStages = 1;
+    /** Pipeline groups (chips / pipelineStages). */
+    int pipelineGroups = 0;
 
     // --- volume -----------------------------------------------------
     std::uint64_t generated = 0; ///< requests injected
@@ -105,6 +109,15 @@ class MetricsCollector
 
     /** One batch launched on `chip`, busying it for `service` s. */
     void recordBatch(int chip, int size, double service_sec);
+
+    /**
+     * One batch launched on a pipeline group whose stage-0 chip is
+     * `first_chip`: the launch counts once (attributed to the
+     * stage-0 chip, keeping Σ perChipBatches == batchesLaunched)
+     * while stage i's busy time lands on chip first_chip + i.
+     */
+    void recordPipelinedBatch(int first_chip, int size,
+                              const std::vector<double> &stage_busy);
 
     /**
      * Adjust a chip's recorded busy time after the fact: positive

@@ -66,6 +66,9 @@ class BatchServiceModel
     /** Distinct batch sizes this model has resolved so far. */
     std::size_t cachedBatches() const;
 
+    /** The simulation memo store this model resolves through. */
+    npusim::SimCache *cache() const { return _cache; }
+
   private:
     npusim::NpuSimulator _sim;
     dnn::Network _net;

@@ -27,7 +27,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <limits>
+#include <memory>
 #include <queue>
 
 #include "common/logging.hh"
@@ -44,7 +46,21 @@ ServingConfig::check() const
         fatal("serving needs at least one chip");
     if (requests < 1)
         fatal("serving needs at least one request");
+    if (pipelineStages < 1)
+        fatal("pipelineStages must be at least 1, got ",
+              pipelineStages);
+    if (chips % pipelineStages != 0) {
+        fatal("pipelined serving needs chips divisible by the stage "
+              "count: ", chips, " chips, ", pipelineStages,
+              " stages");
+    }
+    link.check();
     resilience.check();
+    if (pipelineStages > 1 && resilience.checkpointRestart) {
+        fatal("checkpoint-restart resilience is not supported with "
+              "pipelined placement (no per-stage checkpoint model); "
+              "use retry or degraded-dispatch recovery");
+    }
     if (!faults.empty() && faults.config().chips != chips)
         fatal("fault schedule covers ", faults.config().chips,
               " chips but the serving config has ", chips);
@@ -62,6 +78,7 @@ enum class EventKind
     Detect,    ///< corruption detection latency elapsed
     Quarantine,///< a permanently-faulted chip is taken out
     Retry,     ///< a killed request's backoff expired
+    StageFree, ///< a pipeline group's stage 0 can accept a batch
 };
 
 /** One scheduled event. */
@@ -95,7 +112,27 @@ struct EventAfter
 constexpr std::uint64_t kNoSeq =
     std::numeric_limits<std::uint64_t>::max();
 
-/** One simulated NPU die: its batch queue and in-flight batch. */
+/**
+ * One batch streaming through a K-stage pipeline group. Launched
+ * back to back, several can be in flight in one group at once; the
+ * deque stays FIFO-ordered by completion.
+ */
+struct PipeBatch
+{
+    std::vector<Request> requests;
+    double launchSec = 0.0;
+    double doneSec = 0.0;
+    std::uint64_t doneSeq = 0; ///< valid Done event for this batch
+    bool corrupted = false;
+    /** Per-stage busy windows, offsets from launchSec (derated). */
+    std::vector<double> stageStartSec;
+    std::vector<double> stageBusySec;
+};
+
+/**
+ * One dispatch target: a single NPU die, or — in pipelined mode — a
+ * whole K-chip pipeline group sharing one batch queue.
+ */
 struct Chip
 {
     explicit Chip(const BatchingConfig &batching) : queue(batching) {}
@@ -103,6 +140,20 @@ struct Chip
     BatchQueue queue;
     bool busy = false;
     std::vector<Request> inFlight;
+
+    // --- pipelined-mode state (unused when pipelineStages == 1) -----
+    std::deque<PipeBatch> pipeInFlight;
+    double lastPipeDoneSec = 0.0; ///< FIFO floor for completions
+    double freeSec = 0.0;         ///< when stage 0 frees
+    std::uint64_t pendingFreeSeq = kNoSeq; ///< valid StageFree event
+    /**
+     * Per stage lane: when the busy time charged for link-glitch
+     * stalls ends. A stall only occupies the struck chip while the
+     * group still has batches to ship, so when a Detect wave empties
+     * the group the unexpired remainder is given back. Sized K on
+     * the first glitch.
+     */
+    std::vector<double> stallUntilSec;
 
     // --- fault state (inert without a fault schedule) ---------------
     std::uint64_t launchGen = 0;  ///< increments per (re)launch
@@ -127,7 +178,10 @@ struct Chip
 
     int outstanding() const
     {
-        return (int)queue.depth() + (int)inFlight.size();
+        int pipelined = 0;
+        for (const PipeBatch &batch : pipeInFlight)
+            pipelined += (int)batch.requests.size();
+        return (int)queue.depth() + (int)inFlight.size() + pipelined;
     }
 };
 
@@ -159,12 +213,25 @@ ServingSimulator::run()
             Event{time, next_seq++, EventKind::Retry, -1, 0, request});
     };
 
+    // Pipelined placement: dispatch targets are K-chip groups, not
+    // single dies. K == 1 keeps n_targets == chips and leaves every
+    // code path below byte-identical to the pre-partition loop.
+    const int K = _cfg.pipelineStages;
+    const bool pipelined = K > 1;
+    const int n_targets = _cfg.chips / K;
+    std::unique_ptr<partition::PipelineServiceModel> pipe;
+    if (pipelined) {
+        pipe = std::make_unique<partition::PipelineServiceModel>(
+            _service.estimate(), _service.network(), K, _cfg.link,
+            _service.cache());
+    }
+
     ArrivalProcess arrivals(_cfg.arrival, _cfg.seed);
-    Dispatcher dispatcher(_cfg.dispatch, _cfg.chips);
+    Dispatcher dispatcher(_cfg.dispatch, n_targets);
     MetricsCollector metrics(_cfg.chips);
     const ResilienceConfig &res = _cfg.resilience;
 
-    std::vector<Chip> chips(_cfg.chips, Chip(_cfg.batching));
+    std::vector<Chip> chips(n_targets, Chip(_cfg.batching));
     std::uint64_t injected = 0;  ///< arrival events created
     std::uint64_t arrived = 0;   ///< requests that entered a queue
     std::uint64_t completed = 0;
@@ -196,24 +263,51 @@ ServingSimulator::run()
         }
     };
 
+    // A killed batch's requests back off and re-enter, or give up
+    // past their retry/deadline budget. Shared by the single-chip
+    // and pipelined Detect paths.
+    const auto kill_requests = [&](std::vector<Request> &requests) {
+        for (Request request : requests) {
+            ++requests_killed;
+            ++request.retries;
+            const bool over_retries =
+                request.retries > res.maxRetries;
+            const bool over_deadline =
+                res.retryDeadlineSec > 0 &&
+                clock - request.arrivalSec >= res.retryDeadlineSec;
+            if (over_retries || over_deadline) {
+                ++retry_give_ups;
+                complete_request(request, true);
+                continue;
+            }
+            double backoff = res.backoffBaseSec;
+            for (int i = 1; i < request.retries; ++i)
+                backoff *= res.backoffMultiplier;
+            ++retries_total;
+            schedule_retry(clock + backoff, request);
+        }
+    };
+
     // Dispatch target for a new or re-enqueued request. Only when a
     // chip is actually quarantined does the health mask exist, so a
     // fault-free run drives the dispatcher exactly as before.
     const auto pick_target = [&]() {
-        std::vector<int> outstanding(_cfg.chips);
-        for (int i = 0; i < _cfg.chips; ++i)
+        std::vector<int> outstanding(n_targets);
+        for (int i = 0; i < n_targets; ++i)
             outstanding[i] = chips[i].outstanding();
         if (quarantined_count > 0) {
             // With no healthy chip left, Dispatcher::pick would fall
             // back to dispatching onto a quarantined chip and the
             // run would silently "serve" from known-bad hardware.
-            if (quarantined_count >= _cfg.chips) {
-                fatal("all ", _cfg.chips, " chip(s) quarantined: no "
+            if (quarantined_count >= n_targets) {
+                fatal("all ", n_targets,
+                      pipelined ? " pipeline group(s)" : " chip(s)",
+                      " quarantined: no "
                       "healthy dispatch target remains (permanent "
                       "faults exceeded the cluster's redundancy)");
             }
-            std::vector<char> healthy((std::size_t)_cfg.chips);
-            for (int i = 0; i < _cfg.chips; ++i)
+            std::vector<char> healthy((std::size_t)n_targets);
+            for (int i = 0; i < n_targets; ++i)
                 healthy[(std::size_t)i] =
                     chips[i].quarantined ? 0 : 1;
             return dispatcher.pick(outstanding, healthy);
@@ -226,6 +320,44 @@ ServingSimulator::run()
     const auto launch_batch = [&](int index,
                                   std::vector<Request> batch) {
         Chip &chip = chips[index];
+        if (pipelined) {
+            // The batch streams through the group's K stages:
+            // stage 0 frees one (derated) initiation interval after
+            // launch, results emerge a full pipeline latency later,
+            // and completions stay FIFO — a faster later batch
+            // queues behind its predecessor's drain.
+            const int size = (int)batch.size();
+            const partition::PipelineServiceModel::Timing timing =
+                pipe->timing(size);
+            double scale = chip.permDerate;
+            if (clock < chip.skewUntilSec)
+                scale *= chip.skewFactor;
+            PipeBatch pipe_batch;
+            pipe_batch.requests = std::move(batch);
+            pipe_batch.launchSec = clock;
+            pipe_batch.doneSec =
+                std::max(clock + timing.latencySec * scale,
+                         chip.lastPipeDoneSec);
+            pipe_batch.stageStartSec.resize((std::size_t)K);
+            pipe_batch.stageBusySec.resize((std::size_t)K);
+            for (int stage = 0; stage < K; ++stage) {
+                pipe_batch.stageStartSec[(std::size_t)stage] =
+                    timing.stageStartSec[(std::size_t)stage] * scale;
+                pipe_batch.stageBusySec[(std::size_t)stage] =
+                    timing.stageBusySec[(std::size_t)stage] * scale;
+            }
+            chip.lastPipeDoneSec = pipe_batch.doneSec;
+            metrics.recordPipelinedBatch(index * K, size,
+                                         pipe_batch.stageBusySec);
+            pipe_batch.doneSeq =
+                schedule(pipe_batch.doneSec, EventKind::Done, index);
+            chip.busy = true;
+            chip.freeSec = clock + timing.intervalSec * scale;
+            chip.pendingFreeSeq =
+                schedule(chip.freeSec, EventKind::StageFree, index);
+            chip.pipeInFlight.push_back(std::move(pipe_batch));
+            return;
+        }
         chip.inFlight = std::move(batch);
         chip.busy = true;
         chip.corrupted = false;
@@ -294,7 +426,7 @@ ServingSimulator::run()
             // Only reachable when the fixed-batch policy stranded
             // partial batches after the last injection: flush them.
             bool flushed = false;
-            for (int i = 0; i < _cfg.chips; ++i) {
+            for (int i = 0; i < n_targets; ++i) {
                 if (!chips[i].busy && !chips[i].queue.empty()) {
                     launch_batch(i, chips[i].queue.flush());
                     flushed = true;
@@ -327,6 +459,23 @@ ServingSimulator::run()
             break;
           case EventKind::Done: {
             Chip &chip = chips[event.chip];
+            if (pipelined) {
+                const auto batch = std::find_if(
+                    chip.pipeInFlight.begin(), chip.pipeInFlight.end(),
+                    [&](const PipeBatch &candidate) {
+                        return candidate.doneSeq == event.seq;
+                    });
+                if (batch == chip.pipeInFlight.end())
+                    break; // stale: killed or glitch-stretched batch
+                SUPERNPU_ASSERT(batch == chip.pipeInFlight.begin(),
+                                "pipeline completed out of order");
+                const bool pipe_failed = batch->corrupted;
+                for (const Request &request : batch->requests)
+                    complete_request(request, pipe_failed);
+                chip.pipeInFlight.pop_front();
+                try_launch(event.chip);
+                break;
+            }
             if (event.seq != chip.pendingDoneSeq)
                 break; // stale: batch was killed or stretched
             SUPERNPU_ASSERT(chip.busy, "completion on an idle chip");
@@ -346,58 +495,129 @@ ServingSimulator::run()
           case EventKind::Fault: {
             const reliability::FaultEvent &fault =
                 _cfg.faults.events()[(std::size_t)event.tag];
-            Chip &chip = chips[event.chip];
+            // Fault events strike physical chips; in pipelined mode
+            // a chip is one stage of group event.chip / K, and a
+            // fault on any stage degrades the whole group.
+            const int target = event.chip / K;
+            Chip &chip = chips[target];
             ++faults_seen;
             const bool detects =
                 res.recovery != RecoveryPolicy::None;
+            // In pipelined mode corruption hits every batch in
+            // flight in the group — each is mid-stream through the
+            // faulted stage's pipeline. Returns whether any batch
+            // was *newly* corrupted (Detect is armed once per wave).
+            const auto corrupt_pipeline = [&]() {
+                bool newly = false;
+                for (PipeBatch &pipe_batch : chip.pipeInFlight) {
+                    if (!pipe_batch.corrupted) {
+                        pipe_batch.corrupted = true;
+                        newly = true;
+                    }
+                }
+                return newly;
+            };
             switch (fault.kind) {
               case reliability::FaultKind::PulseDrop:
-                if (chip.busy && !chip.corrupted) {
+                if (pipelined) {
+                    if (corrupt_pipeline() && detects) {
+                        schedule_tagged(clock + res.detectLatencySec,
+                                        EventKind::Detect, target, 0);
+                    }
+                } else if (chip.busy && !chip.corrupted) {
                     chip.corrupted = true;
                     chip.corruptedAtSec = clock;
                     chip.glitchAtCorruptSec = chip.glitchSec;
                     if (detects) {
                         schedule_tagged(clock + res.detectLatencySec,
-                                        EventKind::Detect, event.chip,
+                                        EventKind::Detect, target,
                                         chip.launchGen);
                     }
                 }
                 break;
               case reliability::FaultKind::FluxTrap:
                 // The trap corrupts in-flight work like a drop...
-                if (chip.busy && !chip.corrupted) {
+                if (pipelined) {
+                    if (corrupt_pipeline() && detects) {
+                        schedule_tagged(clock + res.detectLatencySec,
+                                        EventKind::Detect, target, 0);
+                    }
+                } else if (chip.busy && !chip.corrupted) {
                     chip.corrupted = true;
                     chip.corruptedAtSec = clock;
                     chip.glitchAtCorruptSec = chip.glitchSec;
                     if (detects) {
                         schedule_tagged(clock + res.detectLatencySec,
-                                        EventKind::Detect, event.chip,
+                                        EventKind::Detect, target,
                                         chip.launchGen);
                     }
                 }
-                // ...and permanently derates the remapped array.
+                // ...and permanently derates the remapped array —
+                // in pipelined mode the derated stage throttles the
+                // whole group, so the loss covers all K chips.
                 chip.permDerate *= fault.magnitude;
                 if (!chip.quarantined) {
-                    metrics.setPermanentLoss(
-                        event.chip, clock,
-                        1.0 - 1.0 / chip.permDerate);
+                    for (int c = target * K; c < (target + 1) * K;
+                         ++c) {
+                        metrics.setPermanentLoss(
+                            c, clock, 1.0 - 1.0 / chip.permDerate);
+                    }
                 }
                 if (res.recovery == RecoveryPolicy::DegradedDispatch &&
                     !chip.quarantined) {
                     schedule_tagged(clock + res.detectLatencySec,
-                                    EventKind::Quarantine, event.chip,
+                                    EventKind::Quarantine, target,
                                     0);
                 }
                 break;
               case reliability::FaultKind::ClockSkew:
                 chip.skewUntilSec = clock + fault.durationSec;
                 chip.skewFactor = fault.magnitude;
-                metrics.addTransientLoss(
-                    event.chip,
-                    fault.durationSec * (1.0 - 1.0 / fault.magnitude));
+                // A skewed stage clock slows every launch of the
+                // group for the window: all K chips lose capacity.
+                for (int c = target * K; c < (target + 1) * K; ++c) {
+                    metrics.addTransientLoss(
+                        c, fault.durationSec *
+                               (1.0 - 1.0 / fault.magnitude));
+                }
                 break;
               case reliability::FaultKind::LinkGlitch:
-                if (chip.busy) {
+                if (pipelined) {
+                    if (chip.pipeInFlight.empty())
+                        break;
+                    // The stalled link pauses the whole stream:
+                    // every in-flight batch and the stage-0 free
+                    // time slip by the stall. The struck physical
+                    // chip is the one occupied by the stall.
+                    for (PipeBatch &pipe_batch : chip.pipeInFlight) {
+                        pipe_batch.doneSec += fault.magnitude;
+                        pipe_batch.doneSeq =
+                            schedule(pipe_batch.doneSec,
+                                     EventKind::Done, target);
+                    }
+                    chip.lastPipeDoneSec += fault.magnitude;
+                    if (chip.busy) {
+                        chip.freeSec += fault.magnitude;
+                        chip.pendingFreeSeq =
+                            schedule(chip.freeSec,
+                                     EventKind::StageFree, target);
+                    }
+                    metrics.extendBusy(event.chip, fault.magnitude);
+                    metrics.addTransientLoss(event.chip,
+                                             fault.magnitude);
+                    // Stalls on the same lane serialize: a second
+                    // glitch during a pending stall extends it.
+                    if (chip.stallUntilSec.empty()) {
+                        chip.stallUntilSec.assign((std::size_t)K,
+                                                  0.0);
+                    }
+                    const std::size_t lane =
+                        (std::size_t)(event.chip - target * K);
+                    chip.stallUntilSec[lane] =
+                        std::max(chip.stallUntilSec[lane], clock) +
+                        fault.magnitude;
+                    ++glitches_absorbed;
+                } else if (chip.busy) {
                     // The stall delays completion and occupies the
                     // chip, but it is not computed work: serviceSec
                     // stays pure so checkpoint-restart math never
@@ -405,9 +625,9 @@ ServingSimulator::run()
                     chip.doneSec += fault.magnitude;
                     chip.glitchSec += fault.magnitude;
                     chip.pendingDoneSeq = schedule(
-                        chip.doneSec, EventKind::Done, event.chip);
-                    metrics.extendBusy(event.chip, fault.magnitude);
-                    metrics.addTransientLoss(event.chip,
+                        chip.doneSec, EventKind::Done, target);
+                    metrics.extendBusy(target, fault.magnitude);
+                    metrics.addTransientLoss(target,
                                              fault.magnitude);
                     ++glitches_absorbed;
                 }
@@ -417,6 +637,73 @@ ServingSimulator::run()
           }
           case EventKind::Detect: {
             Chip &chip = chips[event.chip];
+            if (pipelined) {
+                // Kill every corrupted batch still in flight in the
+                // group; each one's requests retry or give up. A
+                // wave that already drained leaves a stale no-op.
+                const bool tail_live =
+                    !chip.pipeInFlight.empty() &&
+                    !chip.pipeInFlight.back().corrupted;
+                bool killed_any = false;
+                for (auto batch = chip.pipeInFlight.begin();
+                     batch != chip.pipeInFlight.end();) {
+                    if (!batch->corrupted) {
+                        ++batch;
+                        continue;
+                    }
+                    killed_any = true;
+                    ++batches_killed;
+                    // Give back each stage's unspent busy tail.
+                    for (int stage = 0; stage < K; ++stage) {
+                        const double start =
+                            batch->launchSec +
+                            batch->stageStartSec[(std::size_t)stage];
+                        const double busy =
+                            batch->stageBusySec[(std::size_t)stage];
+                        const double unspent = std::min(
+                            std::max(start + busy - clock, 0.0),
+                            busy);
+                        if (unspent > 0.0) {
+                            metrics.extendBusy(
+                                event.chip * K + stage, -unspent);
+                        }
+                    }
+                    kill_requests(batch->requests);
+                    batch = chip.pipeInFlight.erase(batch);
+                }
+                if (!killed_any)
+                    break; // stale: completed meanwhile
+                chip.lastPipeDoneSec =
+                    chip.pipeInFlight.empty()
+                        ? 0.0
+                        : chip.pipeInFlight.back().doneSec;
+                // With nothing left to ship, any unexpired glitch
+                // stall no longer occupies its lane: give the busy
+                // time back (a surviving batch, by contrast, rides
+                // the stall out and keeps it charged). The transient
+                // availability loss stays — the glitch did happen.
+                if (chip.pipeInFlight.empty()) {
+                    for (std::size_t lane = 0;
+                         lane < chip.stallUntilSec.size(); ++lane) {
+                        const double pending =
+                            chip.stallUntilSec[lane] - clock;
+                        if (pending > 0.0) {
+                            metrics.extendBusy(
+                                event.chip * K + (int)lane,
+                                -pending);
+                        }
+                        chip.stallUntilSec[lane] = 0.0;
+                    }
+                }
+                // If the newest launch died, stage 0 is free now —
+                // its pending StageFree becomes stale.
+                if (!tail_live && chip.busy) {
+                    chip.busy = false;
+                    chip.pendingFreeSeq = kNoSeq;
+                }
+                try_launch(event.chip);
+                break;
+            }
             if (!chip.busy || chip.launchGen != event.tag ||
                 !chip.corrupted) {
                 break; // stale: completed or restarted meanwhile
@@ -450,26 +737,7 @@ ServingSimulator::run()
             } else {
                 // Kill the batch; requests back off and re-enter,
                 // or give up past their retry/deadline budget.
-                for (Request request : chip.inFlight) {
-                    ++requests_killed;
-                    ++request.retries;
-                    const bool over_retries =
-                        request.retries > res.maxRetries;
-                    const bool over_deadline =
-                        res.retryDeadlineSec > 0 &&
-                        clock - request.arrivalSec >=
-                            res.retryDeadlineSec;
-                    if (over_retries || over_deadline) {
-                        ++retry_give_ups;
-                        complete_request(request, true);
-                        continue;
-                    }
-                    double backoff = res.backoffBaseSec;
-                    for (int i = 1; i < request.retries; ++i)
-                        backoff *= res.backoffMultiplier;
-                    ++retries_total;
-                    schedule_retry(clock + backoff, request);
-                }
+                kill_requests(chip.inFlight);
                 chip.inFlight.clear();
                 chip.busy = false;
                 chip.corrupted = false;
@@ -484,7 +752,11 @@ ServingSimulator::run()
                 break;
             chip.quarantined = true;
             ++quarantined_count;
-            metrics.setPermanentLoss(event.chip, clock, 1.0);
+            // A quarantined group takes all K of its chips out.
+            for (int c = event.chip * K; c < (event.chip + 1) * K;
+                 ++c) {
+                metrics.setPermanentLoss(c, clock, 1.0);
+            }
             // Its queued work moves to healthy chips.
             std::vector<Request> moved;
             while (!chip.queue.empty()) {
@@ -508,6 +780,15 @@ ServingSimulator::run()
             try_launch(target);
             break;
           }
+          case EventKind::StageFree: {
+            Chip &chip = chips[event.chip];
+            if (event.seq != chip.pendingFreeSeq)
+                break; // stale: glitch-stretched or batch killed
+            chip.pendingFreeSeq = kNoSeq;
+            chip.busy = false;
+            try_launch(event.chip);
+            break;
+          }
         }
     }
 
@@ -523,6 +804,8 @@ ServingSimulator::run()
     report.policy = batchPolicyName(_cfg.batching.policy);
     report.dispatch = dispatchPolicyName(_cfg.dispatch);
     report.maxBatch = _cfg.batching.maxBatch;
+    report.pipelineStages = K;
+    report.pipelineGroups = n_targets;
     report.generated = arrived;
     report.offeredRps = arrivals.openLoop()
                             ? _cfg.arrival.ratePerSec

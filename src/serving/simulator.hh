@@ -36,6 +36,7 @@
 #include "batcher.hh"
 #include "dispatch.hh"
 #include "metrics.hh"
+#include "partition/pipeline_sim.hh"
 #include "reliability/fault_model.hh"
 #include "resilience.hh"
 #include "service_model.hh"
@@ -53,6 +54,22 @@ struct ServingConfig
     int chips = 1;                  ///< identical NPU dies
     std::uint64_t requests = 20000; ///< total requests to inject
     std::uint64_t seed = 0x5e971ce5eedull; ///< RNG seed
+
+    // --- pipeline-parallel placement (src/partition) ----------------
+    /**
+     * Stages per pipeline group. 1 (the default) places a whole
+     * request on one chip — the pre-partition behavior, byte for
+     * byte. K > 1 groups the chips into chips/K pipelines: the
+     * dispatcher places requests on groups, batches stream through
+     * the K stages back to back, a group's stage-0 slot frees one
+     * initiation interval after launch, and results emerge a full
+     * pipeline fill latency after launch. Requires chips % K == 0;
+     * checkpoint-restart resilience is not supported for K > 1
+     * (there is no per-stage checkpoint model).
+     */
+    int pipelineStages = 1;
+    /** Inter-chip link of pipelined groups (K > 1 only). */
+    partition::LinkConfig link;
 
     /**
      * Hardware faults to inject; empty (the default) runs fault-free

@@ -1,12 +1,21 @@
 /**
  * @file
- * Tests for the network description parser and formatter.
+ * Tests for the network description parser and formatter, including
+ * the edge cases the partitioner leans on: single-layer networks,
+ * layers whose output tensor overflows the link-transfer size type,
+ * and stage counts exceeding the layer count.
  */
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 #include "dnn/networks.hh"
 #include "dnn/parser.hh"
+#include "estimator/npu_estimator.hh"
+#include "npusim/sim_cache.hh"
+#include "partition/partitioner.hh"
 
 namespace supernpu {
 namespace dnn {
@@ -83,6 +92,54 @@ TEST(ParserDeath, RejectsDuplicateNetworkLine)
 {
     EXPECT_DEATH((void)parseNetwork("network A\nnetwork B\n"),
                  "duplicate");
+}
+
+// --- partitioner-facing edge cases -----------------------------------
+
+TEST(ParserPartition, SingleLayerNetworkPartitionsIntoOneStage)
+{
+    const Network net = parseNetwork("network Solo\n"
+                                     "conv only 3 16 8 3 1 1\n");
+    ASSERT_EQ(net.layers.size(), 1u);
+
+    sfq::DeviceConfig dev;
+    sfq::CellLibrary lib(dev);
+    const auto estimate = estimator::NpuEstimator(lib).estimate(
+        estimator::NpuConfig::superNpu());
+    npusim::SimCache cache;
+    partition::Partitioner partitioner(estimate, {}, &cache);
+    // Asking for any K collapses — with a warn — to the one layer.
+    const auto plan = partitioner.partition(net, 4, 1);
+    ASSERT_EQ(plan.stageCount(), 1);
+    EXPECT_EQ(plan.stages[0].firstLayer, 0);
+    EXPECT_EQ(plan.stages[0].lastLayer, 0);
+    EXPECT_EQ(plan.stages[0].linkBytes, 0u);
+}
+
+TEST(ParserPartition, HugeParsedLayerSaturatesTheLinkTransfer)
+{
+    // The parser does not bound layer fields, so a syntactically
+    // valid description can describe an ofmap beyond 2^64 bytes.
+    const Network net = parseNetwork(
+        "network Huge\n"
+        "conv big 1 100000 2000000000 1 1 0\n");
+    EXPECT_EQ(partition::activationBytes(net.layers[0], 4),
+              std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(ParserPartition, StageCountBeyondLayersFallsBack)
+{
+    const Network net = parseNetwork("network Pair\n"
+                                     "conv a 3 16 8 3 1 1\n"
+                                     "conv b 8 16 8 3 1 1\n");
+    sfq::DeviceConfig dev;
+    sfq::CellLibrary lib(dev);
+    const auto estimate = estimator::NpuEstimator(lib).estimate(
+        estimator::NpuConfig::superNpu());
+    npusim::SimCache cache;
+    partition::Partitioner partitioner(estimate, {}, &cache);
+    const auto plan = partitioner.partition(net, 7, 1);
+    EXPECT_EQ(plan.stageCount(), 2);
 }
 
 } // namespace

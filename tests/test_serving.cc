@@ -18,6 +18,7 @@
 #include "npusim/batch.hh"
 #include "npusim/sim_cache.hh"
 #include "obs/audit.hh"
+#include "reliability/fault_model.hh"
 #include "serving/simulator.hh"
 
 namespace supernpu {
@@ -419,6 +420,108 @@ TEST_F(ServingFixture, ConcurrentBatchSecondsQueriesAgree)
             parallel[i],
             reference[i % (std::size_t)solver_max]);
     }
+}
+
+// --- pipelined placement (src/partition) -----------------------------
+
+TEST_F(ServingFixture, PipelinedRunConservesAndAttributesLaunches)
+{
+    ServingConfig serving =
+        baseConfig(0.5 * 2.0 * service.peakRps(solver_max));
+    serving.chips = 4;
+    serving.pipelineStages = 2;
+    const auto report = ServingSimulator(service, serving).run();
+    EXPECT_EQ(report.completed, 3000u);
+    EXPECT_EQ(report.pipelineStages, 2);
+    EXPECT_EQ(report.pipelineGroups, 2);
+    const obs::AuditReport audit = obs::auditServing(report);
+    EXPECT_TRUE(audit.ok()) << audit.summary();
+    // Each batch launch is counted once, on the stage-0 chip of its
+    // group; stage-1 chips record busy time but never a launch.
+    ASSERT_EQ(report.perChipBatches.size(), 4u);
+    EXPECT_EQ(report.perChipBatches[1], 0u);
+    EXPECT_EQ(report.perChipBatches[3], 0u);
+    EXPECT_EQ(report.perChipBatches[0] + report.perChipBatches[2],
+              report.batchesLaunched);
+    ASSERT_EQ(report.perChipBusySec.size(), 4u);
+    EXPECT_GT(report.perChipBusySec[1], 0.0);
+    EXPECT_GT(report.perChipBusySec[3], 0.0);
+}
+
+TEST_F(ServingFixture, PipelinedFaultQuarantinesTheWholeGroup)
+{
+    ServingConfig serving =
+        baseConfig(0.5 * service.peakRps(solver_max));
+    serving.chips = 4;
+    serving.pipelineStages = 2;
+    // One permanent flux trap on chip 1 — the *stage-1* chip of
+    // group 0. A pipeline is only as healthy as its sickest stage,
+    // so quarantine must write off the whole group.
+    reliability::FaultScheduleConfig faults;
+    faults.chips = 4;
+    reliability::FaultEvent event;
+    event.kind = reliability::FaultKind::FluxTrap;
+    event.chip = 1;
+    event.magnitude = faults.fluxTrapDerate;
+    serving.faults =
+        reliability::FaultSchedule::fromEvents(faults, {event});
+    serving.resilience.recovery = RecoveryPolicy::DegradedDispatch;
+    serving.resilience.detectLatencySec = 1e-12;
+    const auto report = ServingSimulator(service, serving).run();
+    EXPECT_EQ(report.completed, serving.requests);
+    EXPECT_EQ(report.failedRequests, 0u);
+    ASSERT_EQ(report.perChipBatches.size(), 4u);
+    EXPECT_EQ(report.perChipBatches[0], 0u);
+    EXPECT_EQ(report.perChipBatches[1], 0u);
+    EXPECT_GT(report.perChipBatches[2], 0u);
+    EXPECT_EQ(report.perChipBatches[3], 0u);
+    // Writing off one of two groups costs half the fleet.
+    EXPECT_LT(report.availability, 0.55);
+    const obs::AuditReport audit = obs::auditServing(report);
+    EXPECT_TRUE(audit.ok()) << audit.summary();
+}
+
+TEST_F(ServingFixture, PipelinedRetryRidesOutTransientFaults)
+{
+    ServingConfig serving =
+        baseConfig(0.5 * 2.0 * service.peakRps(solver_max));
+    serving.chips = 4;
+    serving.pipelineStages = 2;
+    reliability::FaultScheduleConfig faults;
+    faults.chips = 4;
+    faults.horizonSec =
+        (double)serving.requests / serving.arrival.ratePerSec;
+    faults.pulseDropRatePerSec = 20.0 / faults.horizonSec;
+    faults.linkGlitchRatePerSec = 20.0 / faults.horizonSec;
+    // Scale the glitch stall to the workload: the default is tuned
+    // for wall-clock-scale runs and would dwarf this microscopic
+    // makespan.
+    faults.linkGlitchDelaySec = 0.5 * service.batchSeconds(solver_max);
+    serving.faults = reliability::FaultSchedule::generate(faults);
+    serving.resilience.recovery = RecoveryPolicy::RetryBackoff;
+    serving.resilience.detectLatencySec =
+        0.25 * service.batchSeconds(solver_max);
+    serving.resilience.backoffBaseSec =
+        service.batchSeconds(solver_max);
+    const auto report = ServingSimulator(service, serving).run();
+    EXPECT_EQ(report.completed, serving.requests);
+    const obs::AuditReport audit = obs::auditServing(report);
+    EXPECT_TRUE(audit.ok()) << audit.summary();
+}
+
+// --- degenerate metrics (zero-makespan guard) ------------------------
+
+TEST(Metrics, ZeroMakespanReportsZeroRatesNotNan)
+{
+    MetricsCollector metrics(2);
+    const ServingReport report = metrics.finish(0.0);
+    EXPECT_EQ(report.throughputRps, 0.0);
+    EXPECT_EQ(report.utilization, 0.0);
+    EXPECT_EQ(report.meanQueueDepth, 0.0);
+    EXPECT_EQ(report.availability, 0.0);
+    EXPECT_TRUE(std::isfinite(report.throughputRps));
+    EXPECT_TRUE(std::isfinite(report.utilization));
+    EXPECT_TRUE(std::isfinite(report.availability));
 }
 
 } // namespace

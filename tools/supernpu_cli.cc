@@ -21,11 +21,18 @@
  *       Audited run ledger as JSON on stdout: the cycle-level run's
  *       counters with conservation invariants enforced (exit 1 on
  *       any violation).
+ *   supernpu partition <workload> <config> [options]
+ *       Multi-chip pipeline partition: balanced stage table, link
+ *       transfer costs, steady-state throughput, optional K-sweep.
  *   supernpu validate
  *       The Fig. 13 model-validation table.
  *   supernpu explore [options]
  *       Parallel design-space sweep (--jobs N workers, default all
  *       hardware threads; any N prints the identical leaderboard).
+ *
+ * Every subcommand accepts --help (usage on stdout, exit 0) and
+ * rejects unknown options and stray positional arguments with a
+ * usage line on stderr.
  *
  * Configs: baseline | bufferopt | resourceopt | supernpu, or start
  * from one and override with options:
@@ -66,6 +73,13 @@
  *   --backoff-us <n>        first retry backoff
  *   --checkpoint            checkpoint/restart killed batches
  *   --ber <n>               bit flips per million MACs (error study)
+ *
+ * Partition options (partition; --stages also pipelines serve):
+ *   --stages <k>            chips in the pipeline group
+ *   --sweep                 also print a K-sweep table
+ *   --stream <n>            batches streamed through the pipeline
+ *   --link-gbps <n>         inter-chip link bandwidth (default 300)
+ *   --link-latency <n>      fixed link latency in cycles
  */
 
 #include <cctype>
@@ -91,6 +105,7 @@
 #include "npusim/sim.hh"
 #include "obs/audit.hh"
 #include "obs/ledger.hh"
+#include "partition/pipeline_sim.hh"
 #include "power/power.hh"
 #include "reliability/error_propagation.hh"
 #include "reliability/fault_model.hh"
@@ -118,6 +133,10 @@ struct Options
     reliability::FaultScheduleConfig faults; ///< fault rates + seed
     bool faultRateGiven = false; ///< any --*-rate flag seen
     double berFlipsPerMillion = 25.0; ///< --ber error-study rate
+    int stages = 0;        ///< --stages pipeline chips; 0 = unset
+    bool sweep = false;    ///< --sweep: partition K-sweep table
+    int streamBatches = 0; ///< --stream batches; 0 = default
+    partition::LinkConfig link; ///< --link-gbps / --link-latency
 };
 
 std::string
@@ -308,7 +327,20 @@ parseOptions(int argc, char **argv, int first, Options &options)
             options.serve.resilience.checkpointRestart = true;
         } else if (arg == "--ber") {
             options.berFlipsPerMillion = std::stod(next());
+        } else if (arg == "--stages") {
+            options.stages = std::stoi(next());
+        } else if (arg == "--sweep") {
+            options.sweep = true;
+        } else if (arg == "--stream") {
+            options.streamBatches = std::stoi(next());
+        } else if (arg == "--link-gbps") {
+            options.link.bandwidthGBps = std::stod(next());
+        } else if (arg == "--link-latency") {
+            options.link.latencyCycles =
+                (std::uint64_t)std::stoull(next());
         } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "usage: supernpu <command>"
+                         " [options]; run 'supernpu --help'\n");
             fatal("unknown option '", arg, "'");
         } else if (!options.configChosen &&
                    tryConfig(arg, options.config)) {
@@ -533,6 +565,9 @@ cmdServe(const Options &options, const dnn::Network &net)
         options.forcedBatch > 0
             ? options.forcedBatch
             : npusim::maxBatch(options.config, estimate, net);
+    if (options.stages > 0)
+        serve.pipelineStages = options.stages;
+    serve.link = options.link;
 
     serving::BatchServiceModel service(estimate, net);
     serving::ServingSimulator sim(service, serve);
@@ -688,6 +723,117 @@ cmdFaults(const Options &options, const dnn::Network &net)
 }
 
 int
+cmdPartition(const Options &options, const dnn::Network &net)
+{
+    const sfq::DeviceConfig device = deviceFor(options);
+    sfq::CellLibrary library(device);
+    estimator::NpuEstimator est(library);
+    const auto estimate = est.estimate(options.config);
+
+    const int batch =
+        options.forcedBatch > 0
+            ? options.forcedBatch
+            : npusim::maxBatch(options.config, estimate, net);
+    const int stages = options.stages > 0 ? options.stages : 4;
+    const int batches =
+        options.streamBatches > 0 ? options.streamBatches : 64;
+
+    partition::PipelineSimulator pipeline(
+        estimate, options.link, &npusim::SimCache::global());
+    const auto run = pipeline.run(net, stages, batch, batches);
+    const auto &plan = run.plan;
+
+    std::printf("%s on %s across %d chip(s), batch %d,"
+                " %d-batch stream\n",
+                net.name.c_str(), options.config.name.c_str(),
+                plan.stageCount(), batch, batches);
+    std::printf("link: %.0f GB/s, %llu-cycle latency\n",
+                plan.link.bandwidthGBps,
+                (unsigned long long)plan.link.latencyCycles);
+
+    TextTable table;
+    table.row()
+        .cell("stage")
+        .cell("layers")
+        .cell("range")
+        .cell("cycles")
+        .cell("link KiB")
+        .cell("link cyc")
+        .cell("util");
+    for (int s = 0; s < plan.stageCount(); ++s) {
+        const auto &stage = plan.stages[s];
+        std::string range = std::to_string(stage.firstLayer);
+        range += "..";
+        range += std::to_string(stage.lastLayer);
+        table.row()
+            .cell((long long)s)
+            .cell((long long)stage.layerCount())
+            .cell(range)
+            .cell((unsigned long long)stage.stageCycles)
+            .cell((double)stage.linkBytes / 1024.0, 1)
+            .cell((unsigned long long)stage.linkCycles)
+            .cell(plan.stageUtilization(s), 3);
+    }
+    table.print();
+
+    // The K=1 reference gives the honest speedup; it shares the
+    // stream's sim cache, so this costs one memoized lookup.
+    const auto solo = pipeline.run(net, 1, batch, batches);
+    std::printf("\nbottleneck: stage %d (%llu cycles/batch);"
+                " fill latency %.2f us\n",
+                plan.bottleneckStage,
+                (unsigned long long)plan.bottleneckCycles,
+                plan.fillLatencySec() * 1e6);
+    std::printf("steady state: %.0f inf/s (%.2fx over 1 chip),"
+                " %.1f TMAC/s\n",
+                run.steadyInferencesPerSec(),
+                run.steadyInferencesPerSec() /
+                    solo.steadyInferencesPerSec(),
+                run.effectiveMacPerSec() / 1e12);
+
+    obs::AuditReport audit = obs::auditPipeline(run);
+    audit.merge(obs::auditPipeline(solo));
+    maybeAudit(audit, "partition " + net.name);
+
+    if (options.sweep) {
+        std::printf("\n");
+        TextTable sweep("pipeline K-sweep");
+        sweep.row()
+            .cell("K")
+            .cell("inf/s")
+            .cell("speedup")
+            .cell("fill us")
+            .cell("mean util");
+        for (int k : {1, 2, 4, 8}) {
+            if (k > (int)net.layers.size())
+                break;
+            const auto swept = pipeline.run(net, k, batch, batches);
+            double util_sum = 0.0;
+            for (int s = 0; s < swept.plan.stageCount(); ++s)
+                util_sum += swept.plan.stageUtilization(s);
+            sweep.row()
+                .cell((long long)k)
+                .cell(swept.steadyInferencesPerSec(), 0)
+                .cell(swept.steadyInferencesPerSec() /
+                          solo.steadyInferencesPerSec(),
+                      2)
+                .cell(swept.plan.fillLatencySec() * 1e6, 2)
+                .cell(util_sum / (double)swept.plan.stageCount(), 3);
+        }
+        sweep.print();
+    }
+
+    if (!options.ledgerFile.empty()) {
+        obs::RunLedger ledger;
+        obs::addPipelineResult(ledger, run);
+        obs::addSimCacheStats(ledger,
+                              npusim::SimCache::global().stats());
+        emitLedger(options, ledger);
+    }
+    return 0;
+}
+
+int
 cmdValidate(const Options &options)
 {
     const sfq::DeviceConfig device = deviceFor(options);
@@ -771,9 +917,9 @@ cmdExplore(const Options &options)
 }
 
 int
-usage()
+usage(std::FILE *to = stderr)
 {
-    std::fprintf(stderr,
+    std::fprintf(to,
                  "usage: supernpu <command> [...]\n"
                  "  workloads                       list CNNs\n"
                  "  estimate <config> [opts]        freq/power/area\n"
@@ -782,6 +928,7 @@ usage()
                  "  serve <workload> <config>       serving simulation\n"
                  "  faults <workload> <config>      fault-injection study\n"
                  "  report <workload> <config>      audited JSON run ledger\n"
+                 "  partition <workload> <config>   multi-chip pipeline\n"
                  "  validate                        Fig. 13 table\n"
                  "  explore                         design-space sweep\n"
                  "configs: baseline bufferopt resourceopt supernpu\n"
@@ -789,16 +936,19 @@ usage()
                  "         --division --ifmap-mb --output-mb\n"
                  "         --bandwidth-gbps --batch --netfile <path>\n"
                  "         --trace <csv path> --jobs <n>\n"
-                 "         --ledger <json|csv path> --json\n"
+                 "         --ledger <json|csv path> --json --help\n"
                  "serve:   --rps --chips --policy dynamic|fixed\n"
                  "         --dispatch rr|jsq\n"
                  "         --arrival poisson|bursty|closed\n"
                  "         --timeout-us --requests --clients --seed\n"
+                 "         --stages <k> (pipeline groups of k chips)\n"
                  "faults:  --drop-rate --trap-rate --skew-rate\n"
                  "         --glitch-rate --fault-burst --fault-seed\n"
                  "         --recovery none|retry|degraded --detect-us\n"
                  "         --max-retries --backoff-us --checkpoint\n"
-                 "         --ber\n");
+                 "         --ber\n"
+                 "partition: --stages <k> --sweep --stream <batches>\n"
+                 "         --link-gbps <n> --link-latency <cycles>\n");
     return 2;
 }
 
@@ -809,6 +959,14 @@ main(int argc, char **argv)
 {
     if (argc < 2)
         return usage();
+    // --help anywhere on the line wins: usage on stdout, exit 0.
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--help") ||
+            !std::strcmp(argv[i], "-h")) {
+            usage(stdout);
+            return 0;
+        }
+    }
     const std::string command = argv[1];
 
     Options options;
@@ -816,19 +974,33 @@ main(int argc, char **argv)
         parseOptions(argc, argv, 2, options);
     options.config.check();
 
-    if (command == "workloads")
-        return cmdWorkloads();
-    if (command == "estimate")
-        return cmdEstimate(options);
-    if (command == "validate")
-        return cmdValidate(options);
-    if (command == "explore")
+    // Stray positionals are user errors, not things to ignore: each
+    // subcommand takes at most one (the workload name).
+    const auto reject_extra = [&](std::size_t allowed) {
+        if (positional.size() <= allowed)
+            return;
+        std::fprintf(stderr, "usage: supernpu %s [options]; run"
+                     " 'supernpu --help'\n", command.c_str());
+        fatal("unexpected argument '", positional[allowed], "'");
+    };
+
+    if (command == "workloads" || command == "estimate" ||
+        command == "validate" || command == "explore") {
+        reject_extra(0);
+        if (command == "workloads")
+            return cmdWorkloads();
+        if (command == "estimate")
+            return cmdEstimate(options);
+        if (command == "validate")
+            return cmdValidate(options);
         return cmdExplore(options);
+    }
     if (command == "simulate" || command == "batch" ||
         command == "serve" || command == "faults" ||
-        command == "report") {
+        command == "report" || command == "partition") {
         dnn::Network net;
         if (!options.netFile.empty()) {
+            reject_extra(0);
             std::ifstream file(options.netFile);
             if (!file)
                 fatal("cannot open '", options.netFile, "'");
@@ -840,6 +1012,7 @@ main(int argc, char **argv)
                 fatal("'", command,
                       "' needs a workload name or --netfile");
             }
+            reject_extra(1);
             net = findWorkload(positional.front());
         }
         if (command == "simulate")
@@ -850,6 +1023,8 @@ main(int argc, char **argv)
             return cmdFaults(options, net);
         if (command == "report")
             return cmdReport(options, net);
+        if (command == "partition")
+            return cmdPartition(options, net);
         return cmdBatch(options, net);
     }
     return usage();
