@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Standalone front end over the unified bench harness
+ * (src/perf/bench_runner.hh) — the binary CI runs so the perf job
+ * does not depend on the full CLI. Same knobs as `supernpu bench`:
+ *
+ *   harness [--suite smoke|full] [--case NAME]... [--reps N]
+ *           [--warmups N] [--jobs N] [--out PATH] [--no-timing]
+ *           [--profile] [--baseline PATH] [--threshold PCT]
+ *           [--inject-slowdown PCT]
+ *
+ * Exit status: 0 on success, 1 when a --baseline comparison finds a
+ * regression, 2 on usage errors.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/logging.hh"
+#include "perf/bench_runner.hh"
+
+using namespace supernpu;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: harness [--suite smoke|full] [--case NAME]...\n"
+        "               [--reps N] [--warmups N] [--jobs N]\n"
+        "               [--out PATH] [--no-timing] [--profile]\n"
+        "               [--baseline PATH] [--threshold PCT]\n"
+        "               [--inject-slowdown PCT]\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchOptions options;
+    std::string out_path;
+    std::string baseline_path;
+    double threshold_pct = 10.0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("option '", arg, "' needs a value");
+            return argv[++i];
+        };
+        if (arg == "--suite") {
+            options.suite = next();
+        } else if (arg == "--case") {
+            options.only.push_back(next());
+        } else if (arg == "--reps") {
+            options.repetitions = std::stoi(next());
+        } else if (arg == "--warmups") {
+            options.warmups = std::stoi(next());
+        } else if (arg == "--jobs") {
+            options.jobs = std::stoi(next());
+        } else if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--no-timing") {
+            options.includeTiming = false;
+        } else if (arg == "--profile") {
+            options.profile = true;
+        } else if (arg == "--baseline") {
+            baseline_path = next();
+        } else if (arg == "--threshold") {
+            threshold_pct = std::stod(next());
+        } else if (arg == "--inject-slowdown") {
+            options.injectSlowdownPct = std::stod(next());
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n",
+                         arg.c_str());
+            return usage();
+        }
+    }
+
+    const bench::BenchReport report = bench::runSuite(options);
+    for (const auto &c : report.cases) {
+        std::printf("%-22s work %8llu  median %9.2f ms  %12.1f %s\n",
+                    c.name.c_str(), (unsigned long long)c.work,
+                    c.medianWallSec * 1e3, c.throughput,
+                    c.unit.c_str());
+    }
+
+    if (out_path.empty())
+        out_path = bench::defaultOutputPath(options.suite);
+    if (!bench::writeBenchJson(report, options.includeTiming,
+                               out_path))
+        fatal("cannot write '", out_path, "'");
+    std::printf("wrote %s\n", out_path.c_str());
+
+    if (baseline_path.empty())
+        return 0;
+    std::ifstream file(baseline_path);
+    if (!file)
+        fatal("cannot open baseline '", baseline_path, "'");
+    std::ostringstream text;
+    text << file.rdbuf();
+    const bench::CompareOutcome outcome = bench::compareToBaseline(
+        report, text.str(), threshold_pct);
+    if (!outcome.error.empty())
+        fatal("baseline comparison failed: ", outcome.error);
+    for (const auto &delta : outcome.deltas) {
+        if (!delta.comparable) {
+            std::printf("%-22s skipped: %s\n", delta.name.c_str(),
+                        delta.note.c_str());
+        } else if (delta.baselineThroughput > 0.0) {
+            std::printf("%-22s %+.1f%% vs baseline%s\n",
+                        delta.name.c_str(), -delta.slowdownPct,
+                        delta.regressed ? "  REGRESSED" : "");
+        } else {
+            std::printf("%-22s %s\n", delta.name.c_str(),
+                        delta.note.c_str());
+        }
+    }
+    if (!outcome.ok) {
+        std::fprintf(stderr,
+                     "harness: regression beyond %.1f%% threshold\n",
+                     threshold_pct);
+        return 1;
+    }
+    std::printf("baseline check passed (threshold %.1f%%)\n",
+                threshold_pct);
+    return 0;
+}

@@ -13,6 +13,7 @@
 #include "common/units.hh"
 #include "estimator/design_rules.hh"
 #include "partition/pipeline_sim.hh"
+#include "perf/profile.hh"
 #include "sim.hh"
 
 namespace supernpu {
@@ -165,6 +166,9 @@ DesignSpaceExplorer::explore(const ExplorationSpace &space,
                              Objective objective,
                              ThreadPool &pool) const
 {
+    perf::Scope perf_scope("explorer.explore");
+    const ThreadPool::Stats pool_before = pool.stats();
+
     SUPERNPU_ASSERT(space.widths.size() ==
                         space.bufferMbForWidth.size(),
                     "bufferMbForWidth must parallel widths");
@@ -204,6 +208,21 @@ DesignSpaceExplorer::explore(const ExplorationSpace &space,
                              return a.operable;
                          return a.score > b.score;
                      });
+
+    // Fold this sweep's share of the pool's lifetime counters into
+    // the perf registry (the pool itself stays perf-agnostic).
+    if (perf::enabled()) {
+        const ThreadPool::Stats pool_after = pool.stats();
+        static perf::Counter &tasks =
+            perf::counter("explorer.poolTasks");
+        static perf::Counter &loops =
+            perf::counter("explorer.poolLoops");
+        static perf::Counter &evaluated =
+            perf::counter("explorer.candidates");
+        tasks.add(pool_after.tasks - pool_before.tasks);
+        loops.add(pool_after.loops - pool_before.loops);
+        evaluated.add(candidates.size());
+    }
     return candidates;
 }
 

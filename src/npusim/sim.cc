@@ -11,6 +11,7 @@
 #include "batch.hh"
 #include "common/logging.hh"
 #include "mapping.hh"
+#include "perf/profile.hh"
 
 namespace supernpu {
 namespace npusim {
@@ -256,6 +257,7 @@ NpuSimulator::simulateLayer(const dnn::Layer &layer, int batch,
 SimResult
 NpuSimulator::run(const dnn::Network &network, int batch) const
 {
+    perf::Scope perf_scope("npusim.run");
     network.check();
 
     SimResult result;
@@ -288,6 +290,13 @@ NpuSimulator::run(const dnn::Network &network, int batch) const
     }
     result.totalCycles = result.computeCycles + result.prepCycles +
                          result.memoryStallCycles;
+    if (perf::enabled()) {
+        static perf::Counter &runs = perf::counter("npusim.runs");
+        static perf::Counter &layers =
+            perf::counter("npusim.layerSims");
+        runs.add(1);
+        layers.add(result.layers.size());
+    }
     return result;
 }
 

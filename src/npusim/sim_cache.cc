@@ -6,6 +6,7 @@
 #include "sim_cache.hh"
 
 #include "common/logging.hh"
+#include "perf/profile.hh"
 
 namespace supernpu {
 namespace npusim {
@@ -132,9 +133,18 @@ SimCache::lookupLocked(const SimKey &key)
     const auto it = _index.find(key);
     if (it == _index.end()) {
         ++_stats.misses;
+        if (perf::enabled()) {
+            static perf::Counter &misses =
+                perf::counter("simCache.misses");
+            misses.add(1);
+        }
         return nullptr;
     }
     ++_stats.hits;
+    if (perf::enabled()) {
+        static perf::Counter &hits = perf::counter("simCache.hits");
+        hits.add(1);
+    }
     _lru.splice(_lru.begin(), _lru, it->second);
     return it->second->result;
 }

@@ -317,6 +317,56 @@ auditPipeline(const partition::PipelineResult &result)
     return audit;
 }
 
+AuditReport
+auditPerf(const perf::Report &report, std::uint64_t wall_ns_bound)
+{
+    AuditReport audit;
+
+    // Sum each parent path's immediate children; root phases (no '/')
+    // accumulate toward the optional wall-clock bound.
+    std::uint64_t root_ns = 0;
+    for (const perf::PhaseStat &stat : report.phases) {
+        if (stat.count == 0) {
+            audit.violations.push_back(Violation{
+                "perf", "phaseCount " + stat.path, ">= 1", "0"});
+        }
+        const std::size_t cut = stat.path.rfind('/');
+        if (cut == std::string::npos) {
+            root_ns += stat.ns;
+            continue;
+        }
+        const std::string parent = stat.path.substr(0, cut);
+        const perf::PhaseStat *parent_stat = report.phase(parent);
+        if (parent_stat == nullptr) {
+            audit.violations.push_back(
+                Violation{"perf", "orphanPhase " + stat.path,
+                          "parent '" + parent + "' recorded",
+                          "missing"});
+        }
+    }
+    for (const perf::PhaseStat &parent : report.phases) {
+        std::uint64_t child_ns = 0;
+        const std::string prefix = parent.path + "/";
+        for (const perf::PhaseStat &child : report.phases) {
+            if (child.path.size() <= prefix.size() ||
+                child.path.compare(0, prefix.size(), prefix) != 0)
+                continue;
+            // Immediate children only: no further '/' past the prefix.
+            if (child.path.find('/', prefix.size()) !=
+                std::string::npos)
+                continue;
+            child_ns += child.ns;
+        }
+        expectLe(audit, "perf", "childSum " + parent.path,
+                 (double)child_ns, (double)parent.ns);
+    }
+    if (wall_ns_bound != 0) {
+        expectLe(audit, "perf", "rootPhasesLeWall", (double)root_ns,
+                 (double)wall_ns_bound);
+    }
+    return audit;
+}
+
 bool
 auditEnabled()
 {

@@ -28,6 +28,7 @@
 
 #include "npusim/result.hh"
 #include "partition/pipeline_sim.hh"
+#include "perf/profile.hh"
 #include "serving/metrics.hh"
 
 namespace supernpu {
@@ -80,6 +81,21 @@ AuditReport auditServing(const serving::ServingReport &report);
  * and the stream makespan identity fill + (M-1)·bottleneck.
  */
 AuditReport auditPipeline(const partition::PipelineResult &result);
+
+/**
+ * Audit a profiler snapshot: every nested phase path must have its
+ * parent path present in the report (scopes close inside out, so an
+ * orphan child means the registry was corrupted or reset mid-scope),
+ * and the children of one parent can never sum past the parent's
+ * time (child intervals are disjoint subintervals of each parent
+ * instance). When `wall_ns_bound` is nonzero, the root phases must
+ * additionally sum to at most that bound — the single-threaded
+ * roll-up check the bench harness runs against its measured wall
+ * clock (meaningless with worker threads, where phase time is a sum
+ * across concurrent timelines; pass 0 there).
+ */
+AuditReport auditPerf(const perf::Report &report,
+                      std::uint64_t wall_ns_bound = 0);
 
 /**
  * Whether audits should run: the SUPERNPU_AUDIT environment variable

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Recursive-descent JSON parser implementation.
+ */
+
+#include "json_reader.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace supernpu {
+namespace obs {
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &member : object) {
+        if (member.first == key)
+            return &member.second;
+    }
+    return nullptr;
+}
+
+double
+JsonValue::numberAt(const std::string &key, double fallback) const
+{
+    const JsonValue *member = find(key);
+    return member && member->isNumber() ? member->number : fallback;
+}
+
+std::string
+JsonValue::stringAt(const std::string &key,
+                    const std::string &fallback) const
+{
+    const JsonValue *member = find(key);
+    return member && member->isString() ? member->string : fallback;
+}
+
+namespace {
+
+/** Cursor over the document with one-shot error reporting. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : _text(text) {}
+
+    bool parse(JsonValue &out)
+    {
+        skipSpace();
+        if (!parseValue(out))
+            return false;
+        skipSpace();
+        if (_pos != _text.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+    const std::string &error() const { return _error; }
+
+  private:
+    bool fail(const std::string &what)
+    {
+        if (_error.empty()) {
+            std::ostringstream os;
+            os << "JSON parse error at byte " << _pos << ": " << what;
+            _error = os.str();
+        }
+        return false;
+    }
+
+    void skipSpace()
+    {
+        while (_pos < _text.size() &&
+               (_text[_pos] == ' ' || _text[_pos] == '\t' ||
+                _text[_pos] == '\n' || _text[_pos] == '\r'))
+            ++_pos;
+    }
+
+    bool consume(char c)
+    {
+        if (_pos < _text.size() && _text[_pos] == c) {
+            ++_pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool literal(const char *word, std::size_t len)
+    {
+        if (_text.compare(_pos, len, word) != 0)
+            return fail("bad literal");
+        _pos += len;
+        return true;
+    }
+
+    bool parseValue(JsonValue &out)
+    {
+        if (_pos >= _text.size())
+            return fail("unexpected end of document");
+        switch (_text[_pos]) {
+          case '{':
+            return parseObject(out);
+          case '[':
+            return parseArray(out);
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.string);
+          case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true", 4);
+          case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false", 5);
+          case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return literal("null", 4);
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool parseObject(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Object;
+        ++_pos; // '{'
+        skipSpace();
+        if (consume('}'))
+            return true;
+        for (;;) {
+            skipSpace();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipSpace();
+            if (!consume(':'))
+                return fail("expected ':' after object key");
+            skipSpace();
+            JsonValue value;
+            if (!parseValue(value))
+                return false;
+            out.object.emplace_back(std::move(key), std::move(value));
+            skipSpace();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return true;
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool parseArray(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Array;
+        ++_pos; // '['
+        skipSpace();
+        if (consume(']'))
+            return true;
+        for (;;) {
+            skipSpace();
+            JsonValue value;
+            if (!parseValue(value))
+                return false;
+            out.array.push_back(std::move(value));
+            skipSpace();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return true;
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return fail("expected '\"'");
+        out.clear();
+        while (_pos < _text.size()) {
+            const char c = _text[_pos++];
+            if (c == '"')
+                return true;
+            if ((unsigned char)c < 0x20)
+                return fail("unescaped control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (_pos >= _text.size())
+                return fail("dangling escape");
+            const char esc = _text[_pos++];
+            switch (esc) {
+              case '"':  out += '"';  break;
+              case '\\': out += '\\'; break;
+              case '/':  out += '/';  break;
+              case 'b':  out += '\b'; break;
+              case 'f':  out += '\f'; break;
+              case 'n':  out += '\n'; break;
+              case 'r':  out += '\r'; break;
+              case 't':  out += '\t'; break;
+              case 'u': {
+                if (_pos + 4 > _text.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = _text[_pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= (unsigned)(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= (unsigned)(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= (unsigned)(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape digit");
+                }
+                // UTF-8 encode the BMP code point (the writer only
+                // escapes control characters, so surrogate pairs do
+                // not occur in our own documents; lone surrogates
+                // encode as-is rather than failing).
+                if (code < 0x80) {
+                    out += (char)code;
+                } else if (code < 0x800) {
+                    out += (char)(0xC0 | (code >> 6));
+                    out += (char)(0x80 | (code & 0x3F));
+                } else {
+                    out += (char)(0xE0 | (code >> 12));
+                    out += (char)(0x80 | ((code >> 6) & 0x3F));
+                    out += (char)(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool parseNumber(JsonValue &out)
+    {
+        const std::size_t start = _pos;
+        if (consume('-')) {
+        }
+        while (_pos < _text.size() &&
+               std::isdigit((unsigned char)_text[_pos]))
+            ++_pos;
+        if (consume('.')) {
+            while (_pos < _text.size() &&
+                   std::isdigit((unsigned char)_text[_pos]))
+                ++_pos;
+        }
+        if (_pos < _text.size() &&
+            (_text[_pos] == 'e' || _text[_pos] == 'E')) {
+            ++_pos;
+            if (_pos < _text.size() &&
+                (_text[_pos] == '+' || _text[_pos] == '-'))
+                ++_pos;
+            while (_pos < _text.size() &&
+                   std::isdigit((unsigned char)_text[_pos]))
+                ++_pos;
+        }
+        if (_pos == start)
+            return fail("expected a value");
+        const std::string token = _text.substr(start, _pos - start);
+        char *end = nullptr;
+        out.kind = JsonValue::Kind::Number;
+        out.number = std::strtod(token.c_str(), &end);
+        if (end == nullptr || *end != '\0')
+            return fail("malformed number");
+        return true;
+    }
+
+    const std::string &_text;
+    std::size_t _pos = 0;
+    std::string _error;
+};
+
+} // namespace
+
+std::optional<JsonValue>
+parseJson(const std::string &text, std::string *error)
+{
+    Parser parser(text);
+    JsonValue out;
+    if (!parser.parse(out)) {
+        if (error)
+            *error = parser.error();
+        return std::nullopt;
+    }
+    return out;
+}
+
+} // namespace obs
+} // namespace supernpu

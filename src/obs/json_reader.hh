@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Minimal JSON parser — the read side of the obs JSON story.
+ *
+ * json_writer.hh emits the ledgers and BENCH_*.json artifacts; this
+ * parser exists so in-repo consumers (the bench harness's
+ * --baseline comparison, tests asserting on emitted documents) can
+ * read them back without an external dependency. It is a strict
+ * RFC 8259 subset parser over complete in-memory documents: objects
+ * keep key insertion order (matching the writer's deterministic
+ * layout), numbers parse as double (every number the writer emits
+ * round-trips through %.17g), and any syntax error reports its byte
+ * offset instead of guessing.
+ */
+
+#ifndef SUPERNPU_OBS_JSON_READER_HH
+#define SUPERNPU_OBS_JSON_READER_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace supernpu {
+namespace obs {
+
+/** One parsed JSON value; a tree of these is a document. */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    /** Key/value pairs in document order (duplicates kept as-is). */
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+
+    /** First member named `key`; null when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Member `key` as a number; `fallback` when absent/mistyped. */
+    double numberAt(const std::string &key, double fallback = 0.0) const;
+
+    /** Member `key` as a string; `fallback` when absent/mistyped. */
+    std::string stringAt(const std::string &key,
+                         const std::string &fallback = "") const;
+};
+
+/**
+ * Parse one complete JSON document. Returns nullopt on any syntax
+ * error (trailing garbage included) and, when `error` is non-null,
+ * stores a one-line diagnostic with the byte offset.
+ */
+std::optional<JsonValue> parseJson(const std::string &text,
+                                   std::string *error = nullptr);
+
+} // namespace obs
+} // namespace supernpu
+
+#endif // SUPERNPU_OBS_JSON_READER_HH

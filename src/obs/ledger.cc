@@ -520,5 +520,26 @@ addPoolStats(RunLedger &ledger, const ThreadPool::Stats &stats)
     ledger.setInt("threadPool", "maxLoopTasks", stats.maxLoopTasks);
 }
 
+void
+addPerfReport(RunLedger &ledger, const perf::Report &report)
+{
+    // Counters land as a flat "perf" section; phase timings get a
+    // table (paths are hierarchical, a section would flatten them
+    // into unreadable keys). Nanoseconds are wall-clock, so a ledger
+    // carrying this section is only byte-stable if the caller strips
+    // or ignores it in determinism comparisons — the CLI emits it
+    // only under --profile for exactly that reason.
+    for (const perf::CounterStat &counter : report.counters)
+        ledger.setInt("perf", counter.name, counter.value);
+
+    (void)ledger.table("perfPhases", {"path", "count", "ns"});
+    for (const perf::PhaseStat &phase : report.phases) {
+        ledger.addRow("perfPhases",
+                      {Value::text(phase.path),
+                       Value::integer(phase.count),
+                       Value::integer(phase.ns)});
+    }
+}
+
 } // namespace obs
 } // namespace supernpu

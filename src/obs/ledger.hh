@@ -36,6 +36,7 @@
 
 #include "common/parallel.hh"
 #include "npusim/result.hh"
+#include "perf/profile.hh"
 #include "npusim/sim_cache.hh"
 #include "partition/pipeline_sim.hh"
 #include "reliability/fault_model.hh"
@@ -188,6 +189,13 @@ void addSimCacheStats(RunLedger &ledger,
 
 /** Record sweep parallelism under a "threadPool" section. */
 void addPoolStats(RunLedger &ledger, const ThreadPool::Stats &stats);
+
+/**
+ * Record a profiler snapshot: a "perf" section of event counters and
+ * a "perfPhases" table of (path, count, ns) rows. Phase nanoseconds
+ * are wall-clock — exclude this section from byte-stability checks.
+ */
+void addPerfReport(RunLedger &ledger, const perf::Report &report);
 
 } // namespace obs
 } // namespace supernpu

@@ -6,6 +6,7 @@
 #include "pipeline_sim.hh"
 
 #include "common/logging.hh"
+#include "perf/profile.hh"
 
 namespace supernpu {
 namespace partition {
@@ -45,6 +46,11 @@ PipelineResult
 PipelineSimulator::run(const dnn::Network &network, int stages,
                        int batch, int batches) const
 {
+    perf::Scope perf_scope("pipeline.run");
+    if (perf::enabled()) {
+        static perf::Counter &plans = perf::counter("pipeline.plans");
+        plans.add(1);
+    }
     return run(_partitioner.partition(network, stages, batch),
                batches);
 }

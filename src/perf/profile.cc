@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Profiler implementation: the enabled flag, the counter registry,
+ * and the thread-local scope stack behind perf::Scope.
+ */
+
+#include "profile.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace supernpu {
+namespace perf {
+
+namespace detail {
+
+namespace {
+
+bool
+envDefault()
+{
+    const char *value = std::getenv("SUPERNPU_PROFILE");
+    return value != nullptr && value[0] == '1' && value[1] == '\0';
+}
+
+} // namespace
+
+std::atomic<bool> g_enabled{envDefault()};
+
+} // namespace detail
+
+namespace {
+
+/** Accumulated time under one full scope path. */
+struct PhaseNode
+{
+    std::uint64_t count = 0;
+    std::uint64_t ns = 0;
+};
+
+/**
+ * The global store. Counters live in a map of unique_ptrs so the
+ * references handed out by counter() survive rehashing and reset().
+ */
+struct Registry
+{
+    std::mutex mutex;
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, PhaseNode> phases;
+};
+
+Registry &
+registry()
+{
+    static Registry instance;
+    return instance;
+}
+
+/** The calling thread's stack of live scope names. */
+thread_local std::vector<const char *> t_scopeStack;
+
+} // namespace
+
+void
+setEnabled(bool on)
+{
+#ifdef SUPERNPU_PERF_DISABLE
+    (void)on;
+#else
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+#endif
+}
+
+std::uint64_t
+nowNs()
+{
+    return (std::uint64_t)std::chrono::duration_cast<
+               std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+Counter &
+counter(const std::string &name)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    auto it = reg.counters.find(name);
+    if (it == reg.counters.end()) {
+        it = reg.counters
+                 .emplace(name, std::make_unique<Counter>())
+                 .first;
+    }
+    return *it->second;
+}
+
+void
+Scope::open(const char *phase)
+{
+    t_scopeStack.push_back(phase);
+    _live = true;
+    _startNs = nowNs();
+}
+
+void
+Scope::close()
+{
+    const std::uint64_t elapsed = nowNs() - _startNs;
+    // Join the stack (this scope's name included) into the path the
+    // record accumulates under, then pop.
+    std::string path;
+    for (const char *name : t_scopeStack) {
+        if (!path.empty())
+            path += '/';
+        path += name;
+    }
+    t_scopeStack.pop_back();
+
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    PhaseNode &node = reg.phases[path];
+    node.count += 1;
+    node.ns += elapsed;
+}
+
+std::uint64_t
+Report::counterValue(const std::string &name) const
+{
+    for (const CounterStat &stat : counters) {
+        if (stat.name == name)
+            return stat.value;
+    }
+    return 0;
+}
+
+const PhaseStat *
+Report::phase(const std::string &path) const
+{
+    for (const PhaseStat &stat : phases) {
+        if (stat.path == path)
+            return &stat;
+    }
+    return nullptr;
+}
+
+Report
+report()
+{
+    Report out;
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    for (const auto &entry : reg.phases)
+        out.phases.push_back(
+            {entry.first, entry.second.count, entry.second.ns});
+    for (const auto &entry : reg.counters) {
+        const std::uint64_t value = entry.second->value();
+        if (value != 0)
+            out.counters.push_back({entry.first, value});
+    }
+    // std::map iteration is already name-sorted; keep the promise
+    // explicit anyway in case the store ever changes.
+    std::sort(out.phases.begin(), out.phases.end(),
+              [](const PhaseStat &a, const PhaseStat &b) {
+                  return a.path < b.path;
+              });
+    std::sort(out.counters.begin(), out.counters.end(),
+              [](const CounterStat &a, const CounterStat &b) {
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+void
+reset()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.phases.clear();
+    for (auto &entry : reg.counters)
+        entry.second->zero();
+}
+
+} // namespace perf
+} // namespace supernpu

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Lightweight scoped profiler: hierarchical phase timers plus named
+ * per-subsystem counters, designed to cost nothing when disabled.
+ *
+ * Every simulator in this repository is a hot loop (the cycle
+ * simulator's mapping walk, the serving calendar queue, the
+ * partitioner's DP) and the bench harness needs to know where wall
+ * time goes — but the ledger CI jobs byte-compare outputs and the
+ * tier-1 tests time-bound the simulators, so instrumentation must
+ * vanish when it is not asked for. The contract:
+ *
+ *  - perf::enabled() is one relaxed atomic load. Scope's
+ *    constructor and Counter::add() check it first and do nothing
+ *    else when it is false; a disabled build-wide kill switch
+ *    (-DSUPERNPU_PERF_DISABLE) turns the check into `false` at
+ *    compile time so the optimizer deletes the instrumentation
+ *    outright. A test pins the disabled path's cost.
+ *  - Profiling turns on via the SUPERNPU_PROFILE environment
+ *    variable ("1") or perf::setEnabled(true) (the bench harness
+ *    and the CLI's --profile flag).
+ *  - perf::Scope times a phase. Scopes nest through a thread-local
+ *    stack: Scope("layer") inside Scope("simRun") accumulates under
+ *    the path "simRun/layer". Aggregation is per full path, so the
+ *    report is a tree and obs::auditPerf() can check the roll-up
+ *    invariant (a path's children can never sum past their parent —
+ *    child intervals are disjoint subintervals of the parent's).
+ *  - perf::counter("name") registers (once) and returns a stable
+ *    atomic counter for inner-loop event counts: simulated mappings,
+ *    serving calendar events, sim-cache hits, thread-pool tasks.
+ *  - perf::report() snapshots both into deterministic (name-sorted)
+ *    vectors; perf::reset() zeroes everything between bench cases.
+ *
+ * Threading: scopes and counters may be used from ThreadPool
+ * workers. Counters are atomics; phase records merge under one
+ * mutex at scope exit (scope granularity is runs and layers, never
+ * per-mapping, so the lock is off the true hot paths). reset() and
+ * report() assume no scope is live concurrently — call them from
+ * the driver between runs, not mid-sweep.
+ *
+ * This library deliberately depends on nothing else in the repo so
+ * every subsystem (including common/) could link it.
+ */
+
+#ifndef SUPERNPU_PERF_PROFILE_HH
+#define SUPERNPU_PERF_PROFILE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace supernpu {
+namespace perf {
+
+namespace detail {
+/** Global on/off state; do not touch directly — use enabled(). */
+extern std::atomic<bool> g_enabled;
+} // namespace detail
+
+/** Whether instrumentation records anything right now. */
+inline bool
+enabled()
+{
+#ifdef SUPERNPU_PERF_DISABLE
+    return false;
+#else
+    return detail::g_enabled.load(std::memory_order_relaxed);
+#endif
+}
+
+/**
+ * Turn profiling on or off for the whole process, overriding the
+ * SUPERNPU_PROFILE environment default. A no-op (stays off) when
+ * compiled with SUPERNPU_PERF_DISABLE.
+ */
+void setEnabled(bool on);
+
+/** Monotonic nanoseconds (steady clock). */
+std::uint64_t nowNs();
+
+/**
+ * A named event counter with a process-lifetime address. Obtain via
+ * perf::counter(); hot loops should cache the reference:
+ *
+ *     static perf::Counter &hits = perf::counter("simCache.hits");
+ *     if (perf::enabled()) hits.add(1);
+ */
+class Counter
+{
+  public:
+    /** Add `delta` events; no-op while profiling is disabled. */
+    void add(std::uint64_t delta)
+    {
+        if (enabled())
+            _value.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    std::uint64_t value() const
+    {
+        return _value.load(std::memory_order_relaxed);
+    }
+
+    void zero() { _value.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> _value{0};
+};
+
+/**
+ * Registry lookup: the counter named `name`, created on first use.
+ * The returned reference stays valid for the process lifetime (the
+ * registry never deletes counters; reset() only zeroes them).
+ */
+Counter &counter(const std::string &name);
+
+/**
+ * RAII phase timer. Construction pushes `phase` onto the calling
+ * thread's scope stack and starts the clock (when enabled);
+ * destruction records the elapsed time under the joined stack path.
+ * `phase` must outlive the scope — string literals in practice.
+ */
+class Scope
+{
+  public:
+    explicit Scope(const char *phase)
+    {
+        if (enabled())
+            open(phase);
+    }
+    ~Scope()
+    {
+        if (_live)
+            close();
+    }
+
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    void open(const char *phase);
+    void close();
+
+    std::uint64_t _startNs = 0;
+    bool _live = false;
+};
+
+/** Accumulated time of one phase path ("explore/simRun/layer"). */
+struct PhaseStat
+{
+    std::string path;
+    std::uint64_t count = 0; ///< scope entries recorded
+    std::uint64_t ns = 0;    ///< total nanoseconds across entries
+};
+
+/** Snapshot of one counter. */
+struct CounterStat
+{
+    std::string name;
+    std::uint64_t value = 0;
+};
+
+/** A deterministic (name-sorted) snapshot of everything recorded. */
+struct Report
+{
+    std::vector<PhaseStat> phases;     ///< sorted by path
+    std::vector<CounterStat> counters; ///< sorted by name, nonzero only
+
+    bool empty() const { return phases.empty() && counters.empty(); }
+    /** The counter's value, or 0 when it never fired. */
+    std::uint64_t counterValue(const std::string &name) const;
+    /** The phase's stats, or null when it never ran. */
+    const PhaseStat *phase(const std::string &path) const;
+};
+
+/** Snapshot all phases and all nonzero counters. */
+Report report();
+
+/**
+ * Zero every counter and drop every phase record (registrations are
+ * kept). Call between bench cases, never while scopes are live on
+ * other threads.
+ */
+void reset();
+
+} // namespace perf
+} // namespace supernpu
+
+#endif // SUPERNPU_PERF_PROFILE_HH

@@ -41,6 +41,8 @@ struct ServingReport
     // --- volume -----------------------------------------------------
     std::uint64_t generated = 0; ///< requests injected
     std::uint64_t completed = 0; ///< requests answered
+    /** Calendar events the run() loop popped (harness work metric). */
+    std::uint64_t eventsProcessed = 0;
     double makespanSec = 0.0;    ///< first arrival to last completion
 
     // --- rates ------------------------------------------------------

@@ -33,6 +33,7 @@
 #include <queue>
 
 #include "common/logging.hh"
+#include "perf/profile.hh"
 
 namespace supernpu {
 namespace serving {
@@ -197,6 +198,7 @@ ServingSimulator::ServingSimulator(const BatchServiceModel &service,
 ServingReport
 ServingSimulator::run()
 {
+    perf::Scope perf_scope("serving.run");
     std::priority_queue<Event, std::vector<Event>, EventAfter> events;
     std::uint64_t next_seq = 0;
     const auto schedule = [&](double time, EventKind kind, int chip) {
@@ -235,6 +237,7 @@ ServingSimulator::run()
     std::uint64_t injected = 0;  ///< arrival events created
     std::uint64_t arrived = 0;   ///< requests that entered a queue
     std::uint64_t completed = 0;
+    std::uint64_t events_processed = 0; ///< calendar pops
     double clock = 0.0;
 
     int quarantined_count = 0;
@@ -439,6 +442,12 @@ ServingSimulator::run()
 
         const Event event = events.top();
         events.pop();
+        ++events_processed;
+        if (perf::enabled()) {
+            static perf::Counter &perf_events =
+                perf::counter("serving.events");
+            perf_events.add(1);
+        }
         metrics.advanceTo(event.timeSec, total_depth());
         clock = event.timeSec;
 
@@ -807,6 +816,7 @@ ServingSimulator::run()
     report.pipelineStages = K;
     report.pipelineGroups = n_targets;
     report.generated = arrived;
+    report.eventsProcessed = events_processed;
     report.offeredRps = arrivals.openLoop()
                             ? _cfg.arrival.ratePerSec
                             : report.throughputRps;

@@ -29,6 +29,11 @@
  *   supernpu explore [options]
  *       Parallel design-space sweep (--jobs N workers, default all
  *       hardware threads; any N prints the identical leaderboard).
+ *   supernpu bench [smoke|full] [options]
+ *       Unified performance harness (src/perf/bench_runner.hh): the
+ *       curated suite with warmup + repetition + median-of-N timing,
+ *       written as BENCH_<suite>.json, optionally gated against a
+ *       saved baseline.
  *
  * Every subcommand accepts --help (usage on stdout, exit 0) and
  * rejects unknown options and stray positional arguments with a
@@ -80,6 +85,27 @@
  *   --stream <n>            batches streamed through the pipeline
  *   --link-gbps <n>         inter-chip link bandwidth (default 300)
  *   --link-latency <n>      fixed link latency in cycles
+ *
+ * Bench options (bench; --jobs defaults to 1 here, the byte-stable
+ * reference point):
+ *   --reps <n>              timed repetitions per case (default 3)
+ *   --warmups <n>           untimed warmup runs per case (default 1)
+ *   --case <name>           run only this case (repeatable)
+ *   --out <path>            output path (default BENCH_<suite>.json)
+ *   --no-timing             omit wall-clock fields: the output is a
+ *                           pure function of (code, suite, jobs) and
+ *                           byte-identical across reruns
+ *   --baseline <path>       compare against a saved BENCH_*.json;
+ *                           exit 1 on regression
+ *   --threshold <pct>       allowed slowdown vs a timed baseline
+ *                           (default 10)
+ *   --inject-slowdown <pct> test hook: report throughput as if this
+ *                           much slower (proves the gate fails)
+ *
+ * --profile (any subcommand) turns the src/perf profiler on: bench
+ * embeds per-case phase/counter snapshots, and every --ledger file
+ * gains a "perf" section and "perfPhases" table (wall-clock — strip
+ * them before byte-comparing ledgers).
  */
 
 #include <cctype>
@@ -106,6 +132,8 @@
 #include "obs/audit.hh"
 #include "obs/ledger.hh"
 #include "partition/pipeline_sim.hh"
+#include "perf/bench_runner.hh"
+#include "perf/profile.hh"
 #include "power/power.hh"
 #include "reliability/error_propagation.hh"
 #include "reliability/fault_model.hh"
@@ -137,6 +165,16 @@ struct Options
     bool sweep = false;    ///< --sweep: partition K-sweep table
     int streamBatches = 0; ///< --stream batches; 0 = default
     partition::LinkConfig link; ///< --link-gbps / --link-latency
+
+    bool profile = false;  ///< --profile: src/perf instrumentation on
+    int benchReps = 3;     ///< --reps timed repetitions
+    int benchWarmups = 1;  ///< --warmups untimed runs
+    bool benchNoTiming = false;   ///< --no-timing deterministic form
+    std::string benchOut;         ///< --out path; "" = default name
+    std::string benchBaseline;    ///< --baseline comparison file
+    double benchThreshold = 10.0; ///< --threshold allowed slowdown %
+    double benchInjectSlowdown = 0.0; ///< --inject-slowdown test hook
+    std::vector<std::string> benchOnly; ///< --case selections
 };
 
 std::string
@@ -338,6 +376,24 @@ parseOptions(int argc, char **argv, int first, Options &options)
         } else if (arg == "--link-latency") {
             options.link.latencyCycles =
                 (std::uint64_t)std::stoull(next());
+        } else if (arg == "--profile") {
+            options.profile = true;
+        } else if (arg == "--reps") {
+            options.benchReps = std::stoi(next());
+        } else if (arg == "--warmups") {
+            options.benchWarmups = std::stoi(next());
+        } else if (arg == "--no-timing") {
+            options.benchNoTiming = true;
+        } else if (arg == "--out") {
+            options.benchOut = next();
+        } else if (arg == "--baseline") {
+            options.benchBaseline = next();
+        } else if (arg == "--threshold") {
+            options.benchThreshold = std::stod(next());
+        } else if (arg == "--inject-slowdown") {
+            options.benchInjectSlowdown = std::stod(next());
+        } else if (arg == "--case") {
+            options.benchOnly.push_back(next());
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "usage: supernpu <command>"
                          " [options]; run 'supernpu --help'\n");
@@ -367,8 +423,21 @@ emitLedger(const Options &options, const obs::RunLedger &ledger)
 {
     if (options.ledgerFile.empty())
         return;
-    if (!ledger.write(options.ledgerFile))
+    if (perf::enabled()) {
+        // Profiling on (--profile or SUPERNPU_PROFILE=1): fold the
+        // profiler snapshot in (and check its roll-up invariants)
+        // without disturbing the caller's ledger — the perf section
+        // is wall-clock and must stay opt-in so default ledgers
+        // remain byte-comparable.
+        const perf::Report snapshot = perf::report();
+        obs::enforce(obs::auditPerf(snapshot), "perf roll-up");
+        obs::RunLedger with_perf = ledger;
+        obs::addPerfReport(with_perf, snapshot);
+        if (!with_perf.write(options.ledgerFile))
+            fatal("cannot write ledger '", options.ledgerFile, "'");
+    } else if (!ledger.write(options.ledgerFile)) {
         fatal("cannot write ledger '", options.ledgerFile, "'");
+    }
     std::printf("wrote ledger to %s\n", options.ledgerFile.c_str());
 }
 
@@ -917,6 +986,82 @@ cmdExplore(const Options &options)
 }
 
 int
+cmdBench(const Options &options, const std::string &suite)
+{
+    bench::BenchOptions opts;
+    opts.suite = suite.empty() ? "smoke" : lowered(suite);
+    opts.repetitions = options.benchReps;
+    opts.warmups = options.benchWarmups;
+    // Unlike explore, the reference point is serial: the committed
+    // baseline and the CI determinism check both run at --jobs 1.
+    opts.jobs = options.jobs > 0 ? options.jobs : 1;
+    opts.includeTiming = !options.benchNoTiming;
+    opts.profile = options.profile;
+    opts.injectSlowdownPct = options.benchInjectSlowdown;
+    opts.only = options.benchOnly;
+
+    const bench::BenchReport report = bench::runSuite(opts);
+
+    TextTable table("bench " + opts.suite);
+    table.row()
+        .cell("case")
+        .cell("work")
+        .cell("median ms")
+        .cell("throughput")
+        .cell("unit");
+    for (const auto &c : report.cases) {
+        table.row()
+            .cell(c.name)
+            .cell((long long)c.work)
+            .cell(c.medianWallSec * 1e3, 2)
+            .cell(c.throughput, 1)
+            .cell(c.unit);
+    }
+    table.print();
+
+    const std::string out = options.benchOut.empty()
+                                ? bench::defaultOutputPath(opts.suite)
+                                : options.benchOut;
+    if (!bench::writeBenchJson(report, opts.includeTiming, out))
+        fatal("cannot write bench output '", out, "'");
+    std::printf("wrote %s\n", out.c_str());
+
+    if (options.benchBaseline.empty())
+        return 0;
+    std::ifstream file(options.benchBaseline);
+    if (!file)
+        fatal("cannot open baseline '", options.benchBaseline, "'");
+    std::ostringstream text;
+    text << file.rdbuf();
+    const bench::CompareOutcome outcome = bench::compareToBaseline(
+        report, text.str(), options.benchThreshold);
+    if (!outcome.error.empty())
+        fatal("baseline comparison failed: ", outcome.error);
+    for (const auto &delta : outcome.deltas) {
+        if (!delta.comparable) {
+            std::printf("  %-22s skipped: %s\n", delta.name.c_str(),
+                        delta.note.c_str());
+        } else if (delta.baselineThroughput > 0.0) {
+            std::printf("  %-22s %+.1f%% vs baseline%s\n",
+                        delta.name.c_str(), -delta.slowdownPct,
+                        delta.regressed ? "  REGRESSED" : "");
+        } else {
+            std::printf("  %-22s %s\n", delta.name.c_str(),
+                        delta.note.c_str());
+        }
+    }
+    if (!outcome.ok) {
+        std::fprintf(stderr,
+                     "bench: regression beyond %.1f%% threshold\n",
+                     options.benchThreshold);
+        return 1;
+    }
+    std::printf("baseline check passed (threshold %.1f%%)\n",
+                options.benchThreshold);
+    return 0;
+}
+
+int
 usage(std::FILE *to = stderr)
 {
     std::fprintf(to,
@@ -931,6 +1076,7 @@ usage(std::FILE *to = stderr)
                  "  partition <workload> <config>   multi-chip pipeline\n"
                  "  validate                        Fig. 13 table\n"
                  "  explore                         design-space sweep\n"
+                 "  bench [smoke|full]              performance harness\n"
                  "configs: baseline bufferopt resourceopt supernpu\n"
                  "options: --tech --feature --width --height --regs\n"
                  "         --division --ifmap-mb --output-mb\n"
@@ -948,7 +1094,12 @@ usage(std::FILE *to = stderr)
                  "         --max-retries --backoff-us --checkpoint\n"
                  "         --ber\n"
                  "partition: --stages <k> --sweep --stream <batches>\n"
-                 "         --link-gbps <n> --link-latency <cycles>\n");
+                 "         --link-gbps <n> --link-latency <cycles>\n"
+                 "bench:   --reps --warmups --case <name> --out <path>\n"
+                 "         --no-timing --baseline <path> --threshold\n"
+                 "         --inject-slowdown <pct> --jobs (default 1)\n"
+                 "any:     --profile (perf phases/counters; bench\n"
+                 "         embeds them, --ledger gains perf sections)\n");
     return 2;
 }
 
@@ -973,6 +1124,8 @@ main(int argc, char **argv)
     const std::vector<std::string> positional =
         parseOptions(argc, argv, 2, options);
     options.config.check();
+    if (options.profile)
+        perf::setEnabled(true);
 
     // Stray positionals are user errors, not things to ignore: each
     // subcommand takes at most one (the workload name).
@@ -994,6 +1147,11 @@ main(int argc, char **argv)
         if (command == "validate")
             return cmdValidate(options);
         return cmdExplore(options);
+    }
+    if (command == "bench") {
+        reject_extra(1);
+        return cmdBench(options,
+                        positional.empty() ? "" : positional.front());
     }
     if (command == "simulate" || command == "batch" ||
         command == "serve" || command == "faults" ||
