@@ -14,6 +14,7 @@
 #include "estimator/design_rules.hh"
 #include "partition/pipeline_sim.hh"
 #include "perf/profile.hh"
+#include "sharding/planner.hh"
 #include "sim.hh"
 
 namespace supernpu {
@@ -71,13 +72,18 @@ Candidate
 DesignSpaceExplorer::evaluate(
     const estimator::NpuEstimator &npu_estimator,
     const estimator::NpuConfig &config, int pipeline_stages,
+    int data_parallel, int tensor_shards,
     const partition::LinkConfig &link, Objective objective) const
 {
     Candidate cand;
     cand.config = config;
     cand.pipelineStages = pipeline_stages;
+    cand.dataParallel = data_parallel;
+    cand.tensorShards = tensor_shards;
+    const int group_chips =
+        data_parallel * tensor_shards * pipeline_stages;
     const auto est = npu_estimator.estimate(cand.config);
-    cand.areaMm2 = est.areaMm2 * (double)pipeline_stages;
+    cand.areaMm2 = est.areaMm2 * (double)group_chips;
 
     const auto findings =
         estimator::checkDesignRules(cand.config, est);
@@ -94,7 +100,42 @@ DesignSpaceExplorer::evaluate(
 
     NpuSimulator sim(est);
     double dynamic = 0.0;
-    if (pipeline_stages > 1) {
+    if (data_parallel > 1 || tensor_shards > 1) {
+        // A sharded candidate: score the hybrid DP×TP×PP plan's
+        // effective throughput, and charge every chip's static power
+        // plus each pipeline stage's duty-cycled dynamic power
+        // replicated across the R·T shard grid.
+        SimCache fresh;
+        SimCache *cache = _cache ? _cache : &fresh;
+        sharding::HybridPlanner planner(est, link, cache);
+        for (const auto &net : _workloads) {
+            const int batch = maxBatch(cand.config, est, net);
+            const sharding::ShardPlan plan = planner.evaluate(
+                net, data_parallel, tensor_shards, pipeline_stages,
+                batch);
+            cand.avgMacPerSec +=
+                plan.effectiveMacPerSec() / (double)_workloads.size();
+            double group_dynamic = 0.0;
+            for (const auto &stage : plan.pipeline.stages) {
+                group_dynamic +=
+                    power::analyze(est, *stage.sim).dynamicW *
+                    ((double)stage.sim->totalCycles /
+                     (double)plan.bottleneckCycles);
+            }
+            dynamic += (double)(data_parallel * tensor_shards) *
+                       group_dynamic / (double)_workloads.size();
+        }
+        cand.chipPowerW =
+            (double)group_chips * est.staticPowerW + dynamic;
+        cand.config.name += "/dp";
+        cand.config.name += std::to_string(data_parallel);
+        cand.config.name += "/tp";
+        cand.config.name += std::to_string(tensor_shards);
+        if (pipeline_stages > 1) {
+            cand.config.name += "/k";
+            cand.config.name += std::to_string(pipeline_stages);
+        }
+    } else if (pipeline_stages > 1) {
         // A K-chip pipeline candidate: score the steady-state
         // group throughput from the partitioned pipeline, and
         // charge K chips of static power plus each stage's dynamic
@@ -175,21 +216,38 @@ DesignSpaceExplorer::explore(const ExplorationSpace &space,
 
     SUPERNPU_ASSERT(!space.pipelineStages.empty(),
                     "pipelineStages must not be empty");
+    SUPERNPU_ASSERT(!space.dataParallel.empty(),
+                    "dataParallel must not be empty");
+    SUPERNPU_ASSERT(!space.tensorShards.empty(),
+                    "tensorShards must not be empty");
 
     // Flatten the knob nest in the canonical (width, division, regs,
-    // stages) order; parallelMap fills result slots in this same
-    // order, so the pre-sort candidate sequence is independent of
-    // `jobs`. The default pipelineStages = {1} enumerates exactly
-    // the pre-partition point list.
-    std::vector<std::pair<estimator::NpuConfig, int>> points;
+    // stages, dp, tp) order; parallelMap fills result slots in this
+    // same order, so the pre-sort candidate sequence is independent
+    // of `jobs`. The default pipelineStages = dataParallel =
+    // tensorShards = {1} enumerates exactly the pre-partition point
+    // list.
+    struct Point
+    {
+        estimator::NpuConfig config;
+        int stages;
+        int dp;
+        int tp;
+    };
+    std::vector<Point> points;
     for (std::size_t w = 0; w < space.widths.size(); ++w) {
         for (int division : space.divisions) {
             for (int regs : space.regsPerPe) {
                 for (int stages : space.pipelineStages) {
-                    points.emplace_back(
-                        makeConfig(space.widths[w], division, regs,
-                                   space.bufferMbForWidth[w]),
-                        stages);
+                    for (int dp : space.dataParallel) {
+                        for (int tp : space.tensorShards) {
+                            points.push_back(
+                                {makeConfig(
+                                     space.widths[w], division, regs,
+                                     space.bufferMbForWidth[w]),
+                                 stages, dp, tp});
+                        }
+                    }
                 }
             }
         }
@@ -198,8 +256,9 @@ DesignSpaceExplorer::explore(const ExplorationSpace &space,
     estimator::NpuEstimator npu_estimator(_lib);
     std::vector<Candidate> candidates =
         pool.parallelMap(points.size(), [&](std::size_t i) {
-            return evaluate(npu_estimator, points[i].first,
-                            points[i].second, space.link, objective);
+            return evaluate(npu_estimator, points[i].config,
+                            points[i].stages, points[i].dp,
+                            points[i].tp, space.link, objective);
         });
 
     std::stable_sort(candidates.begin(), candidates.end(),

@@ -66,7 +66,28 @@ struct ExplorationSpace
      */
     std::vector<int> pipelineStages = {1};
 
-    /** Inter-chip link of the K > 1 pipeline candidates. */
+    /**
+     * Data-parallel replica counts to co-explore (src/sharding):
+     * each knob point is also scored with its solved batch split
+     * across R replicas. The default {1} leaves the sweep untouched
+     * byte for byte; R > 1 candidates are named with a "/dp<R>"
+     * suffix and charge R times the chips.
+     */
+    std::vector<int> dataParallel = {1};
+
+    /**
+     * Tensor-parallel shard counts to co-explore (src/sharding):
+     * each knob point is also scored with every layer's ofmap
+     * channels split across T chips. The default {1} leaves the
+     * sweep untouched byte for byte; T > 1 candidates are named with
+     * a "/tp<T>" suffix and charge T times the chips.
+     */
+    std::vector<int> tensorShards = {1};
+
+    /**
+     * Inter-chip link of the K > 1 pipeline and R·T > 1 sharded
+     * candidates.
+     */
     partition::LinkConfig link;
 };
 
@@ -76,10 +97,14 @@ struct Candidate
     estimator::NpuConfig config;
     /** Chips in the candidate's pipeline group; 1 = single chip. */
     int pipelineStages = 1;
+    /** Data-parallel replicas; 1 = unreplicated. */
+    int dataParallel = 1;
+    /** Tensor-parallel shards per replica; 1 = unsharded. */
+    int tensorShards = 1;
     double avgMacPerSec = 0.0;
-    /** Power of the whole candidate (all K chips for a pipeline). */
+    /** Power of the whole candidate (all R·T·K chips). */
     double chipPowerW = 0.0;
-    /** Area of the whole candidate (all K chips for a pipeline). */
+    /** Area of the whole candidate (all R·T·K chips). */
     double areaMm2 = 0.0;
     double score = 0.0;
     bool operable = true;
@@ -133,7 +158,8 @@ class DesignSpaceExplorer
     /** Score one knob point (the parallel unit of work). */
     Candidate evaluate(const estimator::NpuEstimator &npu_estimator,
                        const estimator::NpuConfig &config,
-                       int pipeline_stages,
+                       int pipeline_stages, int data_parallel,
+                       int tensor_shards,
                        const partition::LinkConfig &link,
                        Objective objective) const;
 

@@ -318,6 +318,175 @@ auditPipeline(const partition::PipelineResult &result)
 }
 
 AuditReport
+auditSharding(const sharding::ReplicaGroupResult &result)
+{
+    AuditReport audit;
+    const int r = result.replicas;
+    if (r < 1 || !result.wideSim) {
+        audit.violations.push_back(Violation{
+            "sharding/dp", "replicas", ">= 1 with a wide sim",
+            std::to_string(r)});
+        return audit;
+    }
+    audit.merge(auditSim(*result.wideSim));
+    expectEq(audit, "sharding/dp", "wideShare",
+             (std::uint64_t)((result.batch + r - 1) / r),
+             (std::uint64_t)result.wideShare);
+    expectEq(audit, "sharding/dp", "wideSimBatch",
+             (std::uint64_t)result.wideShare,
+             (std::uint64_t)result.wideSim->batch);
+    expectEq(audit, "sharding/dp", "computeCycles",
+             result.wideSim->totalCycles, result.computeCycles);
+    expectEq(audit, "sharding/dp", "totalCycles",
+             sharding::saturatingAdd(result.computeCycles,
+                                     result.gatherCycles),
+             result.totalCycles);
+    if (r == 1) {
+        // Degree 1 degenerates to the single-chip path exactly.
+        expectEq(audit, "sharding/dp", "gatherCyclesAtR1", 0,
+                 result.gatherCycles);
+        expectEq(audit, "sharding/dp", "gatherBytesAtR1", 0,
+                 result.gatherBytes);
+        expectEq(audit, "sharding/dp", "soloIdentityAtR1",
+                 result.soloCycles, result.totalCycles);
+    }
+    // Splitting a batch R ways can never win more than R.
+    expectLe(audit, "sharding/dp", "speedupLeReplicas",
+             result.speedup(), (double)r);
+    return audit;
+}
+
+AuditReport
+auditSharding(const sharding::TensorShardResult &result)
+{
+    AuditReport audit;
+    const int t = result.shards;
+    if (t < 1 || !result.wideSim) {
+        audit.violations.push_back(Violation{
+            "sharding/tp", "shards", ">= 1 with a wide sim",
+            std::to_string(t)});
+        return audit;
+    }
+    audit.merge(auditSim(*result.wideSim));
+    expectEq(audit, "sharding/tp", "layerCount",
+             (std::uint64_t)result.wideSim->layers.size(),
+             (std::uint64_t)result.layers.size());
+    std::uint64_t shard = 0, coll = 0, bytes = 0;
+    for (std::size_t l = 0; l < result.layers.size(); ++l) {
+        const sharding::ShardLayerTiming &timing = result.layers[l];
+        expectEq(audit, "sharding/tp/" + timing.layerName,
+                 "shardCycles",
+                 result.wideSim->layers[l].totalCycles(),
+                 timing.shardCycles);
+        shard += timing.shardCycles;
+        coll = sharding::saturatingAdd(coll, timing.reduceCycles);
+        bytes = sharding::saturatingAdd(bytes, timing.reduceBytes);
+    }
+    expectEq(audit, "sharding/tp", "shardCycles", shard,
+             result.shardCycles);
+    expectEq(audit, "sharding/tp", "wideSimCycles",
+             result.wideSim->totalCycles, result.shardCycles);
+    expectEq(audit, "sharding/tp", "collectiveCycles", coll,
+             result.collectiveCycles);
+    expectEq(audit, "sharding/tp", "collectiveBytes", bytes,
+             result.collectiveBytes);
+    expectEq(audit, "sharding/tp", "totalCycles",
+             sharding::saturatingAdd(result.shardCycles,
+                                     result.collectiveCycles),
+             result.totalCycles);
+    if (t == 1) {
+        expectEq(audit, "sharding/tp", "collectiveCyclesAtT1", 0,
+                 result.collectiveCycles);
+        expectEq(audit, "sharding/tp", "collectiveBytesAtT1", 0,
+                 result.collectiveBytes);
+        expectEq(audit, "sharding/tp", "soloIdentityAtT1",
+                 result.soloCycles, result.totalCycles);
+    }
+    expectLe(audit, "sharding/tp", "speedupLeShards",
+             result.speedup(), (double)t);
+    return audit;
+}
+
+AuditReport
+auditSharding(const sharding::ShardPlan &plan)
+{
+    AuditReport audit;
+    const int k = plan.pipelineStages;
+    if (plan.dataParallel < 1 || plan.tensorShards < 1 || k < 1 ||
+        plan.pipeline.stageCount() != k) {
+        audit.violations.push_back(Violation{
+            "sharding/plan", "degrees",
+            "positive R/T/K with K pipeline stages",
+            std::to_string(plan.dataParallel) + "x" +
+                std::to_string(plan.tensorShards) + "x" +
+                std::to_string(k)});
+        return audit;
+    }
+    std::uint64_t coll = 0, fill = 0, bottleneck = 0;
+    for (int s = 0; s < k; ++s) {
+        const partition::PipelineStage &stage =
+            plan.pipeline.stages[s];
+        const std::string source =
+            "sharding/plan/stage" + std::to_string(s);
+        audit.merge(auditSim(*stage.sim));
+        expectEq(audit, source, "stageCycles",
+                 stage.sim->totalCycles, stage.stageCycles);
+        expectEq(audit, source, "stageBatch",
+                 (std::uint64_t)plan.replicaShare,
+                 (std::uint64_t)stage.sim->batch);
+        // Overlaid occupancy: pipeline occupancy + in-range TP
+        // all-reduce cycles.
+        expectEq(audit, source, "occupancyCycles",
+                 sharding::saturatingAdd(
+                     stage.occupancyCycles(),
+                     plan.stageCollectiveCycles[s]),
+                 plan.stageOccupancyCycles[s]);
+        coll = sharding::saturatingAdd(
+            coll, plan.stageCollectiveCycles[s]);
+        fill = sharding::saturatingAdd(
+            fill, plan.stageOccupancyCycles[s]);
+        bottleneck =
+            std::max(bottleneck, plan.stageOccupancyCycles[s]);
+    }
+    expectEq(audit, "sharding/plan", "tensorCollectiveCycles", coll,
+             plan.tensorCollectiveCycles);
+    expectEq(audit, "sharding/plan", "fillCycles", fill,
+             plan.fillCycles);
+    expectEq(audit, "sharding/plan", "bottleneckCycles", bottleneck,
+             plan.bottleneckCycles);
+    expectEq(audit, "sharding/plan", "intervalCycles",
+             std::max(plan.bottleneckCycles, plan.gatherCycles),
+             plan.intervalCycles);
+    expectEq(audit, "sharding/plan", "latencyCycles",
+             sharding::saturatingAdd(plan.fillCycles,
+                                     plan.gatherCycles),
+             plan.latencyCycles);
+    if (plan.tensorShards == 1) {
+        expectEq(audit, "sharding/plan", "collectiveCyclesAtT1", 0,
+                 plan.tensorCollectiveCycles);
+        expectEq(audit, "sharding/plan", "collectiveBytesAtT1", 0,
+                 plan.tensorCollectiveBytes);
+    }
+    if (plan.dataParallel == 1) {
+        expectEq(audit, "sharding/plan", "gatherCyclesAtR1", 0,
+                 plan.gatherCycles);
+        expectEq(audit, "sharding/plan", "gatherBytesAtR1", 0,
+                 plan.gatherBytes);
+    }
+    if (plan.chips() == 1) {
+        // The degree-1 plan is the single-chip simulation itself.
+        expectEq(audit, "sharding/plan", "soloIdentityAtDegree1",
+                 plan.soloCycles, plan.intervalCycles);
+        expectEq(audit, "sharding/plan", "fillIdentityAtDegree1",
+                 plan.soloCycles, plan.fillCycles);
+    }
+    // A R·T·K-chip group can never beat R·T·K single chips.
+    expectLe(audit, "sharding/plan", "speedupLeChips",
+             plan.speedup(), (double)plan.chips());
+    return audit;
+}
+
+AuditReport
 auditPerf(const perf::Report &report, std::uint64_t wall_ns_bound)
 {
     AuditReport audit;

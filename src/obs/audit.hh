@@ -30,6 +30,7 @@
 #include "partition/pipeline_sim.hh"
 #include "perf/profile.hh"
 #include "serving/metrics.hh"
+#include "sharding/planner.hh"
 
 namespace supernpu {
 namespace obs {
@@ -81,6 +82,32 @@ AuditReport auditServing(const serving::ServingReport &report);
  * and the stream makespan identity fill + (M-1)·bottleneck.
  */
 AuditReport auditPipeline(const partition::PipelineResult &result);
+
+/**
+ * Audit a data-parallel replica-group run: the wide share's
+ * SimResult, compute + gather == total cycle conservation, a
+ * zero-cost gather (and total == solo) at R=1, and the DP speedup
+ * bounded by R — splitting a batch R ways can never win more than R.
+ */
+AuditReport auditSharding(const sharding::ReplicaGroupResult &result);
+
+/**
+ * Audit a tensor-parallel shard run: the wide shard's SimResult,
+ * per-layer shard/reduce cycles and bytes rolling up exactly to the
+ * totals, shard + collective == total, zero collectives (and
+ * total == solo) at T=1, and speedup bounded by T.
+ */
+AuditReport auditSharding(const sharding::TensorShardResult &result);
+
+/**
+ * Audit a hybrid DP×TP×PP plan: every pipeline stage's SimResult,
+ * the TP overlay rolling up (Σ stage collective == tensor
+ * collective, stage occupancy == pipeline occupancy + overlay),
+ * bottleneck == max overlaid occupancy with fill == Σ, interval ==
+ * max(bottleneck, gather) and latency == fill + gather, zero
+ * collectives at degree 1, and speedup bounded by R·T·K.
+ */
+AuditReport auditSharding(const sharding::ShardPlan &plan);
 
 /**
  * Audit a profiler snapshot: every nested phase path must have its

@@ -364,6 +364,12 @@ addServingReport(RunLedger &ledger,
         ledger.setInt("serving", "pipelineGroups",
                       (std::uint64_t)report.pipelineGroups);
     }
+    if (report.dataParallelReplicas > 1) {
+        ledger.setInt("serving", "dataParallelReplicas",
+                      (std::uint64_t)report.dataParallelReplicas);
+        ledger.setInt("serving", "replicaGroups",
+                      (std::uint64_t)report.replicaGroups);
+    }
     ledger.setInt("serving", "generated", report.generated);
     ledger.setInt("serving", "completed", report.completed);
     ledger.setReal("serving", "makespanSec", report.makespanSec);
@@ -474,6 +480,65 @@ addPipelineResult(RunLedger &ledger,
              Value::integer(stage.linkCycles),
              Value::integer(stage.occupancyCycles()),
              Value::real(plan.stageUtilization(s))});
+    }
+}
+
+void
+addShardPlan(RunLedger &ledger, const sharding::ShardPlan &plan)
+{
+    ledger.setText("sharding", "network", plan.networkName);
+    ledger.setText("sharding", "config", plan.configName);
+    ledger.setInt("sharding", "dataParallel",
+                  (std::uint64_t)plan.dataParallel);
+    ledger.setInt("sharding", "tensorShards",
+                  (std::uint64_t)plan.tensorShards);
+    ledger.setInt("sharding", "pipelineStages",
+                  (std::uint64_t)plan.pipelineStages);
+    ledger.setInt("sharding", "chips", (std::uint64_t)plan.chips());
+    ledger.setInt("sharding", "batch", (std::uint64_t)plan.batch);
+    ledger.setInt("sharding", "replicaShare",
+                  (std::uint64_t)plan.replicaShare);
+    ledger.setReal("sharding", "frequencyGhz", plan.frequencyGhz);
+    ledger.setReal("sharding", "linkBandwidthGBps",
+                   plan.link.bandwidthGBps);
+    ledger.setInt("sharding", "linkLatencyCycles",
+                  plan.link.latencyCycles);
+    ledger.setInt("sharding", "tensorCollectiveCycles",
+                  plan.tensorCollectiveCycles);
+    ledger.setInt("sharding", "tensorCollectiveBytes",
+                  plan.tensorCollectiveBytes);
+    ledger.setInt("sharding", "gatherBytes", plan.gatherBytes);
+    ledger.setInt("sharding", "gatherCycles", plan.gatherCycles);
+    ledger.setInt("sharding", "bottleneckCycles",
+                  plan.bottleneckCycles);
+    ledger.setInt("sharding", "fillCycles", plan.fillCycles);
+    ledger.setInt("sharding", "intervalCycles", plan.intervalCycles);
+    ledger.setInt("sharding", "latencyCycles", plan.latencyCycles);
+    ledger.setInt("sharding", "soloCycles", plan.soloCycles);
+    ledger.setInt("sharding", "macOpsPerBatch", plan.macOpsPerBatch);
+    ledger.setReal("sharding", "intervalSec", plan.intervalSec());
+    ledger.setReal("sharding", "latencySec", plan.latencySec());
+    ledger.setReal("sharding", "throughput", plan.throughput());
+    ledger.setReal("sharding", "speedup", plan.speedup());
+
+    (void)ledger.table(
+        "shardStages",
+        {"stage", "firstLayer", "lastLayer", "stageCycles",
+         "linkBytes", "linkCycles", "collectiveCycles",
+         "occupancyCycles"});
+    for (int s = 0; s < plan.pipelineStages; ++s) {
+        const partition::PipelineStage &stage =
+            plan.pipeline.stages[s];
+        ledger.addRow(
+            "shardStages",
+            {Value::integer((std::uint64_t)s),
+             Value::integer((std::uint64_t)stage.firstLayer),
+             Value::integer((std::uint64_t)stage.lastLayer),
+             Value::integer(stage.stageCycles),
+             Value::integer(stage.linkBytes),
+             Value::integer(stage.linkCycles),
+             Value::integer(plan.stageCollectiveCycles[s]),
+             Value::integer(plan.stageOccupancyCycles[s])});
     }
 }
 

@@ -41,6 +41,7 @@
 #include "partition/pipeline_sim.hh"
 #include "reliability/fault_model.hh"
 #include "serving/metrics.hh"
+#include "sharding/planner.hh"
 
 namespace supernpu {
 namespace obs {
@@ -178,6 +179,17 @@ void addServingReport(RunLedger &ledger,
  */
 void addPipelineResult(RunLedger &ledger,
                        const partition::PipelineResult &result);
+
+/**
+ * Record a hybrid DP×TP×PP placement: a "sharding" section (degrees,
+ * collective cycle/byte totals, interval/latency/speedup) and a
+ * "shardStages" table with one row per pipeline stage carrying the
+ * TP all-reduce overlay. A degree-1 plan's stage simulation is the
+ * single-chip SimResult itself, so pairing this with
+ * addSimResult(*plan.pipeline.stages[0].sim) reproduces the
+ * single-chip ledger byte for byte.
+ */
+void addShardPlan(RunLedger &ledger, const sharding::ShardPlan &plan);
 
 /** Record a fault schedule summary under a "faults" section. */
 void addFaultSchedule(RunLedger &ledger,

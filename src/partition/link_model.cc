@@ -7,6 +7,8 @@
 
 #include <cmath>
 #include <limits>
+#include <mutex>
+#include <unordered_set>
 
 #include "common/logging.hh"
 
@@ -18,7 +20,45 @@ namespace {
 constexpr std::uint64_t kSaturated =
     std::numeric_limits<std::uint64_t>::max();
 
+std::mutex warned_mutex;
+std::unordered_set<std::string> warned_contexts;
+
 } // namespace
+
+std::uint64_t
+guardedBytes(std::initializer_list<std::uint64_t> factors,
+             const std::string &context)
+{
+    // Evaluate the guard in floating point first: the factors come
+    // from ints the parser does not bound, so the uint64 product
+    // itself can wrap.
+    double true_product = 1.0;
+    for (std::uint64_t f : factors)
+        true_product *= (double)f;
+    if (true_product < (double)kSaturated) {
+        std::uint64_t exact = 1;
+        for (std::uint64_t f : factors)
+            exact *= f;
+        return exact;
+    }
+    bool first = false;
+    {
+        std::lock_guard<std::mutex> lock(warned_mutex);
+        first = warned_contexts.insert(context).second;
+    }
+    if (first)
+        warn(context, " (", true_product,
+             " bytes) exceeds the 64-bit transfer size type; "
+             "saturating (warned once for this boundary)");
+    return kSaturated;
+}
+
+std::size_t
+saturationWarningCount()
+{
+    std::lock_guard<std::mutex> lock(warned_mutex);
+    return warned_contexts.size();
+}
 
 void
 LinkConfig::check() const
@@ -32,19 +72,13 @@ std::uint64_t
 activationBytes(const dnn::Layer &boundary, int batch)
 {
     SUPERNPU_ASSERT(batch >= 1, "batch must be positive");
-    // Compute the true product in floating point first: the layer
-    // fields are ints the parser does not bound, so the uint64
-    // ofmapBytes() accessor itself can wrap on absurd shapes.
-    double true_bytes = (double)boundary.outChannels *
-                        (double)boundary.outHeight() *
-                        (double)boundary.outWidth() * (double)batch;
-    if (true_bytes >= (double)kSaturated) {
-        warn("layer '%s' activation transfer (%g bytes at batch %d) "
-             "exceeds the 64-bit transfer size type; saturating",
-             boundary.name.c_str(), true_bytes, batch);
-        return kSaturated;
-    }
-    return boundary.ofmapBytes() * (std::uint64_t)batch;
+    return guardedBytes({(std::uint64_t)boundary.outChannels,
+                         (std::uint64_t)boundary.outHeight(),
+                         (std::uint64_t)boundary.outWidth(),
+                         (std::uint64_t)batch},
+                        "layer '" + boundary.name +
+                            "' activation transfer at batch " +
+                            std::to_string(batch));
 }
 
 std::uint64_t

@@ -23,7 +23,10 @@
 #ifndef SUPERNPU_PARTITION_LINK_MODEL_HH
 #define SUPERNPU_PARTITION_LINK_MODEL_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <initializer_list>
+#include <string>
 
 #include "dnn/layer.hh"
 
@@ -49,6 +52,26 @@ struct LinkConfig
     /** Fatal on a non-positive bandwidth. */
     void check() const;
 };
+
+/**
+ * Guarded transfer-size multiply shared by every byte-count
+ * computation that multiplies unbounded parser shapes: the product
+ * of `factors` is evaluated in double to detect 64-bit wrap before
+ * the exact uint64 product is formed. When it fits, the exact
+ * product is returned; when it does not, the result saturates to
+ * UINT64_MAX and a warn() is emitted — once per distinct `context`
+ * per process, not per call, because sweep loops re-evaluate the
+ * same boundary thousands of times.
+ */
+std::uint64_t guardedBytes(std::initializer_list<std::uint64_t> factors,
+                           const std::string &context);
+
+/**
+ * Count of distinct saturation contexts warned so far — the
+ * observable contract of guardedBytes's once-per-boundary dedup,
+ * pinned by tests.
+ */
+std::size_t saturationWarningCount();
 
 /**
  * Bytes shipped across a stage boundary after `boundary` at the

@@ -25,6 +25,7 @@
 #include "partition/pipeline_sim.hh"
 #include "reliability/fault_model.hh"
 #include "serving/simulator.hh"
+#include "sharding/planner.hh"
 
 namespace supernpu {
 namespace bench {
@@ -309,6 +310,41 @@ casePipelineScaling(const CaseCtx &ctx)
     return run;
 }
 
+// --- case: shard_scaling --------------------------------------------
+// Hybrid DP×TP×PP factorization search over chip budgets 1/2/4 with
+// a cold sim cache: the sharding planner end to end, including the
+// tensor-shard re-simulations and collective closed forms.
+CaseRun
+caseShardScaling(const CaseCtx &ctx)
+{
+    const estimator::NpuEstimate est = superNpuEstimate();
+    const dnn::Network net =
+        ctx.smoke ? dnn::makeMobileNet() : dnn::makeResNet50();
+    const int batch = npusim::maxBatch(est.config, est, net);
+
+    CaseRun run;
+    std::uint64_t interval = 0, collective = 0, gather = 0;
+    std::uint64_t evaluated = 0;
+    for (int budget : {1, 2, 4}) {
+        npusim::SimCache cold;
+        sharding::HybridPlanner planner(est, {}, &cold);
+        const sharding::PlanSearch search = planner.plan(
+            net, budget, batch, sharding::PlanObjective::Throughput);
+        obs::enforce(obs::auditSharding(search.best()),
+                     "bench shard");
+        interval += search.best().intervalCycles;
+        collective += search.best().tensorCollectiveCycles;
+        gather += search.best().gatherCycles;
+        evaluated += search.evaluated.size();
+        run.work += 1;
+    }
+    addMetric(run, "intervalCycles", interval);
+    addMetric(run, "collectiveCycles", collective);
+    addMetric(run, "gatherCycles", gather);
+    addMetric(run, "plansEvaluated", evaluated);
+    return run;
+}
+
 const std::vector<BenchCase> &
 allCases()
 {
@@ -319,6 +355,7 @@ allCases()
          caseServingTailLatency},
         {"fault_sweep", "requests/sec", caseFaultSweep},
         {"pipeline_scaling", "plans/sec", casePipelineScaling},
+        {"shard_scaling", "plans/sec", caseShardScaling},
     };
     return cases;
 }

@@ -9,7 +9,7 @@
  * this harness measures the *simulator itself* — how many cycle
  * simulations, served requests, calendar events, and partition plans
  * per second the host sustains — so a PR that slows the hot paths
- * shows up as a number, not a hunch. Five cases cover the stack:
+ * shows up as a number, not a hunch. Six cases cover the stack:
  *
  *   micro_kernels      cycle simulator across the evaluation
  *                      workloads (sims/sec)
@@ -21,6 +21,8 @@
  *                      retries (requests/sec)
  *   pipeline_scaling   partition + pipeline composition at
  *                      K = 1/2/4 (plans/sec)
+ *   shard_scaling      hybrid DP×TP×PP planner search over chip
+ *                      budgets 1/2/4 (plans/sec)
  *
  * Output discipline: every case records deterministic uint64 work
  * metrics (cycles, requests, events, a rank fingerprint) next to its

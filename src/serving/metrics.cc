@@ -39,6 +39,10 @@ ServingReport::print() const
         std::printf("pipelined: %d stages x %d group(s)\n",
                     pipelineStages, pipelineGroups);
     }
+    if (dataParallelReplicas > 1) {
+        std::printf("replicated: %d replicas x %d group(s)\n",
+                    dataParallelReplicas, replicaGroups);
+    }
     TextTable table;
     table.row().cell("metric").cell("value");
     table.row().cell("requests completed").cell((long long)completed);

@@ -37,6 +37,10 @@ struct ServingReport
     int pipelineStages = 1;
     /** Pipeline groups (chips / pipelineStages). */
     int pipelineGroups = 0;
+    /** Replicas per data-parallel group; 1 = unreplicated. */
+    int dataParallelReplicas = 1;
+    /** Replica groups (chips / dataParallelReplicas). */
+    int replicaGroups = 0;
 
     // --- volume -----------------------------------------------------
     std::uint64_t generated = 0; ///< requests injected

@@ -34,6 +34,7 @@
 
 #include "common/logging.hh"
 #include "perf/profile.hh"
+#include "sharding/collective.hh"
 
 namespace supernpu {
 namespace serving {
@@ -55,12 +56,31 @@ ServingConfig::check() const
               "count: ", chips, " chips, ", pipelineStages,
               " stages");
     }
+    if (dataParallelReplicas < 1)
+        fatal("dataParallelReplicas must be at least 1, got ",
+              dataParallelReplicas);
+    if (dataParallelReplicas > 1 && pipelineStages > 1) {
+        fatal("data-parallel replica groups cannot be combined with "
+              "pipelined placement in serving (no hybrid placement "
+              "model); pick one of --dp and --stages");
+    }
+    if (chips % (pipelineStages * dataParallelReplicas) != 0) {
+        fatal("replicated serving needs chips divisible by the "
+              "replica count: ", chips, " chips, ",
+              dataParallelReplicas, " replicas");
+    }
     link.check();
     resilience.check();
     if (pipelineStages > 1 && resilience.checkpointRestart) {
         fatal("checkpoint-restart resilience is not supported with "
               "pipelined placement (no per-stage checkpoint model); "
               "use retry or degraded-dispatch recovery");
+    }
+    if (dataParallelReplicas > 1 && resilience.checkpointRestart) {
+        fatal("checkpoint-restart resilience is not supported with "
+              "data-parallel replica groups (no distributed "
+              "checkpoint model); use retry or degraded-dispatch "
+              "recovery");
     }
     if (!faults.empty() && faults.config().chips != chips)
         fatal("fault schedule covers ", faults.config().chips,
@@ -215,18 +235,36 @@ ServingSimulator::run()
             Event{time, next_seq++, EventKind::Retry, -1, 0, request});
     };
 
-    // Pipelined placement: dispatch targets are K-chip groups, not
-    // single dies. K == 1 keeps n_targets == chips and leaves every
-    // code path below byte-identical to the pre-partition loop.
+    // Grouped placement: dispatch targets are G-chip groups — K-stage
+    // pipelines or R-replica data-parallel sets (mutually exclusive,
+    // so G = K·R is whichever exceeds 1) — not single dies. G == 1
+    // keeps n_targets == chips and leaves every code path below
+    // byte-identical to the pre-partition, pre-sharding loop.
     const int K = _cfg.pipelineStages;
+    const int R = _cfg.dataParallelReplicas;
+    const int G = K * R;
     const bool pipelined = K > 1;
-    const int n_targets = _cfg.chips / K;
+    const bool replicated = R > 1;
+    const int n_targets = _cfg.chips / G;
     std::unique_ptr<partition::PipelineServiceModel> pipe;
     if (pipelined) {
         pipe = std::make_unique<partition::PipelineServiceModel>(
             _service.estimate(), _service.network(), K, _cfg.link,
             _service.cache());
     }
+    // Ring all-gather of a replica group's results, in seconds at
+    // the design point's clock (zero when not replicated).
+    const double freq_ghz = _service.estimate().frequencyGhz;
+    const auto gather_sec = [&](int size) {
+        if (!replicated)
+            return 0.0;
+        const std::uint64_t bytes = partition::activationBytes(
+            _service.network().layers.back(), size);
+        return (double)sharding::allGatherCost(_cfg.link, R, bytes,
+                                               freq_ghz)
+                   .cycles /
+               (freq_ghz * 1e9);
+    };
 
     ArrivalProcess arrivals(_cfg.arrival, _cfg.seed);
     Dispatcher dispatcher(_cfg.dispatch, n_targets);
@@ -304,7 +342,9 @@ ServingSimulator::run()
             // run would silently "serve" from known-bad hardware.
             if (quarantined_count >= n_targets) {
                 fatal("all ", n_targets,
-                      pipelined ? " pipeline group(s)" : " chip(s)",
+                      pipelined     ? " pipeline group(s)"
+                      : replicated  ? " replica group(s)"
+                                    : " chip(s)",
                       " quarantined: no "
                       "healthy dispatch target remains (permanent "
                       "faults exceeded the cluster's redundancy)");
@@ -350,7 +390,7 @@ ServingSimulator::run()
                     timing.stageBusySec[(std::size_t)stage] * scale;
             }
             chip.lastPipeDoneSec = pipe_batch.doneSec;
-            metrics.recordPipelinedBatch(index * K, size,
+            metrics.recordPipelinedBatch(index * G, size,
                                          pipe_batch.stageBusySec);
             pipe_batch.doneSeq =
                 schedule(pipe_batch.doneSec, EventKind::Done, index);
@@ -367,8 +407,19 @@ ServingSimulator::run()
         chip.glitchSec = 0.0;
         chip.glitchAtCorruptSec = 0.0;
         ++chip.launchGen;
-        double service =
-            _service.batchSeconds((int)chip.inFlight.size());
+        const int size = (int)chip.inFlight.size();
+        double service;
+        if (replicated) {
+            // The batch splits into near-equal shares; the group is
+            // busy for the widest share's service plus the ring
+            // all-gather of the results. A derate on any replica
+            // (the group state is shared) throttles the group.
+            const int share = (size + R - 1) / R;
+            service =
+                _service.batchSeconds(share) + gather_sec(size);
+        } else {
+            service = _service.batchSeconds(size);
+        }
         if (chip.permDerate != 1.0)
             service *= chip.permDerate;
         if (clock < chip.skewUntilSec)
@@ -376,7 +427,15 @@ ServingSimulator::run()
         chip.launchSec = clock;
         chip.serviceSec = service;
         chip.doneSec = clock + service;
-        metrics.recordBatch(index, (int)chip.inFlight.size(), service);
+        if (replicated) {
+            // The launch counts once; every replica chip is busy
+            // until the gather completes.
+            metrics.recordPipelinedBatch(
+                index * G, size,
+                std::vector<double>((std::size_t)R, service));
+        } else {
+            metrics.recordBatch(index, size, service);
+        }
         chip.pendingDoneSeq =
             schedule(chip.doneSec, EventKind::Done, index);
     };
@@ -504,10 +563,11 @@ ServingSimulator::run()
           case EventKind::Fault: {
             const reliability::FaultEvent &fault =
                 _cfg.faults.events()[(std::size_t)event.tag];
-            // Fault events strike physical chips; in pipelined mode
-            // a chip is one stage of group event.chip / K, and a
-            // fault on any stage degrades the whole group.
-            const int target = event.chip / K;
+            // Fault events strike physical chips; in grouped mode
+            // a chip is one member of group event.chip / G, and a
+            // fault on any stage or replica degrades the whole
+            // group.
+            const int target = event.chip / G;
             Chip &chip = chips[target];
             ++faults_seen;
             const bool detects =
@@ -566,7 +626,7 @@ ServingSimulator::run()
                 // whole group, so the loss covers all K chips.
                 chip.permDerate *= fault.magnitude;
                 if (!chip.quarantined) {
-                    for (int c = target * K; c < (target + 1) * K;
+                    for (int c = target * G; c < (target + 1) * G;
                          ++c) {
                         metrics.setPermanentLoss(
                             c, clock, 1.0 - 1.0 / chip.permDerate);
@@ -582,9 +642,9 @@ ServingSimulator::run()
               case reliability::FaultKind::ClockSkew:
                 chip.skewUntilSec = clock + fault.durationSec;
                 chip.skewFactor = fault.magnitude;
-                // A skewed stage clock slows every launch of the
-                // group for the window: all K chips lose capacity.
-                for (int c = target * K; c < (target + 1) * K; ++c) {
+                // A skewed clock slows every launch of the group
+                // for the window: all G chips lose capacity.
+                for (int c = target * G; c < (target + 1) * G; ++c) {
                     metrics.addTransientLoss(
                         c, fault.durationSec *
                                (1.0 - 1.0 / fault.magnitude));
@@ -630,13 +690,20 @@ ServingSimulator::run()
                     // The stall delays completion and occupies the
                     // chip, but it is not computed work: serviceSec
                     // stays pure so checkpoint-restart math never
-                    // counts glitch delay as checkpointable.
+                    // counts glitch delay as checkpointable. In a
+                    // replica group the gather blocks on the stalled
+                    // link, so every replica rides the stall out;
+                    // the transient capacity loss is the struck
+                    // link's chip alone.
                     chip.doneSec += fault.magnitude;
                     chip.glitchSec += fault.magnitude;
                     chip.pendingDoneSeq = schedule(
                         chip.doneSec, EventKind::Done, target);
-                    metrics.extendBusy(target, fault.magnitude);
-                    metrics.addTransientLoss(target,
+                    for (int c = target * G; c < (target + 1) * G;
+                         ++c) {
+                        metrics.extendBusy(c, fault.magnitude);
+                    }
+                    metrics.addTransientLoss(event.chip,
                                              fault.magnitude);
                     ++glitches_absorbed;
                 }
@@ -718,8 +785,12 @@ ServingSimulator::run()
                 break; // stale: completed or restarted meanwhile
             }
             ++batches_killed;
-            // The chip stops now; give back the unspent busy tail.
-            metrics.extendBusy(event.chip, -(chip.doneSec - clock));
+            // The group stops now; give back every member's unspent
+            // busy tail (one chip per target when G == 1).
+            for (int c = event.chip * G; c < (event.chip + 1) * G;
+                 ++c) {
+                metrics.extendBusy(c, -(chip.doneSec - clock));
+            }
             if (res.checkpointRestart) {
                 // Resume from the last checkpoint before corruption,
                 // on the same chip. Progress counts computed work
@@ -761,8 +832,8 @@ ServingSimulator::run()
                 break;
             chip.quarantined = true;
             ++quarantined_count;
-            // A quarantined group takes all K of its chips out.
-            for (int c = event.chip * K; c < (event.chip + 1) * K;
+            // A quarantined group takes all G of its chips out.
+            for (int c = event.chip * G; c < (event.chip + 1) * G;
                  ++c) {
                 metrics.setPermanentLoss(c, clock, 1.0);
             }
@@ -815,6 +886,8 @@ ServingSimulator::run()
     report.maxBatch = _cfg.batching.maxBatch;
     report.pipelineStages = K;
     report.pipelineGroups = n_targets;
+    report.dataParallelReplicas = R;
+    report.replicaGroups = n_targets;
     report.generated = arrived;
     report.eventsProcessed = events_processed;
     report.offeredRps = arrivals.openLoop()

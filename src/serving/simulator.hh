@@ -68,7 +68,27 @@ struct ServingConfig
      * (there is no per-stage checkpoint model).
      */
     int pipelineStages = 1;
-    /** Inter-chip link of pipelined groups (K > 1 only). */
+
+    // --- data-parallel placement (src/sharding) ---------------------
+    /**
+     * Replicas per data-parallel group. 1 (the default) is the
+     * pre-sharding behavior, byte for byte. R > 1 groups the chips
+     * into chips/R replica sets the dispatcher treats as one logical
+     * server: a launched batch splits into near-equal shares, every
+     * replica chip is busy for the widest share's service time plus
+     * the ring all-gather of the results, and a fault on any replica
+     * degrades — and under degraded dispatch quarantines — the whole
+     * group. Requires chips % R == 0. Mutually exclusive with
+     * pipelineStages > 1 (no hybrid serving placement model) and
+     * with checkpoint-restart resilience (no distributed checkpoint
+     * model).
+     */
+    int dataParallelReplicas = 1;
+
+    /**
+     * Inter-chip link of pipelined groups (K > 1) and of replica
+     * groups' all-gather (R > 1).
+     */
     partition::LinkConfig link;
 
     /**

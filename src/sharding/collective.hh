@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Deterministic ring-collective cost model over the inter-chip link.
+ *
+ * When K SFQ chips cooperate on one tensor — data-parallel replicas
+ * gathering their output shards, tensor-parallel shards all-reducing
+ * partial sums — the communication rides the same chip-to-chip link
+ * partition::LinkConfig models for pipeline boundaries. This module
+ * prices the three collectives the sharding layer needs with the
+ * classic ring closed forms:
+ *
+ *  - reduce-scatter / scatter: K-1 steps, each chip moving a
+ *    ceil(bytes/K) chunk per step, so (K-1)/K of the tensor crosses
+ *    each link;
+ *  - all-gather: the same K-1 steps and (K-1)/K volume;
+ *  - all-reduce: reduce-scatter then all-gather, 2(K-1) steps and
+ *    2(K-1)/K of the tensor.
+ *
+ * Cycles are the link's fixed latency per step plus the bandwidth
+ * term over the total wire bytes, rounded up — exactly the
+ * partition::transferCycles shape. K=1 collectives are free (a chip
+ * needs no ring to agree with itself), which is what makes
+ * degree-1 sharding byte-identical to the single-chip paths.
+ *
+ * All byte products flow through partition::guardedBytes, so parser-
+ * unbounded tensor sizes saturate to UINT64_MAX with a once-per-
+ * boundary warn() instead of silently wrapping.
+ */
+
+#ifndef SUPERNPU_SHARDING_COLLECTIVE_HH
+#define SUPERNPU_SHARDING_COLLECTIVE_HH
+
+#include <cstdint>
+
+#include "partition/link_model.hh"
+
+namespace supernpu {
+namespace sharding {
+
+/** Cost of one ring collective across K chips. */
+struct CollectiveCost
+{
+    /** Ring steps — each charges the link's fixed latency. */
+    std::uint64_t steps = 0;
+    /** Bytes each chip transmits over its outbound link in total. */
+    std::uint64_t wireBytes = 0;
+    /** Link occupancy cycles: steps·latency + bandwidth term. */
+    std::uint64_t cycles = 0;
+};
+
+/**
+ * Ring all-reduce of a `bytes`-sized tensor across `chips` chips:
+ * reduce-scatter followed by all-gather, 2(K-1) steps moving
+ * ceil(bytes/K) each. Zero-cost at K=1. Saturates to UINT64_MAX.
+ */
+CollectiveCost allReduceCost(const partition::LinkConfig &link,
+                             int chips, std::uint64_t bytes,
+                             double frequency_ghz);
+
+/**
+ * Ring all-gather: every chip ends with the full `bytes` tensor of
+ * which it held a ceil(bytes/K) shard — K-1 steps. Zero at K=1.
+ */
+CollectiveCost allGatherCost(const partition::LinkConfig &link,
+                             int chips, std::uint64_t bytes,
+                             double frequency_ghz);
+
+/**
+ * Ring scatter: one chip distributes distinct ceil(bytes/K) shards
+ * to K-1 peers, pipelined around the ring — the all-gather volume
+ * in reverse. Zero at K=1.
+ */
+CollectiveCost scatterCost(const partition::LinkConfig &link,
+                           int chips, std::uint64_t bytes,
+                           double frequency_ghz);
+
+} // namespace sharding
+} // namespace supernpu
+
+#endif // SUPERNPU_SHARDING_COLLECTIVE_HH

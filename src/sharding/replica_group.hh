@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Data parallelism: R replica chips split one batch.
+ *
+ * Every replica holds the full network; a batch of B inferences is
+ * split into R near-equal shares (differing by at most one image)
+ * and each replica runs its share independently. The group is done
+ * when the *widest* share — ceil(B/R) images, the slowest replica —
+ * finishes and the per-replica output shards are ring all-gathered
+ * so any chip can serve the whole batch's results.
+ *
+ * The widest share is re-simulated through NpuSimulator via the
+ * shared SimCache (partial batches change the weight-reuse
+ * amortization, so scaling the full-batch result would be wrong);
+ * the gather is priced by the collective model on the final layer's
+ * full-batch ofmap. R=1 degenerates to the exact single-chip cache
+ * entry with a zero-cost gather — byte-identical ledgers.
+ */
+
+#ifndef SUPERNPU_SHARDING_REPLICA_GROUP_HH
+#define SUPERNPU_SHARDING_REPLICA_GROUP_HH
+
+#include <memory>
+#include <string>
+
+#include "collective.hh"
+#include "dnn/layer.hh"
+#include "estimator/npu_estimator.hh"
+#include "npusim/sim.hh"
+#include "npusim/sim_cache.hh"
+#include "partition/link_model.hh"
+
+namespace supernpu {
+namespace sharding {
+
+/** Timing of one batch split across R data-parallel replicas. */
+struct ReplicaGroupResult
+{
+    std::string networkName;
+    std::string configName;
+    int replicas = 1; ///< R (after clamping to the batch)
+    int batch = 1;    ///< total batch B across the group
+    /** ceil(B/R): the widest (slowest) replica's share. */
+    int wideShare = 1;
+    double frequencyGhz = 0.0;
+    partition::LinkConfig link;
+
+    /** Simulation of the widest share on one replica. */
+    std::shared_ptr<const npusim::SimResult> wideSim;
+
+    /** wideSim->totalCycles: compute of the slowest replica. */
+    std::uint64_t computeCycles = 0;
+    /** Final-layer ofmap bytes of the full batch (gathered). */
+    std::uint64_t gatherBytes = 0;
+    /** Ring all-gather cycles across the R replicas. */
+    std::uint64_t gatherCycles = 0;
+    /** computeCycles + gatherCycles: one batch end to end. */
+    std::uint64_t totalCycles = 0;
+    /** Full batch on one chip at the same design point (baseline). */
+    std::uint64_t soloCycles = 0;
+    /** Full-batch MACs (summed over replicas). */
+    std::uint64_t macOpsPerBatch = 0;
+
+    double seconds() const;
+    /** soloCycles / totalCycles — bounded by R (audited). */
+    double speedup() const;
+    /** Whole-group effective MAC/s on the full batch. */
+    double effectiveMacPerSec() const;
+};
+
+/** Re-simulating data-parallel cost model for one design point. */
+class ReplicaGroup
+{
+  public:
+    /** @param cache Defaults to npusim::SimCache::global(). */
+    explicit ReplicaGroup(const estimator::NpuEstimate &estimate,
+                          partition::LinkConfig link = {},
+                          npusim::SimCache *cache = nullptr);
+
+    /**
+     * Time one batch of `batch` inferences split across `replicas`
+     * chips. More replicas than images clamps to R = batch with a
+     * warn() — an empty share cannot be simulated.
+     */
+    ReplicaGroupResult run(const dnn::Network &network, int replicas,
+                           int batch) const;
+
+    const estimator::NpuEstimate &estimate() const
+    {
+        return _sim.estimate();
+    }
+    const partition::LinkConfig &link() const { return _link; }
+
+  private:
+    std::shared_ptr<const npusim::SimResult>
+    simulate(const dnn::Network &network, int batch) const;
+
+    npusim::NpuSimulator _sim;
+    partition::LinkConfig _link;
+    npusim::SimCache *_cache;
+    std::uint64_t _configHash = 0;
+};
+
+} // namespace sharding
+} // namespace supernpu
+
+#endif // SUPERNPU_SHARDING_REPLICA_GROUP_HH

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tensor-parallel shard construction and timing.
+ */
+
+#include "tensor_shard.hh"
+
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace supernpu {
+namespace sharding {
+
+std::uint64_t
+saturatingAdd(std::uint64_t a, std::uint64_t b)
+{
+    constexpr std::uint64_t kMax =
+        std::numeric_limits<std::uint64_t>::max();
+    return a > kMax - b ? kMax : a + b;
+}
+
+double
+TensorShardResult::seconds() const
+{
+    return (double)totalCycles / (frequencyGhz * 1e9);
+}
+
+double
+TensorShardResult::speedup() const
+{
+    SUPERNPU_ASSERT(totalCycles > 0, "result not built");
+    return (double)soloCycles / (double)totalCycles;
+}
+
+double
+TensorShardResult::effectiveMacPerSec() const
+{
+    return (double)macOpsPerBatch / seconds();
+}
+
+dnn::Network
+shardNetwork(const dnn::Network &network, int shards)
+{
+    SUPERNPU_ASSERT(shards >= 1, "shard count must be positive");
+    if (shards == 1) {
+        // Degree 1: the original object, so the simulation below
+        // hits (or seeds) the exact cache entry the single-chip
+        // path uses — the byte-identity guarantee.
+        return network;
+    }
+    dnn::Network shard;
+    shard.name =
+        network.name + "/tp" + std::to_string(shards);
+    shard.layers.reserve(network.layers.size());
+    const int t = shards;
+    for (const dnn::Layer &layer : network.layers) {
+        dnn::Layer s = layer;
+        // Widest ceil share of the filters; at least one filter per
+        // chip even when T exceeds the layer's channel count (the
+        // surplus chips idle on that layer).
+        s.outChannels = (layer.outChannels + t - 1) / t;
+        if (layer.kind == dnn::LayerKind::DepthwiseConv) {
+            // Depthwise filters are per-channel: splitting the
+            // filters splits the input channels with them, and the
+            // mapper requires in == out.
+            s.inChannels = s.outChannels;
+        }
+        shard.layers.push_back(std::move(s));
+    }
+    shard.check();
+    return shard;
+}
+
+TensorSharder::TensorSharder(const estimator::NpuEstimate &estimate,
+                             partition::LinkConfig link,
+                             npusim::SimCache *cache)
+    : _sim(estimate), _link(link),
+      _cache(cache ? cache : &npusim::SimCache::global()),
+      _configHash(npusim::hashEstimate(estimate))
+{
+    _link.check();
+}
+
+std::shared_ptr<const npusim::SimResult>
+TensorSharder::simulate(const dnn::Network &network, int batch) const
+{
+    npusim::SimKey key;
+    key.networkHash = npusim::hashNetwork(network);
+    key.configHash = _configHash;
+    key.batch = batch;
+    return _cache->getOrRun(key, _sim, network);
+}
+
+TensorShardResult
+TensorSharder::shard(const dnn::Network &network, int shards,
+                     int batch) const
+{
+    network.check();
+    if (shards < 1)
+        fatal("tensor parallelism needs at least 1 shard, got ",
+              shards);
+    if (batch < 1)
+        fatal("batch must be at least 1, got ", batch);
+
+    const dnn::Network shard_net = shardNetwork(network, shards);
+    auto wide = simulate(shard_net, batch);
+    auto solo = shards == 1 ? wide : simulate(network, batch);
+
+    TensorShardResult result;
+    result.networkName = network.name;
+    result.configName = wide->configName;
+    result.shards = shards;
+    result.batch = batch;
+    result.frequencyGhz = wide->frequencyGhz;
+    result.link = _link;
+    result.wideSim = wide;
+    result.soloCycles = solo->totalCycles;
+    result.macOpsPerBatch = solo->macOps;
+
+    const int n = (int)network.layers.size();
+    result.layers.reserve(n);
+    for (int l = 0; l < n; ++l) {
+        ShardLayerTiming timing;
+        timing.layerName = network.layers[l].name;
+        timing.shardCycles = wide->layers[l].totalCycles();
+        if (shards > 1) {
+            timing.reduceBytes = partition::activationBytes(
+                network.layers[l], batch);
+            timing.reduceCycles =
+                allReduceCost(_link, shards, timing.reduceBytes,
+                              result.frequencyGhz)
+                    .cycles;
+        }
+        result.shardCycles += timing.shardCycles;
+        result.collectiveBytes =
+            saturatingAdd(result.collectiveBytes, timing.reduceBytes);
+        result.collectiveCycles = saturatingAdd(
+            result.collectiveCycles, timing.reduceCycles);
+        result.layers.push_back(std::move(timing));
+    }
+    result.totalCycles =
+        saturatingAdd(result.shardCycles, result.collectiveCycles);
+    SUPERNPU_ASSERT(result.shardCycles == wide->totalCycles,
+                    "per-layer shard cycles must roll up to the "
+                    "wide shard's total");
+    return result;
+}
+
+} // namespace sharding
+} // namespace supernpu

@@ -1,0 +1,476 @@
+/**
+ * @file
+ * Tests for the sharding subsystem: ring-collective closed forms and
+ * their saturation discipline, shard-network geometry, the degree-1
+ * byte-identity guarantees (same cache entry, byte-identical
+ * ledgers), hybrid-planner search determinism, conservation audits
+ * (including that cooked books are caught), and the serving layer's
+ * data-parallel replica groups.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "dnn/networks.hh"
+#include "dnn/parser.hh"
+#include "estimator/npu_estimator.hh"
+#include "npusim/batch.hh"
+#include "npusim/sim.hh"
+#include "npusim/sim_cache.hh"
+#include "obs/audit.hh"
+#include "obs/ledger.hh"
+#include "partition/link_model.hh"
+#include "serving/simulator.hh"
+#include "sharding/collective.hh"
+#include "sharding/planner.hh"
+#include "sharding/replica_group.hh"
+#include "sharding/tensor_shard.hh"
+
+namespace supernpu {
+namespace sharding {
+namespace {
+
+constexpr std::uint64_t kMax =
+    std::numeric_limits<std::uint64_t>::max();
+
+/** The test link: round numbers so closed forms are easy to check. */
+partition::LinkConfig
+testLink()
+{
+    partition::LinkConfig link;
+    link.bandwidthGBps = 100.0;
+    link.latencyCycles = 10;
+    return link;
+}
+
+// --- collective closed forms -----------------------------------------
+
+TEST(Collective, RingAllReduceMatchesTheClosedForm)
+{
+    const partition::LinkConfig link = testLink();
+    // bytes divisible by K so the ceil is exact: chunk = bytes/K,
+    // steps = 2(K-1), wire = steps * chunk, cycles = steps * latency
+    // + ceil(wire * freq / bw).
+    for (int k : {2, 4, 8}) {
+        const std::uint64_t bytes = 8000;
+        const CollectiveCost cost =
+            allReduceCost(link, k, bytes, 50.0);
+        const std::uint64_t steps = 2u * ((std::uint64_t)k - 1);
+        const std::uint64_t wire = steps * (bytes / (std::uint64_t)k);
+        EXPECT_EQ(cost.steps, steps) << "K=" << k;
+        EXPECT_EQ(cost.wireBytes, wire) << "K=" << k;
+        // 100 GB/s at 50 GHz: 2 bytes per cycle, and wire is even.
+        EXPECT_EQ(cost.cycles, steps * 10u + wire / 2u) << "K=" << k;
+    }
+}
+
+TEST(Collective, RingAllGatherAndScatterMoveHalfTheAllReduce)
+{
+    const partition::LinkConfig link = testLink();
+    for (int k : {2, 4, 8}) {
+        const std::uint64_t bytes = 8000;
+        const CollectiveCost gather =
+            allGatherCost(link, k, bytes, 50.0);
+        const CollectiveCost scatter =
+            scatterCost(link, k, bytes, 50.0);
+        const CollectiveCost reduce =
+            allReduceCost(link, k, bytes, 50.0);
+        EXPECT_EQ(gather.steps, (std::uint64_t)k - 1);
+        EXPECT_EQ(gather.wireBytes, reduce.wireBytes / 2u);
+        EXPECT_EQ(gather.cycles, reduce.cycles / 2u);
+        // Scatter is the all-gather volume in reverse.
+        EXPECT_EQ(scatter.steps, gather.steps);
+        EXPECT_EQ(scatter.wireBytes, gather.wireBytes);
+        EXPECT_EQ(scatter.cycles, gather.cycles);
+    }
+}
+
+TEST(Collective, SingleChipCollectivesAreFree)
+{
+    const partition::LinkConfig link = testLink();
+    for (const CollectiveCost &cost :
+         {allReduceCost(link, 1, 1 << 20, 50.0),
+          allGatherCost(link, 1, 1 << 20, 50.0),
+          scatterCost(link, 1, 1 << 20, 50.0),
+          allReduceCost(link, 4, 0, 50.0)}) {
+        EXPECT_EQ(cost.steps, 0u);
+        EXPECT_EQ(cost.wireBytes, 0u);
+        EXPECT_EQ(cost.cycles, 0u);
+    }
+}
+
+TEST(Collective, ParserUnboundedTensorsSaturateInsteadOfWrapping)
+{
+    const partition::LinkConfig link = testLink();
+    // A UINT64_MAX-sized tensor: 2(K-1) chunks of ~kMax/K bytes
+    // overflow the wire-volume product, which must pin to kMax. At
+    // 200 GHz the wire alone costs 2 cycles per byte, so the cycle
+    // count overflows too and must pin rather than wrap.
+    const CollectiveCost cost = allReduceCost(link, 4, kMax, 200.0);
+    EXPECT_EQ(cost.wireBytes, kMax);
+    EXPECT_EQ(cost.cycles, kMax);
+}
+
+TEST(Collective, SaturationWarnsOncePerBoundary)
+{
+    const partition::LinkConfig link = testLink();
+    // Trip the same saturating boundary twice: the dedup in
+    // partition::guardedBytes may add at most one new warning for
+    // it (zero if an earlier test already tripped it).
+    const std::size_t before = partition::saturationWarningCount();
+    (void)allGatherCost(link, 8, kMax, 50.0);
+    const std::size_t after_first = partition::saturationWarningCount();
+    (void)allGatherCost(link, 8, kMax, 50.0);
+    EXPECT_LE(after_first - before, 1u);
+    EXPECT_EQ(partition::saturationWarningCount(), after_first);
+}
+
+TEST(Collective, ActivationSaturationDedupsByLayerAndBatch)
+{
+    // A distinct layer name makes the boundary context fresh, so the
+    // first call must warn exactly once and the repeat must not.
+    const dnn::Layer layer =
+        dnn::conv("shard-dedup-probe", 1, 100000, 2000000000, 1, 1, 0);
+    const std::size_t before = partition::saturationWarningCount();
+    EXPECT_EQ(partition::activationBytes(layer, 7), kMax);
+    EXPECT_EQ(partition::saturationWarningCount(), before + 1);
+    EXPECT_EQ(partition::activationBytes(layer, 7), kMax);
+    EXPECT_EQ(partition::saturationWarningCount(), before + 1);
+}
+
+TEST(Sharding, SaturatingAddClampsAtTheCeiling)
+{
+    EXPECT_EQ(saturatingAdd(2, 3), 5u);
+    EXPECT_EQ(saturatingAdd(kMax, 1), kMax);
+    EXPECT_EQ(saturatingAdd(kMax - 1, 5), kMax);
+}
+
+// --- shard geometry --------------------------------------------------
+
+TEST(ShardNetwork, SplitsOfmapChannelsByTheCeilShare)
+{
+    dnn::Network net;
+    net.name = "GeomTest";
+    net.layers = {dnn::conv("c1", 3, 32, 30, 3, 1, 1),
+                  dnn::conv("c2", 30, 32, 7, 3, 1, 1)};
+    net.check();
+
+    const dnn::Network four = shardNetwork(net, 4);
+    EXPECT_EQ(four.name, "GeomTest/tp4");
+    ASSERT_EQ(four.layers.size(), 2u);
+    // 30 channels over 4 shards: the widest holds ceil(30/4) = 8.
+    EXPECT_EQ(four.layers[0].outChannels, 8);
+    // Input channels stay full: every shard reads the whole ifmap.
+    EXPECT_EQ(four.layers[0].inChannels, 3);
+    // 7 over 4: widest share 2 — narrow layers leave chips idle but
+    // still shrink.
+    EXPECT_EQ(four.layers[1].outChannels, 2);
+}
+
+TEST(ShardNetwork, DepthwiseShardsBothChannelDims)
+{
+    dnn::Network net;
+    net.name = "DwTest";
+    net.layers = {dnn::conv("c1", 3, 32, 32, 3, 1, 1),
+                  dnn::depthwise("dw", 32, 32, 1)};
+    net.check();
+
+    const dnn::Network two = shardNetwork(net, 2);
+    // The mapper requires in == out for depthwise layers, so the
+    // shard shrinks both sides together.
+    EXPECT_EQ(two.layers[1].outChannels, 16);
+    EXPECT_EQ(two.layers[1].inChannels, 16);
+}
+
+TEST(ShardNetwork, DegreeOneReturnsTheOriginalObject)
+{
+    const dnn::Network net = dnn::makeMobileNet();
+    const dnn::Network same = shardNetwork(net, 1);
+    // Same name, same geometry — the cache key cannot change.
+    EXPECT_EQ(same.name, net.name);
+    ASSERT_EQ(same.layers.size(), net.layers.size());
+    for (std::size_t l = 0; l < net.layers.size(); ++l) {
+        EXPECT_EQ(same.layers[l].outChannels,
+                  net.layers[l].outChannels);
+        EXPECT_EQ(same.layers[l].inChannels, net.layers[l].inChannels);
+    }
+}
+
+// --- fixture ---------------------------------------------------------
+
+/** Shared design point + a cheap four-conv network. */
+class ShardingFixture : public ::testing::Test
+{
+  protected:
+    ShardingFixture()
+        : net(dnn::parseNetwork("network ShardTest\n"
+                                "conv c1  3 32 16 3 1 1\n"
+                                "conv c2 16 32 32 3 1 1\n"
+                                "conv c3 32 16 32 3 1 1\n"
+                                "conv c4 32 16 16 3 1 1\n")),
+          config(estimator::NpuConfig::superNpu()),
+          estimate(estimator::NpuEstimator(lib).estimate(config)),
+          batch(npusim::maxBatch(config, estimate, net))
+    {
+    }
+
+    sfq::DeviceConfig dev;
+    sfq::CellLibrary lib{dev};
+    dnn::Network net;
+    estimator::NpuConfig config;
+    estimator::NpuEstimate estimate;
+    int batch;
+    npusim::SimCache cache;
+};
+
+// --- degree-1 identity -----------------------------------------------
+
+TEST_F(ShardingFixture, SingleShardSharesTheSingleChipCacheEntry)
+{
+    TensorSharder sharder(estimate, testLink(), &cache);
+    const TensorShardResult one = sharder.shard(net, 1, batch);
+    EXPECT_EQ(one.collectiveCycles, 0u);
+    EXPECT_EQ(one.collectiveBytes, 0u);
+    EXPECT_EQ(one.totalCycles, one.soloCycles);
+
+    // The strong form: T=1 simulated the ORIGINAL network, so the
+    // cache hands back the very same SimResult object the direct
+    // single-chip path gets — byte-identical ledgers follow.
+    npusim::NpuSimulator sim(estimate);
+    const auto direct = cache.getOrRun(sim, net, batch);
+    EXPECT_EQ(one.wideSim.get(), direct.get());
+
+    obs::RunLedger sharded, reference;
+    obs::addSimResult(sharded, *one.wideSim);
+    obs::addSimResult(reference, *direct);
+    EXPECT_EQ(sharded.json(), reference.json());
+}
+
+TEST_F(ShardingFixture, SingleReplicaSharesTheSingleChipCacheEntry)
+{
+    ReplicaGroup group(estimate, testLink(), &cache);
+    const ReplicaGroupResult one = group.run(net, 1, batch);
+    EXPECT_EQ(one.gatherCycles, 0u);
+    EXPECT_EQ(one.gatherBytes, 0u);
+    EXPECT_EQ(one.totalCycles, one.soloCycles);
+    EXPECT_EQ(one.wideShare, batch);
+
+    npusim::NpuSimulator sim(estimate);
+    const auto direct = cache.getOrRun(sim, net, batch);
+    EXPECT_EQ(one.wideSim.get(), direct.get());
+}
+
+TEST_F(ShardingFixture, DegreeOnePlanReproducesTheSingleChipRun)
+{
+    HybridPlanner planner(estimate, testLink(), &cache);
+    const ShardPlan plan = planner.evaluate(net, 1, 1, 1, batch);
+    EXPECT_EQ(plan.chips(), 1);
+    EXPECT_EQ(plan.tensorCollectiveCycles, 0u);
+    EXPECT_EQ(plan.gatherCycles, 0u);
+    EXPECT_EQ(plan.intervalCycles, plan.soloCycles);
+    EXPECT_EQ(plan.latencyCycles, plan.soloCycles);
+
+    npusim::NpuSimulator sim(estimate);
+    const auto direct = cache.getOrRun(sim, net, batch);
+    EXPECT_EQ(plan.soloCycles, direct->totalCycles);
+    ASSERT_EQ(plan.pipeline.stageCount(), 1);
+    EXPECT_EQ(plan.pipeline.stages[0].sim.get(), direct.get());
+}
+
+// --- sharded runs and audits -----------------------------------------
+
+TEST_F(ShardingFixture, TensorShardResultPassesTheAudit)
+{
+    TensorSharder sharder(estimate, testLink(), &cache);
+    for (int t : {1, 2, 4}) {
+        const TensorShardResult result = sharder.shard(net, t, batch);
+        const obs::AuditReport audit = obs::auditSharding(result);
+        EXPECT_TRUE(audit.ok()) << "T=" << t << "\n" << audit.summary();
+        EXPECT_LE(result.speedup(), (double)t + 1e-9);
+        if (t > 1) {
+            EXPECT_GT(result.collectiveCycles, 0u);
+            // Every layer all-reduces its full ofmap.
+            for (const auto &layer : result.layers)
+                EXPECT_GT(layer.reduceBytes, 0u);
+        }
+    }
+}
+
+TEST_F(ShardingFixture, ReplicaGroupResultPassesTheAudit)
+{
+    ReplicaGroup group(estimate, testLink(), &cache);
+    for (int r : {1, 2, 4}) {
+        const ReplicaGroupResult result = group.run(net, r, batch);
+        const obs::AuditReport audit = obs::auditSharding(result);
+        EXPECT_TRUE(audit.ok()) << "R=" << r << "\n" << audit.summary();
+        EXPECT_LE(result.speedup(), (double)r + 1e-9);
+        EXPECT_EQ(result.wideShare, (batch + r - 1) / r);
+    }
+}
+
+TEST_F(ShardingFixture, ReplicasClampToTheBatch)
+{
+    ReplicaGroup group(estimate, testLink(), &cache);
+    const ReplicaGroupResult tiny = group.run(net, 64, 3);
+    EXPECT_EQ(tiny.replicas, 3);
+    EXPECT_EQ(tiny.wideShare, 1);
+}
+
+TEST_F(ShardingFixture, AuditCatchesCookedShardBooks)
+{
+    TensorSharder sharder(estimate, testLink(), &cache);
+    TensorShardResult cooked = sharder.shard(net, 2, batch);
+    cooked.totalCycles -= 1; // books no longer balance
+    EXPECT_FALSE(obs::auditSharding(cooked).ok());
+
+    ReplicaGroup group(estimate, testLink(), &cache);
+    ReplicaGroupResult inflated = group.run(net, 2, batch);
+    inflated.soloCycles *= 3; // claims a speedup beyond R
+    EXPECT_FALSE(obs::auditSharding(inflated).ok());
+}
+
+TEST_F(ShardingFixture, AuditCatchesACookedPlan)
+{
+    HybridPlanner planner(estimate, testLink(), &cache);
+    ShardPlan plan = planner.evaluate(net, 2, 1, 2, batch);
+    ASSERT_TRUE(obs::auditSharding(plan).ok());
+    plan.intervalCycles /= 2; // faster than the bottleneck allows
+    EXPECT_FALSE(obs::auditSharding(plan).ok());
+}
+
+// --- planner ---------------------------------------------------------
+
+TEST_F(ShardingFixture, PlannerEnumeratesTheWholeBudget)
+{
+    HybridPlanner planner(estimate, testLink(), &cache);
+    const PlanSearch search =
+        planner.plan(net, 4, batch, PlanObjective::Throughput);
+    EXPECT_EQ(search.chipBudget, 4);
+    EXPECT_FALSE(search.evaluated.empty());
+    for (const ShardPlan &plan : search.evaluated) {
+        EXPECT_LE(plan.chips(), 4);
+        const obs::AuditReport audit = obs::auditSharding(plan);
+        EXPECT_TRUE(audit.ok()) << audit.summary();
+    }
+    // The single-chip factorization is always in the space, so the
+    // winner can never be worse than it.
+    const ShardPlan solo = planner.evaluate(net, 1, 1, 1, batch);
+    EXPECT_GE(search.best().throughput(), solo.throughput());
+
+    const PlanSearch latency =
+        planner.plan(net, 4, batch, PlanObjective::Latency);
+    EXPECT_LE(latency.best().latencySec(), solo.latencySec());
+}
+
+TEST_F(ShardingFixture, PlansAreDeterministicAcrossFreshCaches)
+{
+    const auto fingerprint = [&]() {
+        npusim::SimCache fresh;
+        HybridPlanner planner(estimate, testLink(), &fresh);
+        obs::RunLedger ledger;
+        obs::addShardPlan(
+            ledger,
+            planner.plan(net, 4, batch, PlanObjective::Throughput)
+                .best());
+        return ledger.json();
+    };
+    EXPECT_EQ(fingerprint(), fingerprint());
+}
+
+// --- serving replica groups ------------------------------------------
+
+TEST_F(ShardingFixture, ServingReplicaGroupsShareTheLoad)
+{
+    serving::BatchServiceModel service(estimate, net);
+    serving::ServingConfig serving;
+    serving.arrival.ratePerSec = 0.5 * service.peakRps(batch);
+    serving.batching.maxBatch = batch;
+    serving.batching.timeoutSec = 1e-4;
+    serving.requests = 2000;
+    serving.chips = 4;
+    serving.dataParallelReplicas = 2;
+    const auto report =
+        serving::ServingSimulator(service, serving).run();
+
+    EXPECT_EQ(report.completed, serving.requests);
+    EXPECT_EQ(report.dataParallelReplicas, 2);
+    EXPECT_EQ(report.replicaGroups, 2);
+    // Launches are attributed to each group's first chip; busy time
+    // lands on every replica.
+    ASSERT_EQ(report.perChipBatches.size(), 4u);
+    EXPECT_GT(report.perChipBatches[0], 0u);
+    EXPECT_EQ(report.perChipBatches[1], 0u);
+    EXPECT_EQ(report.perChipBatches[0] + report.perChipBatches[2],
+              report.batchesLaunched);
+    for (double busy : report.perChipBusySec)
+        EXPECT_GT(busy, 0.0);
+    // Both replicas of a group ride the same batches, so their busy
+    // clocks match exactly.
+    EXPECT_DOUBLE_EQ(report.perChipBusySec[0],
+                     report.perChipBusySec[1]);
+
+    const obs::AuditReport audit = obs::auditServing(report);
+    EXPECT_TRUE(audit.ok()) << audit.summary();
+}
+
+TEST_F(ShardingFixture, ServingFaultQuarantinesTheWholeReplicaGroup)
+{
+    serving::BatchServiceModel service(estimate, net);
+    serving::ServingConfig serving;
+    serving.arrival.ratePerSec = 0.5 * service.peakRps(batch);
+    serving.batching.maxBatch = batch;
+    serving.batching.timeoutSec = 1e-4;
+    serving.requests = 2000;
+    serving.chips = 4;
+    serving.dataParallelReplicas = 2;
+    // One permanent flux trap on chip 1 — the *second* replica of
+    // group 0. A replica group is one logical server, so quarantine
+    // must write off both chips.
+    reliability::FaultScheduleConfig faults;
+    faults.chips = 4;
+    reliability::FaultEvent event;
+    event.kind = reliability::FaultKind::FluxTrap;
+    event.chip = 1;
+    event.magnitude = faults.fluxTrapDerate;
+    serving.faults =
+        reliability::FaultSchedule::fromEvents(faults, {event});
+    serving.resilience.recovery =
+        serving::RecoveryPolicy::DegradedDispatch;
+    serving.resilience.detectLatencySec = 1e-12;
+    const auto report =
+        serving::ServingSimulator(service, serving).run();
+
+    EXPECT_EQ(report.completed, serving.requests);
+    ASSERT_EQ(report.perChipBatches.size(), 4u);
+    EXPECT_EQ(report.perChipBatches[0], 0u);
+    EXPECT_EQ(report.perChipBatches[1], 0u);
+    EXPECT_GT(report.perChipBatches[2], 0u);
+    // Writing off one of two groups costs half the fleet.
+    EXPECT_LT(report.availability, 0.55);
+    const obs::AuditReport audit = obs::auditServing(report);
+    EXPECT_TRUE(audit.ok()) << audit.summary();
+}
+
+TEST_F(ShardingFixture, ServingRejectsReplicasWithPipelineStages)
+{
+    serving::ServingConfig serving;
+    serving.chips = 4;
+    serving.pipelineStages = 2;
+    serving.dataParallelReplicas = 2;
+    EXPECT_DEATH(serving.check(), "replica");
+}
+
+TEST_F(ShardingFixture, ServingRejectsReplicasWithCheckpointRestart)
+{
+    serving::ServingConfig serving;
+    serving.chips = 2;
+    serving.dataParallelReplicas = 2;
+    serving.resilience.checkpointRestart = true;
+    EXPECT_DEATH(serving.check(), "checkpoint");
+}
+
+} // namespace
+} // namespace sharding
+} // namespace supernpu

@@ -24,6 +24,11 @@
  *   supernpu partition <workload> <config> [options]
  *       Multi-chip pipeline partition: balanced stage table, link
  *       transfer costs, steady-state throughput, optional K-sweep.
+ *   supernpu shard <workload> <config> [options]
+ *       Hybrid DP×TP×PP parallelism: evaluate a fixed
+ *       --dp/--tp/--stages factorization, or search every
+ *       factorization of a --chips budget; --sweep adds a
+ *       budget-scaling table.
  *   supernpu validate
  *       The Fig. 13 model-validation table.
  *   supernpu explore [options]
@@ -86,6 +91,14 @@
  *   --link-gbps <n>         inter-chip link bandwidth (default 300)
  *   --link-latency <n>      fixed link latency in cycles
  *
+ * Shard options (shard; --dp also replicates serve):
+ *   --dp <r>                data-parallel replicas
+ *   --tp <t>                tensor-parallel shards per replica
+ *   --stages <k>            pipeline stages per shard
+ *   --chips <n>             planner chip budget (default 8)
+ *   --objective throughput|latency   planner ranking
+ *   --sweep                 also print a budget-scaling table
+ *
  * Bench options (bench; --jobs defaults to 1 here, the byte-stable
  * reference point):
  *   --reps <n>              timed repetitions per case (default 3)
@@ -139,6 +152,7 @@
 #include "reliability/fault_model.hh"
 #include "reliability/injector.hh"
 #include "serving/simulator.hh"
+#include "sharding/planner.hh"
 
 using namespace supernpu;
 
@@ -165,6 +179,12 @@ struct Options
     bool sweep = false;    ///< --sweep: partition K-sweep table
     int streamBatches = 0; ///< --stream batches; 0 = default
     partition::LinkConfig link; ///< --link-gbps / --link-latency
+    int dataParallel = 0;  ///< --dp replica count; 0 = unset
+    int tensorShards = 0;  ///< --tp shard count; 0 = unset
+    int chipBudget = 0;    ///< --chips for shard planning; 0 = unset
+    /** --objective for shard planning. */
+    sharding::PlanObjective objective =
+        sharding::PlanObjective::Throughput;
 
     bool profile = false;  ///< --profile: src/perf instrumentation on
     int benchReps = 3;     ///< --reps timed repetitions
@@ -277,6 +297,7 @@ parseOptions(int argc, char **argv, int first, Options &options)
             options.serve.arrival.ratePerSec = std::stod(next());
         } else if (arg == "--chips") {
             options.serve.chips = std::stoi(next());
+            options.chipBudget = options.serve.chips;
         } else if (arg == "--policy") {
             const std::string value = lowered(next());
             if (value == "dynamic") {
@@ -367,6 +388,20 @@ parseOptions(int argc, char **argv, int first, Options &options)
             options.berFlipsPerMillion = std::stod(next());
         } else if (arg == "--stages") {
             options.stages = std::stoi(next());
+        } else if (arg == "--dp") {
+            options.dataParallel = std::stoi(next());
+        } else if (arg == "--tp") {
+            options.tensorShards = std::stoi(next());
+        } else if (arg == "--objective") {
+            const std::string value = lowered(next());
+            if (value == "throughput") {
+                options.objective =
+                    sharding::PlanObjective::Throughput;
+            } else if (value == "latency") {
+                options.objective = sharding::PlanObjective::Latency;
+            } else {
+                fatal("unknown plan objective '", value, "'");
+            }
         } else if (arg == "--sweep") {
             options.sweep = true;
         } else if (arg == "--stream") {
@@ -624,6 +659,16 @@ cmdBatch(const Options &options, const dnn::Network &net)
 int
 cmdServe(const Options &options, const dnn::Network &net)
 {
+    // Reject the documented-unsupported combination up front,
+    // before any model building: there is no per-stage checkpoint
+    // model, so checkpoint-restart cannot pipeline.
+    if (options.stages > 1 &&
+        options.serve.resilience.checkpointRestart) {
+        std::fprintf(stderr, "usage: supernpu serve: --checkpoint is"
+                     " unsupported with --stages > 1 (no per-stage"
+                     " checkpoint model)\n");
+        return 2;
+    }
     const sfq::DeviceConfig device = deviceFor(options);
     sfq::CellLibrary library(device);
     estimator::NpuEstimator est(library);
@@ -636,6 +681,8 @@ cmdServe(const Options &options, const dnn::Network &net)
             : npusim::maxBatch(options.config, estimate, net);
     if (options.stages > 0)
         serve.pipelineStages = options.stages;
+    if (options.dataParallel > 0)
+        serve.dataParallelReplicas = options.dataParallel;
     serve.link = options.link;
 
     serving::BatchServiceModel service(estimate, net);
@@ -903,6 +950,132 @@ cmdPartition(const Options &options, const dnn::Network &net)
 }
 
 int
+cmdShard(const Options &options, const dnn::Network &net)
+{
+    const sfq::DeviceConfig device = deviceFor(options);
+    sfq::CellLibrary library(device);
+    estimator::NpuEstimator est(library);
+    const auto estimate = est.estimate(options.config);
+
+    const int batch =
+        options.forcedBatch > 0
+            ? options.forcedBatch
+            : npusim::maxBatch(options.config, estimate, net);
+
+    sharding::HybridPlanner planner(estimate, options.link,
+                                    &npusim::SimCache::global());
+
+    // Any explicit degree flag pins that factorization; otherwise
+    // the planner searches the --chips budget.
+    const bool fixed_point = options.dataParallel > 0 ||
+                             options.tensorShards > 0 ||
+                             options.stages > 0;
+    sharding::ShardPlan plan;
+    if (fixed_point) {
+        plan = planner.evaluate(net,
+                                std::max(options.dataParallel, 1),
+                                std::max(options.tensorShards, 1),
+                                std::max(options.stages, 1), batch);
+    } else {
+        const int budget =
+            options.chipBudget > 0 ? options.chipBudget : 8;
+        const sharding::PlanSearch search =
+            planner.plan(net, budget, batch, options.objective);
+        plan = search.best();
+        std::printf("planned %zu factorizations of <= %d chip(s)"
+                    " for %s\n",
+                    search.evaluated.size(), budget,
+                    sharding::planObjectiveName(options.objective));
+    }
+
+    std::printf("%s on %s: dp %d x tp %d x pp %d = %d chip(s),"
+                " batch %d (share %d)\n",
+                net.name.c_str(), options.config.name.c_str(),
+                plan.dataParallel, plan.tensorShards,
+                plan.pipelineStages, plan.chips(), plan.batch,
+                plan.replicaShare);
+    std::printf("link: %.0f GB/s, %llu-cycle latency\n",
+                plan.link.bandwidthGBps,
+                (unsigned long long)plan.link.latencyCycles);
+
+    TextTable table;
+    table.row()
+        .cell("stage")
+        .cell("range")
+        .cell("stage cyc")
+        .cell("coll cyc")
+        .cell("occupancy")
+        .cell("link KiB");
+    for (int s = 0; s < plan.pipelineStages; ++s) {
+        const auto &stage = plan.pipeline.stages[s];
+        std::string range = std::to_string(stage.firstLayer);
+        range += "..";
+        range += std::to_string(stage.lastLayer);
+        table.row()
+            .cell((long long)s)
+            .cell(range)
+            .cell((unsigned long long)stage.stageCycles)
+            .cell((unsigned long long)
+                      plan.stageCollectiveCycles[(std::size_t)s])
+            .cell((unsigned long long)
+                      plan.stageOccupancyCycles[(std::size_t)s])
+            .cell((double)stage.linkBytes / 1024.0, 1);
+    }
+    table.print();
+
+    std::printf("\ninterval %llu cyc, latency %llu cyc, DP gather"
+                " %llu cyc (%.1f KiB)\n",
+                (unsigned long long)plan.intervalCycles,
+                (unsigned long long)plan.latencyCycles,
+                (unsigned long long)plan.gatherCycles,
+                (double)plan.gatherBytes / 1024.0);
+    std::printf("steady state: %.0f inf/s (%.2fx over 1 chip),"
+                " %.1f TMAC/s\n",
+                plan.throughput(), plan.speedup(),
+                plan.effectiveMacPerSec() / 1e12);
+
+    obs::AuditReport audit = obs::auditSharding(plan);
+
+    if (options.sweep) {
+        std::printf("\n");
+        TextTable sweep("shard budget sweep");
+        sweep.row()
+            .cell("chips")
+            .cell("dp")
+            .cell("tp")
+            .cell("pp")
+            .cell("inf/s")
+            .cell("speedup")
+            .cell("latency us");
+        for (int budget : {1, 2, 4, 8}) {
+            const sharding::PlanSearch search =
+                planner.plan(net, budget, batch, options.objective);
+            const sharding::ShardPlan &best = search.best();
+            audit.merge(obs::auditSharding(best));
+            sweep.row()
+                .cell((long long)budget)
+                .cell((long long)best.dataParallel)
+                .cell((long long)best.tensorShards)
+                .cell((long long)best.pipelineStages)
+                .cell(best.throughput(), 0)
+                .cell(best.speedup(), 2)
+                .cell(best.latencySec() * 1e6, 2);
+        }
+        sweep.print();
+    }
+
+    maybeAudit(audit, "shard " + net.name);
+    if (!options.ledgerFile.empty()) {
+        obs::RunLedger ledger;
+        obs::addShardPlan(ledger, plan);
+        obs::addSimCacheStats(ledger,
+                              npusim::SimCache::global().stats());
+        emitLedger(options, ledger);
+    }
+    return 0;
+}
+
+int
 cmdValidate(const Options &options)
 {
     const sfq::DeviceConfig device = deviceFor(options);
@@ -1074,6 +1247,7 @@ usage(std::FILE *to = stderr)
                  "  faults <workload> <config>      fault-injection study\n"
                  "  report <workload> <config>      audited JSON run ledger\n"
                  "  partition <workload> <config>   multi-chip pipeline\n"
+                 "  shard <workload> <config>       DPxTPxPP planner\n"
                  "  validate                        Fig. 13 table\n"
                  "  explore                         design-space sweep\n"
                  "  bench [smoke|full]              performance harness\n"
@@ -1095,6 +1269,8 @@ usage(std::FILE *to = stderr)
                  "         --ber\n"
                  "partition: --stages <k> --sweep --stream <batches>\n"
                  "         --link-gbps <n> --link-latency <cycles>\n"
+                 "shard:   --dp <r> --tp <t> --stages <k> --chips <n>\n"
+                 "         --objective throughput|latency --sweep\n"
                  "bench:   --reps --warmups --case <name> --out <path>\n"
                  "         --no-timing --baseline <path> --threshold\n"
                  "         --inject-slowdown <pct> --jobs (default 1)\n"
@@ -1155,7 +1331,8 @@ main(int argc, char **argv)
     }
     if (command == "simulate" || command == "batch" ||
         command == "serve" || command == "faults" ||
-        command == "report" || command == "partition") {
+        command == "report" || command == "partition" ||
+        command == "shard") {
         dnn::Network net;
         if (!options.netFile.empty()) {
             reject_extra(0);
@@ -1183,6 +1360,8 @@ main(int argc, char **argv)
             return cmdReport(options, net);
         if (command == "partition")
             return cmdPartition(options, net);
+        if (command == "shard")
+            return cmdShard(options, net);
         return cmdBatch(options, net);
     }
     return usage();
