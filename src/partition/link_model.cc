@@ -29,25 +29,31 @@ std::uint64_t
 guardedBytes(std::initializer_list<std::uint64_t> factors,
              const std::string &context)
 {
-    // Evaluate the guard in floating point first: the factors come
-    // from ints the parser does not bound, so the uint64 product
-    // itself can wrap.
-    double true_product = 1.0;
-    for (std::uint64_t f : factors)
-        true_product *= (double)f;
-    if (true_product < (double)kSaturated) {
-        std::uint64_t exact = 1;
-        for (std::uint64_t f : factors)
-            exact *= f;
-        return exact;
+    // The factors come from ints the parser does not bound, so the
+    // uint64 product can wrap. Guard each multiply exactly — a
+    // chained double guard loses ~11 bits near 2^64 and can miss a
+    // product just past the boundary.
+    std::uint64_t exact = 1;
+    bool wrapped = false;
+    for (std::uint64_t f : factors) {
+        if (f != 0 && exact > kSaturated / f) {
+            wrapped = true;
+            break;
+        }
+        exact *= f;
     }
+    if (!wrapped)
+        return exact;
+    double approx = 1.0;
+    for (std::uint64_t f : factors)
+        approx *= (double)f;
     bool first = false;
     {
         std::lock_guard<std::mutex> lock(warned_mutex);
         first = warned_contexts.insert(context).second;
     }
     if (first)
-        warn(context, " (", true_product,
+        warn(context, " (~", approx,
              " bytes) exceeds the 64-bit transfer size type; "
              "saturating (warned once for this boundary)");
     return kSaturated;

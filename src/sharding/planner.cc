@@ -146,8 +146,13 @@ HybridPlanner::evaluate(const dnn::Network &network,
         std::max(plan.bottleneckCycles, plan.gatherCycles);
     plan.latencyCycles =
         saturatingAdd(plan.fillCycles, plan.gatherCycles);
-    plan.soloCycles = tensor.soloCycles;
-    plan.macOpsPerBatch = tensor.macOpsPerBatch;
+
+    // The documented baseline is the FULL batch on one chip; the
+    // tensor result's solo ran at the replica share, which for R>1
+    // is a smaller problem. Cache-hit for R=1 (share == batch).
+    const auto solo = _sharder.simulate(network, batch);
+    plan.soloCycles = solo->totalCycles;
+    plan.macOpsPerBatch = solo->macOps;
     return plan;
 }
 

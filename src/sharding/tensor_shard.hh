@@ -57,7 +57,7 @@ struct ShardLayerTiming
 
     std::uint64_t totalCycles() const
     {
-        return shardCycles + reduceCycles;
+        return saturatingAdd(shardCycles, reduceCycles);
     }
 };
 

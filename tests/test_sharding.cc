@@ -342,6 +342,32 @@ TEST_F(ShardingFixture, AuditCatchesACookedPlan)
 
 // --- planner ---------------------------------------------------------
 
+TEST_F(ShardingFixture, PlanBaselineIsTheFullBatchSoloRun)
+{
+    ASSERT_GE(batch, 2);
+    HybridPlanner planner(estimate, testLink(), &cache);
+    const ShardPlan plan = planner.evaluate(net, 2, 1, 1, batch);
+
+    // The baseline is the FULL batch on one chip, not the replica
+    // share: a pure-DP plan's speedup and group MAC/s are measured
+    // against it (regression: both were taken at ceil(batch/R), so
+    // DP plans reported ~1x and ~1/R of their true MAC/s).
+    npusim::NpuSimulator sim(estimate);
+    const auto direct = cache.getOrRun(sim, net, batch);
+    EXPECT_EQ(plan.soloCycles, direct->totalCycles);
+    EXPECT_EQ(plan.macOpsPerBatch, direct->macOps);
+    EXPECT_GT(plan.speedup(), 1.0);
+
+    // And it matches ReplicaGroup's books for the same placement.
+    ReplicaGroup group(estimate, testLink(), &cache);
+    const ReplicaGroupResult dp = group.run(net, 2, batch);
+    EXPECT_EQ(plan.soloCycles, dp.soloCycles);
+    EXPECT_EQ(plan.macOpsPerBatch, dp.macOpsPerBatch);
+
+    const obs::AuditReport audit = obs::auditSharding(plan);
+    EXPECT_TRUE(audit.ok()) << audit.summary();
+}
+
 TEST_F(ShardingFixture, PlannerEnumeratesTheWholeBudget)
 {
     HybridPlanner planner(estimate, testLink(), &cache);

@@ -966,7 +966,9 @@ cmdShard(const Options &options, const dnn::Network &net)
                                     &npusim::SimCache::global());
 
     // Any explicit degree flag pins that factorization; otherwise
-    // the planner searches the --chips budget.
+    // the planner searches the --chips budget. The budget also sets
+    // the --sweep points below, so it is resolved either way.
+    const int budget = options.chipBudget > 0 ? options.chipBudget : 8;
     const bool fixed_point = options.dataParallel > 0 ||
                              options.tensorShards > 0 ||
                              options.stages > 0;
@@ -977,8 +979,6 @@ cmdShard(const Options &options, const dnn::Network &net)
                                 std::max(options.tensorShards, 1),
                                 std::max(options.stages, 1), batch);
     } else {
-        const int budget =
-            options.chipBudget > 0 ? options.chipBudget : 8;
         const sharding::PlanSearch search =
             planner.plan(net, budget, batch, options.objective);
         plan = search.best();
@@ -1047,13 +1047,20 @@ cmdShard(const Options &options, const dnn::Network &net)
             .cell("inf/s")
             .cell("speedup")
             .cell("latency us");
-        for (int budget : {1, 2, 4, 8}) {
+        // Powers of two up to the effective budget, plus the budget
+        // itself, so the table always covers the headline search.
+        std::vector<int> sweep_budgets;
+        for (int b = 1; b < budget; b *= 2)
+            sweep_budgets.push_back(b);
+        sweep_budgets.push_back(budget);
+        for (int sweep_budget : sweep_budgets) {
             const sharding::PlanSearch search =
-                planner.plan(net, budget, batch, options.objective);
+                planner.plan(net, sweep_budget, batch,
+                             options.objective);
             const sharding::ShardPlan &best = search.best();
             audit.merge(obs::auditSharding(best));
             sweep.row()
-                .cell((long long)budget)
+                .cell((long long)sweep_budget)
                 .cell((long long)best.dataParallel)
                 .cell((long long)best.tensorShards)
                 .cell((long long)best.pipelineStages)
