@@ -1,0 +1,82 @@
+/**
+ * @file
+ * CheckCase phenotype builders.
+ */
+
+#include "case.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "npusim/explorer.hh"
+
+namespace supernpu {
+namespace check {
+
+dnn::Network
+CheckCase::network() const
+{
+    SUPERNPU_ASSERT(!layers.empty(), "CheckCase with no layers");
+    dnn::Network net;
+    std::ostringstream name;
+    name << "gen-s" << seed << "-i" << index;
+    net.name = name.str();
+
+    int c = inChannels;
+    int hw = inHw;
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        const LayerSpec &spec = layers[i];
+        std::ostringstream lname;
+        lname << "l" << i;
+        dnn::Layer layer;
+        switch (spec.kind) {
+          case dnn::LayerKind::Conv:
+            layer = dnn::conv(lname.str(), c, hw, spec.outChannels,
+                              spec.kernel, spec.stride);
+            break;
+          case dnn::LayerKind::DepthwiseConv:
+            layer = dnn::depthwise(lname.str(), c, hw, spec.stride);
+            break;
+          case dnn::LayerKind::FullyConnected:
+            layer = dnn::fullyConnected(lname.str(),
+                                        c * hw * hw, spec.outChannels);
+            break;
+        }
+        net.layers.push_back(layer);
+        c = layer.outChannels;
+        hw = layer.outHeight();
+    }
+    net.check();
+    return net;
+}
+
+estimator::NpuConfig
+CheckCase::config() const
+{
+    estimator::NpuConfig config = npusim::DesignSpaceExplorer::makeConfig(
+        peWidth, outputDivision, regsPerPe, bufferMb);
+    config.weightDoubleBuffering = weightDoubleBuffering;
+    config.memoryBandwidth = bandwidthGBps * 1e9;
+    config.check();
+    return config;
+}
+
+std::string
+CheckCase::describe() const
+{
+    std::ostringstream out;
+    out << "case s" << seed << "/i" << index
+        << " net{c" << inChannels << " hw" << inHw
+        << " L" << layers.size() << "}"
+        << " cfg{w" << peWidth << "/d" << outputDivision
+        << "/r" << regsPerPe << "/" << bufferMb << "MB"
+        << (weightDoubleBuffering ? "/dbuf" : "")
+        << "/" << bandwidthGBps << "GBps}"
+        << " b" << batch
+        << " par{K" << pipelineStages << " R" << dataParallel
+        << " T" << tensorShards << "}";
+    return out.str();
+}
+
+} // namespace check
+} // namespace supernpu

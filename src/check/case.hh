@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The genotype of one differential-testing case.
+ *
+ * A CheckCase is a compact, valid-by-construction *spec* of a test
+ * scenario — network shape recipe, design-point knobs, execution
+ * batch, parallelism degrees, serving scenario, fault rates — not
+ * the built artifacts themselves. Oracles rebuild the concrete
+ * dnn::Network / estimator::NpuConfig from the spec on demand.
+ *
+ * Why a genotype and not a phenotype: dnn::Network::check() panics
+ * (aborts) on inconsistent layer chains, so a shrinker that mutated
+ * raw layers could crash the process instead of producing a smaller
+ * failing input. Every mutation of a CheckCase instead re-derives
+ * the layer chain from the spec, so any shrunk candidate is a
+ * network the simulators accept by construction.
+ */
+
+#ifndef SUPERNPU_CHECK_CASE_HH
+#define SUPERNPU_CHECK_CASE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dnn/layer.hh"
+#include "estimator/npu_estimator.hh"
+#include "partition/link_model.hh"
+
+namespace supernpu {
+namespace check {
+
+/** Recipe for one generated layer; shapes chain from the previous. */
+struct LayerSpec
+{
+    dnn::LayerKind kind = dnn::LayerKind::Conv;
+    /** Output channels (conv / fully-connected; depthwise keeps C). */
+    int outChannels = 8;
+    /** Square kernel size (conv only; depthwise is fixed at 3). */
+    int kernel = 3;
+    int stride = 1;
+};
+
+/** One generated scenario; see the file comment. */
+struct CheckCase
+{
+    // --- provenance -------------------------------------------------
+    std::uint64_t seed = 0;  ///< base seed of the generating run
+    std::uint64_t index = 0; ///< streamSeed stream index within it
+
+    // --- network genotype -------------------------------------------
+    int inChannels = 3;
+    int inHw = 16; ///< square input feature map side
+    std::vector<LayerSpec> layers;
+
+    // --- design point -----------------------------------------------
+    int peWidth = 64;
+    int outputDivision = 64;
+    int regsPerPe = 1;
+    int bufferMb = 46;
+    bool weightDoubleBuffering = false;
+    double bandwidthGBps = 300.0;
+
+    /** Batch size of the direct / pipeline / shard paths. */
+    int batch = 1;
+
+    // --- parallelism ------------------------------------------------
+    partition::LinkConfig link;
+    int pipelineStages = 1;
+    int dataParallel = 1;
+    int tensorShards = 1;
+
+    // --- serving scenario -------------------------------------------
+    std::uint64_t servingRequests = 400;
+    int servingChips = 1;
+    double servingRps = 20000.0;
+    bool servingFixedBatch = false;
+    int servingMaxBatch = 2;
+    std::uint64_t servingSeed = 1;
+
+    // --- transient fault scenario (fault-subset oracle) -------------
+    double pulseDropRate = 0.0;
+    double clockSkewRate = 0.0;
+    double linkGlitchRate = 0.0;
+    std::uint64_t faultSeed = 1;
+
+    /** Build the concrete network (chained shapes; always valid). */
+    dnn::Network network() const;
+
+    /** Build the concrete design point from the knobs. */
+    estimator::NpuConfig config() const;
+
+    /** One-line summary for progress and failure messages. */
+    std::string describe() const;
+};
+
+} // namespace check
+} // namespace supernpu
+
+#endif // SUPERNPU_CHECK_CASE_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Scenario generator implementation.
+ */
+
+#include "generator.hh"
+
+#include "common/parallel.hh"
+#include "common/rng.hh"
+
+namespace supernpu {
+namespace check {
+
+namespace {
+
+/**
+ * Width → total buffer MB pairing from the explorer's Fig. 21
+ * resource-balancing defaults. Width 256 is excluded: its design
+ * points are slow to simulate and add no oracle coverage beyond the
+ * smaller arrays.
+ */
+struct DesignEnvelope
+{
+    int width;
+    int bufferMb;
+};
+
+const DesignEnvelope kEnvelopes[] = {
+    {32, 50},
+    {64, 46},
+    {128, 38},
+};
+
+const int kDivisions[] = {16, 64};
+const int kRegs[] = {1, 4};
+const double kBandwidthsGBps[] = {150.0, 300.0, 600.0};
+
+} // namespace
+
+CheckCase
+generate(std::uint64_t seed, std::uint64_t index)
+{
+    Rng rng(streamSeed(seed, index));
+    CheckCase c;
+    c.seed = seed;
+    c.index = index;
+
+    // --- network ----------------------------------------------------
+    c.inChannels = (int)rng.uniformInt(3, 16);
+    c.inHw = (int)rng.uniformInt(8, 32);
+    const int layer_count = (int)rng.uniformInt(1, 5);
+    int strided = 0;
+    // Track the flowing feature-map side so stride-2 layers never
+    // shrink it below the builders' minimum.
+    int hw = c.inHw;
+    for (int i = 0; i < layer_count; ++i) {
+        LayerSpec spec;
+        const bool last = i + 1 == layer_count;
+        const int roll = (int)rng.uniformInt(0, 9);
+        if (last && roll < 3) {
+            spec.kind = dnn::LayerKind::FullyConnected;
+            spec.outChannels = (int)rng.uniformInt(4, 64);
+            spec.kernel = 1;
+            spec.stride = 1;
+            c.layers.push_back(spec);
+            continue;
+        }
+        if (roll < 2) {
+            spec.kind = dnn::LayerKind::DepthwiseConv;
+            spec.kernel = 3;
+        } else {
+            spec.kind = dnn::LayerKind::Conv;
+            spec.outChannels = (int)rng.uniformInt(4, 64);
+            spec.kernel = rng.uniformInt(0, 3) == 0 ? 1 : 3;
+        }
+        spec.stride = 1;
+        if (strided < 2 && hw >= 8 && rng.uniformInt(0, 3) == 0) {
+            spec.stride = 2;
+            ++strided;
+            hw = (hw + 1) / 2;
+        }
+        c.layers.push_back(spec);
+    }
+
+    // --- design point -----------------------------------------------
+    const DesignEnvelope &env =
+        kEnvelopes[rng.uniformInt(0, 2)];
+    c.peWidth = env.width;
+    c.bufferMb = env.bufferMb;
+    c.outputDivision = kDivisions[rng.uniformInt(0, 1)];
+    c.regsPerPe = kRegs[rng.uniformInt(0, 1)];
+    c.weightDoubleBuffering = rng.uniformInt(0, 1) == 1;
+    c.bandwidthGBps = kBandwidthsGBps[rng.uniformInt(0, 2)];
+
+    c.batch = (int)rng.uniformInt(1, 4);
+
+    // --- parallelism ------------------------------------------------
+    c.link.bandwidthGBps = rng.uniformInt(0, 1) == 0 ? 150.0 : 300.0;
+    c.link.latencyCycles = (int)rng.uniformInt(16, 256);
+    const int max_stages =
+        (int)std::min<std::int64_t>(3, (std::int64_t)c.layers.size());
+    c.pipelineStages = (int)rng.uniformInt(1, max_stages);
+    c.dataParallel = (int)rng.uniformInt(1, 2);
+    c.tensorShards = (int)rng.uniformInt(1, 2);
+
+    // --- serving ----------------------------------------------------
+    c.servingRequests = (std::uint64_t)rng.uniformInt(200, 800);
+    c.servingChips = (int)rng.uniformInt(1, 3);
+    c.servingRps = rng.uniform(5000.0, 50000.0);
+    c.servingFixedBatch = rng.uniformInt(0, 1) == 1;
+    c.servingMaxBatch = (int)rng.uniformInt(1, 4);
+    c.servingSeed = rng.next();
+
+    // --- faults (transient classes only; see file comment) ----------
+    c.pulseDropRate = rng.uniform(0.0, 2000.0);
+    c.clockSkewRate = rng.uniform(0.0, 500.0);
+    c.linkGlitchRate = rng.uniform(0.0, 500.0);
+    c.faultSeed = rng.next();
+
+    return c;
+}
+
+} // namespace check
+} // namespace supernpu

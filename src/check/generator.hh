@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Seed-driven random scenario generator.
+ *
+ * Determinism contract: `generate(seed, index)` depends on nothing
+ * but its two arguments — each case draws from its own
+ * streamSeed(seed, index) RNG stream, so cases can be regenerated
+ * individually (replay, shrinking) without replaying the run prefix,
+ * and adding cases to a run never perturbs earlier ones.
+ *
+ * Every generated case is valid by construction: layer chains are
+ * derived shapes (dnn::Network::check() cannot fire), design points
+ * come from DesignSpaceExplorer::makeConfig's operable envelope, and
+ * fault schedules are restricted to transient fault classes so the
+ * metamorphic fault-subset oracle's monotonicity premise holds.
+ */
+
+#ifndef SUPERNPU_CHECK_GENERATOR_HH
+#define SUPERNPU_CHECK_GENERATOR_HH
+
+#include <cstdint>
+
+#include "case.hh"
+
+namespace supernpu {
+namespace check {
+
+/** Generate the `index`-th case of run `seed`. */
+CheckCase generate(std::uint64_t seed, std::uint64_t index);
+
+} // namespace check
+} // namespace supernpu
+
+#endif // SUPERNPU_CHECK_GENERATOR_HH

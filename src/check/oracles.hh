@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The oracle catalog: cross-path identities, closed-form bounds, and
+ * metamorphic relations every correct build must satisfy on every
+ * generated case.
+ *
+ * The repository simulates the same physics through five redundant
+ * paths — the direct cycle simulator, the K-stage pipeline at K=1,
+ * the DP×TP×PP planner at degree 1, the serving event loop, and the
+ * ledger roll-ups — and each past bug (PR 4's double-buffering
+ * overlap, PR 7's solo baseline) was a divergence between two of
+ * them. Each oracle pins one such agreement or a one-sided relation
+ * that is a *theorem* of the model, not a tuning choice; the
+ * restrictions baked into each (all-fit batches only, transient
+ * faults only, direct-bandwidth mutation) are what make the relation
+ * a theorem — see docs/checking.md for the derivations.
+ *
+ * Cooking: every oracle can run with Cook::Tamper, which perturbs
+ * one observed value (or re-introduces a fixed bug's arithmetic)
+ * before the assertions. A tampered run MUST fail — that is how the
+ * suite proves each oracle still has teeth, without keeping buggy
+ * product code around.
+ */
+
+#ifndef SUPERNPU_CHECK_ORACLES_HH
+#define SUPERNPU_CHECK_ORACLES_HH
+
+#include <string>
+#include <vector>
+
+#include "case.hh"
+#include "sfq/cells.hh"
+
+namespace supernpu {
+namespace check {
+
+/** Whether to sabotage the oracle's observation (self-test mode). */
+enum class Cook
+{
+    None,   ///< honest run: the oracle must pass on a correct build
+    Tamper, ///< perturb one observed value: the oracle must fail
+};
+
+const char *cookName(Cook cook);
+
+/** Result of one oracle on one case. */
+struct OracleOutcome
+{
+    /**
+     * False when the case cannot express this oracle's premise (e.g.
+     * the solo-baseline cook needs a data-parallel degree >= 2 to be
+     * observable). Inapplicable outcomes count as neither pass nor
+     * fail.
+     */
+    bool applicable = true;
+    bool passed = true;
+    /** First violated assertion, human-readable; "" when passed. */
+    std::string detail;
+};
+
+/** Stable names of every oracle, catalog order. */
+const std::vector<std::string> &oracleNames();
+
+/** Whether `name` names an oracle. */
+bool isOracle(const std::string &name);
+
+/**
+ * Run one oracle on one case. Each invocation builds its own
+ * npusim::SimCache, so the pointer-identity contracts (same cache
+ * entry across paths) are airtight per case and cases never
+ * interact.
+ */
+OracleOutcome runOracle(const std::string &name, const CheckCase &c,
+                        const sfq::CellLibrary &library, Cook cook);
+
+} // namespace check
+} // namespace supernpu
+
+#endif // SUPERNPU_CHECK_ORACLES_HH

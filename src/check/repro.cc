@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Repro serialization through the obs JSON writer/reader pair.
+ */
+
+#include "repro.hh"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json_reader.hh"
+#include "obs/json_writer.hh"
+
+namespace supernpu {
+namespace check {
+
+namespace {
+
+const char *
+layerKindTag(dnn::LayerKind kind)
+{
+    switch (kind) {
+      case dnn::LayerKind::Conv:
+        return "conv";
+      case dnn::LayerKind::DepthwiseConv:
+        return "depthwise";
+      case dnn::LayerKind::FullyConnected:
+        return "fullyConnected";
+    }
+    return "conv";
+}
+
+bool
+parseLayerKind(const std::string &tag, dnn::LayerKind &kind)
+{
+    if (tag == "conv") {
+        kind = dnn::LayerKind::Conv;
+    } else if (tag == "depthwise") {
+        kind = dnn::LayerKind::DepthwiseConv;
+    } else if (tag == "fullyConnected") {
+        kind = dnn::LayerKind::FullyConnected;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+/** Decimal-string round-trip for full-width 64-bit values. */
+std::string
+u64Text(std::uint64_t value)
+{
+    return std::to_string(value);
+}
+
+bool
+parseU64(const obs::JsonValue &object, const std::string &key,
+         std::uint64_t &value, std::string &error)
+{
+    const obs::JsonValue *member = object.find(key);
+    if (!member || !member->isString()) {
+        error = "missing or mistyped u64 field '" + key + "'";
+        return false;
+    }
+    std::istringstream in(member->string);
+    in >> value;
+    if (in.fail() || !in.eof()) {
+        error = "unparseable u64 field '" + key + "'";
+        return false;
+    }
+    return true;
+}
+
+bool
+parseInt(const obs::JsonValue &object, const std::string &key,
+         int &value, std::string &error)
+{
+    const obs::JsonValue *member = object.find(key);
+    if (!member || !member->isNumber()) {
+        error = "missing or mistyped int field '" + key + "'";
+        return false;
+    }
+    value = (int)member->number;
+    return true;
+}
+
+bool
+parseReal(const obs::JsonValue &object, const std::string &key,
+          double &value, std::string &error)
+{
+    const obs::JsonValue *member = object.find(key);
+    if (!member || !member->isNumber()) {
+        error = "missing or mistyped real field '" + key + "'";
+        return false;
+    }
+    value = member->number;
+    return true;
+}
+
+bool
+parseBool(const obs::JsonValue &object, const std::string &key,
+          bool &value, std::string &error)
+{
+    const obs::JsonValue *member = object.find(key);
+    if (!member || member->kind != obs::JsonValue::Kind::Bool) {
+        error = "missing or mistyped bool field '" + key + "'";
+        return false;
+    }
+    value = member->boolean;
+    return true;
+}
+
+} // namespace
+
+std::string
+renderRepro(const Repro &repro)
+{
+    obs::JsonWriter json;
+    json.beginObject();
+    json.key("schema").value(kCheckSchema);
+    json.key("oracle").value(repro.oracle);
+    json.key("cook").value(cookName(repro.cook));
+    json.key("case").beginObject();
+    const CheckCase &c = repro.checkCase;
+    json.key("seed").value(u64Text(c.seed));
+    json.key("index").value(u64Text(c.index));
+    json.key("inChannels").value((std::uint64_t)c.inChannels);
+    json.key("inHw").value((std::uint64_t)c.inHw);
+    json.key("layers").beginArray();
+    for (const LayerSpec &layer : c.layers) {
+        json.beginObject();
+        json.key("kind").value(layerKindTag(layer.kind));
+        json.key("outChannels").value((std::uint64_t)layer.outChannels);
+        json.key("kernel").value((std::uint64_t)layer.kernel);
+        json.key("stride").value((std::uint64_t)layer.stride);
+        json.endObject();
+    }
+    json.endArray();
+    json.key("peWidth").value((std::uint64_t)c.peWidth);
+    json.key("outputDivision").value((std::uint64_t)c.outputDivision);
+    json.key("regsPerPe").value((std::uint64_t)c.regsPerPe);
+    json.key("bufferMb").value((std::uint64_t)c.bufferMb);
+    json.key("weightDoubleBuffering").value(c.weightDoubleBuffering);
+    json.key("bandwidthGBps").value(c.bandwidthGBps);
+    json.key("batch").value((std::uint64_t)c.batch);
+    json.key("linkBandwidthGBps").value(c.link.bandwidthGBps);
+    json.key("linkLatencyCycles")
+        .value((std::uint64_t)c.link.latencyCycles);
+    json.key("pipelineStages").value((std::uint64_t)c.pipelineStages);
+    json.key("dataParallel").value((std::uint64_t)c.dataParallel);
+    json.key("tensorShards").value((std::uint64_t)c.tensorShards);
+    json.key("servingRequests").value(c.servingRequests);
+    json.key("servingChips").value((std::uint64_t)c.servingChips);
+    json.key("servingRps").value(c.servingRps);
+    json.key("servingFixedBatch").value(c.servingFixedBatch);
+    json.key("servingMaxBatch").value((std::uint64_t)c.servingMaxBatch);
+    json.key("servingSeed").value(u64Text(c.servingSeed));
+    json.key("pulseDropRate").value(c.pulseDropRate);
+    json.key("clockSkewRate").value(c.clockSkewRate);
+    json.key("linkGlitchRate").value(c.linkGlitchRate);
+    json.key("faultSeed").value(u64Text(c.faultSeed));
+    json.endObject();
+    json.endObject();
+    return json.str() + "\n";
+}
+
+std::optional<Repro>
+parseRepro(const std::string &text, std::string *error)
+{
+    std::string detail;
+    const auto fail = [&](const std::string &why) {
+        if (error)
+            *error = why;
+        return std::nullopt;
+    };
+
+    const auto doc = obs::parseJson(text, &detail);
+    if (!doc.has_value())
+        return fail("not JSON: " + detail);
+    if (doc->stringAt("schema") != kCheckSchema)
+        return fail("not a " + std::string(kCheckSchema) +
+                    " document");
+
+    Repro repro;
+    repro.oracle = doc->stringAt("oracle");
+    if (!isOracle(repro.oracle))
+        return fail("unknown oracle '" + repro.oracle + "'");
+    const std::string cook = doc->stringAt("cook");
+    if (cook == "none") {
+        repro.cook = Cook::None;
+    } else if (cook == "tamper") {
+        repro.cook = Cook::Tamper;
+    } else {
+        return fail("unknown cook '" + cook + "'");
+    }
+
+    const obs::JsonValue *body = doc->find("case");
+    if (!body || !body->isObject())
+        return fail("missing case object");
+    CheckCase &c = repro.checkCase;
+    std::uint64_t requests = 0;
+    if (!parseU64(*body, "seed", c.seed, detail) ||
+        !parseU64(*body, "index", c.index, detail) ||
+        !parseInt(*body, "inChannels", c.inChannels, detail) ||
+        !parseInt(*body, "inHw", c.inHw, detail) ||
+        !parseInt(*body, "peWidth", c.peWidth, detail) ||
+        !parseInt(*body, "outputDivision", c.outputDivision, detail) ||
+        !parseInt(*body, "regsPerPe", c.regsPerPe, detail) ||
+        !parseInt(*body, "bufferMb", c.bufferMb, detail) ||
+        !parseBool(*body, "weightDoubleBuffering",
+                   c.weightDoubleBuffering, detail) ||
+        !parseReal(*body, "bandwidthGBps", c.bandwidthGBps, detail) ||
+        !parseInt(*body, "batch", c.batch, detail) ||
+        !parseReal(*body, "linkBandwidthGBps", c.link.bandwidthGBps,
+                   detail) ||
+        !parseInt(*body, "pipelineStages", c.pipelineStages, detail) ||
+        !parseInt(*body, "dataParallel", c.dataParallel, detail) ||
+        !parseInt(*body, "tensorShards", c.tensorShards, detail) ||
+        !parseReal(*body, "servingRps", c.servingRps, detail) ||
+        !parseBool(*body, "servingFixedBatch", c.servingFixedBatch,
+                   detail) ||
+        !parseInt(*body, "servingChips", c.servingChips, detail) ||
+        !parseInt(*body, "servingMaxBatch", c.servingMaxBatch,
+                  detail) ||
+        !parseU64(*body, "servingSeed", c.servingSeed, detail) ||
+        !parseReal(*body, "pulseDropRate", c.pulseDropRate, detail) ||
+        !parseReal(*body, "clockSkewRate", c.clockSkewRate, detail) ||
+        !parseReal(*body, "linkGlitchRate", c.linkGlitchRate,
+                   detail) ||
+        !parseU64(*body, "faultSeed", c.faultSeed, detail)) {
+        return fail(detail);
+    }
+    int link_latency = 0;
+    if (!parseInt(*body, "linkLatencyCycles", link_latency, detail))
+        return fail(detail);
+    c.link.latencyCycles = (std::uint64_t)link_latency;
+
+    const obs::JsonValue *requests_member = body->find("servingRequests");
+    if (!requests_member || !requests_member->isNumber())
+        return fail("missing or mistyped field 'servingRequests'");
+    requests = (std::uint64_t)requests_member->number;
+    c.servingRequests = requests;
+
+    const obs::JsonValue *layers = body->find("layers");
+    if (!layers || !layers->isArray() || layers->array.empty())
+        return fail("missing or empty layers array");
+    for (const obs::JsonValue &entry : layers->array) {
+        LayerSpec spec;
+        if (!entry.isObject())
+            return fail("layer entry is not an object");
+        if (!parseLayerKind(entry.stringAt("kind"), spec.kind))
+            return fail("unknown layer kind '" +
+                        entry.stringAt("kind") + "'");
+        int out_channels = 0, kernel = 0, stride = 0;
+        if (!parseInt(entry, "outChannels", out_channels, detail) ||
+            !parseInt(entry, "kernel", kernel, detail) ||
+            !parseInt(entry, "stride", stride, detail)) {
+            return fail(detail);
+        }
+        spec.outChannels = out_channels;
+        spec.kernel = kernel;
+        spec.stride = stride;
+        c.layers.push_back(spec);
+    }
+    return repro;
+}
+
+bool
+writeRepro(const Repro &repro, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << renderRepro(repro);
+    return (bool)out;
+}
+
+std::optional<Repro>
+loadRepro(const std::string &path, std::string *error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (error)
+            *error = "cannot open '" + path + "'";
+        return std::nullopt;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parseRepro(text.str(), error);
+}
+
+} // namespace check
+} // namespace supernpu

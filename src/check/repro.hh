@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Repro files: a failing (case, oracle, cook) triple serialized as
+ * a small JSON document so a failure found by a fuzzing run can be
+ * replayed exactly — `supernpu check --replay FILE` — and committed
+ * to tests/repros/ as a permanent regression pin.
+ *
+ * Schema "supernpu-check-v1". 64-bit seeds are serialized as decimal
+ * *strings*: the strict obs JSON reader parses numbers as double,
+ * and a full-width seed does not survive the 53-bit mantissa.
+ */
+
+#ifndef SUPERNPU_CHECK_REPRO_HH
+#define SUPERNPU_CHECK_REPRO_HH
+
+#include <optional>
+#include <string>
+
+#include "oracles.hh"
+
+namespace supernpu {
+namespace check {
+
+/** Schema identifier embedded in every repro file. */
+constexpr const char *kCheckSchema = "supernpu-check-v1";
+
+/** One replayable failure (or cooked self-test) description. */
+struct Repro
+{
+    std::string oracle;
+    Cook cook = Cook::None;
+    CheckCase checkCase;
+};
+
+/** Render a repro as its canonical JSON document. */
+std::string renderRepro(const Repro &repro);
+
+/**
+ * Parse a repro document; nullopt (with a one-line diagnostic in
+ * `error` when non-null) on any malformed input.
+ */
+std::optional<Repro> parseRepro(const std::string &text,
+                                std::string *error = nullptr);
+
+/** Write a repro to `path`; false when the file cannot be written. */
+bool writeRepro(const Repro &repro, const std::string &path);
+
+/** Load and parse a repro file; nullopt with a diagnostic on error. */
+std::optional<Repro> loadRepro(const std::string &path,
+                               std::string *error = nullptr);
+
+} // namespace check
+} // namespace supernpu
+
+#endif // SUPERNPU_CHECK_REPRO_HH

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Check driver implementation.
+ */
+
+#include "runner.hh"
+
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+#include "generator.hh"
+#include "repro.hh"
+#include "shrinker.hh"
+
+namespace supernpu {
+namespace check {
+
+namespace {
+
+/**
+ * Whether this oracle runs on this case index. The serving oracles
+ * simulate hundreds of requests each, so they sample the stream
+ * instead of running on every case; an explicit --oracle overrides
+ * the sampling.
+ */
+bool
+scheduled(const std::string &oracle, std::uint64_t index)
+{
+    if (oracle == "serving-bounds")
+        return index % 4 == 0;
+    if (oracle == "serving-determinism")
+        return index % 8 == 0;
+    return true;
+}
+
+/** expected-vs-observed judgement of one oracle run. */
+bool
+asExpected(Cook cook, const OracleOutcome &outcome)
+{
+    if (!outcome.applicable)
+        return true;
+    return cook == Cook::None ? outcome.passed : !outcome.passed;
+}
+
+std::string
+reproPath(const RunnerOptions &options, const std::string &oracle,
+          const CheckCase &c)
+{
+    std::ostringstream path;
+    path << options.reproDir << "/check-" << oracle << "-s" << c.seed
+         << "-i" << c.index << ".json";
+    return path.str();
+}
+
+/** Shrink (when asked) and persist one failing case. */
+void
+persistFailure(const RunnerOptions &options, const std::string &oracle,
+               const CheckCase &failing,
+               const sfq::CellLibrary &library)
+{
+    Repro repro;
+    repro.oracle = oracle;
+    repro.cook = options.cook;
+    repro.checkCase = failing;
+    if (options.shrinkFailures && options.cook == Cook::None) {
+        const ShrinkResult shrunk =
+            shrinkCase(failing, oracle, library, options.cook);
+        inform("check: shrunk ", failing.describe(), " -> ",
+               shrunk.shrunk.describe(), " (", shrunk.accepted,
+               " moves, ", shrunk.attempts, " evaluations)");
+        repro.checkCase = shrunk.shrunk;
+    }
+    const std::string path = reproPath(options, oracle,
+                                       repro.checkCase);
+    if (writeRepro(repro, path)) {
+        inform("check: wrote repro ", path);
+    } else {
+        warn("check: cannot write repro ", path);
+    }
+}
+
+int
+replay(const RunnerOptions &options, const sfq::CellLibrary &library)
+{
+    std::string error;
+    const auto repro = loadRepro(options.replayPath, &error);
+    if (!repro.has_value()) {
+        warn("check: bad repro ", options.replayPath, ": ", error);
+        return 1;
+    }
+    const OracleOutcome outcome = runOracle(
+        repro->oracle, repro->checkCase, library, repro->cook);
+    if (!outcome.applicable) {
+        warn("check: repro ", options.replayPath,
+             " is not applicable to its oracle '", repro->oracle,
+             "' — stale corpus entry");
+        return 1;
+    }
+    if (!asExpected(repro->cook, outcome)) {
+        if (repro->cook == Cook::None) {
+            warn("check: repro ", options.replayPath, " FAILS '",
+                 repro->oracle, "': ", outcome.detail);
+        } else {
+            warn("check: repro ", options.replayPath, ": oracle '",
+                 repro->oracle,
+                 "' PASSED a tampered observation — it has lost its "
+                 "teeth");
+        }
+        return 1;
+    }
+    inform("check: replay ", options.replayPath, " ok (",
+           repro->oracle, ", cook=", cookName(repro->cook), ")");
+    return 0;
+}
+
+int
+emitCorpus(const RunnerOptions &options,
+           const sfq::CellLibrary &library)
+{
+    int missing = 0;
+    for (const std::string &oracle : oracleNames()) {
+        bool emitted = false;
+        // Scan the seeded stream for the first case on which the
+        // tampered oracle (correctly) fails, then shrink that.
+        for (std::uint64_t index = 0;
+             index < options.cases && !emitted; ++index) {
+            const CheckCase c = generate(options.seed, index);
+            const OracleOutcome outcome =
+                runOracle(oracle, c, library, Cook::Tamper);
+            if (!outcome.applicable || outcome.passed)
+                continue;
+            const ShrinkResult shrunk =
+                shrinkCase(c, oracle, library, Cook::Tamper);
+            Repro repro;
+            repro.oracle = oracle;
+            repro.cook = Cook::Tamper;
+            repro.checkCase = shrunk.shrunk;
+            const std::string path =
+                options.emitCorpusDir + "/" + oracle + "-tamper.json";
+            if (!writeRepro(repro, path)) {
+                warn("check: cannot write ", path);
+                return 1;
+            }
+            inform("check: corpus ", path, " (case i", c.index,
+                   " shrunk by ", shrunk.accepted, " moves)");
+            emitted = true;
+        }
+        if (!emitted) {
+            warn("check: no applicable tamper case for '", oracle,
+                 "' in ", options.cases, " cases");
+            ++missing;
+        }
+    }
+    return missing == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+runCheck(const RunnerOptions &options, const sfq::CellLibrary &library)
+{
+    if (!options.replayPath.empty())
+        return replay(options, library);
+    if (!options.emitCorpusDir.empty())
+        return emitCorpus(options, library);
+    if (!options.oracle.empty() && !isOracle(options.oracle))
+        fatal("unknown oracle '", options.oracle,
+              "'; see `supernpu check --help`");
+
+    std::vector<std::string> catalog;
+    if (options.oracle.empty()) {
+        catalog = oracleNames();
+    } else {
+        catalog.push_back(options.oracle);
+    }
+
+    std::uint64_t ran = 0, skipped = 0, failures = 0;
+    for (std::uint64_t index = 0; index < options.cases; ++index) {
+        const CheckCase c = generate(options.seed, index);
+        for (const std::string &oracle : catalog) {
+            if (options.oracle.empty() && !scheduled(oracle, index)) {
+                ++skipped;
+                continue;
+            }
+            const OracleOutcome outcome =
+                runOracle(oracle, c, library, options.cook);
+            if (!outcome.applicable) {
+                ++skipped;
+                continue;
+            }
+            ++ran;
+            if (asExpected(options.cook, outcome))
+                continue;
+            ++failures;
+            if (options.cook == Cook::None) {
+                warn("check: '", oracle, "' FAILED on ",
+                     c.describe(), ": ", outcome.detail);
+                persistFailure(options, oracle, c, library);
+            } else {
+                warn("check: '", oracle,
+                     "' passed a tampered observation on ",
+                     c.describe(), " — it has lost its teeth");
+            }
+        }
+    }
+    inform("check: seed ", options.seed, ": ", ran, " oracle runs "
+           "over ", options.cases, " cases (", skipped, " skipped), ",
+           failures, " failure", failures == 1 ? "" : "s");
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace check
+} // namespace supernpu

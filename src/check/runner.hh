@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The check driver behind `supernpu check`: generate N seeded cases,
+ * run the oracle catalog over each, shrink and serialize any failure
+ * as a replayable repro, and replay committed repro files.
+ */
+
+#ifndef SUPERNPU_CHECK_RUNNER_HH
+#define SUPERNPU_CHECK_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "oracles.hh"
+
+namespace supernpu {
+namespace check {
+
+/** Everything `supernpu check` can ask for. */
+struct RunnerOptions
+{
+    std::uint64_t seed = 9;
+    std::uint64_t cases = 100;
+
+    /** Replay one repro file instead of generating cases. */
+    std::string replayPath;
+
+    /** Shrink failures before writing repros (generate mode). */
+    bool shrinkFailures = true;
+    /** Where failure repros land (generate mode). */
+    std::string reproDir = ".";
+
+    /**
+     * Cook every oracle run. Under Cook::Tamper the pass criterion
+     * inverts: an oracle that *passes* on a sabotaged observation
+     * has lost its teeth and is reported as the failure.
+     */
+    Cook cook = Cook::None;
+
+    /** Restrict to one oracle (otherwise the whole catalog). */
+    std::string oracle;
+
+    /**
+     * Emit the self-test corpus: for every oracle, find its first
+     * applicable case where Cook::Tamper fails (the healthy state),
+     * shrink it, and write `<dir>/<oracle>-tamper.json`.
+     */
+    std::string emitCorpusDir;
+};
+
+/**
+ * Run per the options. Returns the process exit code: 0 when every
+ * oracle behaved as expected, 1 otherwise.
+ */
+int runCheck(const RunnerOptions &options,
+             const sfq::CellLibrary &library);
+
+} // namespace check
+} // namespace supernpu
+
+#endif // SUPERNPU_CHECK_RUNNER_HH

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Shrinker implementation: a fixed-order greedy descent.
+ */
+
+#include "shrinker.hh"
+
+#include <vector>
+
+namespace supernpu {
+namespace check {
+
+namespace {
+
+/**
+ * Candidate mutations of one case, simplest-outcome first: drop
+ * whole layers before narrowing them, collapse parallelism before
+ * touching the design point. Every candidate is valid by
+ * construction; candidates identical to the input are skipped by
+ * the caller's accept loop (each move strictly reduces something).
+ */
+std::vector<CheckCase>
+mutations(const CheckCase &c)
+{
+    std::vector<CheckCase> out;
+
+    // Drop each layer (keep at least one).
+    if (c.layers.size() > 1) {
+        for (std::size_t i = 0; i < c.layers.size(); ++i) {
+            CheckCase cand = c;
+            cand.layers.erase(cand.layers.begin() + i);
+            out.push_back(cand);
+        }
+    }
+
+    // Shrink the input feature map.
+    if (c.inHw > 8) {
+        CheckCase cand = c;
+        cand.inHw = std::max(8, c.inHw / 2);
+        out.push_back(cand);
+    }
+    if (c.inChannels > 3) {
+        CheckCase cand = c;
+        cand.inChannels = std::max(3, c.inChannels / 2);
+        out.push_back(cand);
+    }
+
+    // Narrow each layer and relax its stride.
+    for (std::size_t i = 0; i < c.layers.size(); ++i) {
+        if (c.layers[i].outChannels > 4) {
+            CheckCase cand = c;
+            cand.layers[i].outChannels =
+                std::max(4, c.layers[i].outChannels / 2);
+            out.push_back(cand);
+        }
+        if (c.layers[i].stride > 1) {
+            CheckCase cand = c;
+            cand.layers[i].stride = 1;
+            out.push_back(cand);
+        }
+        if (c.layers[i].kind == dnn::LayerKind::Conv &&
+            c.layers[i].kernel > 1) {
+            CheckCase cand = c;
+            cand.layers[i].kernel = 1;
+            out.push_back(cand);
+        }
+    }
+
+    // Collapse the batch and the parallelism degrees.
+    if (c.batch > 1) {
+        CheckCase cand = c;
+        cand.batch = std::max(1, c.batch / 2);
+        out.push_back(cand);
+    }
+    if (c.pipelineStages > 1) {
+        CheckCase cand = c;
+        cand.pipelineStages = c.pipelineStages - 1;
+        out.push_back(cand);
+    }
+    if (c.dataParallel > 1) {
+        CheckCase cand = c;
+        cand.dataParallel = 1;
+        out.push_back(cand);
+    }
+    if (c.tensorShards > 1) {
+        CheckCase cand = c;
+        cand.tensorShards = 1;
+        out.push_back(cand);
+    }
+
+    // Calm the serving scenario.
+    if (c.servingRequests > 50) {
+        CheckCase cand = c;
+        cand.servingRequests =
+            std::max<std::uint64_t>(50, c.servingRequests / 2);
+        out.push_back(cand);
+    }
+    if (c.servingChips > 1) {
+        CheckCase cand = c;
+        cand.servingChips = 1;
+        out.push_back(cand);
+    }
+    if (c.servingMaxBatch > 1) {
+        CheckCase cand = c;
+        cand.servingMaxBatch = c.servingMaxBatch - 1;
+        out.push_back(cand);
+    }
+
+    // Quiet the fault schedule, one kind at a time.
+    if (c.pulseDropRate > 0.0) {
+        CheckCase cand = c;
+        cand.pulseDropRate = 0.0;
+        out.push_back(cand);
+    }
+    if (c.clockSkewRate > 0.0) {
+        CheckCase cand = c;
+        cand.clockSkewRate = 0.0;
+        out.push_back(cand);
+    }
+    if (c.linkGlitchRate > 0.0) {
+        CheckCase cand = c;
+        cand.linkGlitchRate = 0.0;
+        out.push_back(cand);
+    }
+
+    // Return the design point and link to their defaults.
+    {
+        const partition::LinkConfig stock;
+        if (c.link.bandwidthGBps != stock.bandwidthGBps ||
+            c.link.latencyCycles != stock.latencyCycles) {
+            CheckCase cand = c;
+            cand.link = stock;
+            out.push_back(cand);
+        }
+    }
+    if (c.regsPerPe > 1) {
+        CheckCase cand = c;
+        cand.regsPerPe = 1;
+        out.push_back(cand);
+    }
+    if (c.weightDoubleBuffering) {
+        CheckCase cand = c;
+        cand.weightDoubleBuffering = false;
+        out.push_back(cand);
+    }
+    if (c.bandwidthGBps != 300.0) {
+        CheckCase cand = c;
+        cand.bandwidthGBps = 300.0;
+        out.push_back(cand);
+    }
+
+    return out;
+}
+
+} // namespace
+
+ShrinkResult
+shrinkCase(const CheckCase &failing, const std::string &oracle,
+           const sfq::CellLibrary &library, Cook cook)
+{
+    ShrinkResult result;
+    result.shrunk = failing;
+
+    const auto still_fails = [&](const CheckCase &candidate) {
+        ++result.attempts;
+        const OracleOutcome outcome =
+            runOracle(oracle, candidate, library, cook);
+        return outcome.applicable && !outcome.passed;
+    };
+
+    if (!still_fails(failing))
+        return result;
+
+    // Greedy fixpoint descent: after every accepted mutation the
+    // move list regenerates from the smaller case. The pass bound is
+    // a safety net — every move strictly shrinks a bounded quantity,
+    // so a correct build converges long before it.
+    const int max_passes = 64;
+    for (int pass = 0; pass < max_passes; ++pass) {
+        bool accepted = false;
+        for (const CheckCase &candidate : mutations(result.shrunk)) {
+            if (still_fails(candidate)) {
+                result.shrunk = candidate;
+                ++result.accepted;
+                accepted = true;
+                break;
+            }
+        }
+        if (!accepted)
+            break;
+    }
+    return result;
+}
+
+} // namespace check
+} // namespace supernpu

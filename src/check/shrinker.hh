@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Greedy case shrinker: bisects a failing CheckCase toward a minimal
+ * repro while the oracle keeps failing.
+ *
+ * Works on the genotype, so every candidate is a valid scenario by
+ * construction (see case.hh). The move list is fixed-order and the
+ * accept rule is deterministic (first still-failing candidate wins),
+ * so shrinking the same failure always lands on the same repro — a
+ * property the corpus tests pin.
+ */
+
+#ifndef SUPERNPU_CHECK_SHRINKER_HH
+#define SUPERNPU_CHECK_SHRINKER_HH
+
+#include <string>
+
+#include "oracles.hh"
+
+namespace supernpu {
+namespace check {
+
+/** The outcome of one shrink run. */
+struct ShrinkResult
+{
+    CheckCase shrunk;  ///< smallest still-failing case found
+    int accepted = 0;  ///< mutations that kept the failure
+    int attempts = 0;  ///< oracle evaluations spent
+};
+
+/**
+ * Shrink `failing` against (oracle, cook): repeatedly try the move
+ * list and keep any candidate on which the oracle is applicable and
+ * still fails, to a fixpoint. `failing` itself must fail, or the
+ * input is returned unchanged.
+ */
+ShrinkResult shrinkCase(const CheckCase &failing,
+                        const std::string &oracle,
+                        const sfq::CellLibrary &library, Cook cook);
+
+} // namespace check
+} // namespace supernpu
+
+#endif // SUPERNPU_CHECK_SHRINKER_HH

@@ -6,15 +6,40 @@
 #include "stats.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "logging.hh"
 
 namespace supernpu {
 
+namespace {
+
+/**
+ * One warning per process for non-finite samples: they always mean
+ * an upstream bug, but benches feed millions of samples through
+ * these accumulators and a per-sample warn would bury the signal.
+ */
+void
+warnNonFiniteOnce(const char *where)
+{
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+        warn(where, ": non-finite sample excluded from statistics "
+             "(further occurrences counted silently)");
+    }
+}
+
+} // namespace
+
 void
 RunningStats::add(double sample)
 {
+    if (!std::isfinite(sample)) {
+        ++_nonFiniteCount;
+        warnNonFiniteOnce("RunningStats::add");
+        return;
+    }
     if (_count == 0) {
         _min = sample;
         _max = sample;
@@ -63,6 +88,13 @@ geomean(const std::vector<double> &samples)
 double
 percentile(std::vector<double> samples, double p)
 {
+    const auto finite_end = std::remove_if(
+        samples.begin(), samples.end(),
+        [](double s) { return !std::isfinite(s); });
+    if (finite_end != samples.end()) {
+        warnNonFiniteOnce("percentile");
+        samples.erase(finite_end, samples.end());
+    }
     if (samples.empty())
         return 0.0;
     std::sort(samples.begin(), samples.end());
@@ -89,7 +121,9 @@ Histogram::Histogram(double lo, double hi, int bins_per_decade)
 void
 Histogram::add(double sample)
 {
-    _stats.add(sample);
+    _stats.add(sample); // rejects and tallies non-finite samples
+    if (!std::isfinite(sample))
+        return;
     std::size_t index;
     if (!(sample >= _lo)) { // includes non-positive samples
         index = 0;

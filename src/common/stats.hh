@@ -16,6 +16,13 @@ namespace supernpu {
  * Streaming accumulator for min / max / mean / geometric mean.
  * Geometric mean silently skips non-positive samples (they have no
  * geomean) but still counts them toward the arithmetic statistics.
+ *
+ * Non-finite samples (NaN, +/-inf) are excluded from every moment:
+ * a NaN would otherwise stick in min/max forever (NaN propagates
+ * through std::min/std::max once it gets in first) and poison the
+ * sum. They are tallied in nonFiniteCount() and warned about once
+ * per process, because a non-finite metric is always an upstream
+ * bug worth surfacing without corrupting every later readout.
  */
 class RunningStats
 {
@@ -23,7 +30,7 @@ class RunningStats
     /** Add one sample. */
     void add(double sample);
 
-    /** Number of samples added. */
+    /** Number of finite samples added. */
     std::size_t count() const { return _count; }
     /** Smallest sample; 0 when empty. */
     double min() const { return _count ? _min : 0.0; }
@@ -33,12 +40,15 @@ class RunningStats
     double mean() const;
     /** Geometric mean over the positive samples; 0 when none. */
     double geomean() const;
-    /** Sum of all samples. */
+    /** Sum of all finite samples. */
     double sum() const { return _sum; }
+    /** NaN / infinite samples rejected by add(). */
+    std::size_t nonFiniteCount() const { return _nonFiniteCount; }
 
   private:
     std::size_t _count = 0;
     std::size_t _positiveCount = 0;
+    std::size_t _nonFiniteCount = 0;
     double _sum = 0.0;
     double _logSum = 0.0;
     double _min = 0.0;
@@ -54,7 +64,10 @@ double geomean(const std::vector<double> &samples);
 /**
  * Exact percentile of a sample set (linear interpolation between
  * closest ranks); 0 when empty. `p` is in [0, 100]. Takes a copy
- * because it must sort.
+ * because it must sort. Non-finite samples are dropped (with a
+ * once-per-process warn) before sorting — NaN gives std::sort an
+ * invalid strict weak order, so its presence would otherwise make
+ * the selected rank, and even memory safety, unspecified.
  */
 double percentile(std::vector<double> samples, double p);
 
@@ -66,7 +79,10 @@ double percentile(std::vector<double> samples, double p);
  * decade). Samples below `lo` or at/above `hi` land in saturating
  * under/overflow bins whose quantiles report the exact observed
  * min/max. Non-positive samples count toward `count()` and the
- * moment statistics but live in the underflow bin.
+ * moment statistics but live in the underflow bin. Non-finite
+ * samples are excluded entirely — a NaN would land in the underflow
+ * bin via `!(sample >= lo)` and silently drag every low quantile
+ * toward min() — and are tallied in nonFiniteCount() instead.
  */
 class Histogram
 {
@@ -99,6 +115,9 @@ class Histogram
      * clamped to the exact observed [min, max].
      */
     double percentile(double p) const;
+
+    /** NaN / infinite samples rejected by add(). */
+    std::size_t nonFiniteCount() const { return _stats.nonFiniteCount(); }
 
     /** The exact moment statistics of everything added. */
     const RunningStats &stats() const { return _stats; }

@@ -95,7 +95,9 @@ AuditReport auditSharding(const sharding::ReplicaGroupResult &result);
  * Audit a tensor-parallel shard run: the wide shard's SimResult,
  * per-layer shard/reduce cycles and bytes rolling up exactly to the
  * totals, shard + collective == total, zero collectives (and
- * total == solo) at T=1, and speedup bounded by T.
+ * total == solo) at T=1, and group MAC throughput bounded by T
+ * chips' peak rate (the speedup itself may exceed T when sharding
+ * drops whole weight mappings).
  */
 AuditReport auditSharding(const sharding::TensorShardResult &result);
 
@@ -105,7 +107,9 @@ AuditReport auditSharding(const sharding::TensorShardResult &result);
  * collective, stage occupancy == pipeline occupancy + overlay),
  * bottleneck == max overlaid occupancy with fill == Σ, interval ==
  * max(bottleneck, gather) and latency == fill + gather, zero
- * collectives at degree 1, and speedup bounded by R·T·K.
+ * collectives at degree 1, and group MAC throughput bounded by
+ * R·T·K chips' peak rate (the speedup itself may exceed R·T·K when
+ * sharding drops whole weight mappings).
  */
 AuditReport auditSharding(const sharding::ShardPlan &plan);
 

@@ -5,6 +5,7 @@
 
 #include "json_writer.hh"
 
+#include <cmath>
 #include <cstdio>
 
 #include "common/logging.hh"
@@ -50,9 +51,37 @@ jsonEscaped(const std::string &text)
 std::string
 jsonNumber(double value)
 {
+    if (!std::isfinite(value)) {
+        fatal("non-finite value (", value, ") has no JSON ",
+              "representation; a non-finite metric is always an ",
+              "upstream bug");
+    }
     char buf[40];
     std::snprintf(buf, sizeof(buf), "%.17g", value);
     return buf;
+}
+
+std::string
+JsonWriter::pathString() const
+{
+    std::string path;
+    for (std::size_t i = 0; i < _path.size(); ++i) {
+        const Breadcrumb &crumb = _path[i];
+        if (crumb.isArray) {
+            // A non-innermost array already counted its open child
+            // scope; the innermost array has not yet counted the
+            // element the caller is about to emit.
+            const std::size_t open_child = i + 1 < _path.size() ? 1 : 0;
+            path += '[';
+            path += std::to_string(crumb.elements - open_child);
+            path += ']';
+        } else {
+            if (!path.empty())
+                path += ".";
+            path += crumb.lastKey.empty() ? "?" : crumb.lastKey;
+        }
+    }
+    return path.empty() ? "<root>" : path;
 }
 
 void
@@ -62,6 +91,8 @@ JsonWriter::separate()
         _afterKey = false;
         return;
     }
+    if (!_path.empty() && _path.back().isArray)
+        ++_path.back().elements;
     if (!_firstInScope.empty()) {
         if (!_firstInScope.back())
             _out << ',';
@@ -78,6 +109,7 @@ JsonWriter::beginObject()
     separate();
     _out << '{';
     _firstInScope.push_back(true);
+    _path.push_back(Breadcrumb{});
     ++_depth;
     return *this;
 }
@@ -89,6 +121,7 @@ JsonWriter::endObject()
                     "endObject outside an object");
     const bool empty = _firstInScope.back();
     _firstInScope.pop_back();
+    _path.pop_back();
     --_depth;
     if (!empty) {
         _out << '\n';
@@ -105,6 +138,9 @@ JsonWriter::beginArray()
     separate();
     _out << '[';
     _firstInScope.push_back(true);
+    Breadcrumb crumb;
+    crumb.isArray = true;
+    _path.push_back(crumb);
     ++_depth;
     return *this;
 }
@@ -116,6 +152,7 @@ JsonWriter::endArray()
                     "endArray outside an array");
     const bool empty = _firstInScope.back();
     _firstInScope.pop_back();
+    _path.pop_back();
     --_depth;
     if (!empty) {
         _out << '\n';
@@ -131,6 +168,8 @@ JsonWriter::key(const std::string &name)
 {
     SUPERNPU_ASSERT(!_afterKey, "two keys in a row");
     separate();
+    if (!_path.empty())
+        _path.back().lastKey = name;
     _out << '"' << jsonEscaped(name) << "\": ";
     _afterKey = true;
     return *this;
@@ -153,6 +192,13 @@ JsonWriter::value(const char *text)
 JsonWriter &
 JsonWriter::value(double number)
 {
+    // Check before separate() so pathString()'s innermost array
+    // index still names the element this value would have become.
+    if (!std::isfinite(number)) {
+        fatal("non-finite value (", number, ") at JSON path '",
+              pathString(), "': non-finite metrics are always an ",
+              "upstream bug");
+    }
     separate();
     _out << jsonNumber(number);
     return *this;

@@ -15,6 +15,7 @@
 #ifndef SUPERNPU_OBS_JSON_WRITER_HH
 #define SUPERNPU_OBS_JSON_WRITER_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <sstream>
 #include <string>
@@ -26,7 +27,13 @@ namespace obs {
 /** RFC 8259 string escaping (quotes not included). */
 std::string jsonEscaped(const std::string &text);
 
-/** Round-trip-exact, locale-independent rendering of a double. */
+/**
+ * Round-trip-exact, locale-independent rendering of a double.
+ * fatal()s on non-finite values: "%.17g" would print `inf`/`nan`,
+ * which is not JSON — the strict obs/json_reader rejects it and the
+ * ledger byte-cmp CI jobs break downstream. A non-finite metric is
+ * always an upstream bug, so it dies loudly here instead.
+ */
 std::string jsonNumber(double value);
 
 /**
@@ -56,12 +63,28 @@ class JsonWriter
     /** The document built so far. */
     std::string str() const { return _out.str(); }
 
+    /**
+     * Dotted path of the entity being written ("sections.sim.seconds",
+     * "tables.layers.rows[3][2]"), for error messages. The innermost
+     * array index refers to the element the *next* emission appends.
+     */
+    std::string pathString() const;
+
   private:
     /** Emit separators/indentation before a key or value. */
     void separate();
 
+    /** One open scope's breadcrumb for pathString(). */
+    struct Breadcrumb
+    {
+        bool isArray = false;
+        std::size_t elements = 0; ///< elements emitted in this scope
+        std::string lastKey;      ///< last key() seen (objects only)
+    };
+
     std::ostringstream _out;
     std::vector<bool> _firstInScope; ///< per open scope
+    std::vector<Breadcrumb> _path;   ///< parallel to _firstInScope
     bool _afterKey = false;
     int _depth = 0;
 };

@@ -153,6 +153,7 @@ HybridPlanner::evaluate(const dnn::Network &network,
     const auto solo = _sharder.simulate(network, batch);
     plan.soloCycles = solo->totalCycles;
     plan.macOpsPerBatch = solo->macOps;
+    plan.peakMacPerSec = tensor.peakMacPerSec;
     return plan;
 }
 

@@ -99,12 +99,20 @@ struct ShardPlan
     std::uint64_t soloCycles = 0;
     /** Full-batch MACs across the whole group. */
     std::uint64_t macOpsPerBatch = 0;
+    /** Per-chip peak MAC/s of the design point (audit ceiling). */
+    double peakMacPerSec = 0.0;
 
     double intervalSec() const;
     double latencySec() const;
     /** Steady-state inferences/sec of the group. */
     double throughput() const;
-    /** soloCycles / intervalCycles — bounded by R·T·K (audited). */
+    /**
+     * soloCycles / intervalCycles. Can exceed R·T·K when tensor
+     * sharding narrows a layer below the PE-array width and drops
+     * whole weight mappings (each shard streams the ifmap fewer
+     * times than the solo run). The audited ceiling is group MAC
+     * throughput, not the speedup.
+     */
     double speedup() const;
     double effectiveMacPerSec() const;
 };

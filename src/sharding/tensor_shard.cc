@@ -117,6 +117,7 @@ TensorSharder::shard(const dnn::Network &network, int shards,
     result.wideSim = wide;
     result.soloCycles = solo->totalCycles;
     result.macOpsPerBatch = solo->macOps;
+    result.peakMacPerSec = _sim.estimate().peakMacPerSec;
 
     const int n = (int)network.layers.size();
     result.layers.reserve(n);

@@ -87,9 +87,16 @@ struct TensorShardResult
     std::uint64_t soloCycles = 0;
     /** Full-network MACs of one batch (not the shard's share). */
     std::uint64_t macOpsPerBatch = 0;
+    /** Per-chip peak MAC/s of the design point (audit ceiling). */
+    double peakMacPerSec = 0.0;
 
     double seconds() const;
-    /** soloCycles / totalCycles — bounded by T (audited). */
+    /**
+     * soloCycles / totalCycles. Can exceed T: narrowing a layer
+     * below the PE-array width drops whole weight mappings, so each
+     * shard streams the ifmap fewer times than the solo run did.
+     * The audited ceiling is MAC throughput, not the speedup.
+     */
     double speedup() const;
     /** Whole-group effective MAC/s on the full batch. */
     double effectiveMacPerSec() const;

@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
+#include <vector>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -248,6 +250,73 @@ TEST(Histogram, PercentileMonotoneInP)
         EXPECT_GE(value, previous) << "p" << p;
         previous = value;
     }
+}
+
+// --- non-finite exclusion --------------------------------------------
+
+TEST(Stats, NonFiniteSamplesAreExcludedFromEveryMoment)
+{
+    // A NaN that reaches min/max first sticks forever (NaN wins
+    // every std::min/std::max comparison it enters first) and any
+    // non-finite sample poisons the running sum; both corrupted the
+    // serving latency roll-ups before add() learned to reject them.
+    RunningStats stats;
+    stats.add(std::numeric_limits<double>::quiet_NaN());
+    stats.add(std::numeric_limits<double>::infinity());
+    stats.add(-std::numeric_limits<double>::infinity());
+    EXPECT_EQ(stats.count(), 0u);
+    EXPECT_EQ(stats.nonFiniteCount(), 3u);
+    EXPECT_DOUBLE_EQ(stats.sum(), 0.0);
+
+    stats.add(2.0);
+    stats.add(std::numeric_limits<double>::quiet_NaN());
+    stats.add(4.0);
+    EXPECT_EQ(stats.count(), 2u);
+    EXPECT_EQ(stats.nonFiniteCount(), 4u);
+    EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 4.0);
+    EXPECT_DOUBLE_EQ(stats.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(stats.sum(), 6.0);
+}
+
+TEST(Stats, PercentileDropsNonFiniteBeforeSorting)
+{
+    // NaN breaks std::sort's strict weak order, so a poisoned vector
+    // made the selected rank unspecified. The finite answer must
+    // match the same set without the NaNs.
+    std::vector<double> clean{1.0, 2.0, 3.0, 4.0};
+    std::vector<double> poisoned{
+        std::numeric_limits<double>::quiet_NaN(), 1.0, 2.0,
+        std::numeric_limits<double>::quiet_NaN(), 3.0, 4.0};
+    for (double p : {0.0, 25.0, 50.0, 90.0, 100.0})
+        EXPECT_DOUBLE_EQ(percentile(poisoned, p),
+                         percentile(clean, p))
+            << "p" << p;
+    EXPECT_DOUBLE_EQ(
+        percentile({std::numeric_limits<double>::infinity()}, 50.0),
+        0.0);
+}
+
+TEST(Histogram, NonFiniteSamplesSkipTheBins)
+{
+    // A NaN fails `sample >= lo` and so landed in the underflow bin,
+    // dragging every low quantile toward min(); it must not count at
+    // all.
+    Histogram poisoned, clean;
+    poisoned.add(1.0);
+    poisoned.add(std::numeric_limits<double>::quiet_NaN());
+    poisoned.add(std::numeric_limits<double>::infinity());
+    poisoned.add(3.0);
+    clean.add(1.0);
+    clean.add(3.0);
+    EXPECT_EQ(poisoned.count(), 2u);
+    EXPECT_EQ(poisoned.nonFiniteCount(), 2u);
+    EXPECT_DOUBLE_EQ(poisoned.min(), 1.0);
+    EXPECT_DOUBLE_EQ(poisoned.max(), 3.0);
+    for (double p : {0.0, 25.0, 50.0, 75.0, 100.0})
+        EXPECT_DOUBLE_EQ(poisoned.percentile(p),
+                         clean.percentile(p))
+            << "p" << p;
 }
 
 // --- table -----------------------------------------------------------

@@ -11,12 +11,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "dnn/networks.hh"
 #include "estimator/npu_estimator.hh"
 #include "npusim/sim.hh"
 #include "obs/audit.hh"
+#include "obs/json_reader.hh"
 #include "obs/json_writer.hh"
 #include "obs/ledger.hh"
 #include "serving/simulator.hh"
@@ -63,6 +65,64 @@ TEST(JsonWriter, BuildsNestedDocumentInOrder)
     EXPECT_NE(doc.find("2.5"), std::string::npos);
     EXPECT_NE(doc.find("\"three\""), std::string::npos);
     EXPECT_NE(doc.find("true"), std::string::npos);
+}
+
+TEST(JsonWriterDeath, NonFiniteNumberHasNoJsonRepresentation)
+{
+    // `%.17g` renders NaN as `nan` and infinity as `inf` — neither
+    // is JSON, so every strict reader downstream choked on the
+    // ledger. Dying at the write names the bug at its source.
+    EXPECT_DEATH(jsonNumber(std::numeric_limits<double>::quiet_NaN()),
+                 "no JSON representation");
+    EXPECT_DEATH(jsonNumber(std::numeric_limits<double>::infinity()),
+                 "no JSON representation");
+}
+
+TEST(JsonWriterDeath, NonFiniteValueNamesItsKeyPath)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.key("sections").beginObject();
+    json.key("sim").beginObject();
+    json.key("totalSec").value(1.0);
+    EXPECT_DEATH(
+        json.key("throughput")
+            .value(std::numeric_limits<double>::quiet_NaN()),
+        "sections\\.sim\\.throughput");
+}
+
+TEST(JsonWriterDeath, NonFiniteArrayElementNamesItsIndex)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.key("samples").beginArray();
+    json.value(1.0);
+    json.value(2.0);
+    EXPECT_DEATH(
+        json.value(std::numeric_limits<double>::infinity()),
+        "samples\\[2\\]");
+}
+
+TEST(JsonWriter, FiniteValuesStillParseAfterPathTracking)
+{
+    // The breadcrumb bookkeeping exists only for error paths; a
+    // document of finite values must still be strict JSON. (The
+    // bench baseline's byte-equality gate pins the exact bytes.)
+    JsonWriter json;
+    json.beginObject();
+    json.key("a").beginArray();
+    json.value(1.0).value(2.0);
+    json.endArray();
+    json.key("b").beginObject();
+    json.key("c").value(3.0);
+    json.endObject();
+    json.endObject();
+    std::string error;
+    const auto doc = parseJson(json.str(), &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    const JsonValue *list = doc->find("a");
+    ASSERT_TRUE(list && list->isArray());
+    EXPECT_EQ(list->array.size(), 2u);
 }
 
 TEST(JsonWriter, IdenticalInputsGiveIdenticalBytes)

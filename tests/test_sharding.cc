@@ -13,10 +13,12 @@
 #include <cstdint>
 #include <limits>
 
+#include "dnn/layer.hh"
 #include "dnn/networks.hh"
 #include "dnn/parser.hh"
 #include "estimator/npu_estimator.hh"
 #include "npusim/batch.hh"
+#include "npusim/explorer.hh"
 #include "npusim/sim.hh"
 #include "npusim/sim_cache.hh"
 #include "obs/audit.hh"
@@ -337,6 +339,68 @@ TEST_F(ShardingFixture, AuditCatchesACookedPlan)
     ShardPlan plan = planner.evaluate(net, 2, 1, 2, batch);
     ASSERT_TRUE(obs::auditSharding(plan).ok());
     plan.intervalCycles /= 2; // faster than the bottleneck allows
+    EXPECT_FALSE(obs::auditSharding(plan).ok());
+}
+
+// --- superlinear tensor sharding (fuzz-discovered) -------------------
+
+/**
+ * The minimal case `supernpu check --seed 9` shrank to: a 36-feature
+ * FC layer on a 32-wide array needs two weight mappings solo but
+ * only one per T=2 shard, so each shard streams the ifmap once where
+ * the solo run streamed it twice — the group legitimately beats 2x.
+ */
+class SuperlinearFixture : public ::testing::Test
+{
+  protected:
+    SuperlinearFixture()
+        : config(npusim::DesignSpaceExplorer::makeConfig(
+              32, 16, 1, 50)),
+          estimate(estimator::NpuEstimator(lib).estimate(config))
+    {
+        net.name = "Superlinear";
+        net.layers.push_back(
+            dnn::fullyConnected("f1", 3 * 8 * 8, 36));
+        net.check();
+    }
+
+    sfq::DeviceConfig dev;
+    sfq::CellLibrary lib{dev};
+    estimator::NpuConfig config;
+    estimator::NpuEstimate estimate;
+    dnn::Network net;
+    npusim::SimCache cache;
+};
+
+TEST_F(SuperlinearFixture, MappingQuantizationBeatsLinearSpeedup)
+{
+    TensorSharder sharder(estimate, testLink(), &cache);
+    const TensorShardResult two = sharder.shard(net, 2, 1);
+    EXPECT_GT(two.speedup(), 2.0);
+    EXPECT_GT(two.peakMacPerSec, 0.0);
+    const obs::AuditReport tensor_audit = obs::auditSharding(two);
+    EXPECT_TRUE(tensor_audit.ok()) << tensor_audit.summary();
+
+    HybridPlanner planner(estimate, testLink(), &cache);
+    const ShardPlan plan = planner.evaluate(net, 1, 2, 1, 1);
+    EXPECT_GT(plan.speedup(), 2.0);
+    const obs::AuditReport plan_audit = obs::auditSharding(plan);
+    EXPECT_TRUE(plan_audit.ok()) << plan_audit.summary();
+}
+
+TEST_F(SuperlinearFixture, MacThroughputCeilingStillCatchesCookedBooks)
+{
+    // The speedup bound is gone; the replacement conservation law —
+    // a group can't beat chips() x per-chip peak MAC rate — must
+    // still have teeth against inflated MAC books.
+    TensorSharder sharder(estimate, testLink(), &cache);
+    TensorShardResult two = sharder.shard(net, 2, 1);
+    two.macOpsPerBatch *= 1000000;
+    EXPECT_FALSE(obs::auditSharding(two).ok());
+
+    HybridPlanner planner(estimate, testLink(), &cache);
+    ShardPlan plan = planner.evaluate(net, 1, 2, 1, 1);
+    plan.macOpsPerBatch *= 1000000;
     EXPECT_FALSE(obs::auditSharding(plan).ok());
 }
 

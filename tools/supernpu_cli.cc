@@ -29,6 +29,11 @@
  *       --dp/--tp/--stages factorization, or search every
  *       factorization of a --chips budget; --sweep adds a
  *       budget-scaling table.
+ *   supernpu check [options]
+ *       Differential & metamorphic fuzz harness (src/check): seeded
+ *       random scenarios cross-checked by the oracle catalog, with
+ *       failing cases shrunk to minimal JSON repros; --replay runs
+ *       one committed repro, --cook tamper self-tests the oracles.
  *   supernpu validate
  *       The Fig. 13 model-validation table.
  *   supernpu explore [options]
@@ -130,6 +135,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "check/runner.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/table.hh"
@@ -185,6 +191,15 @@ struct Options
     /** --objective for shard planning. */
     sharding::PlanObjective objective =
         sharding::PlanObjective::Throughput;
+
+    // --- check-subcommand state (src/check) -------------------------
+    std::uint64_t checkCases = 100; ///< --cases generated scenarios
+    std::string checkReplay;    ///< --replay repro path
+    bool checkNoShrink = false; ///< --no-shrink raw repros
+    std::string checkReproDir = "."; ///< --repro-dir failure output
+    check::Cook checkCook = check::Cook::None; ///< --cook
+    std::string checkOracle;    ///< --oracle restriction
+    std::string checkEmitCorpus; ///< --emit-corpus directory
 
     bool profile = false;  ///< --profile: src/perf instrumentation on
     int benchReps = 3;     ///< --reps timed repetitions
@@ -411,6 +426,27 @@ parseOptions(int argc, char **argv, int first, Options &options)
         } else if (arg == "--link-latency") {
             options.link.latencyCycles =
                 (std::uint64_t)std::stoull(next());
+        } else if (arg == "--cases") {
+            options.checkCases = (std::uint64_t)std::stoull(next());
+        } else if (arg == "--replay") {
+            options.checkReplay = next();
+        } else if (arg == "--no-shrink") {
+            options.checkNoShrink = true;
+        } else if (arg == "--repro-dir") {
+            options.checkReproDir = next();
+        } else if (arg == "--cook") {
+            const std::string value = lowered(next());
+            if (value == "none") {
+                options.checkCook = check::Cook::None;
+            } else if (value == "tamper") {
+                options.checkCook = check::Cook::Tamper;
+            } else {
+                fatal("unknown cook '", value, "'");
+            }
+        } else if (arg == "--oracle") {
+            options.checkOracle = next();
+        } else if (arg == "--emit-corpus") {
+            options.checkEmitCorpus = next();
         } else if (arg == "--profile") {
             options.profile = true;
         } else if (arg == "--reps") {
@@ -1242,6 +1278,23 @@ cmdBench(const Options &options, const std::string &suite)
 }
 
 int
+cmdCheck(const Options &options)
+{
+    const sfq::DeviceConfig device = deviceFor(options);
+    const sfq::CellLibrary library(device);
+    check::RunnerOptions runner;
+    runner.seed = options.serve.seed;
+    runner.cases = options.checkCases;
+    runner.replayPath = options.checkReplay;
+    runner.shrinkFailures = !options.checkNoShrink;
+    runner.reproDir = options.checkReproDir;
+    runner.cook = options.checkCook;
+    runner.oracle = options.checkOracle;
+    runner.emitCorpusDir = options.checkEmitCorpus;
+    return check::runCheck(runner, library);
+}
+
+int
 usage(std::FILE *to = stderr)
 {
     std::fprintf(to,
@@ -1255,6 +1308,7 @@ usage(std::FILE *to = stderr)
                  "  report <workload> <config>      audited JSON run ledger\n"
                  "  partition <workload> <config>   multi-chip pipeline\n"
                  "  shard <workload> <config>       DPxTPxPP planner\n"
+                 "  check                           differential fuzz harness\n"
                  "  validate                        Fig. 13 table\n"
                  "  explore                         design-space sweep\n"
                  "  bench [smoke|full]              performance harness\n"
@@ -1278,6 +1332,10 @@ usage(std::FILE *to = stderr)
                  "         --link-gbps <n> --link-latency <cycles>\n"
                  "shard:   --dp <r> --tp <t> --stages <k> --chips <n>\n"
                  "         --objective throughput|latency --sweep\n"
+                 "check:   --cases <n> --seed <s> --replay <file>\n"
+                 "         --no-shrink --repro-dir <dir>\n"
+                 "         --oracle <name> --cook none|tamper\n"
+                 "         --emit-corpus <dir>\n"
                  "bench:   --reps --warmups --case <name> --out <path>\n"
                  "         --no-timing --baseline <path> --threshold\n"
                  "         --inject-slowdown <pct> --jobs (default 1)\n"
@@ -1330,6 +1388,10 @@ main(int argc, char **argv)
         if (command == "validate")
             return cmdValidate(options);
         return cmdExplore(options);
+    }
+    if (command == "check") {
+        reject_extra(0);
+        return cmdCheck(options);
     }
     if (command == "bench") {
         reject_extra(1);
