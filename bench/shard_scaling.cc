@@ -15,10 +15,13 @@
  * simulation caches and must reproduce every row bit for bit, the
  * same determinism discipline as pipeline_scaling.
  *
- * --smoke shrinks the budget list for CI.
+ * --smoke shrinks the budget list for CI; --jobs N fans each
+ * budget's factorization sweep across a thread pool (byte-identical
+ * rows at any value — the rerun check would catch anything less).
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <string>
@@ -61,10 +64,13 @@ int
 main(int argc, char **argv)
 {
     bool smoke = false;
+    int jobs = 1;
     std::string ledger_file;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0)
             smoke = true;
+        else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+            jobs = std::atoi(argv[i + 1]);
         else if (std::strcmp(argv[i], "--ledger") == 0 && i + 1 < argc)
             ledger_file = argv[i + 1];
     }
@@ -91,7 +97,7 @@ main(int argc, char **argv)
             rows.push_back(
                 planner
                     .plan(net, budget, batch,
-                          sharding::PlanObjective::Throughput)
+                          sharding::PlanObjective::Throughput, jobs)
                     .best());
         }
         return rows;

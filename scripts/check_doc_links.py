@@ -48,8 +48,14 @@ GENERATED = re.compile(
 
 
 def doc_files() -> list[Path]:
-    files = [REPO_ROOT / "README.md", REPO_ROOT / "EXPERIMENTS.md"]
-    files += sorted((REPO_ROOT / "docs").glob("*.md"))
+    files = [
+        REPO_ROOT / "README.md",
+        REPO_ROOT / "EXPERIMENTS.md",
+        REPO_ROOT / "DESIGN.md",
+    ]
+    # Recursive: docs/ pages may grow subdirectories, and a page the
+    # glob silently skips is a page whose references silently rot.
+    files += sorted((REPO_ROOT / "docs").glob("**/*.md"))
     return [f for f in files if f.exists()]
 
 

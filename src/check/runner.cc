@@ -5,11 +5,14 @@
 
 #include "runner.hh"
 
+#include <cstdint>
 #include <sstream>
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "generator.hh"
+#include "perf/profile.hh"
 #include "repro.hh"
 #include "shrinker.hh"
 
@@ -41,6 +44,29 @@ asExpected(Cook cook, const OracleOutcome &outcome)
     if (!outcome.applicable)
         return true;
     return cook == Cook::None ? outcome.passed : !outcome.passed;
+}
+
+/** FNV-1a over a 64-bit word, for the outcome fingerprint. */
+void
+mixHash(std::uint64_t &hash, std::uint64_t word)
+{
+    constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+    for (int i = 0; i < 8; ++i) {
+        hash ^= (word >> (8 * i)) & 0xff;
+        hash *= kFnvPrime;
+    }
+}
+
+/** FNV-1a over a string's bytes (length-delimited). */
+void
+mixHash(std::uint64_t &hash, const std::string &text)
+{
+    constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+    mixHash(hash, (std::uint64_t)text.size());
+    for (char c : text) {
+        hash ^= (unsigned char)c;
+        hash *= kFnvPrime;
+    }
 }
 
 std::string
@@ -157,13 +183,10 @@ emitCorpus(const RunnerOptions &options,
 
 } // namespace
 
-int
-runCheck(const RunnerOptions &options, const sfq::CellLibrary &library)
+CheckSummary
+runCases(const RunnerOptions &options, const sfq::CellLibrary &library,
+         const FailureSink &on_failure)
 {
-    if (!options.replayPath.empty())
-        return replay(options, library);
-    if (!options.emitCorpusDir.empty())
-        return emitCorpus(options, library);
     if (!options.oracle.empty() && !isOracle(options.oracle))
         fatal("unknown oracle '", options.oracle,
               "'; see `supernpu check --help`");
@@ -175,24 +198,93 @@ runCheck(const RunnerOptions &options, const sfq::CellLibrary &library)
         catalog.push_back(options.oracle);
     }
 
-    std::uint64_t ran = 0, skipped = 0, failures = 0;
-    for (std::uint64_t index = 0; index < options.cases; ++index) {
-        const CheckCase c = generate(options.seed, index);
-        for (const std::string &oracle : catalog) {
-            if (options.oracle.empty() && !scheduled(oracle, index)) {
-                ++skipped;
+    // One case's generated spec plus every judged oracle outcome.
+    // Cases are embarrassingly parallel: generate(seed, index) is a
+    // pure function of its arguments and every runOracle builds its
+    // own SimCache, so a task touches nothing another task reads.
+    struct CaseResult
+    {
+        CheckCase c;
+        std::vector<OracleOutcome> outcomes; ///< parallel to catalog
+        std::vector<std::uint8_t> judged;    ///< 0: sampled out
+    };
+
+    ThreadPool pool(options.jobs < 0 ? 1 : options.jobs);
+    const std::vector<CaseResult> results = pool.parallelMap(
+        (std::size_t)options.cases, [&](std::size_t index) {
+            perf::Scope case_scope("check.case");
+            if (perf::enabled()) {
+                static perf::Counter &cases =
+                    perf::counter("check.cases");
+                cases.add(1);
+            }
+            CaseResult result;
+            result.c = generate(options.seed, (std::uint64_t)index);
+            result.outcomes.resize(catalog.size());
+            result.judged.assign(catalog.size(), 0);
+            for (std::size_t o = 0; o < catalog.size(); ++o) {
+                if (options.oracle.empty() &&
+                    !scheduled(catalog[o], (std::uint64_t)index))
+                    continue;
+                perf::Scope oracle_scope("check.oracle");
+                if (perf::enabled()) {
+                    static perf::Counter &oracles =
+                        perf::counter("check.oracles");
+                    oracles.add(1);
+                }
+                result.outcomes[o] = runOracle(
+                    catalog[o], result.c, library, options.cook);
+                result.judged[o] = 1;
+            }
+            return result;
+        });
+
+    // Judge serially in case order: tallies, the outcome
+    // fingerprint, and the failure sink's side effects (warns,
+    // shrinks, repro files) land in exactly the order the serial
+    // sweep produces, no matter how the tasks interleaved above.
+    CheckSummary summary;
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (std::size_t index = 0; index < results.size(); ++index) {
+        const CaseResult &result = results[index];
+        for (std::size_t o = 0; o < catalog.size(); ++o) {
+            if (!result.judged[o]) {
+                ++summary.skipped;
                 continue;
             }
-            const OracleOutcome outcome =
-                runOracle(oracle, c, library, options.cook);
+            const OracleOutcome &outcome = result.outcomes[o];
             if (!outcome.applicable) {
-                ++skipped;
+                ++summary.skipped;
                 continue;
             }
-            ++ran;
+            ++summary.ran;
+            mixHash(hash, (std::uint64_t)index);
+            mixHash(hash, catalog[o]);
+            mixHash(hash, (std::uint64_t)outcome.passed);
+            mixHash(hash, outcome.detail);
             if (asExpected(options.cook, outcome))
                 continue;
-            ++failures;
+            ++summary.failures;
+            if (on_failure)
+                on_failure(catalog[o], result.c, outcome);
+        }
+    }
+    summary.outcomeHash = hash;
+    return summary;
+}
+
+int
+runCheck(const RunnerOptions &options, const sfq::CellLibrary &library)
+{
+    if (!options.replayPath.empty())
+        return replay(options, library);
+    if (!options.emitCorpusDir.empty())
+        return emitCorpus(options, library);
+
+    const CheckSummary summary = runCases(
+        options, library,
+        [&](const std::string &oracle, const CheckCase &c,
+            const OracleOutcome &outcome) {
             if (options.cook == Cook::None) {
                 warn("check: '", oracle, "' FAILED on ",
                      c.describe(), ": ", outcome.detail);
@@ -202,12 +294,12 @@ runCheck(const RunnerOptions &options, const sfq::CellLibrary &library)
                      "' passed a tampered observation on ",
                      c.describe(), " — it has lost its teeth");
             }
-        }
-    }
-    inform("check: seed ", options.seed, ": ", ran, " oracle runs "
-           "over ", options.cases, " cases (", skipped, " skipped), ",
-           failures, " failure", failures == 1 ? "" : "s");
-    return failures == 0 ? 0 : 1;
+        });
+    inform("check: seed ", options.seed, ": ", summary.ran,
+           " oracle runs over ", options.cases, " cases (",
+           summary.skipped, " skipped), ", summary.failures,
+           " failure", summary.failures == 1 ? "" : "s");
+    return summary.failures == 0 ? 0 : 1;
 }
 
 } // namespace check

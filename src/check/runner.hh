@@ -9,6 +9,7 @@
 #define SUPERNPU_CHECK_RUNNER_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "oracles.hh"
@@ -46,7 +47,52 @@ struct RunnerOptions
      * shrink it, and write `<dir>/<oracle>-tamper.json`.
      */
     std::string emitCorpusDir;
+
+    /**
+     * Pool parallelism of the generate-mode sweep including the
+     * calling thread; <= 1 runs serially inline, 0 means every
+     * hardware thread. Cases regenerate from streamSeed(seed, index)
+     * and each oracle run builds its own SimCache, so fanning them
+     * out changes nothing observable: tallies, failure reports, and
+     * repro files are byte-identical at any value.
+     */
+    int jobs = 1;
 };
+
+/** Aggregate tallies of one generate-mode sweep. */
+struct CheckSummary
+{
+    std::uint64_t ran = 0;      ///< applicable oracle runs judged
+    std::uint64_t skipped = 0;  ///< sampled out or inapplicable
+    std::uint64_t failures = 0; ///< runs that defied the cook
+    /**
+     * FNV-1a fingerprint of every judged outcome in case order:
+     * (case index, oracle, applicable, passed, detail). A pure
+     * function of (seed, cases, oracle filter, cook) — never of
+     * `jobs` — which is what the check_fuzz bench case pins.
+     */
+    std::uint64_t outcomeHash = 0;
+};
+
+/**
+ * Serial, case-order notification of one failure (an oracle run
+ * defying the cook): (oracle, generated case, outcome).
+ */
+using FailureSink =
+    std::function<void(const std::string &, const CheckCase &,
+                       const OracleOutcome &)>;
+
+/**
+ * The generate-mode sweep behind runCheck, reusable by the bench
+ * harness: run the (possibly filtered) oracle catalog over `cases`
+ * seeded cases, fanned across options.jobs pool threads, and judge
+ * outcomes serially in case order. `on_failure` (optional) fires in
+ * that serial pass, so its side effects — warns, repro files — land
+ * in exactly the order the serial sweep produces.
+ */
+CheckSummary runCases(const RunnerOptions &options,
+                      const sfq::CellLibrary &library,
+                      const FailureSink &on_failure = nullptr);
 
 /**
  * Run per the options. Returns the process exit code: 0 when every

@@ -128,25 +128,46 @@ SimCache::global()
 }
 
 std::shared_ptr<const SimResult>
-SimCache::lookupLocked(const SimKey &key)
+SimCache::peekLocked(const SimKey &key)
 {
     const auto it = _index.find(key);
-    if (it == _index.end()) {
-        ++_stats.misses;
-        if (perf::enabled()) {
-            static perf::Counter &misses =
-                perf::counter("simCache.misses");
-            misses.add(1);
-        }
+    if (it == _index.end())
         return nullptr;
-    }
+    _lru.splice(_lru.begin(), _lru, it->second);
+    return it->second->result;
+}
+
+void
+SimCache::countHitLocked()
+{
     ++_stats.hits;
     if (perf::enabled()) {
         static perf::Counter &hits = perf::counter("simCache.hits");
         hits.add(1);
     }
-    _lru.splice(_lru.begin(), _lru, it->second);
-    return it->second->result;
+}
+
+void
+SimCache::countMissLocked()
+{
+    ++_stats.misses;
+    if (perf::enabled()) {
+        static perf::Counter &misses =
+            perf::counter("simCache.misses");
+        misses.add(1);
+    }
+}
+
+std::shared_ptr<const SimResult>
+SimCache::lookupLocked(const SimKey &key)
+{
+    auto result = peekLocked(key);
+    if (result) {
+        countHitLocked();
+    } else {
+        countMissLocked();
+    }
+    return result;
 }
 
 std::shared_ptr<const SimResult>
@@ -180,16 +201,53 @@ std::shared_ptr<const SimResult>
 SimCache::getOrCompute(const SimKey &key,
                        const std::function<SimResult()> &compute)
 {
+    std::shared_ptr<Flight> flight;
     {
-        std::lock_guard<std::mutex> lock(_mutex);
-        if (auto result = lookupLocked(key))
+        std::unique_lock<std::mutex> lock(_mutex);
+        if (auto result = peekLocked(key)) {
+            countHitLocked();
             return result;
+        }
+        const auto it = _inflight.find(key);
+        if (it != _inflight.end()) {
+            // Another thread is simulating this exact key. Joining
+            // its flight counts as a hit: the serial run would find
+            // the leader's freshly-inserted entry resident by the
+            // time it reached this lookup, so totals stay identical
+            // at any job count.
+            countHitLocked();
+            flight = it->second;
+            _flightDone.wait(lock, [&] { return flight->done; });
+            if (flight->error)
+                std::rethrow_exception(flight->error);
+            return flight->result;
+        }
+        countMissLocked();
+        flight = std::make_shared<Flight>();
+        _inflight.emplace(key, flight);
     }
-    // Compute outside the lock so concurrent misses on *different*
-    // keys run in parallel.
-    auto result = std::make_shared<const SimResult>(compute());
-    std::lock_guard<std::mutex> lock(_mutex);
-    return insertLocked(key, std::move(result));
+    // Leader: compute outside the lock so misses on *different* keys
+    // run in parallel; same-key arrivals wait on the flight above.
+    std::shared_ptr<const SimResult> inserted;
+    try {
+        auto result = std::make_shared<const SimResult>(compute());
+        std::lock_guard<std::mutex> lock(_mutex);
+        inserted = insertLocked(key, std::move(result));
+        flight->result = inserted;
+        flight->done = true;
+        _inflight.erase(key);
+    } catch (...) {
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            flight->error = std::current_exception();
+            flight->done = true;
+            _inflight.erase(key);
+        }
+        _flightDone.notify_all();
+        throw;
+    }
+    _flightDone.notify_all();
+    return inserted;
 }
 
 std::shared_ptr<const SimResult>

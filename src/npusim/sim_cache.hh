@@ -12,10 +12,16 @@
  *
  * The cache is safe for concurrent use from a ThreadPool sweep: a
  * lookup/insert holds one mutex, and a miss releases it while the
- * simulation runs so other keys proceed in parallel. Two threads
- * missing on the same key may both simulate; the simulator is
- * deterministic, so both produce identical SimResults and the first
- * insert wins — wasted work, never wrong answers.
+ * simulation runs so other keys proceed in parallel. Concurrent
+ * misses on the SAME key are collapsed into one flight: the first
+ * arrival simulates, later arrivals block until the result lands and
+ * then share it. Waiters are accounted as hits — exactly what the
+ * serial run would count when it reached the same lookup after the
+ * leader's insert — so hit/miss/eviction totals are identical at any
+ * job count. The parallel planner and check sweeps embed these
+ * counters in byte-compared ledgers, which makes that determinism
+ * load-bearing, and the dedup also stops a sweep from burning cores
+ * on N identical simulations of one hot key.
  *
  * Entries are evicted least-recently-used past `maxEntries`. Handing
  * out shared_ptr<const SimResult> keeps a result valid even if it is
@@ -25,6 +31,7 @@
 #ifndef SUPERNPU_NPUSIM_SIM_CACHE_HH
 #define SUPERNPU_NPUSIM_SIM_CACHE_HH
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -121,7 +128,10 @@ class SimCache
      * `key`, invoking `compute` on this thread when absent. The
      * reliability injector uses this to cache fault-augmented
      * results under fault-schedule-qualified keys; getOrRun is sugar
-     * over it. `compute` must be deterministic for the key.
+     * over it. `compute` must be deterministic for the key and must
+     * not re-enter the cache for the same key (it may freely compute
+     * through the cache for *other* keys — the in-flight wait is per
+     * key, never global).
      */
     std::shared_ptr<const SimResult>
     getOrCompute(const SimKey &key,
@@ -157,18 +167,32 @@ class SimCache
     {
         std::size_t operator()(const SimKey &key) const;
     };
+    /** One in-progress simulation other threads can wait on. */
+    struct Flight
+    {
+        std::shared_ptr<const SimResult> result;
+        std::exception_ptr error;
+        bool done = false; ///< under _mutex
+    };
 
-    /** Lookup under the lock; promotes to most-recently-used. */
+    /** Lookup + LRU promote under the lock; no accounting. */
+    std::shared_ptr<const SimResult> peekLocked(const SimKey &key);
+    /** Lookup under the lock; promotes and counts a hit or miss. */
     std::shared_ptr<const SimResult> lookupLocked(const SimKey &key);
+    void countHitLocked();
+    void countMissLocked();
     /** Insert under the lock; evicts LRU entries past capacity. */
     std::shared_ptr<const SimResult>
     insertLocked(const SimKey &key,
                  std::shared_ptr<const SimResult> result);
 
     mutable std::mutex _mutex;
+    std::condition_variable _flightDone; ///< any flight completed
     std::list<Entry> _lru; ///< front = most recently used
     std::unordered_map<SimKey, std::list<Entry>::iterator, KeyHash>
         _index;
+    std::unordered_map<SimKey, std::shared_ptr<Flight>, KeyHash>
+        _inflight;
     std::size_t _maxEntries;
     SimCacheStats _stats;
 };

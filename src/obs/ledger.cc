@@ -577,6 +577,14 @@ addSimCacheStats(RunLedger &ledger,
 }
 
 void
+addLayerTimingCacheStats(RunLedger &ledger,
+                         const partition::LayerTimingCacheStats &stats)
+{
+    ledger.setInt("layerTimingCache", "hits", stats.hits);
+    ledger.setInt("layerTimingCache", "misses", stats.misses);
+}
+
+void
 addPoolStats(RunLedger &ledger, const ThreadPool::Stats &stats)
 {
     ledger.setInt("threadPool", "jobs", (std::uint64_t)stats.jobs);

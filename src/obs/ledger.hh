@@ -38,6 +38,7 @@
 #include "npusim/result.hh"
 #include "perf/profile.hh"
 #include "npusim/sim_cache.hh"
+#include "partition/layer_timing_cache.hh"
 #include "partition/pipeline_sim.hh"
 #include "reliability/fault_model.hh"
 #include "serving/metrics.hh"
@@ -198,6 +199,15 @@ void addFaultSchedule(RunLedger &ledger,
 /** Record memo-cache efficacy under a "simCache" section. */
 void addSimCacheStats(RunLedger &ledger,
                       const npusim::SimCacheStats &stats);
+
+/**
+ * Record the partitioner's layer-timing memo counters under a
+ * "layerTimingCache" section. Counts are identical at any job count
+ * (single-flight accounting), so the section is safe for the CI
+ * jobs=1-vs-N ledger byte-comparison.
+ */
+void addLayerTimingCacheStats(
+    RunLedger &ledger, const partition::LayerTimingCacheStats &stats);
 
 /** Record sweep parallelism under a "threadPool" section. */
 void addPoolStats(RunLedger &ledger, const ThreadPool::Stats &stats);

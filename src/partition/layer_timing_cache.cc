@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Layer-timing memo implementation.
+ */
+
+#include "layer_timing_cache.hh"
+
+#include "perf/profile.hh"
+
+namespace supernpu {
+namespace partition {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+} // namespace
+
+std::size_t
+LayerTimingCache::KeyHash::operator()(const Key &key) const
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (int i = 0; i < 8; ++i) {
+        hash ^= (key.networkHash >> (8 * i)) & 0xff;
+        hash *= kFnvPrime;
+    }
+    hash ^= (std::uint64_t)(std::uint32_t)key.batch;
+    hash *= kFnvPrime;
+    return (std::size_t)hash;
+}
+
+void
+LayerTimingCache::countHitLocked()
+{
+    ++_stats.hits;
+    if (perf::enabled()) {
+        static perf::Counter &hits =
+            perf::counter("partition.timingCache.hits");
+        hits.add(1);
+    }
+}
+
+void
+LayerTimingCache::countMissLocked()
+{
+    ++_stats.misses;
+    if (perf::enabled()) {
+        static perf::Counter &misses =
+            perf::counter("partition.timingCache.misses");
+        misses.add(1);
+    }
+}
+
+std::shared_ptr<const LayerTimings>
+LayerTimingCache::getOrBuild(
+    std::uint64_t network_hash, int batch,
+    const std::function<LayerTimings()> &build)
+{
+    const Key key{network_hash, batch};
+    std::shared_ptr<Flight> flight;
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        const auto it = _entries.find(key);
+        if (it != _entries.end()) {
+            countHitLocked();
+            return it->second;
+        }
+        const auto in = _inflight.find(key);
+        if (in != _inflight.end()) {
+            // Joining a running build counts as a hit — the serial
+            // run would find the leader's entry resident here — so
+            // totals match ThreadPool(1) at any job count.
+            countHitLocked();
+            flight = in->second;
+            _flightDone.wait(lock, [&] { return flight->done; });
+            if (flight->error)
+                std::rethrow_exception(flight->error);
+            return flight->result;
+        }
+        countMissLocked();
+        flight = std::make_shared<Flight>();
+        _inflight.emplace(key, flight);
+    }
+    // Leader: build (which may simulate) outside the lock.
+    std::shared_ptr<const LayerTimings> built;
+    try {
+        built = std::make_shared<const LayerTimings>(build());
+        std::lock_guard<std::mutex> lock(_mutex);
+        _entries.emplace(key, built);
+        flight->result = built;
+        flight->done = true;
+        _inflight.erase(key);
+    } catch (...) {
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            flight->error = std::current_exception();
+            flight->done = true;
+            _inflight.erase(key);
+        }
+        _flightDone.notify_all();
+        throw;
+    }
+    _flightDone.notify_all();
+    return built;
+}
+
+std::size_t
+LayerTimingCache::size() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _entries.size();
+}
+
+LayerTimingCacheStats
+LayerTimingCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _stats;
+}
+
+void
+LayerTimingCache::clear()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _entries.clear();
+    _stats = LayerTimingCacheStats{};
+}
+
+} // namespace partition
+} // namespace supernpu

@@ -31,6 +31,7 @@
 
 #include "dnn/layer.hh"
 #include "estimator/npu_estimator.hh"
+#include "layer_timing_cache.hh"
 #include "link_model.hh"
 #include "npusim/sim.hh"
 #include "npusim/sim_cache.hh"
@@ -122,15 +123,36 @@ class Partitioner
     }
     const LinkConfig &link() const { return _link; }
 
+    /**
+     * Layer-timing memo counters for this partitioner. A planner
+     * search shares one Partitioner, so these say how often the
+     * R×T×K sweep reused a cut-search derivation instead of
+     * re-walking a SimResult; snapshotted into shard ledgers.
+     */
+    LayerTimingCacheStats timingCacheStats() const
+    {
+        return _timings.stats();
+    }
+
   private:
     /** Cached whole-(sub-)network simulation. */
     std::shared_ptr<const npusim::SimResult>
     simulate(const dnn::Network &network, int batch) const;
+    /** Same, with the network hash precomputed by the caller. */
+    std::shared_ptr<const npusim::SimResult>
+    simulate(std::uint64_t network_hash, const dnn::Network &network,
+             int batch) const;
+    /** Derive the cut-search inputs (one memoized simulation). */
+    LayerTimings buildTimings(const dnn::Network &network,
+                              std::uint64_t network_hash,
+                              int batch) const;
 
     npusim::NpuSimulator _sim;
     LinkConfig _link;
     npusim::SimCache *_cache;
     std::uint64_t _configHash = 0;
+    /** partition() is const; the memo mutates under its own lock. */
+    mutable LayerTimingCache _timings;
 };
 
 } // namespace partition

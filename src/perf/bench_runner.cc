@@ -11,6 +11,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "check/runner.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "dnn/networks.hh"
@@ -345,6 +346,82 @@ caseShardScaling(const CaseCtx &ctx)
     return run;
 }
 
+// --- case: planner_search -------------------------------------------
+// The hybrid DP×TP×PP factorization search at one 8-chip budget on a
+// cold sim cache, fanned across --jobs pool threads — the case the
+// perf job times at jobs 1 and 4 to gate the parallel speedup. Every
+// evaluated plan and the layer-timing-cache tallies are pinned as
+// metrics; all of them must be identical at any job count.
+CaseRun
+casePlannerSearch(const CaseCtx &ctx)
+{
+    const estimator::NpuEstimate est = superNpuEstimate();
+    const dnn::Network net =
+        ctx.smoke ? dnn::makeMobileNet() : dnn::makeResNet50();
+    const int batch = npusim::maxBatch(est.config, est, net);
+
+    npusim::SimCache cold;
+    sharding::HybridPlanner planner(est, {}, &cold);
+    const sharding::PlanSearch search = planner.plan(
+        net, 8, batch, sharding::PlanObjective::Throughput,
+        ctx.jobs);
+    obs::enforce(obs::auditSharding(search.best()),
+                 "bench planner_search");
+
+    CaseRun run;
+    run.work = search.evaluated.size();
+    Fingerprint print;
+    for (const auto &plan : search.evaluated) {
+        print.mix(&plan.dataParallel, sizeof plan.dataParallel);
+        print.mix(&plan.tensorShards, sizeof plan.tensorShards);
+        print.mix(&plan.pipelineStages, sizeof plan.pipelineStages);
+        print.mix(&plan.intervalCycles, sizeof plan.intervalCycles);
+        print.mix(&plan.latencyCycles, sizeof plan.latencyCycles);
+        print.mix(plan.throughput());
+    }
+    const partition::LayerTimingCacheStats timings =
+        planner.timingCacheStats();
+    addMetric(run, "plansEvaluated", search.evaluated.size());
+    addMetric(run, "bestIndex", (std::uint64_t)search.bestIndex);
+    addMetric(run, "bestIntervalCycles",
+              search.best().intervalCycles);
+    addMetric(run, "planHash32", print.value32());
+    addMetric(run, "timingCacheHits", timings.hits);
+    addMetric(run, "timingCacheMisses", timings.misses);
+    return run;
+}
+
+// --- case: check_fuzz -----------------------------------------------
+// The check harness's generate-mode sweep (src/check) over the full
+// oracle catalog, fanned across --jobs pool threads. The outcome
+// hash is a pure function of (seed, cases, cook) — pinning it
+// catches any job-count dependence creeping into the fuzz sweep.
+CaseRun
+caseCheckFuzz(const CaseCtx &ctx)
+{
+    sfq::DeviceConfig device;
+    const sfq::CellLibrary library(device);
+
+    check::RunnerOptions options;
+    options.seed = 9;
+    options.cases = ctx.smoke ? 12 : 40;
+    options.shrinkFailures = false;
+    options.jobs = ctx.jobs;
+    const check::CheckSummary summary =
+        check::runCases(options, library);
+
+    CaseRun run;
+    run.work = summary.ran;
+    addMetric(run, "oracleRuns", summary.ran);
+    addMetric(run, "skipped", summary.skipped);
+    addMetric(run, "failures", summary.failures);
+    // Truncated like Fingerprint::value32 so the JSON number stays
+    // exactly representable as a double.
+    addMetric(run, "outcomeHash32",
+              summary.outcomeHash & 0xffffffffull);
+    return run;
+}
+
 const std::vector<BenchCase> &
 allCases()
 {
@@ -356,6 +433,8 @@ allCases()
         {"fault_sweep", "requests/sec", caseFaultSweep},
         {"pipeline_scaling", "plans/sec", casePipelineScaling},
         {"shard_scaling", "plans/sec", caseShardScaling},
+        {"planner_search", "plans/sec", casePlannerSearch},
+        {"check_fuzz", "runs/sec", caseCheckFuzz},
     };
     return cases;
 }

@@ -68,11 +68,18 @@ BatchQueue::nextDeadlineSec() const
 std::vector<Request>
 BatchQueue::pop()
 {
+    std::vector<Request> batch;
+    popInto(batch);
+    return batch;
+}
+
+void
+BatchQueue::popInto(std::vector<Request> &out)
+{
     const std::size_t take =
         std::min(_queue.size(), (std::size_t)_cfg.maxBatch);
-    std::vector<Request> batch(_queue.begin(), _queue.begin() + take);
+    out.assign(_queue.begin(), _queue.begin() + take);
     _queue.erase(_queue.begin(), _queue.begin() + take);
-    return batch;
 }
 
 } // namespace serving

@@ -96,6 +96,14 @@ class BatchQueue
     std::vector<Request> pop();
 
     /**
+     * pop() into a caller-recycled buffer: `out` is cleared (keeping
+     * its capacity) and filled with the same batch pop() would
+     * return. The simulator's launch path recycles batch buffers
+     * through this so steady state stops allocating per batch.
+     */
+    void popInto(std::vector<Request> &out);
+
+    /**
      * Dequeue everything, still in maxBatch-sized chunks' worth of
      * one call — used by the simulator's drain phase to flush
      * requests the fixed policy would otherwise strand. Never

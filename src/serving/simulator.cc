@@ -219,7 +219,17 @@ ServingReport
 ServingSimulator::run()
 {
     perf::Scope perf_scope("serving.run");
-    std::priority_queue<Event, std::vector<Event>, EventAfter> events;
+    // The calendar's backing store is sized up front: steady state
+    // carries roughly one pending completion/timeout pair per
+    // dispatch target plus the arrival chain, and the whole fault
+    // schedule lands on the calendar at seed time. Reserving once
+    // keeps the heap from reallocating mid-run.
+    std::vector<Event> calendar;
+    calendar.reserve(_cfg.faults.events().size() +
+                     (std::size_t)_cfg.chips * 4 +
+                     (std::size_t)_cfg.arrival.clients + 64);
+    std::priority_queue<Event, std::vector<Event>, EventAfter> events(
+        EventAfter{}, std::move(calendar));
     std::uint64_t next_seq = 0;
     const auto schedule = [&](double time, EventKind kind, int chip) {
         events.push(Event{time, next_seq++, kind, chip});
@@ -288,6 +298,30 @@ ServingSimulator::run()
     std::uint64_t redispatches = 0;
     std::uint64_t glitches_absorbed = 0;
     std::uint64_t failed_requests = 0;
+
+    // Total queued (not-yet-launched) requests across every target,
+    // maintained incrementally at each queue push and pop. The
+    // metrics collector samples it on every calendar pop, which made
+    // re-summing it there an O(targets) cost on the hottest line.
+    std::size_t queued_depth = 0;
+
+    // Steady state recycles batch buffers and pipeline-batch records
+    // instead of allocating per launch: completed ones park here with
+    // their capacity intact.
+    std::vector<std::vector<Request>> spare_batches;
+    std::vector<PipeBatch> spare_pipe;
+    const auto take_batch_buffer = [&]() {
+        if (spare_batches.empty())
+            return std::vector<Request>();
+        std::vector<Request> buffer = std::move(spare_batches.back());
+        spare_batches.pop_back();
+        return buffer;
+    };
+    const auto recycle_batch_buffer =
+        [&](std::vector<Request> &&buffer) {
+            buffer.clear();
+            spare_batches.push_back(std::move(buffer));
+        };
 
     // A request leaves the system: record it, count it, and let a
     // closed-loop client think and re-ask.
@@ -376,6 +410,11 @@ ServingSimulator::run()
             if (clock < chip.skewUntilSec)
                 scale *= chip.skewFactor;
             PipeBatch pipe_batch;
+            if (!spare_pipe.empty()) {
+                pipe_batch = std::move(spare_pipe.back());
+                spare_pipe.pop_back();
+            }
+            pipe_batch.corrupted = false;
             pipe_batch.requests = std::move(batch);
             pipe_batch.launchSec = clock;
             pipe_batch.doneSec =
@@ -452,14 +491,10 @@ ServingSimulator::run()
             }
             return;
         }
-        launch_batch(index, chip.queue.pop());
-    };
-
-    const auto total_depth = [&]() {
-        std::size_t depth = 0;
-        for (const Chip &chip : chips)
-            depth += chip.queue.depth();
-        return depth;
+        std::vector<Request> batch = take_batch_buffer();
+        chip.queue.popInto(batch);
+        queued_depth -= batch.size();
+        launch_batch(index, std::move(batch));
     };
 
     // Seed the calendar: open-loop sources self-schedule; closed-loop
@@ -490,7 +525,10 @@ ServingSimulator::run()
             bool flushed = false;
             for (int i = 0; i < n_targets; ++i) {
                 if (!chips[i].busy && !chips[i].queue.empty()) {
-                    launch_batch(i, chips[i].queue.flush());
+                    std::vector<Request> batch = take_batch_buffer();
+                    chips[i].queue.popInto(batch);
+                    queued_depth -= batch.size();
+                    launch_batch(i, std::move(batch));
                     flushed = true;
                 }
             }
@@ -507,13 +545,14 @@ ServingSimulator::run()
                 perf::counter("serving.events");
             perf_events.add(1);
         }
-        metrics.advanceTo(event.timeSec, total_depth());
+        metrics.advanceTo(event.timeSec, queued_depth);
         clock = event.timeSec;
 
         switch (event.kind) {
           case EventKind::Arrival: {
             const int target = pick_target();
             chips[target].queue.push(Request{arrived++, clock, clock});
+            ++queued_depth;
             try_launch(target);
             if (arrivals.openLoop() && injected < _cfg.requests) {
                 schedule(clock + arrivals.nextGapSec(),
@@ -540,6 +579,8 @@ ServingSimulator::run()
                 const bool pipe_failed = batch->corrupted;
                 for (const Request &request : batch->requests)
                     complete_request(request, pipe_failed);
+                recycle_batch_buffer(std::move(batch->requests));
+                spare_pipe.push_back(std::move(*batch));
                 chip.pipeInFlight.pop_front();
                 try_launch(event.chip);
                 break;
@@ -553,6 +594,7 @@ ServingSimulator::run()
             const bool failed = chip.corrupted;
             for (const Request &request : chip.inFlight)
                 complete_request(request, failed);
+            recycle_batch_buffer(std::move(chip.inFlight));
             chip.inFlight.clear();
             chip.busy = false;
             chip.corrupted = false;
@@ -745,6 +787,8 @@ ServingSimulator::run()
                         }
                     }
                     kill_requests(batch->requests);
+                    recycle_batch_buffer(std::move(batch->requests));
+                    spare_pipe.push_back(std::move(*batch));
                     batch = chip.pipeInFlight.erase(batch);
                 }
                 if (!killed_any)
@@ -818,6 +862,7 @@ ServingSimulator::run()
                 // Kill the batch; requests back off and re-enter,
                 // or give up past their retry/deadline budget.
                 kill_requests(chip.inFlight);
+                recycle_batch_buffer(std::move(chip.inFlight));
                 chip.inFlight.clear();
                 chip.busy = false;
                 chip.corrupted = false;
@@ -841,12 +886,14 @@ ServingSimulator::run()
             std::vector<Request> moved;
             while (!chip.queue.empty()) {
                 std::vector<Request> chunk = chip.queue.flush();
+                queued_depth -= chunk.size();
                 moved.insert(moved.end(), chunk.begin(), chunk.end());
             }
             for (Request request : moved) {
                 request.enqueueSec = clock;
                 const int target = pick_target();
                 chips[target].queue.push(request);
+                ++queued_depth;
                 ++redispatches;
                 try_launch(target);
             }
@@ -857,6 +904,7 @@ ServingSimulator::run()
             request.enqueueSec = clock;
             const int target = pick_target();
             chips[target].queue.push(request);
+            ++queued_depth;
             try_launch(target);
             break;
           }
@@ -875,6 +923,8 @@ ServingSimulator::run()
     SUPERNPU_ASSERT(arrived == _cfg.requests &&
                         completed == _cfg.requests,
                     "serving run lost requests");
+    SUPERNPU_ASSERT(queued_depth == 0,
+                    "serving run ended with queued requests");
 
     ServingReport report = metrics.finish(clock);
     report.network = _service.network().name;

@@ -8,6 +8,8 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
+#include "perf/profile.hh"
 
 namespace supernpu {
 namespace sharding {
@@ -68,6 +70,12 @@ HybridPlanner::evaluate(const dnn::Network &network,
                         int data_parallel, int tensor_shards,
                         int pipeline_stages, int batch) const
 {
+    perf::Scope perf_scope("planner.evaluate");
+    if (perf::enabled()) {
+        static perf::Counter &evaluations =
+            perf::counter("planner.evaluations");
+        evaluations.add(1);
+    }
     network.check();
     if (data_parallel < 1 || tensor_shards < 1 ||
         pipeline_stages < 1)
@@ -159,10 +167,12 @@ HybridPlanner::evaluate(const dnn::Network &network,
 
 PlanSearch
 HybridPlanner::plan(const dnn::Network &network, int chip_budget,
-                    int batch, PlanObjective objective) const
+                    int batch, PlanObjective objective,
+                    int jobs) const
 {
     if (chip_budget < 1)
         fatal("chip budget must be at least 1, got ", chip_budget);
+    perf::Scope perf_scope("planner.plan");
 
     PlanSearch search;
     search.objective = objective;
@@ -171,17 +181,37 @@ HybridPlanner::plan(const dnn::Network &network, int chip_budget,
     // Degrees a clamp would fold onto an already-enumerated triple
     // are skipped up front: R beyond the batch and K beyond the
     // layer count only duplicate rows (and spam clamp warns).
+    // Materializing the triples first sizes the candidate vector
+    // exactly and hands parallelMap an indexable work list.
+    struct Triple
+    {
+        int r = 1, t = 1, k = 1;
+    };
     const int max_r = std::min(chip_budget, batch);
     const int max_k = (int)network.layers.size();
-    for (int r = 1; r <= max_r; ++r) {
-        for (int t = 1; r * t <= chip_budget; ++t) {
-            for (int k = 1;
-                 r * t * k <= chip_budget && k <= max_k; ++k) {
-                ShardPlan candidate =
-                    evaluate(network, r, t, k, batch);
-                search.evaluated.push_back(std::move(candidate));
-            }
-        }
+    std::vector<Triple> triples;
+    for (int r = 1; r <= max_r; ++r)
+        for (int t = 1; r * t <= chip_budget; ++t)
+            for (int k = 1; r * t * k <= chip_budget && k <= max_k;
+                 ++k)
+                triples.push_back(Triple{r, t, k});
+
+    // Fan the evaluations across the pool. Slot i always holds the
+    // i-th enumerated triple's plan (moved in, never copied — each
+    // ShardPlan carries stage vectors and a shared SimResult), so
+    // the candidate list is byte-identical to the serial walk no
+    // matter how the work interleaves.
+    ThreadPool pool(jobs < 0 ? 1 : jobs);
+    search.evaluated =
+        pool.parallelMap(triples.size(), [&](std::size_t i) {
+            const Triple &triple = triples[i];
+            return evaluate(network, triple.r, triple.t, triple.k,
+                            batch);
+        });
+    if (perf::enabled()) {
+        static perf::Counter &candidates =
+            perf::counter("planner.candidates");
+        candidates.add(triples.size());
     }
 
     // First strictly better wins: lexicographic (R,T,K) order makes

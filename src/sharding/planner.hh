@@ -27,7 +27,15 @@
  *
  * The planner enumerates every (R, T, K) with R·T·K ≤ budget in
  * lexicographic order and keeps the best under the objective; ties
- * keep the earlier triple, so results are deterministic.
+ * keep the earlier triple, so results are deterministic. The
+ * enumeration fans out across a common/parallel ThreadPool:
+ * candidates land in enumeration order regardless of scheduling
+ * (parallelMap slot order) and every shared structure the
+ * evaluations touch (npusim::SimCache, the partitioner's
+ * LayerTimingCache, the link model's warn dedup) is single-flight or
+ * mutexed with scheduling-independent accounting, so `jobs` is a
+ * pure wall-clock knob — the search output and its ledgers are
+ * byte-identical to the serial walk at any job count.
  */
 
 #ifndef SUPERNPU_SHARDING_PLANNER_HH
@@ -144,9 +152,16 @@ class HybridPlanner
                        int tensor_shards, int pipeline_stages,
                        int batch) const;
 
-    /** Search every factorization of `chip_budget` chips or fewer. */
+    /**
+     * Search every factorization of `chip_budget` chips or fewer.
+     * @param jobs Pool parallelism of the candidate sweep including
+     *        the calling thread; <= 1 runs serially inline, 0 means
+     *        every hardware thread. Output is byte-identical at any
+     *        value.
+     */
     PlanSearch plan(const dnn::Network &network, int chip_budget,
-                    int batch, PlanObjective objective) const;
+                    int batch, PlanObjective objective,
+                    int jobs = 1) const;
 
     const estimator::NpuEstimate &estimate() const
     {
@@ -155,6 +170,12 @@ class HybridPlanner
     const partition::LinkConfig &link() const
     {
         return _sharder.link();
+    }
+
+    /** The shared partitioner's layer-timing memo counters. */
+    partition::LayerTimingCacheStats timingCacheStats() const
+    {
+        return _partitioner.timingCacheStats();
     }
 
   private:

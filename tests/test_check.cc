@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <filesystem>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -245,6 +246,47 @@ TEST(CheckRunner, GenerateModeIsCleanOnAFreshSeed)
     options.cases = 3;
     options.shrinkFailures = false;
     EXPECT_EQ(runCheck(options, library()), 0);
+}
+
+TEST(CheckRunner, ParallelSweepIsByteIdenticalToSerial)
+{
+    // One generate-mode sweep at a given job count, rendered to
+    // bytes: the tallies, the case-order outcome fingerprint, and
+    // every failure-sink invocation in the order it fired. All of it
+    // must be independent of --jobs.
+    const auto sweep = [&](int jobs) {
+        RunnerOptions options;
+        options.seed = 9;
+        options.cases = 10;
+        options.shrinkFailures = false;
+        options.jobs = jobs;
+        std::ostringstream failures;
+        const CheckSummary summary = runCases(
+            options, library(),
+            [&](const std::string &oracle, const CheckCase &c,
+                const OracleOutcome &outcome) {
+                failures << oracle << ' ' << c.describe() << ' '
+                         << outcome.detail << '\n';
+            });
+        std::ostringstream out;
+        out << summary.ran << ' ' << summary.skipped << ' '
+            << summary.failures << ' ' << summary.outcomeHash << '\n'
+            << failures.str();
+        return out.str();
+    };
+
+    const std::string serial = sweep(1);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(sweep(2), serial);
+    EXPECT_EQ(sweep(8), serial);
+}
+
+TEST(CheckRunner, RunCasesRejectsAnUnknownOracleFilter)
+{
+    RunnerOptions options;
+    options.oracle = "no-such-oracle";
+    EXPECT_DEATH((void)runCases(options, library()),
+                 "unknown oracle");
 }
 
 } // namespace

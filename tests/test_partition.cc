@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 
@@ -162,6 +163,98 @@ TEST_F(PartitionFixture, RepartitioningHitsTheSimCache)
     // run, same stage sub-networks, all served from the cache.
     EXPECT_EQ(after.misses, before.misses);
     EXPECT_GT(after.hits, before.hits);
+}
+
+TEST_F(PartitionFixture, RepartitioningHitsTheLayerTimingCache)
+{
+    Partitioner partitioner(estimate, {}, &cache);
+    partitioner.partition(net, 2, batch);
+    const LayerTimingCacheStats first =
+        partitioner.timingCacheStats();
+    EXPECT_EQ(first.misses, 1u);
+    EXPECT_EQ(first.hits, 0u);
+
+    // Any other K of the same (network, batch) reuses the memoized
+    // prefix sums and link costs — the sweep pattern the planner's
+    // K = 1..layers enumeration produces.
+    partitioner.partition(net, 3, batch);
+    const LayerTimingCacheStats second =
+        partitioner.timingCacheStats();
+    EXPECT_EQ(second.misses, first.misses);
+    EXPECT_EQ(second.hits, first.hits + 1);
+
+    // A different batch is a different timing point.
+    partitioner.partition(net, 2, std::max(1, batch - 1));
+    EXPECT_EQ(partitioner.timingCacheStats().misses,
+              first.misses + 1);
+}
+
+// --- layer-timing cache ----------------------------------------------
+
+/** A minimal one-layer LayerTimings tagged by configName. */
+LayerTimings
+namedTimings(const char *name)
+{
+    LayerTimings timings;
+    timings.configName = name;
+    timings.frequencyGhz = 1.0;
+    timings.prefix = {0.0, 2.0};
+    timings.linkAfter = {0.0};
+    timings.linkCycles = {0};
+    timings.linkBytes = {0};
+    return timings;
+}
+
+TEST(LayerTimingCache, MemoizesOneBuildPerKey)
+{
+    LayerTimingCache cache;
+    int builds = 0;
+    const auto build = [&]() {
+        ++builds;
+        return namedTimings("a");
+    };
+    const auto first = cache.getOrBuild(0x51, 4, build);
+    EXPECT_EQ(builds, 1);
+    EXPECT_EQ(first->layerCount(), 1);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+
+    // Same key: the very same shared object, no rebuild.
+    const auto again = cache.getOrBuild(0x51, 4, build);
+    EXPECT_EQ(builds, 1);
+    EXPECT_EQ(again.get(), first.get());
+    EXPECT_EQ(cache.stats().hits, 1u);
+
+    // A different batch is a different key.
+    const auto other = cache.getOrBuild(0x51, 8, build);
+    EXPECT_EQ(builds, 2);
+    EXPECT_NE(other.get(), first.get());
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LayerTimingCache, TrustsTheNetworkHashUntilCleared)
+{
+    // The cache is keyed on (network hash, batch) alone: a colliding
+    // key hands back the FIRST build's timings, never re-running the
+    // builder. hashNetwork must therefore cover every field the
+    // timing derivation reads; this pins that contract, and that
+    // clear() is the only invalidation.
+    LayerTimingCache cache;
+    const auto first = cache.getOrBuild(
+        7, 1, [] { return namedTimings("first"); });
+    const auto collided = cache.getOrBuild(
+        7, 1, [] { return namedTimings("second"); });
+    EXPECT_EQ(collided.get(), first.get());
+    EXPECT_EQ(collided->configName, "first");
+
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().misses, 0u);
+    const auto rebuilt = cache.getOrBuild(
+        7, 1, [] { return namedTimings("second"); });
+    EXPECT_EQ(rebuilt->configName, "second");
+    EXPECT_EQ(cache.stats().misses, 1u);
 }
 
 TEST_F(PartitionFixture, PlansAreDeterministicAcrossFreshCaches)

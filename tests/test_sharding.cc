@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <sstream>
 
 #include "dnn/layer.hh"
 #include "dnn/networks.hh"
@@ -467,6 +468,54 @@ TEST_F(ShardingFixture, PlansAreDeterministicAcrossFreshCaches)
         return ledger.json();
     };
     EXPECT_EQ(fingerprint(), fingerprint());
+}
+
+TEST_F(ShardingFixture, ParallelPlanIsByteIdenticalToSerial)
+{
+    // One cold-cache sweep at a given job count: every evaluated
+    // plan's books, the winner, and both caches' tallies.
+    struct Sweep
+    {
+        std::string bytes;
+        npusim::SimCacheStats sim;
+        partition::LayerTimingCacheStats timings;
+    };
+    const auto sweep = [&](int jobs) {
+        npusim::SimCache fresh;
+        HybridPlanner planner(estimate, testLink(), &fresh);
+        const PlanSearch search = planner.plan(
+            net, 4, batch, PlanObjective::Throughput, jobs);
+        std::ostringstream out;
+        out.precision(17);
+        out << search.bestIndex << '\n';
+        for (const ShardPlan &plan : search.evaluated) {
+            out << plan.dataParallel << ' ' << plan.tensorShards
+                << ' ' << plan.pipelineStages << ' '
+                << plan.intervalCycles << ' ' << plan.latencyCycles
+                << ' ' << plan.tensorCollectiveCycles << ' '
+                << plan.gatherCycles << ' ' << plan.throughput()
+                << '\n';
+        }
+        obs::RunLedger ledger;
+        obs::addShardPlan(ledger, search.best());
+        out << ledger.json();
+        return Sweep{out.str(), fresh.stats(),
+                     planner.timingCacheStats()};
+    };
+
+    const Sweep serial = sweep(1);
+    EXPECT_FALSE(serial.bytes.empty());
+    for (int jobs : {2, 8}) {
+        const Sweep parallel = sweep(jobs);
+        EXPECT_EQ(parallel.bytes, serial.bytes) << "jobs " << jobs;
+        // Single-flight accounting: the fan-out must not change what
+        // either cache counts, or the byte-compared shard ledgers
+        // (which embed these tallies) would differ across --jobs.
+        EXPECT_EQ(parallel.sim.hits, serial.sim.hits);
+        EXPECT_EQ(parallel.sim.misses, serial.sim.misses);
+        EXPECT_EQ(parallel.timings.hits, serial.timings.hits);
+        EXPECT_EQ(parallel.timings.misses, serial.timings.misses);
+    }
 }
 
 // --- serving replica groups ------------------------------------------

@@ -61,8 +61,8 @@
  *   --output-mb <n>         output buffer capacity
  *   --bandwidth-gbps <n>    DRAM bandwidth
  *   --batch <n>             force a batch size (simulate, serve)
- *   --jobs <n>              sweep parallelism (explore; default 0 =
- *                           hardware concurrency)
+ *   --jobs <n>              worker threads (explore, shard, check,
+ *                           bench); results are identical at any N
  *
  * Serving options (serve):
  *   --rps <n>               offered load, requests/s (default 1000)
@@ -1000,6 +1000,10 @@ cmdShard(const Options &options, const dnn::Network &net)
 
     sharding::HybridPlanner planner(estimate, options.link,
                                     &npusim::SimCache::global());
+    // Like bench, the search defaults to the byte-stable serial walk;
+    // any --jobs value produces identical output (and ledgers), so
+    // the flag is purely a wall-clock knob here.
+    const int jobs = options.jobs > 0 ? options.jobs : 1;
 
     // Any explicit degree flag pins that factorization; otherwise
     // the planner searches the --chips budget. The budget also sets
@@ -1016,7 +1020,7 @@ cmdShard(const Options &options, const dnn::Network &net)
                                 std::max(options.stages, 1), batch);
     } else {
         const sharding::PlanSearch search =
-            planner.plan(net, budget, batch, options.objective);
+            planner.plan(net, budget, batch, options.objective, jobs);
         plan = search.best();
         std::printf("planned %zu factorizations of <= %d chip(s)"
                     " for %s\n",
@@ -1092,7 +1096,7 @@ cmdShard(const Options &options, const dnn::Network &net)
         for (int sweep_budget : sweep_budgets) {
             const sharding::PlanSearch search =
                 planner.plan(net, sweep_budget, batch,
-                             options.objective);
+                             options.objective, jobs);
             const sharding::ShardPlan &best = search.best();
             audit.merge(obs::auditSharding(best));
             sweep.row()
@@ -1113,6 +1117,8 @@ cmdShard(const Options &options, const dnn::Network &net)
         obs::addShardPlan(ledger, plan);
         obs::addSimCacheStats(ledger,
                               npusim::SimCache::global().stats());
+        obs::addLayerTimingCacheStats(ledger,
+                                      planner.timingCacheStats());
         emitLedger(options, ledger);
     }
     return 0;
@@ -1291,6 +1297,10 @@ cmdCheck(const Options &options)
     runner.cook = options.checkCook;
     runner.oracle = options.checkOracle;
     runner.emitCorpusDir = options.checkEmitCorpus;
+    // Serial by default like bench; any --jobs value produces the
+    // same tallies, warns, and repro bytes, so the flag only buys
+    // wall clock (the CI check job runs with --jobs).
+    runner.jobs = options.jobs > 0 ? options.jobs : 1;
     return check::runCheck(runner, library);
 }
 
@@ -1332,10 +1342,13 @@ usage(std::FILE *to = stderr)
                  "         --link-gbps <n> --link-latency <cycles>\n"
                  "shard:   --dp <r> --tp <t> --stages <k> --chips <n>\n"
                  "         --objective throughput|latency --sweep\n"
+                 "         --jobs <n> (search parallelism; output is\n"
+                 "         byte-identical at any value, default 1)\n"
                  "check:   --cases <n> --seed <s> --replay <file>\n"
                  "         --no-shrink --repro-dir <dir>\n"
                  "         --oracle <name> --cook none|tamper\n"
-                 "         --emit-corpus <dir>\n"
+                 "         --emit-corpus <dir> --jobs (default 1;\n"
+                 "         identical output at any value)\n"
                  "bench:   --reps --warmups --case <name> --out <path>\n"
                  "         --no-timing --baseline <path> --threshold\n"
                  "         --inject-slowdown <pct> --jobs (default 1)\n"
